@@ -1,0 +1,34 @@
+//! End-to-end figure-regeneration benchmarks: one representative run per
+//! paper experiment family, so regressions in pipeline performance (wall
+//! time of the harness itself) are tracked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tvs_iosim::Disk;
+use tvs_pipelines::config::HuffmanConfig;
+use tvs_pipelines::runner::run_huffman_sim;
+use tvs_sre::{cell_be, x86_smp, DispatchPolicy};
+use tvs_workloads::FileKind;
+
+fn bench_fig3_style(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_runs");
+    g.sample_size(10);
+    let x86 = x86_smp(16);
+    let cell = cell_be(16);
+    for kind in FileKind::ALL {
+        let data = tvs_workloads::generate(kind, 1 << 20, 2011);
+        g.bench_with_input(BenchmarkId::new("x86_balanced", kind.label()), &data, |b, data| {
+            let cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
+            b.iter(|| black_box(run_huffman_sim(data, &cfg, &x86, &Disk::default())))
+        });
+    }
+    let data = tvs_workloads::generate(FileKind::Text, 1 << 20, 2011);
+    g.bench_function("cell_balanced_txt", |b| {
+        let cfg = HuffmanConfig::disk_cell(DispatchPolicy::Balanced);
+        b.iter(|| black_box(run_huffman_sim(&data, &cfg, &cell, &Disk::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3_style);
+criterion_main!(benches);

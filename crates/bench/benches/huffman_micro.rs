@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of the Huffman substrate: the real costs of
+//! the pipeline's task bodies (count, reduce, tree, offset, encode, check),
+//! which the discrete-event cost model abstracts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tvs_huffman::{
+    encode_block, relative_cost_delta, serial_encode, CodeLengths, CodeTable, Histogram,
+};
+use tvs_workloads::FileKind;
+
+fn data_4k(kind: FileKind) -> Vec<u8> {
+    tvs_workloads::generate(kind, 4096, 99)
+}
+
+fn bench_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("count");
+    g.throughput(Throughput::Bytes(4096));
+    for kind in FileKind::ALL {
+        let block = data_4k(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &block, |b, block| {
+            b.iter(|| Histogram::from_bytes(black_box(block)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let data = tvs_workloads::generate(FileKind::Text, 16 * 4096, 99);
+    let parts: Vec<Histogram> = data.chunks(4096).map(Histogram::from_bytes).collect();
+    c.bench_function("reduce_16_histograms", |b| {
+        b.iter(|| Histogram::merged(black_box(&parts)))
+    });
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree");
+    for kind in FileKind::ALL {
+        let data = tvs_workloads::generate(kind, 1 << 20, 99);
+        let hist = Histogram::from_bytes(&data);
+        g.bench_with_input(BenchmarkId::new("exact", kind.label()), &hist, |b, h| {
+            b.iter(|| CodeLengths::build(black_box(h)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("covering", kind.label()), &hist, |b, h| {
+            b.iter(|| CodeLengths::build_covering(black_box(h)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_4k");
+    g.throughput(Throughput::Bytes(4096));
+    for kind in FileKind::ALL {
+        let data = tvs_workloads::generate(kind, 1 << 20, 99);
+        let table = CodeTable::build(&Histogram::from_bytes(&data)).unwrap();
+        let block = data[..4096].to_vec();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &(block, table),
+            |b, (block, table)| b.iter(|| encode_block(black_box(block), black_box(table)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_check(c: &mut Criterion) {
+    // The paper's check task: compressed-size comparison of two trees.
+    let data = tvs_workloads::generate(FileKind::Pdf, 1 << 20, 99);
+    let early = Histogram::from_bytes(&data[..data.len() / 8]);
+    let full = Histogram::from_bytes(&data);
+    let spec = CodeLengths::build_covering(&early).unwrap();
+    let cand = CodeLengths::build_covering(&full).unwrap();
+    c.bench_function("check_cost_delta", |b| {
+        b.iter(|| relative_cost_delta(black_box(&spec), black_box(&cand), black_box(&full)))
+    });
+}
+
+fn bench_offsets(c: &mut Criterion) {
+    let data = tvs_workloads::generate(FileKind::Text, 64 * 4096, 99);
+    let table = CodeTable::build(&Histogram::from_bytes(&data)).unwrap();
+    let hists: Vec<Histogram> = data.chunks(4096).map(Histogram::from_bytes).collect();
+    c.bench_function("offset_group_64", |b| {
+        b.iter(|| {
+            let mut chain = tvs_huffman::OffsetChain::new();
+            chain.extend_group(black_box(&hists), black_box(&table)).unwrap()
+        })
+    });
+}
+
+fn bench_serial_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_two_pass");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(1 << 20));
+    let data = tvs_workloads::generate(FileKind::Text, 1 << 20, 99);
+    g.bench_function("text_1mb", |b| b.iter(|| serial_encode(black_box(&data)).unwrap()));
+    g.finish();
+}
+
+fn bench_container(c: &mut Criterion) {
+    let data = tvs_workloads::generate(FileKind::Text, 256 * 1024, 99);
+    let packed = tvs_huffman::compress(&data).unwrap();
+    let mut g = c.benchmark_group("container");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_256k", |b| {
+        b.iter(|| tvs_huffman::compress(black_box(&data)).unwrap())
+    });
+    g.bench_function("unpack_256k", |b| {
+        b.iter(|| tvs_huffman::unpack(black_box(&packed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_1mb");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(1 << 20));
+    for kind in FileKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| tvs_workloads::generate(black_box(kind), 1 << 20, 99))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_count,
+    bench_reduce,
+    bench_tree_build,
+    bench_encode,
+    bench_check,
+    bench_offsets,
+    bench_serial_reference,
+    bench_container,
+    bench_workload_generation
+);
+criterion_main!(benches);

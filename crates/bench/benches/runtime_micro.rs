@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the SRE runtime: scheduler throughput,
+//! queue behaviour under policies, version rollback cost, and end-to-end
+//! simulator overhead per task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tvs_sre::exec::sim::{run as sim_run, SimConfig};
+use tvs_sre::task::{payload, TaskSpec};
+use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, Scheduler};
+use tvs_sre::workload::{Completion, InputBlock, SchedCtx, Workload};
+
+fn bench_spawn_dispatch_complete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_cycle");
+    for policy in [DispatchPolicy::NonSpeculative, DispatchPolicy::Balanced] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut s = Scheduler::new(policy);
+                    for i in 0..256u64 {
+                        if policy.speculates() && i % 2 == 0 {
+                            s.spawn(TaskSpec::speculative("s", 1, 0, 1, i, |_| payload(())));
+                        } else {
+                            s.spawn(TaskSpec::regular("r", 0, 0, i, |_| payload(())));
+                        }
+                    }
+                    let mut n = 0;
+                    while let Some(d) = s.dispatch() {
+                        s.charge(d.class, 10);
+                        s.complete(d.id);
+                        n += 1;
+                    }
+                    black_box(n)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rollback(c: &mut Criterion) {
+    // Cost of aborting a version with many ready tasks (the destroy
+    // propagation path).
+    let mut g = c.benchmark_group("rollback");
+    for n_tasks in [64usize, 512, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(n_tasks), &n_tasks, |b, &n| {
+            b.iter(|| {
+                let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+                for i in 0..n as u64 {
+                    s.spawn(TaskSpec::speculative("e", 1, 0, 1, i, |_| payload(())));
+                }
+                black_box(s.abort_version(1))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A trivial workload: one task per block, used to measure per-task
+/// simulator overhead.
+struct PerBlock {
+    n: usize,
+    seen: usize,
+}
+
+impl Workload for PerBlock {
+    fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
+        ctx.spawn(TaskSpec::regular("w", 0, b.data.len(), b.index as u64, |_| payload(())));
+    }
+    fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {
+        self.seen += 1;
+    }
+    fn is_finished(&self) -> bool {
+        self.seen == self.n
+    }
+}
+
+fn bench_sim_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_executor");
+    g.sample_size(20);
+    for n_tasks in [1024usize, 8192] {
+        g.bench_with_input(BenchmarkId::new("tasks", n_tasks), &n_tasks, |b, &n| {
+            let inputs: Vec<InputBlock> = (0..n)
+                .map(|i| InputBlock { index: i, arrival: i as u64, data: vec![0u8; 16].into() })
+                .collect();
+            let cfg = SimConfig {
+                platform: x86_smp(16),
+                policy: DispatchPolicy::NonSpeculative,
+                trace: false,
+            };
+            b.iter(|| {
+                let rep =
+                    sim_run(PerBlock { n, seen: 0 }, &cfg, &FixedCost(50), inputs.clone());
+                black_box(rep.metrics.makespan)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spawn_dispatch_complete, bench_rollback, bench_sim_executor);
+criterion_main!(benches);

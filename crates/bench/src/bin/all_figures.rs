@@ -1,0 +1,16 @@
+//! Regenerates every figure of the paper's evaluation section.
+fn main() {
+    for (name, f) in [
+        ("fig3", tvs_bench::fig3 as fn() -> Vec<tvs_pipelines::report::Figure>),
+        ("fig4", tvs_bench::fig4),
+        ("fig5", tvs_bench::fig5),
+        ("fig6", tvs_bench::fig6),
+        ("fig7", tvs_bench::fig7),
+        ("fig8", tvs_bench::fig8),
+        ("fig9", tvs_bench::fig9),
+    ] {
+        let figs = f();
+        let dir = tvs_bench::results_dir().join(name);
+        tvs_bench::emit(&figs, &dir).expect("write results");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 3 series; CSVs land in `results/fig3/`.
+fn main() {
+    let figs = tvs_bench::fig3();
+    let dir = tvs_bench::results_dir().join("fig3");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

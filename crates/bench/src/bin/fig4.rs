@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 4 series; CSVs land in `results/fig4/`.
+fn main() {
+    let figs = tvs_bench::fig4();
+    let dir = tvs_bench::results_dir().join("fig4");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 5 series; CSVs land in `results/fig5/`.
+fn main() {
+    let figs = tvs_bench::fig5();
+    let dir = tvs_bench::results_dir().join("fig5");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

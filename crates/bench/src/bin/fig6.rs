@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 6 series; CSVs land in `results/fig6/`.
+fn main() {
+    let figs = tvs_bench::fig6();
+    let dir = tvs_bench::results_dir().join("fig6");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

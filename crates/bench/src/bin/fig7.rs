@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 7 series; CSVs land in `results/fig7/`.
+fn main() {
+    let figs = tvs_bench::fig7();
+    let dir = tvs_bench::results_dir().join("fig7");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 8 series; CSVs land in `results/fig8/`.
+fn main() {
+    let figs = tvs_bench::fig8();
+    let dir = tvs_bench::results_dir().join("fig8");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

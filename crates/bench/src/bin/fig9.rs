@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 9 series; CSVs land in `results/fig9/`.
+fn main() {
+    let figs = tvs_bench::fig9();
+    let dir = tvs_bench::results_dir().join("fig9");
+    tvs_bench::emit(&figs, &dir).expect("write results");
+}

@@ -1,0 +1,15 @@
+//! Figure-regeneration harness.
+//!
+//! One function per figure of the paper's evaluation (§V); the `figN`
+//! binaries call them, print an ASCII summary and write one CSV per
+//! sub-figure under `results/`. Runs use the deterministic discrete-event
+//! executor, so every figure is bit-reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+
+pub use figures::*;
+pub use output::{emit, results_dir};

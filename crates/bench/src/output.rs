@@ -1,0 +1,51 @@
+//! CSV/summary emission for the figure binaries.
+
+use std::path::{Path, PathBuf};
+use tvs_pipelines::report::Figure;
+
+/// Directory figure CSVs are written to (`results/` under the workspace,
+/// overridable with `TVS_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("TVS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write each figure's CSV under `dir` and print its summary to stdout.
+/// Set `TVS_PLOT=1` to also print compact ASCII plots of every curve.
+pub fn emit(figures: &[Figure], dir: &Path) -> std::io::Result<()> {
+    let plot = std::env::var_os("TVS_PLOT").is_some();
+    std::fs::create_dir_all(dir)?;
+    for f in figures {
+        let path = dir.join(format!("{}.csv", f.id));
+        std::fs::write(&path, f.to_csv())?;
+        print!("{}", f.to_summary());
+        if plot {
+            print!("{}", f.to_ascii_plot(72, 14));
+        }
+        println!("  -> {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_pipelines::report::Series;
+
+    #[test]
+    fn emit_writes_csv_files() {
+        let dir = std::env::temp_dir().join(format!("tvs-emit-test-{}", std::process::id()));
+        let figs = vec![Figure {
+            id: "figX".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::from_values("a", [1.0])],
+        }];
+        emit(&figs, &dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert!(content.starts_with("x,a"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! The Wait task: a side-effect barrier for speculative outputs.
+//!
+//! "When speculative data arrives at a state-modifying task such as writing
+//! to disk or network I/O, it is buffered until the validity of the
+//! speculation is confirmed." The [`WaitBuffer`] holds those outputs,
+//! partitioned by speculation version and ordered by an application slot
+//! key (block index for the Huffman encoder), until the version is either
+//! committed (outputs released, in order) or aborted (outputs reclaimed).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use tvs_sre::SpecVersion;
+
+/// Buffered speculative outputs awaiting validation.
+#[derive(Debug)]
+pub struct WaitBuffer<V> {
+    by_version: HashMap<SpecVersion, BTreeMap<u64, V>>,
+    /// Total values ever buffered (metrics).
+    buffered: u64,
+    /// Total values discarded by aborts (metrics).
+    discarded: u64,
+}
+
+impl<V> Default for WaitBuffer<V> {
+    fn default() -> Self {
+        WaitBuffer { by_version: HashMap::new(), buffered: 0, discarded: 0 }
+    }
+}
+
+impl<V> WaitBuffer<V> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer `value` produced under `version` for slot `slot` (e.g. block
+    /// index). A later value for the same (version, slot) replaces the
+    /// earlier one and returns the old value.
+    pub fn push(&mut self, version: SpecVersion, slot: u64, value: V) -> Option<V> {
+        self.buffered += 1;
+        self.by_version.entry(version).or_default().insert(slot, value)
+    }
+
+    /// Release all outputs of a committed version, ordered by slot.
+    pub fn commit(&mut self, version: SpecVersion) -> Vec<(u64, V)> {
+        self.by_version
+            .remove(&version)
+            .map(|m| m.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Reclaim (drop) all outputs of an aborted version; returns how many
+    /// were discarded.
+    pub fn abort(&mut self, version: SpecVersion) -> usize {
+        let n = self.by_version.remove(&version).map(|m| m.len()).unwrap_or(0);
+        self.discarded += n as u64;
+        n
+    }
+
+    /// Number of values currently held for `version`.
+    pub fn len_of(&self, version: SpecVersion) -> usize {
+        self.by_version.get(&version).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Slots currently buffered for `version`, ascending.
+    pub fn slots_of(&self, version: SpecVersion) -> Vec<u64> {
+        self.by_version
+            .get(&version)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total values currently held across versions.
+    pub fn len(&self) -> usize {
+        self.by_version.values().map(|m| m.len()).sum()
+    }
+
+    /// Whether the buffer is entirely empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_version.values().all(|m| m.is_empty())
+    }
+
+    /// `(ever_buffered, ever_discarded)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.buffered, self.discarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_releases_in_slot_order() {
+        let mut b = WaitBuffer::new();
+        b.push(1, 5, "f");
+        b.push(1, 2, "c");
+        b.push(1, 9, "j");
+        let out = b.commit(1);
+        assert_eq!(out, vec![(2, "c"), (5, "f"), (9, "j")]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn versions_are_isolated() {
+        let mut b = WaitBuffer::new();
+        b.push(1, 0, 10);
+        b.push(2, 0, 20);
+        assert_eq!(b.len_of(1), 1);
+        assert_eq!(b.len_of(2), 1);
+        assert_eq!(b.abort(1), 1);
+        assert_eq!(b.len_of(1), 0);
+        assert_eq!(b.commit(2), vec![(0, 20)]);
+    }
+
+    #[test]
+    fn replace_same_slot() {
+        let mut b = WaitBuffer::new();
+        assert_eq!(b.push(1, 3, "old"), None);
+        assert_eq!(b.push(1, 3, "new"), Some("old"));
+        assert_eq!(b.commit(1), vec![(3, "new")]);
+    }
+
+    #[test]
+    fn commit_or_abort_of_unknown_version_is_empty() {
+        let mut b: WaitBuffer<u8> = WaitBuffer::new();
+        assert!(b.commit(7).is_empty());
+        assert_eq!(b.abort(7), 0);
+    }
+
+    #[test]
+    fn stats_track_buffered_and_discarded() {
+        let mut b = WaitBuffer::new();
+        b.push(1, 0, ());
+        b.push(1, 1, ());
+        b.push(2, 0, ());
+        b.abort(1);
+        assert_eq!(b.stats(), (3, 2));
+        b.commit(2);
+        assert_eq!(b.stats(), (3, 2));
+    }
+
+    #[test]
+    fn slots_listing() {
+        let mut b = WaitBuffer::new();
+        b.push(4, 8, ());
+        b.push(4, 1, ());
+        assert_eq!(b.slots_of(4), vec![1, 8]);
+        assert_eq!(b.slots_of(5), Vec::<u64>::new());
+        assert_eq!(b.len(), 2);
+    }
+}

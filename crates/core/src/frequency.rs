@@ -1,0 +1,166 @@
+//! Speculation and verification frequency — the paper's §II-B knobs.
+//!
+//! "Two distinct parameters need to be handled: speculation frequency — the
+//! rate at which we calculate new speculative values, and verification
+//! frequency — the rate at which we check if our speculations are not
+//! stale."
+//!
+//! Basis progress is counted in *basis events*: completions of the
+//! speculation source (for the Huffman benchmark, reduce-task results; the
+//! paper's Fig. 5 x-axis counts the same thing).
+
+/// When speculation may (re)start.
+///
+/// `step` is the paper's Fig. 5 "step size": the number of basis events
+/// that must have been absorbed before the first prediction is made. Step 0
+/// is the extreme of predicting from the very first block's histogram,
+/// before any reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationSchedule {
+    /// Minimum basis events before the first prediction (0 = immediately,
+    /// from the first raw block).
+    pub step: u64,
+}
+
+impl SpeculationSchedule {
+    /// Construct a schedule with the given step size.
+    pub fn with_step(step: u64) -> Self {
+        SpeculationSchedule { step }
+    }
+
+    /// Should a (first or replacement) prediction be started, given that
+    /// `basis` events have been absorbed and no speculation is active?
+    ///
+    /// After a rollback the next prediction starts at the next basis event
+    /// regardless of step ("a negative comparison generates a new
+    /// filtering task that uses the new coefficients") — pass
+    /// `restarting = true` for that case.
+    pub fn should_start(&self, basis: u64, restarting: bool) -> bool {
+        restarting || basis >= self.step
+    }
+}
+
+/// When active speculations get verified against fresher data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerificationPolicy {
+    /// Check after every `k`-th basis event (the paper's baseline uses
+    /// `k = 8`: "verifies speculation upon reception of every eighth
+    /// result of a reduce task histogram").
+    EveryKth(u64),
+    /// The paper's *optimistic* extreme: speculate on the first available
+    /// value and verify only once, when the final value is known.
+    Optimistic,
+    /// The paper's *full speculation* extreme: verify at every opportunity
+    /// and restart speculation immediately on failure.
+    Full,
+}
+
+impl VerificationPolicy {
+    /// The paper's baseline configuration.
+    pub fn baseline() -> Self {
+        VerificationPolicy::EveryKth(8)
+    }
+
+    /// Whether an intermediate check should run at basis event `basis`
+    /// (1-based), for a speculation installed at basis `installed_at`.
+    ///
+    /// The final check (when the true value is known) always runs and is
+    /// not governed by this method.
+    pub fn should_check(&self, basis: u64, installed_at: u64) -> bool {
+        if basis <= installed_at {
+            return false; // nothing new to compare against
+        }
+        match *self {
+            VerificationPolicy::EveryKth(k) => {
+                let k = k.max(1);
+                basis.is_multiple_of(k)
+            }
+            VerificationPolicy::Optimistic => false,
+            VerificationPolicy::Full => true,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VerificationPolicy::EveryKth(_) => "baseline",
+            VerificationPolicy::Optimistic => "optimistic",
+            VerificationPolicy::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_zero_starts_immediately() {
+        let s = SpeculationSchedule::with_step(0);
+        assert!(s.should_start(0, false));
+        assert!(s.should_start(5, false));
+    }
+
+    #[test]
+    fn step_gates_first_start() {
+        let s = SpeculationSchedule::with_step(8);
+        assert!(!s.should_start(0, false));
+        assert!(!s.should_start(7, false));
+        assert!(s.should_start(8, false));
+        assert!(s.should_start(9, false));
+    }
+
+    #[test]
+    fn restart_ignores_step() {
+        let s = SpeculationSchedule::with_step(100);
+        assert!(s.should_start(3, true));
+    }
+
+    #[test]
+    fn every_kth_checks_on_multiples() {
+        let v = VerificationPolicy::EveryKth(8);
+        assert!(!v.should_check(7, 0));
+        assert!(v.should_check(8, 0));
+        assert!(!v.should_check(9, 0));
+        assert!(v.should_check(16, 0));
+    }
+
+    #[test]
+    fn no_check_before_new_data() {
+        // A speculation installed at basis 8 must not be checked at 8.
+        let v = VerificationPolicy::EveryKth(8);
+        assert!(!v.should_check(8, 8));
+        assert!(v.should_check(16, 8));
+        let f = VerificationPolicy::Full;
+        assert!(!f.should_check(8, 8));
+        assert!(f.should_check(9, 8));
+    }
+
+    #[test]
+    fn optimistic_never_checks_intermediately() {
+        let v = VerificationPolicy::Optimistic;
+        for basis in 1..100 {
+            assert!(!v.should_check(basis, 0));
+        }
+    }
+
+    #[test]
+    fn full_checks_every_event() {
+        let v = VerificationPolicy::Full;
+        for basis in 1..20 {
+            assert!(v.should_check(basis, 0));
+        }
+    }
+
+    #[test]
+    fn every_kth_zero_is_clamped() {
+        let v = VerificationPolicy::EveryKth(0);
+        assert!(v.should_check(1, 0)); // behaves like every-1st
+    }
+
+    #[test]
+    fn baseline_is_every_8th() {
+        assert_eq!(VerificationPolicy::baseline(), VerificationPolicy::EveryKth(8));
+        assert_eq!(VerificationPolicy::baseline().label(), "baseline");
+    }
+}

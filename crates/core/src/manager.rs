@@ -1,0 +1,496 @@
+//! The speculation state machine.
+//!
+//! [`SpeculationManager`] is the piece that turns the paper's prose into
+//! mechanism: it watches basis progress (completions of the speculation
+//! source), decides when to predict and when to verify, digests check
+//! verdicts, and emits [`Action`]s that the hosting workload executes
+//! through the SRE scheduler (spawn a predictor, spawn a check, roll a
+//! version back, commit, or fall back to the natural path).
+//!
+//! The manager is domain-agnostic: it holds the speculated value as an
+//! opaque `T` and never inspects it. Domain logic (how to predict, how to
+//! compare within tolerance) runs inside the predictor and check *tasks*;
+//! their outcomes are fed back in.
+
+use crate::frequency::{SpeculationSchedule, VerificationPolicy};
+use crate::validate::CheckResult;
+use crate::version::{VersionState, VersionTracker};
+use tvs_sre::SpecVersion;
+
+/// What the hosting workload must do next.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Spawn a predictor task that builds a speculative value (from the
+    /// current basis snapshot) and reports it via
+    /// [`SpeculationManager::install_prediction`].
+    StartPrediction {
+        /// The version the prediction will carry.
+        version: SpecVersion,
+    },
+    /// Spawn a check task comparing the active speculative value against a
+    /// value built from the current basis snapshot; report via
+    /// [`SpeculationManager::on_check_result`].
+    SpawnCheck {
+        /// The version under test.
+        version: SpecVersion,
+    },
+    /// Roll back: abort the version in the scheduler, discard its wait
+    /// buffers and any derived state.
+    Rollback {
+        /// The aborted version.
+        version: SpecVersion,
+    },
+    /// A failed check's freshly-built candidate value was installed as the
+    /// new active speculation ("a negative comparison generates a new
+    /// filtering task that uses the new coefficients"); start speculative
+    /// processing under this version.
+    PromoteCandidate {
+        /// The new active version.
+        version: SpecVersion,
+    },
+    /// The final value is known and a speculation is active: spawn the
+    /// decisive check; report via
+    /// [`SpeculationManager::on_final_check_result`].
+    SpawnFinalCheck {
+        /// The version under final test.
+        version: SpecVersion,
+    },
+    /// The speculation was validated against the final value: release the
+    /// wait buffers ("commit the buffered data").
+    Commit {
+        /// The committed version.
+        version: SpecVersion,
+    },
+    /// No valid speculation survives; execute the natural
+    /// (non-speculative) path.
+    RecomputeNaturally,
+}
+
+/// Aggregate speculation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Predictor tasks requested.
+    pub predictions: u64,
+    /// Intermediate checks requested.
+    pub checks: u64,
+    /// Intermediate checks that passed.
+    pub checks_passed: u64,
+    /// Intermediate checks that failed (each causes a rollback).
+    pub checks_failed: u64,
+    /// Rollbacks (intermediate + final).
+    pub rollbacks: u64,
+    /// Stale verdicts ignored (their version was already gone).
+    pub stale_results: u64,
+}
+
+#[derive(Debug)]
+enum Phase<T> {
+    /// No speculation in flight.
+    Idle { restart: bool },
+    /// Predictor task outstanding.
+    Pending { version: SpecVersion },
+    /// Speculative value installed and driving speculative tasks.
+    Active { version: SpecVersion, value: T, installed_at: u64 },
+    /// Final check outstanding.
+    FinalChecking { version: SpecVersion, value: T },
+    /// Committed or recomputing; no further speculation.
+    Done { committed: Option<SpecVersion> },
+}
+
+/// The speculation engine for one speculated DFG edge.
+pub struct SpeculationManager<T> {
+    schedule: SpeculationSchedule,
+    verify: VerificationPolicy,
+    tracker: VersionTracker,
+    phase: Phase<T>,
+    last_basis: u64,
+    final_seen: bool,
+    stats: ManagerStats,
+    rollback_hook: Option<Box<dyn FnMut(SpecVersion) + Send>>,
+}
+
+impl<T> std::fmt::Debug for SpeculationManager<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeculationManager")
+            .field("schedule", &self.schedule)
+            .field("verify", &self.verify)
+            .field("last_basis", &self.last_basis)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<T> SpeculationManager<T> {
+    /// A manager with the given speculation and verification frequencies.
+    pub fn new(schedule: SpeculationSchedule, verify: VerificationPolicy) -> Self {
+        SpeculationManager {
+            schedule,
+            verify,
+            tracker: VersionTracker::new(),
+            phase: Phase::Idle { restart: false },
+            last_basis: 0,
+            final_seen: false,
+            stats: ManagerStats::default(),
+            rollback_hook: None,
+        }
+    }
+
+    /// Register a user-defined rollback routine, invoked with each aborted
+    /// version — the extension the paper proposes "to enable more tasks to
+    /// execute speculatively" (tasks with application-reversible effects).
+    pub fn set_rollback_hook(&mut self, hook: impl FnMut(SpecVersion) + Send + 'static) {
+        self.rollback_hook = Some(Box::new(hook));
+    }
+
+    /// The currently active speculative value, if any.
+    pub fn active(&self) -> Option<(SpecVersion, &T)> {
+        match &self.phase {
+            Phase::Active { version, value, .. } => Some((*version, value)),
+            _ => None,
+        }
+    }
+
+    /// The value under final validation, if the manager is between
+    /// [`Self::on_final`] and [`Self::on_final_check_result`].
+    pub fn pending_final(&self) -> Option<(SpecVersion, &T)> {
+        match &self.phase {
+            Phase::FinalChecking { version, value } => Some((*version, value)),
+            _ => None,
+        }
+    }
+
+    /// The committed version, once decided.
+    pub fn committed(&self) -> Option<SpecVersion> {
+        match self.phase {
+            Phase::Done { committed } => committed,
+            _ => None,
+        }
+    }
+
+    /// Whether the manager reached its terminal phase.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done { .. })
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Version lifecycle introspection.
+    pub fn version_state(&self, v: SpecVersion) -> Option<VersionState> {
+        self.tracker.state(v)
+    }
+
+    fn emit_rollback(&mut self, version: SpecVersion, out: &mut Vec<Action>) {
+        self.tracker.abort(version);
+        self.stats.rollbacks += 1;
+        if let Some(hook) = &mut self.rollback_hook {
+            hook(version);
+        }
+        out.push(Action::Rollback { version });
+    }
+
+    /// A basis event completed (the `basis`-th, 1-based). Returns the
+    /// actions to take.
+    pub fn on_basis(&mut self, basis: u64) -> Vec<Action> {
+        assert!(!self.final_seen, "basis events after the final value");
+        assert!(basis >= self.last_basis, "basis events must be monotone");
+        self.last_basis = basis;
+        let mut out = Vec::new();
+        match &self.phase {
+            Phase::Idle { restart } => {
+                if self.schedule.should_start(basis, *restart) {
+                    let version = self.tracker.allocate(basis);
+                    self.phase = Phase::Pending { version };
+                    self.stats.predictions += 1;
+                    out.push(Action::StartPrediction { version });
+                }
+            }
+            Phase::Active { version, installed_at, .. } => {
+                if self.verify.should_check(basis, *installed_at) {
+                    self.stats.checks += 1;
+                    out.push(Action::SpawnCheck { version: *version });
+                }
+            }
+            Phase::Pending { .. } | Phase::FinalChecking { .. } | Phase::Done { .. } => {}
+        }
+        out
+    }
+
+    /// A predictor task delivered its value. Returns `false` when the
+    /// version lost a race against rollback and the value was dropped.
+    pub fn install_prediction(&mut self, version: SpecVersion, value: T) -> bool {
+        match &self.phase {
+            Phase::Pending { version: v } if *v == version => {
+                if !self.tracker.activate(version) {
+                    self.stats.stale_results += 1;
+                    return false;
+                }
+                let installed_at = self.tracker.basis_of(version).expect("allocated");
+                self.phase = Phase::Active { version, value, installed_at };
+                true
+            }
+            _ => {
+                self.stats.stale_results += 1;
+                false
+            }
+        }
+    }
+
+    /// An intermediate check task reported. `candidate` is the fresh value
+    /// the check built from basis event `candidate_basis` (promoted on
+    /// failure; dropped on success).
+    pub fn on_check_result(
+        &mut self,
+        version: SpecVersion,
+        result: CheckResult,
+        candidate: Option<(T, u64)>,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        let is_current_active = matches!(&self.phase, Phase::Active { version: v, .. } if *v == version);
+        if !is_current_active {
+            self.stats.stale_results += 1;
+            return out;
+        }
+        if result.valid {
+            self.stats.checks_passed += 1;
+            return out;
+        }
+        self.stats.checks_failed += 1;
+        self.emit_rollback(version, &mut out);
+        match candidate {
+            Some((value, candidate_basis)) => {
+                let v2 = self.tracker.allocate(candidate_basis);
+                assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
+                self.stats.predictions += 1;
+                self.phase = Phase::Active { version: v2, value, installed_at: candidate_basis };
+                out.push(Action::PromoteCandidate { version: v2 });
+            }
+            None => {
+                self.phase = Phase::Idle { restart: true };
+            }
+        }
+        out
+    }
+
+    /// The true final value became available. Returns either the final
+    /// check to spawn or the decision to recompute naturally.
+    pub fn on_final(&mut self) -> Vec<Action> {
+        assert!(!self.final_seen, "on_final called twice");
+        self.final_seen = true;
+        let mut out = Vec::new();
+        match std::mem::replace(&mut self.phase, Phase::Done { committed: None }) {
+            Phase::Active { version, value, .. } => {
+                self.phase = Phase::FinalChecking { version, value };
+                out.push(Action::SpawnFinalCheck { version });
+            }
+            Phase::Pending { version } => {
+                // The predictor never finished: kill it and go natural.
+                self.emit_rollback(version, &mut out);
+                out.push(Action::RecomputeNaturally);
+            }
+            Phase::Idle { .. } => {
+                out.push(Action::RecomputeNaturally);
+            }
+            Phase::FinalChecking { .. } | Phase::Done { .. } => {
+                unreachable!("final value delivered in a terminal phase")
+            }
+        }
+        out
+    }
+
+    /// The final check reported: commit or recompute.
+    pub fn on_final_check_result(&mut self, version: SpecVersion, result: CheckResult) -> Vec<Action> {
+        let mut out = Vec::new();
+        match std::mem::replace(&mut self.phase, Phase::Done { committed: None }) {
+            Phase::FinalChecking { version: v, .. } if v == version => {
+                if result.valid {
+                    self.tracker.commit(version);
+                    self.phase = Phase::Done { committed: Some(version) };
+                    out.push(Action::Commit { version });
+                } else {
+                    self.stats.checks_failed += 1;
+                    self.emit_rollback(version, &mut out);
+                    out.push(Action::RecomputeNaturally);
+                }
+            }
+            other => {
+                self.phase = other;
+                self.stats.stale_results += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::CheckResult;
+
+    fn mgr(step: u64, verify: VerificationPolicy) -> SpeculationManager<&'static str> {
+        SpeculationManager::new(SpeculationSchedule::with_step(step), verify)
+    }
+
+    #[test]
+    fn no_rollback_happy_path() {
+        let mut m = mgr(1, VerificationPolicy::EveryKth(2));
+        // Basis 1: start prediction.
+        let a = m.on_basis(1);
+        assert_eq!(a, vec![Action::StartPrediction { version: 1 }]);
+        assert!(m.install_prediction(1, "tree-v1"));
+        assert_eq!(m.active(), Some((1, &"tree-v1")));
+        // Basis 2: check due (every 2nd).
+        assert_eq!(m.on_basis(2), vec![Action::SpawnCheck { version: 1 }]);
+        assert!(m.on_check_result(1, CheckResult::pass(0.001), None).is_empty());
+        // Basis 3: no check (odd).
+        assert!(m.on_basis(3).is_empty());
+        // Final: decisive check, then commit.
+        assert_eq!(m.on_final(), vec![Action::SpawnFinalCheck { version: 1 }]);
+        assert_eq!(m.pending_final(), Some((1, &"tree-v1")));
+        assert_eq!(
+            m.on_final_check_result(1, CheckResult::pass(0.004)),
+            vec![Action::Commit { version: 1 }]
+        );
+        assert_eq!(m.committed(), Some(1));
+        assert!(m.is_done());
+        let s = m.stats();
+        assert_eq!(s.predictions, 1);
+        assert_eq!(s.rollbacks, 0);
+    }
+
+    #[test]
+    fn failed_check_promotes_candidate() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        assert_eq!(m.on_basis(2), vec![Action::SpawnCheck { version: 1 }]);
+        let acts = m.on_check_result(1, CheckResult::fail(0.09), Some(("v2", 2)));
+        assert_eq!(
+            acts,
+            vec![Action::Rollback { version: 1 }, Action::PromoteCandidate { version: 2 }]
+        );
+        assert_eq!(m.active(), Some((2, &"v2")));
+        assert_eq!(m.version_state(1), Some(VersionState::Aborted));
+        assert_eq!(m.stats().rollbacks, 1);
+        // The promoted version commits at final.
+        m.on_final();
+        let acts = m.on_final_check_result(2, CheckResult::pass(0.0));
+        assert_eq!(acts, vec![Action::Commit { version: 2 }]);
+    }
+
+    #[test]
+    fn failed_check_without_candidate_restarts_on_next_basis() {
+        let mut m = mgr(100, VerificationPolicy::Full);
+        // step=100 would normally delay the start...
+        assert!(m.on_basis(99).is_empty());
+        let a = m.on_basis(100);
+        assert_eq!(a, vec![Action::StartPrediction { version: 1 }]);
+        m.install_prediction(1, "v1");
+        m.on_basis(101);
+        let acts = m.on_check_result(1, CheckResult::fail(1.0), None);
+        assert_eq!(acts, vec![Action::Rollback { version: 1 }]);
+        // ...but a restart ignores the step.
+        let a = m.on_basis(102);
+        assert_eq!(a, vec![Action::StartPrediction { version: 2 }]);
+    }
+
+    #[test]
+    fn failed_final_check_recomputes() {
+        let mut m = mgr(0, VerificationPolicy::Optimistic);
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        // Optimistic: no intermediate checks ever.
+        for b in 2..50 {
+            assert!(m.on_basis(b).is_empty());
+        }
+        assert_eq!(m.on_final(), vec![Action::SpawnFinalCheck { version: 1 }]);
+        let acts = m.on_final_check_result(1, CheckResult::fail(0.3));
+        assert_eq!(acts, vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]);
+        assert_eq!(m.committed(), None);
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn final_with_pending_prediction_recomputes() {
+        let mut m = mgr(1, VerificationPolicy::baseline());
+        m.on_basis(1);
+        let acts = m.on_final();
+        assert_eq!(acts, vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]);
+        // The late prediction is dropped.
+        assert!(!m.install_prediction(1, "late"));
+        assert_eq!(m.stats().stale_results, 1);
+    }
+
+    #[test]
+    fn final_without_any_speculation_recomputes() {
+        let mut m = mgr(1000, VerificationPolicy::baseline());
+        m.on_basis(1);
+        m.on_basis(2);
+        assert_eq!(m.on_final(), vec![Action::RecomputeNaturally]);
+    }
+
+    #[test]
+    fn stale_check_results_ignored() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        m.on_basis(2);
+        // Two checks in flight: first fails, promoting v2; the second
+        // (also against v1) arrives stale and must be ignored.
+        m.on_check_result(1, CheckResult::fail(0.2), Some(("v2", 2)));
+        let acts = m.on_check_result(1, CheckResult::fail(0.2), Some(("v3", 2)));
+        assert!(acts.is_empty());
+        assert_eq!(m.stats().stale_results, 1);
+        assert_eq!(m.active().unwrap().0, 2);
+    }
+
+    #[test]
+    fn rollback_hook_fires() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicU32::new(0));
+        let seen2 = Arc::clone(&seen);
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_rollback_hook(move |v| {
+            seen2.store(v, Ordering::SeqCst);
+        });
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        m.on_basis(2);
+        m.on_check_result(1, CheckResult::fail(0.5), None);
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_basis_panics() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.on_basis(5);
+        m.on_basis(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "on_final called twice")]
+    fn double_final_panics() {
+        let mut m = mgr(1000, VerificationPolicy::Full);
+        m.on_final();
+        m.on_final();
+    }
+
+    #[test]
+    fn check_counts_accumulate() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.on_basis(1);
+        m.install_prediction(1, "v");
+        for b in 2..=5 {
+            m.on_basis(b);
+            m.on_check_result(1, CheckResult::pass(0.0), None);
+        }
+        let s = m.stats();
+        assert_eq!(s.checks, 4);
+        assert_eq!(s.checks_passed, 4);
+        assert_eq!(s.checks_failed, 0);
+    }
+}

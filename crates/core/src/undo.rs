@@ -1,0 +1,296 @@
+//! Reversible speculative side effects — the paper's proposed extension.
+//!
+//! "Keeping speculative tasks free of side effects simplifies rollback ...
+//! Note that our framework can be extended to support user-defined rollback
+//! routines, to enable more tasks to execute speculatively." (§II-A)
+//!
+//! Where the [`WaitBuffer`](crate::buffer::WaitBuffer) *defers* effects
+//! until commit, the [`UndoLog`] lets speculative tasks apply effects
+//! immediately and journals how to reverse them: commit discards the
+//! journal (effects stand), abort replays it backwards. [`JournaledCell`]
+//! packages the common case of speculatively-overwritten state.
+
+use std::collections::HashMap;
+use tvs_sre::SpecVersion;
+
+/// An entry that knows how to reverse itself.
+pub trait Undo {
+    /// Reverse the recorded effect.
+    fn undo(self);
+}
+
+impl<F: FnOnce()> Undo for F {
+    fn undo(self) {
+        self()
+    }
+}
+
+/// A per-version journal of reversible effects.
+pub struct UndoLog<E: Undo> {
+    journal: HashMap<SpecVersion, Vec<E>>,
+    committed: u64,
+    undone: u64,
+}
+
+impl<E: Undo> Default for UndoLog<E> {
+    fn default() -> Self {
+        UndoLog { journal: HashMap::new(), committed: 0, undone: 0 }
+    }
+}
+
+impl<E: Undo> UndoLog<E> {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the reversal for an effect just applied under `version`.
+    pub fn record(&mut self, version: SpecVersion, entry: E) {
+        self.journal.entry(version).or_default().push(entry);
+    }
+
+    /// Commit `version`: its effects stand; the journal is discarded.
+    /// Returns the number of entries released.
+    pub fn commit(&mut self, version: SpecVersion) -> usize {
+        let n = self.journal.remove(&version).map(|v| v.len()).unwrap_or(0);
+        self.committed += n as u64;
+        n
+    }
+
+    /// Abort `version`: replay its journal in reverse (LIFO) order —
+    /// later effects are reversed first, as nested state changes require.
+    /// Returns the number of entries undone.
+    pub fn abort(&mut self, version: SpecVersion) -> usize {
+        let entries = self.journal.remove(&version).unwrap_or_default();
+        let n = entries.len();
+        for e in entries.into_iter().rev() {
+            e.undo();
+        }
+        self.undone += n as u64;
+        n
+    }
+
+    /// Entries currently journalled for `version`.
+    pub fn len_of(&self, version: SpecVersion) -> usize {
+        self.journal.get(&version).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// `(committed, undone)` lifetime counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.committed, self.undone)
+    }
+}
+
+/// A value that speculative tasks may overwrite in place, with version-
+/// scoped restore-on-abort.
+///
+/// A cell remembers, per version, the value it held before that version's
+/// *first* write; aborting restores it, committing forgets it. Writes from
+/// at most one speculative version may be outstanding at a time (matching
+/// the engine's one-active-speculation discipline); interleaving two
+/// versions' writes is a caller bug and panics.
+#[derive(Debug)]
+pub struct JournaledCell<T: Clone> {
+    value: T,
+    saved: Option<(SpecVersion, T)>,
+}
+
+impl<T: Clone> JournaledCell<T> {
+    /// A cell holding `value`.
+    pub fn new(value: T) -> Self {
+        JournaledCell { value, saved: None }
+    }
+
+    /// Current (possibly speculative) value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Non-speculative write: only legal with no speculation outstanding.
+    pub fn set(&mut self, value: T) {
+        assert!(self.saved.is_none(), "non-speculative write during speculation");
+        self.value = value;
+    }
+
+    /// Speculative write under `version`.
+    pub fn set_speculative(&mut self, version: SpecVersion, value: T) {
+        match &self.saved {
+            None => self.saved = Some((version, self.value.clone())),
+            Some((v, _)) => assert_eq!(
+                *v, version,
+                "interleaved speculative writers ({v} and {version})"
+            ),
+        }
+        self.value = value;
+    }
+
+    /// Commit `version`'s writes (no-op if it never wrote here).
+    pub fn commit(&mut self, version: SpecVersion) {
+        if let Some((v, _)) = &self.saved {
+            if *v == version {
+                self.saved = None;
+            }
+        }
+    }
+
+    /// Abort `version`'s writes, restoring the pre-speculation value
+    /// (no-op if it never wrote here).
+    pub fn abort(&mut self, version: SpecVersion) {
+        if let Some((v, _)) = &self.saved {
+            if *v == version {
+                let (_, old) = self.saved.take().expect("just checked");
+                self.value = old;
+            }
+        }
+    }
+
+    /// Whether a speculative write is outstanding.
+    pub fn is_speculative(&self) -> bool {
+        self.saved.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn abort_replays_in_reverse_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut log: UndoLog<Box<dyn FnOnce()>> = UndoLog::new();
+        for i in 0..3 {
+            let order = Rc::clone(&order);
+            log.record(1, Box::new(move || order.borrow_mut().push(i)));
+        }
+        assert_eq!(log.len_of(1), 3);
+        assert_eq!(log.abort(1), 3);
+        assert_eq!(*order.borrow(), vec![2, 1, 0], "LIFO undo");
+        assert_eq!(log.stats(), (0, 3));
+    }
+
+    #[test]
+    fn commit_discards_without_running() {
+        let ran = Rc::new(RefCell::new(false));
+        let mut log: UndoLog<Box<dyn FnOnce()>> = UndoLog::new();
+        let ran2 = Rc::clone(&ran);
+        log.record(2, Box::new(move || *ran2.borrow_mut() = true));
+        assert_eq!(log.commit(2), 1);
+        assert!(!*ran.borrow(), "commit must not execute reversals");
+        assert_eq!(log.stats(), (1, 0));
+    }
+
+    #[test]
+    fn versions_are_isolated() {
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut log: UndoLog<Box<dyn FnOnce()>> = UndoLog::new();
+        for v in [1u32, 2, 1, 2] {
+            let hits = Rc::clone(&hits);
+            log.record(v, Box::new(move || hits.borrow_mut().push(v)));
+        }
+        log.abort(2);
+        assert_eq!(*hits.borrow(), vec![2, 2]);
+        log.commit(1);
+        assert_eq!(*hits.borrow(), vec![2, 2], "committed entries never run");
+    }
+
+    #[test]
+    fn unknown_version_is_noop() {
+        let mut log: UndoLog<Box<dyn FnOnce()>> = UndoLog::new();
+        assert_eq!(log.abort(9), 0);
+        assert_eq!(log.commit(9), 0);
+    }
+
+    #[test]
+    fn journaled_cell_abort_restores() {
+        let mut cell = JournaledCell::new(10);
+        cell.set_speculative(1, 20);
+        cell.set_speculative(1, 30);
+        assert_eq!(*cell.get(), 30);
+        assert!(cell.is_speculative());
+        cell.abort(1);
+        assert_eq!(*cell.get(), 10, "restore the pre-speculation value");
+        assert!(!cell.is_speculative());
+    }
+
+    #[test]
+    fn journaled_cell_commit_keeps() {
+        let mut cell = JournaledCell::new("base".to_string());
+        cell.set_speculative(4, "spec".into());
+        cell.commit(4);
+        assert_eq!(cell.get(), "spec");
+        // Post-commit, plain writes are legal again.
+        cell.set("next".into());
+        assert_eq!(cell.get(), "next");
+    }
+
+    #[test]
+    fn journaled_cell_foreign_version_noop() {
+        let mut cell = JournaledCell::new(1);
+        cell.set_speculative(7, 2);
+        cell.abort(8); // different version: nothing happens
+        assert_eq!(*cell.get(), 2);
+        cell.commit(8);
+        assert!(cell.is_speculative());
+        cell.abort(7);
+        assert_eq!(*cell.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved speculative writers")]
+    fn journaled_cell_rejects_interleaving() {
+        let mut cell = JournaledCell::new(0);
+        cell.set_speculative(1, 1);
+        cell.set_speculative(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-speculative write during speculation")]
+    fn journaled_cell_rejects_mixed_writes() {
+        let mut cell = JournaledCell::new(0);
+        cell.set_speculative(1, 1);
+        cell.set(2);
+    }
+
+    #[test]
+    fn integrates_with_manager_rollback_hook() {
+        use crate::frequency::{SpeculationSchedule, VerificationPolicy};
+        use crate::manager::SpeculationManager;
+        use crate::validate::CheckResult;
+        use std::sync::{Arc, Mutex};
+
+        // Shared undo journal driven by the manager's rollback hook — the
+        // paper's "user-defined rollback routines" wired end to end.
+        let log: Arc<Mutex<UndoLog<Box<dyn FnOnce() + Send>>>> =
+            Arc::new(Mutex::new(UndoLog::new()));
+        let state = Arc::new(Mutex::new(0i64));
+
+        let mut mgr: SpeculationManager<i64> = SpeculationManager::new(
+            SpeculationSchedule::with_step(1),
+            VerificationPolicy::Full,
+        );
+        let log2 = Arc::clone(&log);
+        mgr.set_rollback_hook(move |v| {
+            log2.lock().unwrap().abort(v);
+        });
+
+        mgr.on_basis(1);
+        mgr.install_prediction(1, 42);
+        // A "speculative task with side effects": apply and journal.
+        {
+            let mut st = state.lock().unwrap();
+            let old = *st;
+            *st = 42;
+            let state2 = Arc::clone(&state);
+            log.lock().unwrap().record(1, Box::new(move || {
+                *state2.lock().unwrap() = old;
+            }));
+        }
+        assert_eq!(*state.lock().unwrap(), 42);
+        // The check fails: the hook must restore the state.
+        mgr.on_basis(2);
+        mgr.on_check_result(1, CheckResult::fail(9.0), None);
+        assert_eq!(*state.lock().unwrap(), 0, "rollback hook reversed the effect");
+    }
+}

@@ -1,0 +1,181 @@
+//! Tolerance-based validation.
+//!
+//! "The programmer defines comparison criteria to validate speculated
+//! values." A validator compares the speculated value with a fresher (or
+//! final) value and yields a [`CheckResult`]; the margin that separates
+//! valid from invalid is the paper's *tolerance*.
+
+/// The outcome of one check-task comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckResult {
+    /// Whether the speculation survives.
+    pub valid: bool,
+    /// The measured relative error (domain-defined; for the Huffman
+    /// benchmark, the relative compressed-size excess).
+    pub delta: f64,
+}
+
+impl CheckResult {
+    /// A passing result with the given measured delta.
+    pub fn pass(delta: f64) -> Self {
+        CheckResult { valid: true, delta }
+    }
+
+    /// A failing result with the given measured delta.
+    pub fn fail(delta: f64) -> Self {
+        CheckResult { valid: false, delta }
+    }
+}
+
+/// A tolerance margin: relative error up to `margin` is acceptable.
+///
+/// The paper's Huffman experiments use 1 % (default), 2 % and 5 % of the
+/// compressed size (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum acceptable relative error, e.g. `0.01` for 1 %.
+    pub margin: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance { margin: 0.01 }
+    }
+}
+
+impl Tolerance {
+    /// A tolerance of `percent` per cent.
+    pub fn percent(percent: f64) -> Self {
+        Tolerance { margin: percent / 100.0 }
+    }
+
+    /// Judge a measured relative error.
+    pub fn judge(&self, delta: f64) -> CheckResult {
+        CheckResult { valid: delta <= self.margin, delta }
+    }
+}
+
+/// Compares a speculated value against a fresher reference value.
+///
+/// Implementations are *pure* — they run inside side-effect-free check
+/// tasks. The Huffman validator (compressed-size comparison over the
+/// current global histogram) lives in the pipelines crate; generic
+/// numeric validators are provided here.
+pub trait Validator<T>: Send + Sync {
+    /// Compare `speculated` against `reference`.
+    fn check(&self, speculated: &T, reference: &T) -> CheckResult;
+}
+
+/// Validates scalar speculations by relative error.
+#[derive(Debug, Clone, Copy)]
+pub struct RelativeError(pub Tolerance);
+
+impl Validator<f64> for RelativeError {
+    fn check(&self, speculated: &f64, reference: &f64) -> CheckResult {
+        let denom = reference.abs().max(f64::MIN_POSITIVE);
+        self.0.judge((speculated - reference).abs() / denom)
+    }
+}
+
+/// Validates vector speculations (e.g. filter coefficients) by normalised
+/// L2 distance — the tolerance criterion of the paper's iterative-filter
+/// example.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Error(pub Tolerance);
+
+impl Validator<Vec<f64>> for L2Error {
+    fn check(&self, speculated: &Vec<f64>, reference: &Vec<f64>) -> CheckResult {
+        if speculated.len() != reference.len() {
+            return CheckResult::fail(f64::INFINITY);
+        }
+        let num: f64 = speculated
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = reference.iter().map(|b| b * b).sum::<f64>().sqrt();
+        self.0.judge(if den == 0.0 { num } else { num / den })
+    }
+}
+
+/// Wrap a closure as a validator.
+pub struct FnValidator<T, F: Fn(&T, &T) -> CheckResult + Send + Sync>(
+    pub F,
+    std::marker::PhantomData<fn(&T)>,
+);
+
+impl<T, F: Fn(&T, &T) -> CheckResult + Send + Sync> FnValidator<T, F> {
+    /// Wrap `f`.
+    pub fn new(f: F) -> Self {
+        FnValidator(f, std::marker::PhantomData)
+    }
+}
+
+impl<T, F: Fn(&T, &T) -> CheckResult + Send + Sync> Validator<T> for FnValidator<T, F> {
+    fn check(&self, speculated: &T, reference: &T) -> CheckResult {
+        (self.0)(speculated, reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_judges_boundary_inclusive() {
+        let t = Tolerance::percent(1.0);
+        assert!(t.judge(0.0).valid);
+        assert!(t.judge(0.01).valid);
+        assert!(!t.judge(0.0100001).valid);
+    }
+
+    #[test]
+    fn default_tolerance_is_one_percent() {
+        assert_eq!(Tolerance::default().margin, 0.01);
+    }
+
+    #[test]
+    fn relative_error_scalar() {
+        let v = RelativeError(Tolerance::percent(5.0));
+        assert!(v.check(&102.0, &100.0).valid);
+        assert!(!v.check(&110.0, &100.0).valid);
+        // Sign-symmetric.
+        assert!(v.check(&98.0, &100.0).valid);
+    }
+
+    #[test]
+    fn l2_error_vectors() {
+        let v = L2Error(Tolerance::percent(10.0));
+        let reference = vec![1.0, 0.0, 0.0];
+        assert!(v.check(&vec![1.05, 0.0, 0.0], &reference).valid);
+        assert!(!v.check(&vec![1.5, 0.0, 0.0], &reference).valid);
+    }
+
+    #[test]
+    fn l2_length_mismatch_fails() {
+        let v = L2Error(Tolerance::percent(100.0));
+        let r = v.check(&vec![1.0], &vec![1.0, 2.0]);
+        assert!(!r.valid);
+        assert!(r.delta.is_infinite());
+    }
+
+    #[test]
+    fn l2_zero_reference_uses_absolute_distance() {
+        let v = L2Error(Tolerance { margin: 0.5 });
+        assert!(v.check(&vec![0.1, 0.2], &vec![0.0, 0.0]).valid);
+        assert!(!v.check(&vec![1.0, 1.0], &vec![0.0, 0.0]).valid);
+    }
+
+    #[test]
+    fn fn_validator_delegates() {
+        let v = FnValidator::new(|a: &u32, b: &u32| {
+            let delta = (*a as f64 - *b as f64).abs();
+            CheckResult { valid: a == b, delta }
+        });
+        assert!(v.check(&3, &3).valid);
+        let r = v.check(&3, &5);
+        assert!(!r.valid);
+        assert_eq!(r.delta, 2.0);
+    }
+}

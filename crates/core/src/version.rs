@@ -1,0 +1,191 @@
+//! Speculation version lifecycle.
+//!
+//! Every speculative value installed into the pipeline gets a fresh,
+//! monotonically increasing version. Tasks derived from it are tagged with
+//! that version (the SRE deletes/flags them wholesale on rollback), and the
+//! wait buffer partitions speculative outputs by it.
+
+use tvs_sre::SpecVersion;
+use std::collections::HashMap;
+
+/// Lifecycle state of one speculation version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionState {
+    /// Prediction requested, value not yet installed.
+    Pending,
+    /// Value installed; speculative tasks may run under this version.
+    Active,
+    /// Rolled back; all artefacts discarded.
+    Aborted,
+    /// Validated against the final value and committed.
+    Committed,
+}
+
+/// Allocates versions and tracks their states with checked transitions.
+#[derive(Debug, Default)]
+pub struct VersionTracker {
+    next: SpecVersion,
+    states: HashMap<SpecVersion, VersionState>,
+    /// Basis event count at which each version was predicted.
+    basis: HashMap<SpecVersion, u64>,
+}
+
+impl VersionTracker {
+    /// An empty tracker; versions start at 1 (0 is never issued, so it can
+    /// serve as a sentinel in application code).
+    pub fn new() -> Self {
+        VersionTracker { next: 1, states: HashMap::new(), basis: HashMap::new() }
+    }
+
+    /// Allocate a fresh `Pending` version, recording the basis event count
+    /// its prediction is based on.
+    pub fn allocate(&mut self, basis: u64) -> SpecVersion {
+        let v = self.next;
+        self.next += 1;
+        self.states.insert(v, VersionState::Pending);
+        self.basis.insert(v, basis);
+        v
+    }
+
+    /// Mark a pending version active (its predicted value was installed).
+    ///
+    /// Returns `false` (no-op) if the version was aborted in the meantime —
+    /// the predictor lost the race against a rollback.
+    pub fn activate(&mut self, v: SpecVersion) -> bool {
+        match self.states.get_mut(&v) {
+            Some(s @ VersionState::Pending) => {
+                *s = VersionState::Active;
+                true
+            }
+            Some(VersionState::Aborted) => false,
+            other => panic!("activate({v}): invalid state {other:?}"),
+        }
+    }
+
+    /// Abort a pending or active version. Idempotent. Panics when aborting
+    /// a committed version — commits are final.
+    pub fn abort(&mut self, v: SpecVersion) {
+        match self.states.get_mut(&v) {
+            Some(s @ (VersionState::Pending | VersionState::Active)) => *s = VersionState::Aborted,
+            Some(VersionState::Aborted) => {}
+            Some(VersionState::Committed) => panic!("abort({v}): version already committed"),
+            None => panic!("abort({v}): unknown version"),
+        }
+    }
+
+    /// Commit an active version. Panics unless currently active.
+    pub fn commit(&mut self, v: SpecVersion) {
+        match self.states.get_mut(&v) {
+            Some(s @ VersionState::Active) => *s = VersionState::Committed,
+            other => panic!("commit({v}): invalid state {other:?}"),
+        }
+    }
+
+    /// Current state, if the version exists.
+    pub fn state(&self, v: SpecVersion) -> Option<VersionState> {
+        self.states.get(&v).copied()
+    }
+
+    /// Basis event count the version was predicted from.
+    pub fn basis_of(&self, v: SpecVersion) -> Option<u64> {
+        self.basis.get(&v).copied()
+    }
+
+    /// Number of versions ever allocated.
+    pub fn allocated(&self) -> u64 {
+        (self.next - 1) as u64
+    }
+
+    /// Count of versions currently in the given state.
+    pub fn count_in(&self, state: VersionState) -> usize {
+        self.states.values().filter(|&&s| s == state).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotone_and_start_at_one() {
+        let mut t = VersionTracker::new();
+        let a = t.allocate(0);
+        let b = t.allocate(3);
+        assert_eq!(a, 1);
+        assert_eq!(b, 2);
+        assert_eq!(t.allocated(), 2);
+        assert_eq!(t.basis_of(a), Some(0));
+        assert_eq!(t.basis_of(b), Some(3));
+    }
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let mut t = VersionTracker::new();
+        let v = t.allocate(5);
+        assert_eq!(t.state(v), Some(VersionState::Pending));
+        assert!(t.activate(v));
+        assert_eq!(t.state(v), Some(VersionState::Active));
+        t.commit(v);
+        assert_eq!(t.state(v), Some(VersionState::Committed));
+    }
+
+    #[test]
+    fn abort_path_and_idempotence() {
+        let mut t = VersionTracker::new();
+        let v = t.allocate(0);
+        t.abort(v);
+        t.abort(v); // idempotent
+        assert_eq!(t.state(v), Some(VersionState::Aborted));
+        // Late activation loses the race gracefully.
+        assert!(!t.activate(v));
+        assert_eq!(t.state(v), Some(VersionState::Aborted));
+    }
+
+    #[test]
+    fn abort_active_version() {
+        let mut t = VersionTracker::new();
+        let v = t.allocate(0);
+        t.activate(v);
+        t.abort(v);
+        assert_eq!(t.state(v), Some(VersionState::Aborted));
+    }
+
+    #[test]
+    #[should_panic(expected = "already committed")]
+    fn abort_after_commit_panics() {
+        let mut t = VersionTracker::new();
+        let v = t.allocate(0);
+        t.activate(v);
+        t.commit(v);
+        t.abort(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid state")]
+    fn commit_pending_panics() {
+        let mut t = VersionTracker::new();
+        let v = t.allocate(0);
+        t.commit(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown version")]
+    fn abort_unknown_panics() {
+        let mut t = VersionTracker::new();
+        t.abort(42);
+    }
+
+    #[test]
+    fn state_counting() {
+        let mut t = VersionTracker::new();
+        let a = t.allocate(0);
+        let b = t.allocate(1);
+        let c = t.allocate(2);
+        t.activate(a);
+        t.abort(b);
+        assert_eq!(t.count_in(VersionState::Active), 1);
+        assert_eq!(t.count_in(VersionState::Aborted), 1);
+        assert_eq!(t.count_in(VersionState::Pending), 1);
+        assert_eq!(t.state(c), Some(VersionState::Pending));
+    }
+}

@@ -1,0 +1,171 @@
+//! State-machine fuzz of [`SpeculationManager`]: drive it with arbitrary
+//! (but causally plausible) event sequences and check global invariants.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tvs_core::{
+    Action, CheckResult, SpeculationManager, SpeculationSchedule, VerificationPolicy,
+};
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Basis,
+    /// Deliver the pending prediction, if any.
+    Install,
+    /// Answer one outstanding check with the given verdict and whether a
+    /// candidate accompanies it.
+    CheckResult { valid: bool, with_candidate: bool },
+    /// Declare the final value (at most once, ends the event stream).
+    Final { valid: bool },
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        3 => Just(Ev::Basis),
+        2 => Just(Ev::Install),
+        2 => (any::<bool>(), any::<bool>())
+            .prop_map(|(valid, with_candidate)| Ev::CheckResult { valid, with_candidate }),
+        1 => any::<bool>().prop_map(|valid| Ev::Final { valid }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_manager_invariants(
+        step in 0u64..4,
+        verify_ix in 0usize..3,
+        events in proptest::collection::vec(ev_strategy(), 1..60),
+    ) {
+        let verify = [
+            VerificationPolicy::EveryKth(2),
+            VerificationPolicy::Optimistic,
+            VerificationPolicy::Full,
+        ][verify_ix];
+        let mut mgr: SpeculationManager<u64> =
+            SpeculationManager::new(SpeculationSchedule::with_step(step), verify);
+
+        let mut basis = 0u64;
+        let mut pending: Option<u32> = None;           // outstanding prediction
+        let mut outstanding_checks: Vec<u32> = Vec::new();
+        let mut outstanding_final: Option<u32> = None;
+        let mut started: HashSet<u32> = HashSet::new();
+        let mut rolled_back: HashSet<u32> = HashSet::new();
+        let mut committed: Option<u32> = None;
+        let mut recompute = false;
+        let mut finalised = false;
+
+        let absorb = |actions: Vec<Action>,
+                          pending: &mut Option<u32>,
+                          outstanding_checks: &mut Vec<u32>,
+                          outstanding_final: &mut Option<u32>,
+                          started: &mut HashSet<u32>,
+                          rolled_back: &mut HashSet<u32>,
+                          committed: &mut Option<u32>,
+                          recompute: &mut bool| {
+            for a in actions {
+                match a {
+                    Action::StartPrediction { version } => {
+                        assert!(started.insert(version), "version {version} started twice");
+                        assert!(pending.is_none(), "two outstanding predictions");
+                        *pending = Some(version);
+                    }
+                    Action::SpawnCheck { version } => outstanding_checks.push(version),
+                    Action::SpawnFinalCheck { version } => {
+                        assert!(outstanding_final.is_none());
+                        *outstanding_final = Some(version);
+                    }
+                    Action::PromoteCandidate { version } => {
+                        assert!(started.insert(version), "promoted version reused");
+                    }
+                    Action::Rollback { version } => {
+                        assert!(started.contains(&version), "rollback of unknown version");
+                        assert!(rolled_back.insert(version), "double rollback");
+                        assert_ne!(Some(version), *committed, "rollback after commit");
+                        // Any outstanding work for it becomes stale.
+                        if *pending == Some(version) {
+                            *pending = None;
+                        }
+                    }
+                    Action::Commit { version } => {
+                        assert!(committed.is_none(), "double commit");
+                        assert!(!rolled_back.contains(&version), "committed an aborted version");
+                        *committed = Some(version);
+                    }
+                    Action::RecomputeNaturally => {
+                        assert!(!*recompute, "double recompute");
+                        *recompute = true;
+                    }
+                }
+            }
+        };
+
+        for ev in events {
+            if finalised && !matches!(ev, Ev::CheckResult { .. }) {
+                // After the final value only stale check deliveries remain
+                // interesting; other events are causally impossible.
+                continue;
+            }
+            match ev {
+                Ev::Basis => {
+                    basis += 1;
+                    let acts = mgr.on_basis(basis);
+                    absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
+                           &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                }
+                Ev::Install => {
+                    if let Some(v) = pending.take() {
+                        let accepted = mgr.install_prediction(v, u64::from(v));
+                        // The engine may have rolled this version back via
+                        // on_final in the meantime; both outcomes are legal,
+                        // but acceptance implies it was not rolled back.
+                        if accepted {
+                            prop_assert!(!rolled_back.contains(&v));
+                        }
+                    }
+                }
+                Ev::CheckResult { valid, with_candidate } => {
+                    if let Some(v) = outstanding_checks.pop() {
+                        let result =
+                            if valid { CheckResult::pass(0.0) } else { CheckResult::fail(1.0) };
+                        let candidate = with_candidate.then(|| (basis + 100, basis));
+                        let acts = mgr.on_check_result(v, result, candidate);
+                        absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
+                               &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                    }
+                }
+                Ev::Final { valid } => {
+                    if finalised {
+                        continue;
+                    }
+                    finalised = true;
+                    let acts = mgr.on_final();
+                    absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
+                           &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                    if let Some(v) = outstanding_final.take() {
+                        let result =
+                            if valid { CheckResult::pass(0.0) } else { CheckResult::fail(1.0) };
+                        let acts = mgr.on_final_check_result(v, result);
+                        absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
+                               &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                    }
+                }
+            }
+        }
+
+        // Terminal coherence.
+        prop_assert_eq!(mgr.committed(), committed);
+        if finalised {
+            prop_assert!(mgr.is_done());
+            // Exactly one of commit / recompute decided the run.
+            prop_assert!(committed.is_some() ^ recompute);
+        }
+        if let Some(v) = committed {
+            prop_assert!(!rolled_back.contains(&v));
+        }
+        // Stats agree with the model.
+        let stats = mgr.stats();
+        prop_assert_eq!(stats.rollbacks as usize, rolled_back.len());
+    }
+}

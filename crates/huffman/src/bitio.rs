@@ -1,0 +1,234 @@
+//! MSB-first bit-level I/O used by the block encoder and decoder.
+
+/// Writes variable-length codes into a growing byte buffer, MSB first.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already written into the final, partial byte (0..=7).
+    partial_bits: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty writer with capacity for roughly `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        BitWriter { buf: Vec::with_capacity(bits / 8 + 1), partial_bits: 0 }
+    }
+
+    /// Append the low `len` bits of `code`, most significant of those first.
+    ///
+    /// `len` must be at most 64. `len == 0` is a no-op.
+    pub fn push(&mut self, code: u64, len: u8) {
+        debug_assert!(len <= 64);
+        debug_assert!(len == 64 || code < (1u64 << len) || len == 0);
+        let mut remaining = len;
+        while remaining > 0 {
+            if self.partial_bits == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.partial_bits;
+            let take = free.min(remaining);
+            // Bits of `code` positions [remaining-take, remaining) go to the
+            // current byte positions [free-take, free).
+            let chunk = ((code >> (remaining - take)) & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= chunk << (free - take);
+            self.partial_bits = (self.partial_bits + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        if self.partial_bits == 0 {
+            self.buf.len() as u64 * 8
+        } else {
+            (self.buf.len() as u64 - 1) * 8 + self.partial_bits as u64
+        }
+    }
+
+    /// Finish and return the backing bytes; unused trailing bits are zero.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far (final byte may be partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor.
+    pos: u64,
+    /// One past the last readable bit.
+    end: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read up to `bit_len` bits from `data`.
+    ///
+    /// # Panics
+    /// Panics if `bit_len` exceeds the bits available in `data`.
+    pub fn new(data: &'a [u8], bit_len: u64) -> Self {
+        assert!(bit_len <= data.len() as u64 * 8, "bit_len exceeds data");
+        BitReader { data, pos: 0, end: bit_len }
+    }
+
+    /// Start reading at an absolute bit offset (used when decoding a block
+    /// out of a concatenated stream).
+    pub fn at_offset(data: &'a [u8], bit_offset: u64, bit_len: u64) -> Self {
+        assert!(
+            bit_offset + bit_len <= data.len() as u64 * 8,
+            "offset+len exceeds data"
+        );
+        BitReader { data, pos: bit_offset, end: bit_offset + bit_len }
+    }
+
+    /// Bits still available.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.pos
+    }
+
+    /// Read a single bit; `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<u8> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let byte = self.data[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8) as u8)) & 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `n` bits (n ≤ 64) into the low bits of a u64; `None` if fewer
+    /// than `n` remain.
+    pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining() < n as u64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit().expect("remaining checked") as u64;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn push_zero_len_is_noop() {
+        let mut w = BitWriter::new();
+        w.push(0b1, 0);
+        assert_eq!(w.bit_len(), 0);
+    }
+
+    #[test]
+    fn single_bits_pack_msb_first() {
+        let mut w = BitWriter::new();
+        for b in [1u64, 0, 1, 1, 0, 0, 1, 0] {
+            w.push(b, 1);
+        }
+        assert_eq!(w.bit_len(), 8);
+        assert_eq!(w.into_bytes(), vec![0b1011_0010]);
+    }
+
+    #[test]
+    fn cross_byte_codes() {
+        let mut w = BitWriter::new();
+        w.push(0b10110, 5);
+        w.push(0b0111011, 7); // crosses into the second byte
+        assert_eq!(w.bit_len(), 12);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1011_0011, 0b1011_0000]);
+    }
+
+    #[test]
+    fn sixty_four_bit_push() {
+        let mut w = BitWriter::new();
+        let v = 0xDEAD_BEEF_CAFE_F00Du64;
+        w.push(v, 64);
+        assert_eq!(w.bit_len(), 64);
+        assert_eq!(w.into_bytes(), v.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let pieces: Vec<(u64, u8)> = vec![
+            (0b1, 1),
+            (0b0, 1),
+            (0b101, 3),
+            (0xFFFF, 16),
+            (0, 5),
+            (0b110011, 6),
+            (0x1234_5678_9ABC, 48),
+        ];
+        let mut w = BitWriter::new();
+        for &(c, l) in &pieces {
+            w.push(c, l);
+        }
+        let total = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, total);
+        for &(c, l) in &pieces {
+            assert_eq!(r.read_bits(l), Some(c));
+        }
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn reader_at_offset() {
+        let mut w = BitWriter::new();
+        w.push(0b111, 3);
+        w.push(0b01010, 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::at_offset(&bytes, 3, 5);
+        assert_eq!(r.read_bits(5), Some(0b01010));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn reader_respects_bit_len_limit() {
+        let bytes = [0xFFu8, 0xFF];
+        let mut r = BitReader::new(&bytes, 10);
+        assert_eq!(r.read_bits(10), Some(0x3FF));
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit_len exceeds data")]
+    fn reader_rejects_overlong_bit_len() {
+        let _ = BitReader::new(&[0u8], 9);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.push(0b1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.push(0b1111111, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.push(0b1, 1);
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.as_bytes().len(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! A minimal self-describing container for Huffman streams.
+//!
+//! The paper's pipeline emits a raw bitstream whose decoding context (the
+//! code table) lives in the encoder's memory. To make the encoder's output
+//! useful as a *file* — and to let the examples round-trip through disk —
+//! this module defines a tiny container: magic, source length, bit length,
+//! the canonical code lengths (from which the exact code table is
+//! reconstructed), then the packed bitstream.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       5     magic  b"TVSH1"
+//! 5       8     src_len  (u64: decoded byte count)
+//! 13      8     bit_len  (u64: meaningful bits in the stream)
+//! 21      256   code lengths, one byte per symbol
+//! 277     ...   bitstream, zero-padded to a byte
+//! ```
+
+use crate::codes::CodeTable;
+use crate::decode::{decode_exact, DecodeError};
+use crate::tree::{CodeLengths, TreeError};
+use crate::ALPHABET;
+
+/// Container magic bytes.
+pub const MAGIC: &[u8; 5] = b"TVSH1";
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 5 + 8 + 8 + ALPHABET;
+
+/// Errors from container parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Too short to hold a header.
+    Truncated,
+    /// Magic mismatch.
+    BadMagic,
+    /// The code-length table violates Kraft's inequality or is empty while
+    /// the stream is not.
+    BadLengths,
+    /// The payload holds fewer bytes than `bit_len` requires.
+    PayloadTooShort,
+    /// The header is internally inconsistent (e.g. it claims more decoded
+    /// symbols than the bitstream could possibly hold).
+    BadHeader,
+    /// The bitstream failed to decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Truncated => write!(f, "container shorter than its header"),
+            ContainerError::BadMagic => write!(f, "not a TVSH1 container"),
+            ContainerError::BadLengths => write!(f, "invalid code-length table"),
+            ContainerError::PayloadTooShort => write!(f, "bitstream shorter than bit_len"),
+            ContainerError::BadHeader => write!(f, "inconsistent container header"),
+            ContainerError::Decode(e) => write!(f, "bitstream decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// Pack an encoded stream into a standalone container.
+pub fn pack(lengths: &CodeLengths, stream: &[u8], bit_len: u64, src_len: usize) -> Vec<u8> {
+    let need = bit_len.div_ceil(8) as usize;
+    assert!(stream.len() >= need, "stream holds fewer bytes than bit_len requires");
+    let mut out = Vec::with_capacity(HEADER_LEN + need);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(src_len as u64).to_le_bytes());
+    out.extend_from_slice(&bit_len.to_le_bytes());
+    out.extend_from_slice(lengths.lengths());
+    out.extend_from_slice(&stream[..need]);
+    out
+}
+
+/// Parsed view of a container.
+pub struct Container<'a> {
+    /// Decoded byte count.
+    pub src_len: usize,
+    /// Meaningful bits in `stream`.
+    pub bit_len: u64,
+    /// The canonical code lengths.
+    pub lengths: CodeLengths,
+    /// The packed bitstream.
+    pub stream: &'a [u8],
+}
+
+/// Parse (but do not decode) a container.
+pub fn parse(data: &[u8]) -> Result<Container<'_>, ContainerError> {
+    if data.len() < HEADER_LEN {
+        return Err(ContainerError::Truncated);
+    }
+    if &data[..5] != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let src_len = u64::from_le_bytes(data[5..13].try_into().expect("8 bytes")) as usize;
+    let bit_len = u64::from_le_bytes(data[13..21].try_into().expect("8 bytes"));
+    let mut lens = [0u8; ALPHABET];
+    lens.copy_from_slice(&data[21..21 + ALPHABET]);
+    let lengths = if src_len == 0 && lens.iter().all(|&l| l == 0) {
+        // Empty stream: a degenerate but valid container; substitute any
+        // valid table (it will never be consulted).
+        let mut one = [0u8; ALPHABET];
+        one[0] = 1;
+        CodeLengths::from_lengths(one).map_err(|_| ContainerError::BadLengths)?
+    } else {
+        CodeLengths::from_lengths(lens).map_err(|_: TreeError| ContainerError::BadLengths)?
+    };
+    let stream = &data[HEADER_LEN..];
+    if (stream.len() as u64) * 8 < bit_len {
+        return Err(ContainerError::PayloadTooShort);
+    }
+    // Every decoded symbol consumes at least one bit, so a header claiming
+    // more symbols than bits is corrupt — and must be rejected *before*
+    // anything sizes an allocation from `src_len` (found by fuzzing).
+    if src_len as u64 > bit_len {
+        return Err(ContainerError::BadHeader);
+    }
+    Ok(Container { src_len, bit_len, lengths, stream })
+}
+
+/// Parse and fully decode a container back to the original bytes.
+pub fn unpack(data: &[u8]) -> Result<Vec<u8>, ContainerError> {
+    let c = parse(data)?;
+    if c.src_len == 0 {
+        return Ok(Vec::new());
+    }
+    let table = CodeTable::from_lengths(&c.lengths);
+    decode_exact(c.stream, 0, c.bit_len, c.src_len, &table).map_err(ContainerError::Decode)
+}
+
+/// Compress `data` with the serial reference encoder into a container.
+pub fn compress(data: &[u8]) -> Result<Vec<u8>, TreeError> {
+    if data.is_empty() {
+        // An empty stream: header only, all-zero length table.
+        let mut out = Vec::with_capacity(HEADER_LEN);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&[0u8; ALPHABET]);
+        return Ok(out);
+    }
+    let enc = crate::serial::serial_encode(data)?;
+    Ok(pack(
+        &CodeLengths::from_lengths(enc.table.lengths_array()).expect("valid table"),
+        &enc.bytes,
+        enc.bit_len,
+        enc.src_len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_container() {
+        let data = b"containers make streams portable".repeat(100);
+        let packed = compress(&data).unwrap();
+        assert_eq!(&packed[..5], MAGIC);
+        assert!(packed.len() < data.len(), "text should compress even with the header");
+        let back = unpack(&packed).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let packed = compress(b"").unwrap();
+        assert_eq!(packed.len(), HEADER_LEN);
+        assert_eq!(unpack(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(parse(b"TVSH"), Err(ContainerError::Truncated)));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut packed = compress(b"hello world").unwrap();
+        packed[0] = b'X';
+        assert!(matches!(parse(&packed), Err(ContainerError::BadMagic)));
+    }
+
+    #[test]
+    fn kraft_violation_rejected() {
+        let mut packed = compress(b"abca").unwrap();
+        // Force three 1-bit codes into the length table.
+        packed[21] = 1;
+        packed[22] = 1;
+        packed[23] = 1;
+        assert!(matches!(parse(&packed), Err(ContainerError::BadLengths)));
+    }
+
+    #[test]
+    fn short_payload_rejected() {
+        let packed = compress(b"some reasonable amount of text here").unwrap();
+        let cut = &packed[..packed.len() - 1];
+        assert!(matches!(parse(cut), Err(ContainerError::PayloadTooShort)));
+    }
+
+    #[test]
+    fn corrupt_stream_detected_or_wrong() {
+        // Flipping payload bits either trips the decoder or silently decodes
+        // to different bytes — never panics.
+        let data = b"corruption should fail loudly or decode differently".to_vec();
+        let packed = compress(&data).unwrap();
+        for i in (HEADER_LEN..packed.len()).step_by(7) {
+            let mut bad = packed.clone();
+            bad[i] ^= 0xFF;
+            match unpack(&bad) {
+                Ok(back) => assert_ne!(back, data, "flip at {i} must not round-trip"),
+                Err(ContainerError::Decode(_)) => {}
+                Err(other) => panic!("unexpected error at {i}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_src_len_rejected_before_allocating() {
+        let mut packed = compress(b"hello").unwrap();
+        packed[5..13].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(parse(&packed), Err(ContainerError::BadHeader)));
+        assert!(matches!(unpack(&packed), Err(ContainerError::BadHeader)));
+    }
+
+    #[test]
+    fn parse_exposes_header_fields() {
+        let data = vec![b'z'; 500];
+        let packed = compress(&data).unwrap();
+        let c = parse(&packed).unwrap();
+        assert_eq!(c.src_len, 500);
+        assert_eq!(c.bit_len, 500); // single symbol -> 1 bit each
+    }
+}

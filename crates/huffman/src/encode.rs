@@ -1,0 +1,150 @@
+//! Block encoding — the paper's data-parallel `encode` task body.
+
+use crate::bitio::BitWriter;
+use crate::codes::CodeTable;
+
+/// The encoded form of one input block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedBlock {
+    /// Encoded bits, MSB-first, zero-padded to a byte boundary.
+    pub bytes: Vec<u8>,
+    /// Exact number of meaningful bits in `bytes`.
+    pub bit_len: u64,
+    /// Number of source bytes this block encodes.
+    pub src_len: usize,
+}
+
+/// Encode `block` with `table`.
+///
+/// Returns `None` if some byte of `block` has no code in `table` — this
+/// happens when a *speculative* tree was built from a prefix histogram that
+/// never saw that byte. The caller (the speculation engine) treats it as an
+/// immediately failed speculation for that block.
+pub fn encode_block(block: &[u8], table: &CodeTable) -> Option<EncodedBlock> {
+    let mut w = BitWriter::with_capacity_bits(block.len() * 8);
+    for &b in block {
+        let len = table.len(b);
+        if len == 0 {
+            return None;
+        }
+        w.push(table.code(b), len);
+    }
+    let bit_len = w.bit_len();
+    Some(EncodedBlock { bytes: w.into_bytes(), bit_len, src_len: block.len() })
+}
+
+/// Concatenate encoded blocks into one contiguous bitstream.
+///
+/// This is what the final, non-speculative sink does once all blocks are
+/// committed: each block starts at the bit offset computed by the offset
+/// chain, i.e. blocks are packed back-to-back with no padding.
+pub fn concat_blocks<'a, I: IntoIterator<Item = &'a EncodedBlock>>(blocks: I) -> (Vec<u8>, u64) {
+    let mut w = BitWriter::new();
+    for b in blocks {
+        append_block(&mut w, b);
+    }
+    let bits = w.bit_len();
+    (w.into_bytes(), bits)
+}
+
+/// Append one encoded block to a bit writer, bit-exact.
+pub fn append_block(w: &mut BitWriter, b: &EncodedBlock) {
+    let mut remaining = b.bit_len;
+    let mut idx = 0usize;
+    while remaining >= 8 {
+        w.push(b.bytes[idx] as u64, 8);
+        idx += 1;
+        remaining -= 8;
+    }
+    if remaining > 0 {
+        let tail = (b.bytes[idx] >> (8 - remaining as u8)) as u64;
+        w.push(tail, remaining as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_exact;
+    use crate::histogram::Histogram;
+
+    fn table_for(data: &[u8]) -> CodeTable {
+        CodeTable::build(&Histogram::from_bytes(data)).unwrap()
+    }
+
+    #[test]
+    fn empty_block_encodes_to_zero_bits() {
+        let t = table_for(b"ab");
+        let e = encode_block(b"", &t).unwrap();
+        assert_eq!(e.bit_len, 0);
+        assert_eq!(e.src_len, 0);
+        assert!(e.bytes.is_empty());
+    }
+
+    #[test]
+    fn encode_rejects_uncovered_symbol() {
+        let t = table_for(b"ab");
+        assert!(encode_block(b"abz", &t).is_none());
+    }
+
+    #[test]
+    fn bit_len_matches_table_prediction() {
+        let data = b"speculation tolerates imprecision";
+        let t = table_for(data);
+        let e = encode_block(data, &t).unwrap();
+        let predicted = t.encoded_bits(&Histogram::from_bytes(data)).unwrap();
+        assert_eq!(e.bit_len, predicted);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let data = b"abracadabra abracadabra";
+        let t = table_for(data);
+        let e = encode_block(data, &t).unwrap();
+        let back = decode_exact(&e.bytes, 0, e.bit_len, data.len(), &t).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn concat_is_bit_exact() {
+        let data = b"first block|second block|third";
+        let t = table_for(data);
+        let parts: Vec<EncodedBlock> = data
+            .chunks(7)
+            .map(|c| encode_block(c, &t).unwrap())
+            .collect();
+        let (stream, total_bits) = concat_blocks(parts.iter());
+        assert_eq!(total_bits, parts.iter().map(|p| p.bit_len).sum::<u64>());
+        // Whole stream must decode back to the whole input.
+        let back = decode_exact(&stream, 0, total_bits, data.len(), &t).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn blocks_decodable_at_their_offsets() {
+        let data = b"offsets let encode tasks run in parallel!";
+        let t = table_for(data);
+        let parts: Vec<EncodedBlock> = data
+            .chunks(5)
+            .map(|c| encode_block(c, &t).unwrap())
+            .collect();
+        let (stream, _) = concat_blocks(parts.iter());
+        let mut offset = 0u64;
+        for (i, chunk) in data.chunks(5).enumerate() {
+            let p = &parts[i];
+            let back = decode_exact(&stream, offset, p.bit_len, chunk.len(), &t).unwrap();
+            assert_eq!(back, chunk, "block {i}");
+            offset += p.bit_len;
+        }
+    }
+
+    #[test]
+    fn compression_beats_raw_for_skewed_input() {
+        let data: Vec<u8> = std::iter::repeat_n(b'e', 900)
+            .chain(std::iter::repeat_n(b'q', 100))
+            .collect();
+        let t = table_for(&data);
+        let e = encode_block(&data, &t).unwrap();
+        assert!(e.bit_len < data.len() as u64 * 8 / 4, "skewed input should compress 4x+");
+    }
+}

@@ -1,0 +1,182 @@
+//! Compressed-size estimation and the tolerance verdict.
+//!
+//! This module is the computational heart of the paper's `check` task: "it
+//! does so by using the current global histogram to sum the product of the
+//! frequency of each character with the number of bits associated to it by
+//! each tree. When the difference in compression size is larger than a
+//! certain percentage of the new compression rate, the verification yields a
+//! negative result, and rollback ensues."
+
+use crate::histogram::Histogram;
+use crate::tree::CodeLengths;
+
+/// Outcome of a tolerance comparison between a speculative code and a newer
+/// (or final) code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The speculative code compresses within the tolerance margin of the
+    /// newer code; speculation may continue / commit.
+    Valid {
+        /// Relative excess cost of the speculative code, in `[0, tolerance]`.
+        relative_delta: f64,
+    },
+    /// The speculative code is too far off; roll back.
+    Invalid {
+        /// Relative excess cost of the speculative code (`> tolerance`).
+        relative_delta: f64,
+    },
+}
+
+impl Verdict {
+    /// `true` when the speculation survives.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Verdict::Valid { .. })
+    }
+
+    /// The measured relative delta regardless of outcome.
+    pub fn relative_delta(&self) -> f64 {
+        match *self {
+            Verdict::Valid { relative_delta } | Verdict::Invalid { relative_delta } => {
+                relative_delta
+            }
+        }
+    }
+}
+
+/// Relative extra compressed size of `speculative` over `reference`, both
+/// evaluated on `hist`: `(cost_spec - cost_ref) / cost_ref`.
+///
+/// * If the speculative code cannot encode some symbol of `hist` at all, it
+///   is infeasible: the delta is `+inf` (always beyond any tolerance). In
+///   practice predictors avoid this by building trees from
+///   [`Histogram::with_smoothing`]-ed prefixes.
+/// * A *negative* result (the speculative tree is better on this histogram,
+///   possible because the reference tree may itself be stale relative to
+///   `hist`) is clamped to 0: a better-than-required code never triggers
+///   rollback.
+pub fn relative_cost_delta(
+    speculative: &CodeLengths,
+    reference: &CodeLengths,
+    hist: &Histogram,
+) -> f64 {
+    let cost_spec = match speculative.cost_bits(hist) {
+        Some(c) => c,
+        None => return f64::INFINITY,
+    };
+    let cost_ref = match reference.cost_bits(hist) {
+        // The reference itself cannot encode the data; the speculative code
+        // can, so it is at least as good.
+        None => return 0.0,
+        Some(0) => return 0.0,
+        Some(c) => c,
+    };
+    let delta = cost_spec as f64 - cost_ref as f64;
+    (delta / cost_ref as f64).max(0.0)
+}
+
+/// The paper's check: valid iff the speculative tree's compressed size on the
+/// current global histogram exceeds the reference tree's by at most
+/// `tolerance` (a fraction, e.g. `0.01` for the paper's default 1 %).
+pub fn tolerance_verdict(
+    speculative: &CodeLengths,
+    reference: &CodeLengths,
+    hist: &Histogram,
+    tolerance: f64,
+) -> Verdict {
+    let relative_delta = relative_cost_delta(speculative, reference, hist);
+    if relative_delta <= tolerance {
+        Verdict::Valid { relative_delta }
+    } else {
+        Verdict::Invalid { relative_delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(data: &[u8]) -> Histogram {
+        Histogram::from_bytes(data)
+    }
+
+    #[test]
+    fn identical_trees_always_valid() {
+        let h = hist_of(b"identical trees cost the same");
+        let t = CodeLengths::build(&h).unwrap();
+        let v = tolerance_verdict(&t, &t, &h, 0.0);
+        assert!(v.is_valid());
+        assert_eq!(v.relative_delta(), 0.0);
+    }
+
+    #[test]
+    fn similar_distributions_pass_one_percent() {
+        // Two large samples of the same process: trees nearly identical.
+        let a: Vec<u8> = (0..40_000u32).map(|i| b"etaoin shrdlu"[(i % 13) as usize]).collect();
+        let b: Vec<u8> = (0..40_000u32).map(|i| b"etaoin shrdlu"[((i * 7 + 3) % 13) as usize]).collect();
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let (ta, tb) = (CodeLengths::build(&ha).unwrap(), CodeLengths::build(&hb).unwrap());
+        let global = Histogram::merged([&ha, &hb]);
+        assert!(tolerance_verdict(&ta, &tb, &global, 0.01).is_valid());
+    }
+
+    #[test]
+    fn uncovering_speculative_tree_is_infeasible() {
+        // Speculative tree trained only on 'a'..'h' (no smoothing); data
+        // later contains other bytes it simply cannot encode.
+        let early: Vec<u8> = (0..1000u32).map(|i| b'a' + (i % 8) as u8).collect();
+        let late: Vec<u8> = (0..100_000u32).map(|i| 200 + (i % 30) as u8).collect();
+        let t_spec = CodeLengths::build(&hist_of(&early)).unwrap();
+        let mut global = hist_of(&early);
+        global.merge(&hist_of(&late));
+        let t_ref = CodeLengths::build(&global).unwrap();
+        assert_eq!(relative_cost_delta(&t_spec, &t_ref, &global), f64::INFINITY);
+        assert!(!tolerance_verdict(&t_spec, &t_ref, &global, 0.05).is_valid());
+    }
+
+    #[test]
+    fn disjoint_distributions_fail_with_smoothed_predictor() {
+        // A realistic predictor smooths the prefix histogram, so its tree
+        // covers the whole alphabet, but deep codes for the (actually
+        // dominant) unseen symbols blow past any small tolerance.
+        let early: Vec<u8> = (0..1000u32).map(|i| b'a' + (i % 8) as u8).collect();
+        let late: Vec<u8> = (0..100_000u32).map(|i| 200 + (i % 30) as u8).collect();
+        let t_spec = CodeLengths::build(&hist_of(&early).with_smoothing(1)).unwrap();
+        let mut global = hist_of(&early);
+        global.merge(&hist_of(&late));
+        let t_ref = CodeLengths::build(&global).unwrap();
+        let v = tolerance_verdict(&t_spec, &t_ref, &global, 0.05);
+        assert!(!v.is_valid(), "delta = {}", v.relative_delta());
+        assert!(v.relative_delta().is_finite());
+    }
+
+    #[test]
+    fn better_speculative_tree_clamps_to_zero() {
+        // Reference tree is stale w.r.t. the evaluation histogram; the
+        // "speculative" tree matches it exactly. Delta must clamp to 0.
+        let eval = hist_of(&vec![b'z'; 10_000]);
+        let t_spec = CodeLengths::build(&eval).unwrap();
+        let stale = hist_of(b"abcdefgh");
+        let t_ref = CodeLengths::build(&stale).unwrap();
+        assert_eq!(relative_cost_delta(&t_spec, &t_ref, &eval), 0.0);
+    }
+
+    #[test]
+    fn verdict_is_monotone_in_tolerance() {
+        let early: Vec<u8> = (0..4000u32).map(|i| (i % 50) as u8).collect();
+        let all: Vec<u8> = (0..40_000u32).map(|i| (i % 180) as u8).collect();
+        let t_spec = CodeLengths::build(&hist_of(&early).with_smoothing(1)).unwrap();
+        let h_all = hist_of(&all);
+        let t_ref = CodeLengths::build(&h_all).unwrap();
+        let delta = relative_cost_delta(&t_spec, &t_ref, &h_all);
+        assert!(delta > 0.0);
+        assert!(!tolerance_verdict(&t_spec, &t_ref, &h_all, delta * 0.5).is_valid());
+        assert!(tolerance_verdict(&t_spec, &t_ref, &h_all, delta * 2.0).is_valid());
+    }
+
+    #[test]
+    fn empty_histogram_is_trivially_valid() {
+        let t = CodeLengths::build(&hist_of(b"ab")).unwrap();
+        let v = tolerance_verdict(&t, &t, &Histogram::new(), 0.0);
+        assert!(v.is_valid());
+    }
+}

@@ -1,0 +1,63 @@
+//! Huffman coding substrate for the tolerant-value-speculation reproduction.
+//!
+//! This crate implements everything the paper's benchmark application (a
+//! parallel, speculative Huffman encoder) needs from the codec side:
+//!
+//! * [`Histogram`] — mergeable 256-entry character-frequency histograms
+//!   (the output of the paper's `count` tasks and the object of its `reduce`
+//!   tasks);
+//! * [`CodeLengths`] / [`CodeTable`] — deterministic, canonical Huffman code
+//!   construction (the paper's serial `tree` task);
+//! * [`BitWriter`] / [`BitReader`] — MSB-first bit-level I/O;
+//! * [`encode_block`] / [`decode_exact`] — variable-length block encoding and
+//!   the decoder used as a round-trip oracle in tests;
+//! * [`block_bits`] / [`OffsetChain`] — the bit-offset computation that
+//!   parallelises the encode phase (the paper's `offset` tasks);
+//! * [`estimate`] — compressed-size estimation and the tolerance verdict the
+//!   paper's `check` tasks compute;
+//! * [`serial`] — a two-pass serial reference encoder (correctness oracle and
+//!   baseline).
+//!
+//! Everything in this crate is purely computational (side-effect free), which
+//! is the property the runtime relies on for safe rollback.
+//!
+//! ```
+//! // Two-pass reference encode, then decode — the oracle every
+//! // parallel/speculative run is checked against.
+//! let data = b"so it goes, so it goes, so it goes".repeat(10);
+//! let encoded = tvs_huffman::serial_encode(&data).unwrap();
+//! assert!(encoded.bit_len < data.len() as u64 * 8, "text compresses");
+//! assert_eq!(tvs_huffman::serial_decode(&encoded).unwrap(), data);
+//!
+//! // Or through the standalone container format:
+//! let packed = tvs_huffman::compress(&data).unwrap();
+//! assert_eq!(tvs_huffman::unpack(&packed).unwrap(), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod codes;
+pub mod container;
+pub mod decode;
+pub mod encode;
+pub mod estimate;
+pub mod histogram;
+pub mod offset;
+pub mod serial;
+pub mod tree;
+
+pub use bitio::{BitReader, BitWriter};
+pub use codes::CodeTable;
+pub use container::{compress, unpack, ContainerError};
+pub use decode::{decode_exact, Decoder};
+pub use encode::{concat_blocks, encode_block, EncodedBlock};
+pub use estimate::{relative_cost_delta, tolerance_verdict, Verdict};
+pub use histogram::Histogram;
+pub use offset::{block_bits, OffsetChain};
+pub use serial::{serial_decode, serial_encode, SerialEncoded};
+pub use tree::{CodeLengths, TreeError};
+
+/// Number of distinct symbols handled by this codec (bytes).
+pub const ALPHABET: usize = 256;

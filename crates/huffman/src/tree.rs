@@ -1,0 +1,455 @@
+//! Huffman tree construction — the paper's serial `tree` task.
+//!
+//! We compute optimal prefix-code *lengths* with the classic two-queue /
+//! binary-heap algorithm and then assign *canonical* codes (see
+//! [`crate::codes`]). Canonical assignment makes the code table a pure
+//! function of the length vector, so two trees built from slightly different
+//! histograms can be compared symbol-by-symbol — exactly what the paper's
+//! tolerance check does.
+//!
+//! Construction is fully deterministic: ties on weight are broken first by
+//! tree height (preferring shallower partial trees, which also minimises the
+//! maximum code length among optimal codes) and then by smallest contained
+//! symbol. Determinism matters because the discrete-event harness must
+//! produce identical figures on every run.
+
+use crate::histogram::Histogram;
+use crate::ALPHABET;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Errors from tree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// The histogram contained no symbols at all.
+    EmptyHistogram,
+    /// A code longer than 64 bits would be required (cannot happen for
+    /// realistic inputs; a total count of `n` bytes bounds lengths by
+    /// roughly `log_phi(n)`).
+    CodeTooLong,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::EmptyHistogram => write!(f, "cannot build a Huffman tree from an empty histogram"),
+            TreeError::CodeTooLong => write!(f, "optimal code exceeds 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Per-symbol code lengths of a Huffman code (0 = symbol absent).
+#[derive(Clone, PartialEq, Eq)]
+pub struct CodeLengths {
+    len: [u8; ALPHABET],
+}
+
+impl std::fmt::Debug for CodeLengths {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodeLengths")
+            .field("symbols", &self.len.iter().filter(|&&l| l > 0).count())
+            .field("max_len", &self.max_len())
+            .finish()
+    }
+}
+
+impl CodeLengths {
+    /// Build optimal prefix-code lengths for `hist`.
+    ///
+    /// A histogram with a single distinct symbol yields that symbol a
+    /// 1-bit code (a 0-bit code cannot delimit symbols in a stream).
+    pub fn build(hist: &Histogram) -> Result<Self, TreeError> {
+        let symbols: Vec<(u8, u64)> = hist.iter_nonzero().collect();
+        match symbols.len() {
+            0 => Err(TreeError::EmptyHistogram),
+            1 => {
+                let mut len = [0u8; ALPHABET];
+                len[symbols[0].0 as usize] = 1;
+                Ok(CodeLengths { len })
+            }
+            _ => Self::build_multi(&symbols),
+        }
+    }
+
+    fn build_multi(symbols: &[(u8, u64)]) -> Result<Self, TreeError> {
+        // Heap node: (weight, height, min_symbol, node_index).
+        // `Reverse` turns std's max-heap into a min-heap; the (height,
+        // min_symbol) components give deterministic tie-breaking.
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct Key {
+            weight: u64,
+            height: u8,
+            min_symbol: u8,
+        }
+
+        struct Node {
+            children: Option<(usize, usize)>,
+            symbol: u8,
+        }
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(symbols.len() * 2 - 1);
+        let mut heap: BinaryHeap<Reverse<(Key, usize)>> =
+            BinaryHeap::with_capacity(symbols.len());
+        for &(sym, w) in symbols {
+            let idx = nodes.len();
+            nodes.push(Node { children: None, symbol: sym });
+            heap.push(Reverse((
+                Key { weight: w, height: 0, min_symbol: sym },
+                idx,
+            )));
+        }
+
+        while heap.len() > 1 {
+            let Reverse((ka, a)) = heap.pop().expect("heap len checked");
+            let Reverse((kb, b)) = heap.pop().expect("heap len checked");
+            let idx = nodes.len();
+            let min_symbol = ka.min_symbol.min(kb.min_symbol);
+            nodes.push(Node { children: Some((a, b)), symbol: min_symbol });
+            heap.push(Reverse((
+                Key {
+                    weight: ka.weight.saturating_add(kb.weight),
+                    height: ka.height.max(kb.height).saturating_add(1),
+                    min_symbol,
+                },
+                idx,
+            )));
+        }
+
+        let root = heap.pop().expect("one node remains").0 .1;
+        let mut len = [0u8; ALPHABET];
+        // Iterative depth-first traversal assigning depths as code lengths.
+        let mut stack = vec![(root, 0u16)];
+        while let Some((idx, depth)) = stack.pop() {
+            match nodes[idx].children {
+                Some((a, b)) => {
+                    stack.push((a, depth + 1));
+                    stack.push((b, depth + 1));
+                }
+                None => {
+                    if depth > 64 {
+                        return Err(TreeError::CodeTooLong);
+                    }
+                    len[nodes[idx].symbol as usize] = depth as u8;
+                }
+            }
+        }
+        Ok(CodeLengths { len })
+    }
+
+    /// Build a code that covers the **entire** byte alphabet while staying
+    /// near-optimal for `hist` — the construction speculative predictors
+    /// use.
+    ///
+    /// Unseen symbols must be encodable (the data a speculative tree will
+    /// meet may contain bytes its prefix never showed), but naive Laplace
+    /// smoothing distorts small-alphabet codes badly. Instead we add a
+    /// single *escape* pseudo-symbol of weight 1 to the seen set, build the
+    /// optimal tree, and then place all unseen symbols in a balanced
+    /// 8-level subtree below the escape's position: every unseen symbol
+    /// gets `len(escape) + 8` bits, and seen symbols keep (essentially)
+    /// their optimal lengths. Kraft's inequality is preserved because at
+    /// most 256 unseen symbols fit under the escape leaf at depth +8.
+    pub fn build_covering(hist: &Histogram) -> Result<Self, TreeError> {
+        let symbols: Vec<(u8, u64)> = hist.iter_nonzero().collect();
+        if symbols.is_empty() {
+            return Err(TreeError::EmptyHistogram);
+        }
+        if symbols.len() == ALPHABET {
+            return Self::build(hist);
+        }
+        // Recruit the smallest unseen symbol as the escape representative.
+        let escape = (0..ALPHABET)
+            .map(|s| s as u8)
+            .find(|&s| hist.count(s) == 0)
+            .expect("some symbol unseen");
+        let mut with_escape: Vec<(u8, u64)> = symbols;
+        with_escape.push((escape, 1));
+        with_escape.sort_by_key(|&(s, _)| s);
+        let mut base = if with_escape.len() == 1 {
+            // Single seen symbol case cannot happen here (escape makes 2+),
+            // but keep the invariant obvious.
+            unreachable!("escape guarantees at least two symbols")
+        } else {
+            Self::build_multi(&with_escape)?
+        };
+        let escape_len = base.len[escape as usize];
+        let unseen_len = escape_len.checked_add(8).filter(|&l| l <= 64).ok_or(TreeError::CodeTooLong)?;
+        for s in 0..ALPHABET {
+            if hist.count(s as u8) == 0 {
+                base.len[s] = unseen_len;
+            }
+        }
+        Ok(base)
+    }
+
+    /// Construct directly from a length array (used by tests and the
+    /// decoder). Validates Kraft's inequality holds with equality or less.
+    pub fn from_lengths(len: [u8; ALPHABET]) -> Result<Self, TreeError> {
+        let mut kraft: u128 = 0;
+        for &l in &len {
+            if l > 64 {
+                return Err(TreeError::CodeTooLong);
+            }
+            if l > 0 {
+                kraft += 1u128 << (64 - l as u32);
+            }
+        }
+        if len.iter().all(|&l| l == 0) {
+            return Err(TreeError::EmptyHistogram);
+        }
+        if kraft > 1u128 << 64 {
+            return Err(TreeError::CodeTooLong);
+        }
+        Ok(CodeLengths { len })
+    }
+
+    /// Code length of `sym` in bits (0 if the symbol has no code).
+    #[inline]
+    pub fn len(&self, sym: u8) -> u8 {
+        self.len[sym as usize]
+    }
+
+    /// The raw length array.
+    #[inline]
+    pub fn lengths(&self) -> &[u8; ALPHABET] {
+        &self.len
+    }
+
+    /// Longest assigned code length.
+    pub fn max_len(&self) -> u8 {
+        self.len.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total encoded size, in bits, of data distributed as `hist`.
+    ///
+    /// This is the quantity the paper's check task computes for both the
+    /// speculative and the refreshed tree ("sum the product of the frequency
+    /// of each character with the number of bits associated to it by each
+    /// tree"). Returns `None` when `hist` contains a symbol this code cannot
+    /// encode — such a code is *infeasible* for the data, not merely costly.
+    pub fn cost_bits(&self, hist: &Histogram) -> Option<u64> {
+        let mut bits = 0u64;
+        for (sym, count) in hist.iter_nonzero() {
+            let l = self.len[sym as usize] as u64;
+            if l == 0 {
+                return None;
+            }
+            bits += count * l;
+        }
+        Some(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(pairs: &[(u8, u64)]) -> Histogram {
+        let mut h = Histogram::new();
+        for &(s, c) in pairs {
+            h.counts_mut()[s as usize] = c;
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_rejected() {
+        assert_eq!(CodeLengths::build(&Histogram::new()), Err(TreeError::EmptyHistogram));
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let h = hist(&[(b'x', 42)]);
+        let cl = CodeLengths::build(&h).unwrap();
+        assert_eq!(cl.len(b'x'), 1);
+        assert_eq!(cl.lengths().iter().filter(|&&l| l > 0).count(), 1);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let h = hist(&[(b'a', 1), (b'b', 1_000_000)]);
+        let cl = CodeLengths::build(&h).unwrap();
+        assert_eq!(cl.len(b'a'), 1);
+        assert_eq!(cl.len(b'b'), 1);
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // Frequencies 5,9,12,13,16,45 -> lengths 4,4,3,3,3,1 (CLRS).
+        let h = hist(&[(b'a', 45), (b'b', 13), (b'c', 12), (b'd', 16), (b'e', 9), (b'f', 5)]);
+        let cl = CodeLengths::build(&h).unwrap();
+        assert_eq!(cl.len(b'a'), 1);
+        assert_eq!(cl.len(b'b'), 3);
+        assert_eq!(cl.len(b'c'), 3);
+        assert_eq!(cl.len(b'd'), 3);
+        assert_eq!(cl.len(b'e'), 4);
+        assert_eq!(cl.len(b'f'), 4);
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 97) as u8 ^ (i / 13) as u8).collect();
+        let cl = CodeLengths::build(&Histogram::from_bytes(&data)).unwrap();
+        let kraft: f64 = cl
+            .lengths()
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn uniform_histogram_gives_uniform_lengths() {
+        let mut h = Histogram::new();
+        for s in 0..=255u16 {
+            h.counts_mut()[s as usize] = 10;
+        }
+        let cl = CodeLengths::build(&h).unwrap();
+        assert!(cl.lengths().iter().all(|&l| l == 8));
+    }
+
+    #[test]
+    fn cost_within_shannon_bounds() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog"
+            .iter()
+            .cycle()
+            .take(8192)
+            .copied()
+            .collect();
+        let h = Histogram::from_bytes(&data);
+        let cl = CodeLengths::build(&h).unwrap();
+        let cost = cl.cost_bits(&h).unwrap() as f64;
+        let entropy = h.entropy_bits() * h.total() as f64;
+        assert!(cost >= entropy - 1e-6, "below entropy: {cost} < {entropy}");
+        assert!(cost <= entropy + h.total() as f64, "more than 1 bit/symbol over entropy");
+    }
+
+    #[test]
+    fn determinism_under_permuted_ties() {
+        // Many equal weights: construction order must not matter.
+        let mut h = Histogram::new();
+        for s in 0..64u16 {
+            h.counts_mut()[s as usize] = 7;
+        }
+        let a = CodeLengths::build(&h).unwrap();
+        let b = CodeLengths::build(&h).unwrap();
+        assert_eq!(a.lengths(), b.lengths());
+        assert!(a.lengths()[..64].iter().all(|&l| l == 6));
+    }
+
+    #[test]
+    fn cost_bits_none_for_unseen_symbol() {
+        let h_build = hist(&[(b'a', 3), (b'b', 1)]);
+        let cl = CodeLengths::build(&h_build).unwrap();
+        let h_eval = hist(&[(b'a', 1), (b'z', 2)]);
+        // 'z' has no code: the code is infeasible for this data.
+        assert_eq!(cl.cost_bits(&h_eval), None);
+        // Both symbols get 1-bit codes: 3*1 + 1*1 = 4 bits.
+        assert_eq!(cl.cost_bits(&h_build), Some(4));
+    }
+
+    #[test]
+    fn from_lengths_validates() {
+        let mut len = [0u8; ALPHABET];
+        len[0] = 1;
+        len[1] = 1;
+        assert!(CodeLengths::from_lengths(len).is_ok());
+        // Kraft violation: three 1-bit codes.
+        len[2] = 1;
+        assert_eq!(CodeLengths::from_lengths(len), Err(TreeError::CodeTooLong));
+        assert_eq!(
+            CodeLengths::from_lengths([0u8; ALPHABET]),
+            Err(TreeError::EmptyHistogram)
+        );
+    }
+
+    use crate::ALPHABET;
+
+    #[test]
+    fn covering_code_covers_everything() {
+        let h = hist(&[(b'a', 100), (b'b', 50), (b'c', 10)]);
+        let cl = CodeLengths::build_covering(&h).unwrap();
+        assert!(cl.lengths().iter().all(|&l| l > 0), "every symbol must have a code");
+        // Kraft must still hold (checked by from_lengths).
+        assert!(CodeLengths::from_lengths(*cl.lengths()).is_ok());
+    }
+
+    #[test]
+    fn covering_preserves_seen_symbol_lengths() {
+        // On a realistic *skewed* alphabet, the escape (weight 1) pairs
+        // with a genuinely rare symbol: the cost delta versus the exact
+        // tree is tiny.
+        let mut h = Histogram::new();
+        for (rank, s) in b"etaoinshrdlucmfwypvbgkqjxz,. ".iter().enumerate() {
+            h.counts_mut()[*s as usize] = 100_000 / (rank as u64 + 1); // Zipf
+        }
+        let exact = CodeLengths::build(&h).unwrap();
+        let covering = CodeLengths::build_covering(&h).unwrap();
+        let ce = exact.cost_bits(&h).unwrap() as f64;
+        let cc = covering.cost_bits(&h).unwrap() as f64;
+        // The escape costs at most one extra bit on the rarest symbol
+        // (~0.2% here) — versus 12.5% for naive Laplace smoothing.
+        assert!(
+            (cc - ce) / ce < 0.005,
+            "covering code should cost <0.5% extra: {} vs {}",
+            cc,
+            ce
+        );
+    }
+
+    #[test]
+    fn covering_on_uniform_tiny_alphabet_pays_theoretical_minimum() {
+        // With 4 equiprobable seen symbols, ANY covering code must demote
+        // at least one of them to 3 bits (the 4 two-bit codes would exhaust
+        // the code space). The theoretical minimum overhead is 12.5%; the
+        // escape construction must achieve exactly that, not more.
+        let h = hist(&[(b'a', 2500), (b'b', 2500), (b'c', 2500), (b'd', 2500)]);
+        let exact = CodeLengths::build(&h).unwrap();
+        let covering = CodeLengths::build_covering(&h).unwrap();
+        let ce = exact.cost_bits(&h).unwrap() as f64;
+        let cc = covering.cost_bits(&h).unwrap() as f64;
+        let overhead = (cc - ce) / ce;
+        assert!(
+            (overhead - 0.125).abs() < 1e-9,
+            "expected exactly the 12.5% minimum, got {overhead}"
+        );
+    }
+
+    #[test]
+    fn covering_full_alphabet_equals_exact() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let h = Histogram::from_bytes(&data);
+        assert_eq!(
+            CodeLengths::build(&h).unwrap().lengths(),
+            CodeLengths::build_covering(&h).unwrap().lengths()
+        );
+    }
+
+    #[test]
+    fn covering_single_symbol() {
+        let h = hist(&[(b'x', 10)]);
+        let cl = CodeLengths::build_covering(&h).unwrap();
+        assert!(cl.len(b'x') >= 1);
+        assert!(cl.lengths().iter().all(|&l| l > 0));
+        assert!(CodeLengths::from_lengths(*cl.lengths()).is_ok());
+    }
+
+    #[test]
+    fn fibonacci_weights_give_deep_but_valid_tree() {
+        // Fibonacci weights produce the deepest optimal trees.
+        let mut h = Histogram::new();
+        let (mut a, mut b) = (1u64, 1u64);
+        for s in 0..40usize {
+            h.counts_mut()[s] = a;
+            let n = a + b;
+            a = b;
+            b = n;
+        }
+        let cl = CodeLengths::build(&h).unwrap();
+        assert!(cl.max_len() >= 30, "expected a deep tree, got {}", cl.max_len());
+        assert!(cl.max_len() <= 64);
+    }
+}

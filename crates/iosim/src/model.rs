@@ -1,0 +1,365 @@
+//! Deterministic arrival-schedule models.
+
+use crate::Micros;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A model that assigns an arrival time to each input block.
+///
+/// Schedules must be non-decreasing in the block index; every provided model
+/// guarantees this and the default [`ArrivalModel::schedule`] wrapper asserts
+/// it in debug builds.
+pub trait ArrivalModel {
+    /// Arrival times (virtual µs, relative to stream start) for `n_blocks`
+    /// blocks of `block_bytes` bytes each.
+    fn schedule(&self, n_blocks: usize, block_bytes: usize) -> Vec<Micros>;
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Hard-disk(-cache) reading: high bandwidth, a fixed initial access latency
+/// and small deterministic per-block jitter.
+///
+/// Defaults approximate the paper's disk scenario: a few hundred MB/s, so a
+/// 4 MB input fully arrives within ~10 ms while per-block compute costs are
+/// in the tens of µs.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    /// Sustained bandwidth in bytes per virtual second.
+    pub bytes_per_sec: u64,
+    /// Initial access latency before the first block, in µs.
+    pub initial_latency_us: Micros,
+    /// Peak-to-peak deterministic jitter applied per block, in µs.
+    pub jitter_us: Micros,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Disk {
+            bytes_per_sec: 400 * 1024 * 1024,
+            initial_latency_us: 100,
+            jitter_us: 4,
+            seed: 0x5EED_D15C,
+        }
+    }
+}
+
+impl ArrivalModel for Disk {
+    fn schedule(&self, n_blocks: usize, block_bytes: usize) -> Vec<Micros> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let per_block_us =
+            (block_bytes as u128 * 1_000_000 / self.bytes_per_sec.max(1) as u128) as u64;
+        let mut t = self.initial_latency_us;
+        let mut out = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            t += per_block_us;
+            let jitter = if self.jitter_us > 0 { rng.random_range(0..=self.jitter_us) } else { 0 };
+            out.push(t + jitter);
+            // Jitter delays an individual block's visibility but does not
+            // slow the underlying transfer, so `t` advances without it.
+            // Enforce monotonicity explicitly:
+            if let Some(last) = out.len().checked_sub(2) {
+                if out[last + 1] < out[last] {
+                    out[last + 1] = out[last];
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+}
+
+/// Long-distance tunneled socket: low bandwidth plus an initial RTT, the
+/// paper's slow-I/O scenario where arrival time dominates latency.
+///
+/// Delivery is *bursty*: long-fat-pipe TCP hands data to the application
+/// in window-sized chunks, so blocks become visible in groups — which is
+/// also what makes the worker count matter under slow I/O (Fig. 8): each
+/// burst is a spike of count/encode work to drain.
+#[derive(Clone, Debug)]
+pub struct Socket {
+    /// Sustained bandwidth in bytes per virtual second.
+    pub bytes_per_sec: u64,
+    /// Connection round-trip/startup latency in µs.
+    pub rtt_us: Micros,
+    /// Blocks delivered per burst (TCP window / read-buffer size in
+    /// blocks). 1 = smooth per-block delivery.
+    pub burst_blocks: usize,
+    /// Peak-to-peak deterministic jitter applied per burst, in µs.
+    pub jitter_us: Micros,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for Socket {
+    fn default() -> Self {
+        // ~0.7 MB/s over a long-distance tunnel: a 4 MB file takes ~6 s to
+        // arrive, matching the paper's Fig. 7 time scale (millions of µs).
+        Socket {
+            bytes_per_sec: 700 * 1024,
+            rtt_us: 150_000,
+            burst_blocks: 32,
+            jitter_us: 400,
+            seed: 0x5EED_50CC,
+        }
+    }
+}
+
+impl ArrivalModel for Socket {
+    fn schedule(&self, n_blocks: usize, block_bytes: usize) -> Vec<Micros> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let per_block_us =
+            (block_bytes as u128 * 1_000_000 / self.bytes_per_sec.max(1) as u128) as u64;
+        let burst = self.burst_blocks.max(1);
+        let mut out = Vec::with_capacity(n_blocks);
+        let mut burst_jitter = 0;
+        for i in 0..n_blocks {
+            if i % burst == 0 && self.jitter_us > 0 {
+                burst_jitter = rng.random_range(0..=self.jitter_us);
+            }
+            // A block becomes visible when the burst containing it has
+            // fully arrived over the throttled link.
+            let burst_end = ((i / burst + 1) * burst).min(n_blocks) as u64;
+            let visible = self.rtt_us + burst_end * per_block_us + burst_jitter;
+            let prev = out.last().copied().unwrap_or(0);
+            out.push(visible.max(prev));
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+}
+
+/// Fixed inter-arrival gap; useful in tests and ablations.
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    /// Gap between consecutive arrivals, in µs.
+    pub gap_us: Micros,
+    /// Arrival time of the first block, in µs.
+    pub start_us: Micros,
+}
+
+impl ArrivalModel for Uniform {
+    fn schedule(&self, n_blocks: usize, _block_bytes: usize) -> Vec<Micros> {
+        (0..n_blocks as u64).map(|i| self.start_us + i * self.gap_us).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Replay a recorded `(arrival_us, bytes)` transfer trace: blocks become
+/// visible as the cumulative byte count crosses their end offset. Lets a
+/// capture of a real link (e.g. from `tcpdump` post-processing) drive the
+/// simulator.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// Cumulative transfer samples: `(time_us, total_bytes_received)`,
+    /// non-decreasing in both fields.
+    pub samples: Vec<(Micros, u64)>,
+}
+
+impl ArrivalModel for Replay {
+    fn schedule(&self, n_blocks: usize, block_bytes: usize) -> Vec<Micros> {
+        assert!(!self.samples.is_empty(), "replay trace is empty");
+        for w in self.samples.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0 && w[1].1 >= w[0].1,
+                "replay trace must be non-decreasing: {w:?}"
+            );
+        }
+        let total = self.samples.last().expect("non-empty").1;
+        assert!(
+            total >= (n_blocks * block_bytes) as u64,
+            "replay trace transfers {total} bytes < {} required",
+            n_blocks * block_bytes
+        );
+        let mut out = Vec::with_capacity(n_blocks);
+        let mut si = 0usize;
+        for i in 0..n_blocks {
+            let need = ((i + 1) * block_bytes) as u64;
+            while self.samples[si].1 < need {
+                si += 1;
+            }
+            // Linear interpolation between the bracketing samples.
+            let (t1, b1) = self.samples[si];
+            let t = if si == 0 || b1 == need {
+                t1
+            } else {
+                let (t0, b0) = self.samples[si - 1];
+                t0 + ((t1 - t0) as u128 * (need - b0) as u128 / (b1 - b0).max(1) as u128) as u64
+            };
+            let prev = out.last().copied().unwrap_or(0);
+            out.push(t.max(prev));
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+/// An explicit schedule (failure injection, adversarial patterns).
+#[derive(Clone, Debug)]
+pub struct Custom(pub Vec<Micros>);
+
+impl ArrivalModel for Custom {
+    fn schedule(&self, n_blocks: usize, _block_bytes: usize) -> Vec<Micros> {
+        assert!(
+            self.0.len() >= n_blocks,
+            "custom schedule has {} entries, {} blocks requested",
+            self.0.len(),
+            n_blocks
+        );
+        let mut v = self.0[..n_blocks].to_vec();
+        for i in 1..v.len() {
+            assert!(v[i] >= v[i - 1], "custom schedule must be non-decreasing");
+        }
+        v.shrink_to_fit();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_monotone(s: &[Micros]) {
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0], "schedule not monotone: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn disk_is_fast_and_monotone() {
+        let s = Disk::default().schedule(1024, 4096);
+        assert_eq!(s.len(), 1024);
+        assert_monotone(&s);
+        // 4 MB at 400 MB/s: everything arrives within ~11 ms.
+        assert!(*s.last().unwrap() < 20_000, "disk too slow: {}", s.last().unwrap());
+    }
+
+    #[test]
+    fn socket_is_slow_and_monotone() {
+        let s = Socket::default().schedule(1024, 4096);
+        assert_monotone(&s);
+        // 4 MB at ~0.7 MB/s: the last block arrives after several seconds.
+        assert!(*s.last().unwrap() > 3_000_000, "socket too fast: {}", s.last().unwrap());
+        assert!(s[0] >= 150_000, "first block must wait for the RTT");
+    }
+
+    #[test]
+    fn socket_delivers_in_bursts() {
+        let m = Socket { burst_blocks: 8, jitter_us: 0, ..Socket::default() };
+        let s = m.schedule(32, 4096);
+        // All blocks of one burst share an arrival time...
+        for b in s.chunks(8) {
+            assert!(b.iter().all(|&t| t == b[0]), "burst not atomic: {b:?}");
+        }
+        // ...and consecutive bursts are separated by the transfer time.
+        assert!(s[8] > s[7]);
+        assert!(s[16] - s[8] == s[8] - s[0]);
+    }
+
+    #[test]
+    fn socket_burst_one_is_smooth() {
+        let m = Socket { burst_blocks: 1, jitter_us: 0, ..Socket::default() };
+        let s = m.schedule(16, 4096);
+        for w in s.windows(2) {
+            assert!(w[1] > w[0], "smooth delivery must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let a = Disk::default().schedule(256, 4096);
+        let b = Disk::default().schedule(256, 4096);
+        assert_eq!(a, b);
+        let c = Socket::default().schedule(256, 4096);
+        let d = Socket::default().schedule(256, 4096);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Disk { seed: 1, ..Disk::default() }.schedule(256, 4096);
+        let b = Disk { seed: 2, ..Disk::default() }.schedule(256, 4096);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_gap_exact() {
+        let s = Uniform { gap_us: 10, start_us: 5 }.schedule(4, 4096);
+        assert_eq!(s, vec![5, 15, 25, 35]);
+    }
+
+    #[test]
+    fn custom_passthrough_and_validation() {
+        let s = Custom(vec![1, 2, 2, 9]).schedule(3, 4096);
+        assert_eq!(s, vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn custom_rejects_decreasing() {
+        let _ = Custom(vec![5, 3]).schedule(2, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn custom_rejects_short_schedule() {
+        let _ = Custom(vec![1]).schedule(2, 4096);
+    }
+
+    #[test]
+    fn replay_interpolates_between_samples() {
+        // 0 bytes at t=0, 8192 bytes at t=1000: linear in between.
+        let m = Replay { samples: vec![(0, 0), (1000, 8192)] };
+        let s = m.schedule(2, 4096);
+        assert_eq!(s, vec![500, 1000]);
+    }
+
+    #[test]
+    fn replay_respects_stalls() {
+        // A stall between 4096 and 8192 bytes delays block 1.
+        let m = Replay { samples: vec![(0, 0), (100, 4096), (900, 4096), (1000, 8192)] };
+        let s = m.schedule(2, 4096);
+        assert_eq!(s[0], 100);
+        assert_eq!(s[1], 1000);
+        assert_monotone(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay trace transfers")]
+    fn replay_rejects_short_traces() {
+        let m = Replay { samples: vec![(0, 0), (10, 100)] };
+        let _ = m.schedule(1, 4096);
+    }
+
+    #[test]
+    fn zero_blocks_is_empty() {
+        assert!(Disk::default().schedule(0, 4096).is_empty());
+        assert!(Socket::default().schedule(0, 4096).is_empty());
+    }
+
+    #[test]
+    fn bandwidth_scales_schedule() {
+        let fast = Disk { bytes_per_sec: 800 * 1024 * 1024, jitter_us: 0, ..Disk::default() }
+            .schedule(512, 4096);
+        let slow = Disk { bytes_per_sec: 100 * 1024 * 1024, jitter_us: 0, ..Disk::default() }
+            .schedule(512, 4096);
+        assert!(slow.last().unwrap() > fast.last().unwrap());
+    }
+}

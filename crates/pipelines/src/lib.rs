@@ -1,0 +1,63 @@
+//! Streaming applications built on the TVS public API.
+//!
+//! Two applications, mirroring the paper:
+//!
+//! * [`huffman`] — the paper's benchmark: a parallel, speculative Huffman
+//!   encoder (Fig. 2). Blocks are counted in parallel, histograms are
+//!   merged by a serial reduce chain, a tree is built from the global
+//!   histogram (the Amdahl bottleneck), offsets serialise the
+//!   variable-length output positions, and encodes fan out in parallel.
+//!   Speculation predicts the tree from prefix histograms, with a
+//!   compressed-size tolerance check.
+//! * [`filter`] — the paper's motivating example (Fig. 1): an iterative
+//!   computation of filter coefficients whose early iterates are speculated
+//!   on, releasing the data-parallel filtering phase before the iteration
+//!   converges.
+//! * [`kmeans`] — the intro's other workload class ("iterative algorithms
+//!   such as k-means"): Lloyd iterations over a sample feed speculative
+//!   centroids to the data-parallel assignment phase.
+//! * [`annealing`] — the intro's "random-based optimization heuristics
+//!   such as simulated annealing": a stochastic, non-monotone solver whose
+//!   incumbent placement is speculated on with a *semantic* tolerance
+//!   (objective values, not structures, are compared).
+//!
+//! [`runner`] wires workloads to the discrete-event or threaded executor
+//! with I/O arrival models and platform models; [`report`] renders the
+//! series the paper's figures plot.
+//!
+//! ```
+//! use tvs_pipelines::config::HuffmanConfig;
+//! use tvs_pipelines::runner::run_huffman_sim;
+//! use tvs_sre::{x86_smp, DispatchPolicy};
+//!
+//! let data = tvs_workloads::generate(tvs_workloads::FileKind::Text, 256 * 1024, 7);
+//! let base = run_huffman_sim(
+//!     &data,
+//!     &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative),
+//!     &x86_smp(16),
+//!     &tvs_iosim::Disk::default(),
+//! );
+//! // Speculate from the very first reduce outcome (the input is small, so
+//! // the paper's default step 8 would only trigger halfway through).
+//! let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
+//! cfg.schedule = tvs_core::SpeculationSchedule::with_step(1);
+//! let spec = run_huffman_sim(&data, &cfg, &x86_smp(16), &tvs_iosim::Disk::default());
+//! assert!(spec.mean_latency() < base.mean_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod config;
+pub mod cost;
+pub mod filter;
+pub mod huffman;
+pub mod kmeans;
+pub mod report;
+pub mod runner;
+
+pub use config::HuffmanConfig;
+pub use cost::HuffmanCost;
+pub use huffman::{HuffmanWorkload, PipelineResult, SpecTree};
+pub use runner::{run_huffman_sim, run_huffman_threaded, RunOutcome};

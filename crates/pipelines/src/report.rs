@@ -1,0 +1,239 @@
+//! Report rendering: the CSV series and ASCII summaries the figure
+//! binaries print.
+
+use std::fmt::Write as _;
+
+/// One named series of (x, y) points — a single curve in a paper figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label (e.g. "balanced").
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from y-values against their indices.
+    pub fn from_values<I: IntoIterator<Item = f64>>(label: impl Into<String>, ys: I) -> Self {
+        Series {
+            label: label.into(),
+            points: ys.into_iter().enumerate().map(|(i, y)| (i as f64, y)).collect(),
+        }
+    }
+
+    /// Mean of the y-values (0 for an empty series).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A figure: a title, axis names and a set of curves.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure id, e.g. "fig3a".
+    pub id: String,
+    /// Human title, e.g. "Latency per element, TXT, x86+disk".
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as CSV: header `x,<label1>,<label2>,...` and one row per
+    /// x-value (series are aligned by position; ragged series pad with
+    /// empty cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.label);
+        }
+        out.push('\n');
+        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for r in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(r).map(|p| p.0))
+                .unwrap_or(r as f64);
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.get(r) {
+                    Some(p) => {
+                        let _ = write!(out, ",{}", p.1);
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the curves as a compact ASCII plot (rows = descending y
+    /// buckets, columns = x positions downsampled to `width`), one marker
+    /// letter per series. Good enough to eyeball the paper's shapes in a
+    /// terminal; the CSVs carry exact data.
+    pub fn to_ascii_plot(&self, width: usize, height: usize) -> String {
+        let width = width.max(8);
+        let height = height.max(4);
+        let mut out = String::new();
+        let _ = writeln!(out, "-- {} — {}", self.id, self.title);
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(0.0f64, f64::max);
+        if y_max <= 0.0 {
+            out.push_str("  (no data)
+");
+            return out;
+        }
+        let x_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut grid = vec![vec![b' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let marker = b'a' + (si as u8 % 26);
+            for &(x, y) in &s.points {
+                let col = ((x / x_max) * (width - 1) as f64).round() as usize;
+                let row = ((1.0 - (y / y_max).clamp(0.0, 1.0)) * (height - 1) as f64).round()
+                    as usize;
+                grid[row.min(height - 1)][col.min(width - 1)] = marker;
+            }
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_max:>10.0} |")
+            } else if r == height - 1 {
+                format!("{:>10.0} |", 0.0)
+            } else {
+                format!("{:>10} |", "")
+            };
+            let _ = writeln!(out, "{label}{}", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "{:>11}{}", "+", "-".repeat(width));
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{:>13} = {}", (b'a' + si as u8 % 26) as char, s.label);
+        }
+        out
+    }
+
+    /// Render an ASCII summary: per-series mean and relative change versus
+    /// the first series (the paper's non-speculative baseline).
+    pub fn to_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let baseline = self.series.first().map(|s| s.mean_y());
+        for s in &self.series {
+            let mean = s.mean_y();
+            match baseline {
+                Some(b) if b > 0.0 => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} mean {} = {:>12.1}  ({:+.1}% vs {})",
+                        s.label,
+                        self.y_label,
+                        mean,
+                        (mean / b - 1.0) * 100.0,
+                        self.series[0].label,
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "  {:<14} mean {} = {:>12.1}", s.label, self.y_label, mean);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let fig = Figure {
+            id: "t".into(),
+            title: "test".into(),
+            x_label: "element".into(),
+            y_label: "latency".into(),
+            series: vec![
+                Series { label: "a".into(), points: vec![(0.0, 1.0), (1.0, 2.0)] },
+                Series { label: "b".into(), points: vec![(0.0, 3.0)] },
+            ],
+        };
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "element,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,");
+    }
+
+    #[test]
+    fn summary_shows_relative_change() {
+        let fig = Figure {
+            id: "t".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            y_label: "lat".into(),
+            series: vec![
+                Series::from_values("non-spec", [10.0, 10.0]),
+                Series::from_values("balanced", [5.0, 5.0]),
+            ],
+        };
+        let s = fig.to_summary();
+        assert!(s.contains("-50.0%"), "{s}");
+    }
+
+    #[test]
+    fn ascii_plot_renders_extremes() {
+        let fig = Figure {
+            id: "p".into(),
+            title: "plot".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series::from_values("low", [0.0, 0.0, 0.0]),
+                Series::from_values("high", [100.0, 100.0, 100.0]),
+            ],
+        };
+        let plot = fig.to_ascii_plot(20, 6);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert!(lines[1].contains('b'), "high series at the top: {plot}");
+        assert!(lines[6].contains('a'), "low series at the bottom: {plot}");
+        assert!(plot.contains("a = low"));
+        assert!(plot.contains("b = high"));
+    }
+
+    #[test]
+    fn ascii_plot_empty_series() {
+        let fig = Figure {
+            id: "e".into(),
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::from_values("z", [])],
+        };
+        assert!(fig.to_ascii_plot(10, 4).contains("no data"));
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::from_values("x", [2.0, 4.0]);
+        assert_eq!(s.points, vec![(0.0, 2.0), (1.0, 4.0)]);
+        assert_eq!(s.mean_y(), 3.0);
+        assert_eq!(Series::from_values("e", []).mean_y(), 0.0);
+    }
+}

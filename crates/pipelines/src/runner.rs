@@ -1,0 +1,190 @@
+//! Run harness: data + config + platform + arrival model → results.
+
+use crate::config::HuffmanConfig;
+use crate::cost::HuffmanCost;
+use crate::huffman::{HuffmanWorkload, PipelineResult};
+use std::sync::Arc;
+use tvs_iosim::ArrivalModel;
+use tvs_sre::exec::sim::{run as sim_run, SimConfig};
+use tvs_sre::exec::threaded::{run as threaded_run, ThreadedConfig};
+use tvs_sre::{InputBlock, Platform, RunMetrics, TaskTrace};
+
+/// Everything a figure needs from one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Application-level results (per-block latency, compression, …).
+    pub result: PipelineResult,
+    /// Runtime-level metrics (makespan, waste, rollbacks, …).
+    pub metrics: RunMetrics,
+    /// Arrival schedule used (µs per block), for Fig. 7's arrival series.
+    pub arrivals: Vec<u64>,
+}
+
+impl RunOutcome {
+    /// Per-element latency series, µs (the paper's main evaluation
+    /// criterion).
+    pub fn latencies(&self) -> Vec<u64> {
+        self.result.blocks.iter().map(|b| b.latency()).collect()
+    }
+
+    /// Mean per-element latency, µs.
+    pub fn mean_latency(&self) -> f64 {
+        self.result.mean_latency()
+    }
+
+    /// Completion time, µs.
+    pub fn completion_time(&self) -> u64 {
+        self.metrics.makespan
+    }
+}
+
+/// Split `data` into blocks with arrival times from `arrival`.
+pub fn schedule_blocks(
+    data: &[u8],
+    block_bytes: usize,
+    arrival: &dyn ArrivalModel,
+) -> (Vec<InputBlock>, Vec<u64>) {
+    let n = data.len().div_ceil(block_bytes);
+    let times = arrival.schedule(n, block_bytes);
+    let blocks = data
+        .chunks(block_bytes)
+        .zip(&times)
+        .enumerate()
+        .map(|(index, (chunk, &arrival))| InputBlock { index, arrival, data: chunk.into() })
+        .collect();
+    (blocks, times)
+}
+
+/// Run the Huffman pipeline on the deterministic discrete-event executor.
+pub fn run_huffman_sim(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+) -> RunOutcome {
+    let (outcome, _) = run_huffman_sim_traced(data, cfg, platform, arrival, false);
+    outcome
+}
+
+/// Like [`run_huffman_sim`], optionally capturing the per-task trace.
+pub fn run_huffman_sim_traced(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+    trace: bool,
+) -> (RunOutcome, Vec<TaskTrace>) {
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let sim = SimConfig { platform: platform.clone(), policy: cfg.policy, trace };
+    let rep = sim_run(wl, &sim, &HuffmanCost, blocks);
+    (
+        RunOutcome { result: rep.workload.result(), metrics: rep.metrics, arrivals: times },
+        rep.trace,
+    )
+}
+
+/// Run the Huffman pipeline on real threads, pacing arrivals per the model
+/// compressed by `time_scale` (so slow-I/O scenarios finish quickly in
+/// tests).
+pub fn run_huffman_threaded(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+) -> RunOutcome {
+    let n = data.len().div_ceil(cfg.block_bytes);
+    let times = arrival.schedule(n, cfg.block_bytes);
+    let wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let tcfg = ThreadedConfig { workers, policy: cfg.policy };
+
+    // The feeder consumes a paced iterator; build owned blocks up front.
+    let owned: Vec<(usize, Arc<[u8]>)> = data
+        .chunks(cfg.block_bytes)
+        .enumerate()
+        .map(|(i, c)| (i, Arc::<[u8]>::from(c)))
+        .collect();
+    let pace_times = times.clone();
+    let paced = owned.into_iter().zip(pace_times).map(move |((i, d), due)| {
+        // Busy-sleep pacing (scaled).
+        (i, d, due / time_scale.max(1))
+    });
+    let start = std::time::Instant::now();
+    let iter = paced.map(move |(i, d, due_us)| {
+        let due = std::time::Duration::from_micros(due_us);
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        (i, d)
+    });
+    let (wl, metrics) = threaded_run(wl, &tcfg, iter);
+    RunOutcome { result: wl.result(), metrics, arrivals: times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_iosim::Uniform;
+    use tvs_sre::{x86_smp, DispatchPolicy};
+
+    fn data() -> Vec<u8> {
+        (0..64 * 1024).map(|i| b"streaming speculation"[i % 21]).collect()
+    }
+
+    fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
+        HuffmanConfig { collect_output: true, ..HuffmanConfig::disk_x86(policy) }
+    }
+
+    #[test]
+    fn sim_runner_end_to_end() {
+        let d = data();
+        let arrival = Uniform { gap_us: 2, start_us: 0 };
+        let out = run_huffman_sim(&d, &cfg(DispatchPolicy::Balanced), &x86_smp(8), &arrival);
+        assert_eq!(out.result.blocks.len(), 16);
+        assert_eq!(out.arrivals.len(), 16);
+        assert!(out.completion_time() > 0);
+        assert!(out.mean_latency() > 0.0);
+        assert_eq!(out.latencies().len(), 16);
+    }
+
+    #[test]
+    fn sim_runner_is_deterministic() {
+        let d = data();
+        let arrival = Uniform { gap_us: 3, start_us: 1 };
+        let c = cfg(DispatchPolicy::Aggressive);
+        let a = run_huffman_sim(&d, &c, &x86_smp(8), &arrival);
+        let b = run_huffman_sim(&d, &c, &x86_smp(8), &arrival);
+        assert_eq!(a.latencies(), b.latencies());
+        assert_eq!(a.completion_time(), b.completion_time());
+        assert_eq!(a.result.compressed_bits, b.result.compressed_bits);
+    }
+
+    #[test]
+    fn trace_capture_when_requested() {
+        let d = data();
+        let arrival = Uniform { gap_us: 2, start_us: 0 };
+        let (_, trace) = run_huffman_sim_traced(
+            &d,
+            &cfg(DispatchPolicy::NonSpeculative),
+            &x86_smp(4),
+            &arrival,
+            true,
+        );
+        assert!(trace.iter().any(|t| t.name == "count"));
+        assert!(trace.iter().any(|t| t.name == "encode"));
+        assert!(trace.iter().any(|t| t.name == "tree"));
+    }
+
+    #[test]
+    fn threaded_runner_produces_decodable_output() {
+        let d = data();
+        let arrival = Uniform { gap_us: 1, start_us: 0 };
+        let out = run_huffman_threaded(&d, &cfg(DispatchPolicy::Balanced), 4, &arrival, 1000);
+        let (bytes, bits, lengths) = out.result.output.as_ref().unwrap();
+        let table = tvs_huffman::CodeTable::from_lengths(lengths);
+        let back = tvs_huffman::decode_exact(bytes, 0, *bits, d.len(), &table).unwrap();
+        assert_eq!(back, d);
+    }
+}

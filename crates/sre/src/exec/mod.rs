@@ -1,0 +1,6 @@
+//! Executors: a deterministic discrete-event simulator and a real
+//! thread-pool runtime, both driving the same [`crate::Scheduler`] and
+//! [`crate::Workload`] abstractions.
+
+pub mod sim;
+pub mod threaded;

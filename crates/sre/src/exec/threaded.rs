@@ -1,0 +1,347 @@
+//! Real thread-pool executor.
+//!
+//! Mirrors the paper's x86 SRE deployment: an input-feeder thread pushes
+//! blocks into the system, worker threads poll for ready tasks and execute
+//! them, and completion routing (the SuperTask role) happens under a shared
+//! lock. Time is wall-clock microseconds since run start.
+//!
+//! The figure benches use the deterministic simulator instead; this
+//! executor exists to demonstrate the system end-to-end on real threads
+//! (examples, integration tests) and to cross-validate outputs: both
+//! executors run the *same* `Workload` implementations.
+
+use crate::metrics::RunMetrics;
+use crate::policy::DispatchPolicy;
+use crate::sched::{CompletionOutcome, Scheduler};
+use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
+use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+}
+
+struct Inner<W> {
+    sched: Scheduler,
+    workload: W,
+    input_done: bool,
+    delivered: u64,
+    discarded: u64,
+    busy_us: Time,
+    wasted_us: Time,
+    finished_at: Option<Time>,
+}
+
+struct Shared<W> {
+    inner: Mutex<Inner<W>>,
+    cv: Condvar,
+    start: Instant,
+}
+
+impl<W> Shared<W> {
+    fn now(&self) -> Time {
+        self.start.elapsed().as_micros() as Time
+    }
+}
+
+struct LockedCtx<'a> {
+    sched: &'a mut Scheduler,
+    now: Time,
+}
+
+impl SchedCtx for LockedCtx<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn spawn(&mut self, spec: TaskSpec) -> Option<TaskId> {
+        self.sched.spawn(spec)
+    }
+    fn abort_version(&mut self, version: SpecVersion) {
+        self.sched.abort_version(version);
+    }
+}
+
+fn run_complete<W: Workload>(inner: &mut Inner<W>, now: Time) -> bool {
+    let done = inner.workload.is_finished() && inner.input_done && inner.sched.is_idle();
+    if done && inner.finished_at.is_none() {
+        inner.finished_at = Some(now);
+    }
+    done
+}
+
+/// Run `workload` on `cfg.workers` real threads, feeding it the blocks
+/// yielded by `inputs` (which is consumed on a dedicated feeder thread and
+/// may block to pace arrivals, e.g. [`tvs-iosim`'s paced
+/// iterator](https://docs.rs/tvs-iosim)).
+///
+/// Returns the finished workload and the run metrics.
+pub fn run<W, I>(workload: W, cfg: &ThreadedConfig, inputs: I) -> (W, RunMetrics)
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    assert!(cfg.workers > 0, "need at least one worker");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            sched: Scheduler::new(cfg.policy),
+            workload,
+            input_done: false,
+            delivered: 0,
+            discarded: 0,
+            busy_us: 0,
+            wasted_us: 0,
+            finished_at: None,
+        }),
+        cv: Condvar::new(),
+        start: Instant::now(),
+    });
+
+    {
+        let mut inner = shared.inner.lock();
+        let now = shared.now();
+        let Inner { sched, workload, .. } = &mut *inner;
+        workload.on_start(&mut LockedCtx { sched, now });
+    }
+
+    // Input feeder thread (the paper's first auxiliary thread).
+    let feeder = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for (index, data) in inputs {
+                let now = shared.now();
+                let mut inner = shared.inner.lock();
+                let Inner { sched, workload, .. } = &mut *inner;
+                workload.on_input(
+                    &mut LockedCtx { sched, now },
+                    InputBlock { index, arrival: now, data },
+                );
+                drop(inner);
+                shared.cv.notify_all();
+            }
+            let now = shared.now();
+            let mut inner = shared.inner.lock();
+            let Inner { sched, workload, input_done, .. } = &mut *inner;
+            workload.on_input_done(&mut LockedCtx { sched, now });
+            *input_done = true;
+            drop(inner);
+            shared.cv.notify_all();
+        })
+    };
+
+    // Worker threads.
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                let mut inner = shared.inner.lock();
+                if let Some(work) = inner.sched.dispatch() {
+                    drop(inner);
+                    let started = shared.now();
+                    let output = (work.run)(&work.ctx);
+                    let finished = shared.now();
+                    let mut inner = shared.inner.lock();
+                    let busy = finished.saturating_sub(started);
+                    inner.busy_us += busy;
+                    inner.sched.charge(work.class, busy);
+                    match inner.sched.complete(work.id) {
+                        CompletionOutcome::Discard => {
+                            inner.discarded += 1;
+                            inner.wasted_us += busy;
+                        }
+                        CompletionOutcome::Deliver => {
+                            inner.delivered += 1;
+                            let Inner { sched, workload, .. } = &mut *inner;
+                            workload.on_complete(
+                                &mut LockedCtx { sched, now: finished },
+                                Completion {
+                                    id: work.id,
+                                    name: work.name,
+                                    version: work.version,
+                                    tag: work.tag,
+                                    started,
+                                    finished,
+                                    output,
+                                },
+                            );
+                        }
+                    }
+                    let done = run_complete(&mut inner, finished);
+                    drop(inner);
+                    shared.cv.notify_all();
+                    if done {
+                        return;
+                    }
+                } else {
+                    if run_complete(&mut inner, shared.now()) {
+                        drop(inner);
+                        shared.cv.notify_all();
+                        return;
+                    }
+                    // Re-check periodically: completion conditions can
+                    // change without a notify in rare shutdown races.
+                    shared.cv.wait_for(&mut inner, Duration::from_millis(5));
+                }
+            })
+        })
+        .collect();
+
+    feeder.join().expect("feeder thread panicked");
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("threads gone, shared state uniquely owned"));
+    let inner = shared.inner.into_inner();
+    let st = inner.sched.stats().clone();
+    let metrics = RunMetrics {
+        makespan: inner.finished_at.unwrap_or_else(|| shared.start.elapsed().as_micros() as Time),
+        tasks_delivered: inner.delivered,
+        tasks_discarded: inner.discarded,
+        tasks_deleted_ready: st.deleted_ready,
+        busy_us: inner.busy_us,
+        wasted_us: inner.wasted_us,
+        rollbacks: st.rollbacks,
+        workers: cfg.workers,
+    };
+    (inner.workload, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::payload;
+
+    struct Summer {
+        n: usize,
+        seen: usize,
+        total: u64,
+    }
+
+    impl Workload for Summer {
+        fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
+            let data = b.data.clone();
+            ctx.spawn(TaskSpec::regular("sum", 0, data.len(), b.index as u64, move |_| {
+                payload(data.iter().map(|&x| x as u64).sum::<u64>())
+            }));
+        }
+        fn on_complete(&mut self, _ctx: &mut dyn SchedCtx, done: Completion) {
+            self.total += *done.output.downcast::<u64>().unwrap();
+            self.seen += 1;
+        }
+        fn is_finished(&self) -> bool {
+            self.seen == self.n
+        }
+    }
+
+    #[test]
+    fn sums_all_blocks_across_threads() {
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..32).map(|i| (i, vec![i as u8; 100].into())).collect();
+        let expect: u64 = (0..32u64).map(|i| i * 100).sum();
+        let cfg = ThreadedConfig { workers: 4, policy: DispatchPolicy::NonSpeculative };
+        let (w, m) = run(Summer { n: 32, seen: 0, total: 0 }, &cfg, blocks);
+        assert_eq!(w.total, expect);
+        assert_eq!(m.tasks_delivered, 32);
+        assert_eq!(m.tasks_discarded, 0);
+        assert_eq!(m.workers, 4);
+    }
+
+    #[test]
+    fn empty_input_finishes() {
+        struct Nothing;
+        impl Workload for Nothing {
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {}
+            fn is_finished(&self) -> bool {
+                true
+            }
+        }
+        let cfg = ThreadedConfig { workers: 2, policy: DispatchPolicy::NonSpeculative };
+        let (_w, m) = run(Nothing, &cfg, Vec::<(usize, Arc<[u8]>)>::new());
+        assert_eq!(m.tasks_delivered, 0);
+    }
+
+    #[test]
+    fn chained_spawning_from_completions() {
+        // on_complete spawns a second-stage task: exercises re-entrant
+        // spawning under the lock.
+        struct TwoStage {
+            stage2_done: bool,
+        }
+        impl Workload for TwoStage {
+            fn on_input(&mut self, ctx: &mut dyn SchedCtx, _b: InputBlock) {
+                ctx.spawn(TaskSpec::regular("stage1", 0, 0, 0, |_| payload(1u32)));
+            }
+            fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+                match done.name {
+                    "stage1" => {
+                        ctx.spawn(TaskSpec::regular("stage2", 1, 0, 0, |_| payload(2u32)));
+                    }
+                    "stage2" => self.stage2_done = true,
+                    _ => unreachable!(),
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.stage2_done
+            }
+        }
+        let inputs: Vec<(usize, Arc<[u8]>)> = vec![(0, vec![0u8; 4].into())];
+        let cfg = ThreadedConfig { workers: 3, policy: DispatchPolicy::NonSpeculative };
+        let (w, m) = run(TwoStage { stage2_done: false }, &cfg, inputs);
+        assert!(w.stage2_done);
+        assert_eq!(m.tasks_delivered, 2);
+    }
+
+    #[test]
+    fn speculative_abort_under_threads() {
+        // A slow speculative task is aborted by a fast normal task; its
+        // output must be discarded, not delivered.
+        struct SpecAbort {
+            normal_done: bool,
+            spec_delivered: bool,
+        }
+        impl Workload for SpecAbort {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                ctx.spawn(TaskSpec::speculative("spec", 0, 0, 1, 0, |ctx| {
+                    // Busy-wait until aborted or ~200ms cap.
+                    let t0 = std::time::Instant::now();
+                    while !ctx.aborted() && t0.elapsed() < Duration::from_millis(200) {
+                        std::thread::yield_now();
+                    }
+                    payload(ctx.aborted())
+                }));
+                ctx.spawn(TaskSpec::regular("normal", 0, 0, 0, |_| payload(())));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+                match done.name {
+                    "normal" => {
+                        ctx.abort_version(1);
+                        self.normal_done = true;
+                    }
+                    "spec" => self.spec_delivered = true,
+                    _ => unreachable!(),
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.normal_done
+            }
+        }
+        let cfg = ThreadedConfig { workers: 2, policy: DispatchPolicy::Aggressive };
+        let (w, m) =
+            run(SpecAbort { normal_done: false, spec_delivered: false }, &cfg, Vec::<(usize, Arc<[u8]>)>::new());
+        assert!(w.normal_done);
+        assert!(!w.spec_delivered, "aborted speculative output leaked");
+        assert_eq!(m.tasks_discarded, 1);
+        assert_eq!(m.rollbacks, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Execution traces and aggregate run metrics.
+
+use crate::task::{SpecVersion, TaskId, Time};
+
+/// One executed task, as recorded by an executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskTrace {
+    /// Task id.
+    pub id: TaskId,
+    /// Task kind name.
+    pub name: &'static str,
+    /// Worker that ran it.
+    pub worker: usize,
+    /// Speculation version, if any.
+    pub version: Option<SpecVersion>,
+    /// Application tag.
+    pub tag: u64,
+    /// Start time, µs.
+    pub start: Time,
+    /// End time, µs.
+    pub end: Time,
+    /// Whether the output was discarded because the version had been
+    /// aborted by the time the task completed (wasted work).
+    pub discarded: bool,
+}
+
+/// Aggregate metrics of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Completion time of the whole run, µs.
+    pub makespan: Time,
+    /// Number of tasks whose output was delivered.
+    pub tasks_delivered: u64,
+    /// Number of tasks whose output was discarded (aborted versions).
+    pub tasks_discarded: u64,
+    /// Number of ready tasks deleted during rollbacks (never ran).
+    pub tasks_deleted_ready: u64,
+    /// Total busy worker time, µs (delivered + discarded).
+    pub busy_us: Time,
+    /// Busy time spent on later-discarded tasks, µs (wasted work).
+    pub wasted_us: Time,
+    /// Number of speculation rollbacks (version aborts).
+    pub rollbacks: u64,
+    /// Worker count of the platform that produced this run.
+    pub workers: usize,
+}
+
+impl RunMetrics {
+    /// Mean worker utilisation over the makespan, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.workers == 0 {
+            return 0.0;
+        }
+        self.busy_us as f64 / (self.makespan as f64 * self.workers as f64)
+    }
+
+    /// Fraction of busy time that was wasted on discarded work.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.busy_us == 0 {
+            return 0.0;
+        }
+        self.wasted_us as f64 / self.busy_us as f64
+    }
+}
+
+/// Render a trace as CSV (`id,name,worker,version,tag,start,end,discarded`),
+/// one row per executed task — loadable into any plotting tool for Gantt
+/// views of a run.
+pub fn trace_to_csv(trace: &[TaskTrace]) -> String {
+    let mut out = String::from("id,name,worker,version,tag,start,end,discarded
+");
+    for t in trace {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            t.id,
+            t.name,
+            t.worker,
+            t.version.map(|v| v.to_string()).unwrap_or_default(),
+            t.tag,
+            t.start,
+            t.end,
+            t.discarded
+        );
+    }
+    out
+}
+
+/// Per-worker busy fraction over `[0, makespan]`, computed from a trace.
+pub fn worker_utilization(trace: &[TaskTrace], workers: usize, makespan: Time) -> Vec<f64> {
+    let mut busy = vec![0u64; workers];
+    for t in trace {
+        if t.worker < workers {
+            busy[t.worker] += t.end.saturating_sub(t.start).min(makespan.saturating_sub(t.start));
+        }
+    }
+    busy.into_iter()
+        .map(|b| if makespan == 0 { 0.0 } else { (b as f64 / makespan as f64).min(1.0) })
+        .collect()
+}
+
+/// Aggregate `(count, busy_us, discarded)` per task kind, sorted by busy
+/// time descending — the "where did the time go" view.
+pub fn kind_breakdown(trace: &[TaskTrace]) -> Vec<(&'static str, u64, Time, u64)> {
+    let mut map: std::collections::HashMap<&'static str, (u64, Time, u64)> =
+        std::collections::HashMap::new();
+    for t in trace {
+        let e = map.entry(t.name).or_default();
+        e.0 += 1;
+        e.1 += t.end.saturating_sub(t.start);
+        e.2 += t.discarded as u64;
+    }
+    let mut v: Vec<(&'static str, u64, Time, u64)> =
+        map.into_iter().map(|(k, (c, b, d))| (k, c, b, d)).collect();
+    v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    v
+}
+
+/// Full output of a simulation run: the workload (holding application
+/// results), aggregate metrics and, optionally, the per-task trace.
+pub struct SimReport<W> {
+    /// The workload in its final state.
+    pub workload: W,
+    /// Aggregate metrics.
+    pub metrics: RunMetrics,
+    /// Per-task trace (present when tracing was enabled).
+    pub trace: Vec<TaskTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let m = RunMetrics { makespan: 100, busy_us: 150, workers: 2, ..Default::default() };
+        assert!((m.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_degenerate_cases() {
+        assert_eq!(RunMetrics::default().utilization(), 0.0);
+        let m = RunMetrics { makespan: 0, busy_us: 10, workers: 4, ..Default::default() };
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    fn tr(name: &'static str, worker: usize, start: Time, end: Time, discarded: bool) -> TaskTrace {
+        TaskTrace { id: 0, name, worker, version: None, tag: 0, start, end, discarded }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let trace =
+            vec![tr("count", 0, 0, 10, false), tr("encode", 1, 5, 25, true)];
+        let csv = trace_to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "id,name,worker,version,tag,start,end,discarded");
+        assert_eq!(lines[1], "0,count,0,,0,0,10,false");
+        assert_eq!(lines[2], "0,encode,1,,0,5,25,true");
+    }
+
+    #[test]
+    fn utilization_per_worker() {
+        let trace = vec![tr("a", 0, 0, 50, false), tr("b", 1, 0, 100, false)];
+        let u = worker_utilization(&trace, 2, 100);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 1.0).abs() < 1e-12);
+        assert_eq!(worker_utilization(&trace, 2, 0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn breakdown_sorts_by_busy_time() {
+        let trace = vec![
+            tr("count", 0, 0, 10, false),
+            tr("encode", 0, 10, 110, false),
+            tr("encode", 1, 0, 100, true),
+        ];
+        let b = kind_breakdown(&trace);
+        assert_eq!(b[0].0, "encode");
+        assert_eq!(b[0].1, 2); // count
+        assert_eq!(b[0].2, 200); // busy
+        assert_eq!(b[0].3, 1); // discarded
+        assert_eq!(b[1].0, "count");
+    }
+
+    #[test]
+    fn waste_ratio() {
+        let m = RunMetrics { busy_us: 200, wasted_us: 50, ..Default::default() };
+        assert!((m.waste_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().waste_ratio(), 0.0);
+    }
+}

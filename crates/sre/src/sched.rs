@@ -1,0 +1,382 @@
+//! The scheduler core, shared by both executors.
+//!
+//! Owns the ready queue, the bodies of not-yet-dispatched tasks, the
+//! metadata of in-flight tasks, and the set of aborted speculation versions.
+//! The executors drive it: `spawn` → `dispatch` → run the body → `complete`.
+//!
+//! Rollback follows the paper's §III-B: "ready tasks must be deleted along
+//! with the memory allocated for results. Launched tasks cannot be deleted;
+//! the system marks them with an abort flag, and deletes them with their
+//! content when they complete."
+
+use crate::policy::{DispatchPolicy, LaneLoads};
+use crate::queue::ReadyQueue;
+use crate::task::{SpecVersion, TaskClass, TaskCtx, TaskFn, TaskId, TaskSpec};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// A task handed to an executor for execution.
+pub struct Dispatched {
+    /// Task id (pass back to [`Scheduler::complete`]).
+    pub id: TaskId,
+    /// Kind name.
+    pub name: &'static str,
+    /// Scheduling class.
+    pub class: TaskClass,
+    /// Version tag.
+    pub version: Option<SpecVersion>,
+    /// Application tag.
+    pub tag: u64,
+    /// Payload size in bytes (for the cost model).
+    pub bytes: usize,
+    /// Context to pass to `run` (carries the abort flag).
+    pub ctx: TaskCtx,
+    /// The task body.
+    pub run: TaskFn,
+}
+
+/// What `complete` decided about a finished task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionOutcome {
+    /// Output is valid: deliver it to the workload.
+    Deliver,
+    /// The task's version was aborted while it ran: drop the output.
+    Discard,
+}
+
+#[derive(Debug, Default, Clone)]
+/// Scheduler-side counters (merged into [`crate::RunMetrics`] by executors).
+pub struct SchedStats {
+    /// Tasks spawned successfully.
+    pub spawned: u64,
+    /// Spawn attempts rejected because their version was already aborted.
+    pub spawn_rejected: u64,
+    /// Ready tasks deleted by rollbacks before ever running.
+    pub deleted_ready: u64,
+    /// Version aborts performed.
+    pub rollbacks: u64,
+    /// Tasks whose completion was discarded.
+    pub discarded: u64,
+    /// Tasks delivered.
+    pub delivered: u64,
+}
+
+struct Running {
+    version: Option<SpecVersion>,
+    abort: Arc<AtomicBool>,
+}
+
+/// The scheduler core. Not thread-safe by itself; executors wrap it.
+pub struct Scheduler {
+    policy: DispatchPolicy,
+    queue: ReadyQueue,
+    bodies: HashMap<TaskId, TaskSpec>,
+    running: HashMap<TaskId, Running>,
+    aborted: HashSet<SpecVersion>,
+    next_id: TaskId,
+    stats: SchedStats,
+    loads: LaneLoads,
+}
+
+impl Scheduler {
+    /// A scheduler dispatching under `policy`.
+    pub fn new(policy: DispatchPolicy) -> Self {
+        Scheduler {
+            policy,
+            queue: ReadyQueue::new(),
+            bodies: HashMap::new(),
+            running: HashMap::new(),
+            aborted: HashSet::new(),
+            next_id: 1,
+            stats: SchedStats::default(),
+            loads: LaneLoads::default(),
+        }
+    }
+
+    /// The active dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Add a task. Returns `None` (and counts a rejection) when the task's
+    /// version has already been rolled back — the destroy signal beats the
+    /// spawn.
+    pub fn spawn(&mut self, spec: TaskSpec) -> Option<TaskId> {
+        if let Some(v) = spec.version {
+            if self.aborted.contains(&v) {
+                self.stats.spawn_rejected += 1;
+                return None;
+            }
+        }
+        if spec.is_speculative() && !self.policy.speculates() {
+            // A NonSpeculative run must not receive speculative tasks; this
+            // is a workload wiring bug, surface it loudly.
+            panic!("speculative task '{}' spawned under the non-speculative policy", spec.name);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push(id, spec.class, spec.depth, spec.version);
+        self.bodies.insert(id, spec);
+        self.stats.spawned += 1;
+        Some(id)
+    }
+
+    /// Take the next task to run, per class priorities and the dispatch
+    /// policy.
+    pub fn dispatch(&mut self) -> Option<Dispatched> {
+        self.dispatch_with(false)
+    }
+
+    /// [`Self::dispatch`] with the multiple-buffering hint: whether
+    /// non-speculative tasks are bound into worker prefetch queues but not
+    /// yet executing (see
+    /// [`DispatchPolicy::choose`](crate::policy::DispatchPolicy::choose)).
+    pub fn dispatch_with(&mut self, normal_pending_elsewhere: bool) -> Option<Dispatched> {
+        let id = self.queue.pop(self.policy, self.loads, normal_pending_elsewhere)?;
+        let spec = self.bodies.remove(&id).expect("queued task has a body");
+        match spec.class {
+            TaskClass::Regular => self.loads.count_normal += 1,
+            TaskClass::Speculative => self.loads.count_spec += 1,
+            TaskClass::Predictor | TaskClass::Check => {}
+        }
+        let ctx = TaskCtx::new();
+        self.running
+            .insert(id, Running { version: spec.version, abort: ctx.abort_flag() });
+        Some(Dispatched {
+            id,
+            name: spec.name,
+            class: spec.class,
+            version: spec.version,
+            tag: spec.tag,
+            bytes: spec.bytes,
+            ctx,
+            run: spec.run,
+        })
+    }
+
+    /// Whether any task could be dispatched right now.
+    pub fn has_dispatchable(&self) -> bool {
+        self.queue.has_dispatchable(self.policy)
+    }
+
+    /// Number of ready tasks (any class).
+    pub fn ready_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of in-flight (dispatched, not completed) tasks.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Charge `busy_us` of worker time to `class`'s lane — the input to
+    /// `Balanced`'s equal-share rule. Executors call this as soon as they
+    /// know a dispatched task's cost (the simulator: at assignment; the
+    /// threaded runtime: at completion). Control tasks are not charged:
+    /// they bypass the policy anyway.
+    pub fn charge(&mut self, class: TaskClass, busy_us: u64) {
+        match class {
+            TaskClass::Regular => self.loads.busy_normal_us += busy_us,
+            TaskClass::Speculative => self.loads.busy_spec_us += busy_us,
+            TaskClass::Predictor | TaskClass::Check => {}
+        }
+    }
+
+    /// Per-lane charged busy time `(normal, speculative)`, µs.
+    pub fn lane_busy_us(&self) -> (u64, u64) {
+        (self.loads.busy_normal_us, self.loads.busy_spec_us)
+    }
+
+    /// The full per-lane load accounting (busy time + dispatch counts).
+    pub fn lane_loads(&self) -> LaneLoads {
+        self.loads
+    }
+
+    /// Report a dispatched task as finished. The executor then either
+    /// delivers the output to the workload or drops it.
+    pub fn complete(&mut self, id: TaskId) -> CompletionOutcome {
+        let r = self
+            .running
+            .remove(&id)
+            .expect("complete() called for a task that is not running");
+        let aborted = r.version.map(|v| self.aborted.contains(&v)).unwrap_or(false);
+        if aborted {
+            self.stats.discarded += 1;
+            CompletionOutcome::Discard
+        } else {
+            self.stats.delivered += 1;
+            CompletionOutcome::Deliver
+        }
+    }
+
+    /// Roll back a speculation version: delete its ready tasks, flag its
+    /// running tasks, and reject its future spawns.
+    ///
+    /// Returns the number of ready tasks deleted.
+    pub fn abort_version(&mut self, version: SpecVersion) -> usize {
+        if !self.aborted.insert(version) {
+            return 0; // already aborted; idempotent
+        }
+        self.stats.rollbacks += 1;
+        let victims = self.queue.remove_version(version);
+        for id in &victims {
+            self.bodies.remove(id);
+        }
+        self.stats.deleted_ready += victims.len() as u64;
+        for r in self.running.values() {
+            if r.version == Some(version) {
+                TaskCtx::signal_abort(&r.abort);
+            }
+        }
+        victims.len()
+    }
+
+    /// Whether `version` has been rolled back.
+    pub fn is_aborted(&self, version: SpecVersion) -> bool {
+        self.aborted.contains(&version)
+    }
+
+    /// Scheduler counters.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// `true` when no task is ready or running.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::payload;
+
+    fn reg(name: &'static str, depth: u32) -> TaskSpec {
+        TaskSpec::regular(name, depth, 0, 0, |_| payload(()))
+    }
+
+    fn spec_task(name: &'static str, v: SpecVersion) -> TaskSpec {
+        TaskSpec::speculative(name, 0, 0, v, 0, |_| payload(()))
+    }
+
+    #[test]
+    fn spawn_dispatch_complete_cycle() {
+        let mut s = Scheduler::new(DispatchPolicy::Balanced);
+        assert!(s.is_idle());
+        let id = s.spawn(reg("a", 0)).unwrap();
+        assert!(!s.is_idle());
+        assert_eq!(s.ready_len(), 1);
+        let d = s.dispatch().unwrap();
+        assert_eq!(d.id, id);
+        assert_eq!(s.ready_len(), 0);
+        assert_eq!(s.running_len(), 1);
+        assert_eq!(s.complete(id), CompletionOutcome::Deliver);
+        assert!(s.is_idle());
+        assert_eq!(s.stats().delivered, 1);
+    }
+
+    #[test]
+    fn abort_deletes_ready_tasks() {
+        let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+        s.spawn(spec_task("e1", 5)).unwrap();
+        s.spawn(spec_task("e2", 5)).unwrap();
+        s.spawn(spec_task("other", 6)).unwrap();
+        assert_eq!(s.abort_version(5), 2);
+        assert_eq!(s.ready_len(), 1);
+        assert_eq!(s.stats().deleted_ready, 2);
+        assert_eq!(s.stats().rollbacks, 1);
+        // idempotent
+        assert_eq!(s.abort_version(5), 0);
+        assert_eq!(s.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn abort_flags_running_tasks_and_discards_their_output() {
+        let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+        let id = s.spawn(spec_task("enc", 9)).unwrap();
+        let d = s.dispatch().unwrap();
+        assert!(!d.ctx.aborted());
+        s.abort_version(9);
+        assert!(d.ctx.aborted(), "in-flight task must see the abort flag");
+        assert_eq!(s.complete(id), CompletionOutcome::Discard);
+        assert_eq!(s.stats().discarded, 1);
+    }
+
+    #[test]
+    fn spawns_into_aborted_version_are_rejected() {
+        let mut s = Scheduler::new(DispatchPolicy::Balanced);
+        s.abort_version(3);
+        assert!(s.spawn(spec_task("late", 3)).is_none());
+        assert_eq!(s.stats().spawn_rejected, 1);
+        // Other versions unaffected.
+        assert!(s.spawn(spec_task("ok", 4)).is_some());
+    }
+
+    #[test]
+    fn non_aborted_version_completes_normally() {
+        let mut s = Scheduler::new(DispatchPolicy::Conservative);
+        let id = s.spawn(spec_task("enc", 1)).unwrap();
+        // Abort a *different* version.
+        s.abort_version(2);
+        let _d = s.dispatch().unwrap();
+        assert_eq!(s.complete(id), CompletionOutcome::Deliver);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-speculative policy")]
+    fn speculative_spawn_under_non_spec_policy_panics() {
+        let mut s = Scheduler::new(DispatchPolicy::NonSpeculative);
+        let _ = s.spawn(spec_task("oops", 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn completing_unknown_task_panics() {
+        let mut s = Scheduler::new(DispatchPolicy::Balanced);
+        let _ = s.complete(99);
+    }
+
+    #[test]
+    fn checks_survive_rollbacks() {
+        let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+        s.spawn(TaskSpec::check("check", 0, 0, |_| payload(()))).unwrap();
+        s.spawn(spec_task("enc", 1)).unwrap();
+        s.abort_version(1);
+        // The check is version-less and must still dispatch (first).
+        let d = s.dispatch().unwrap();
+        assert_eq!(d.name, "check");
+        assert_eq!(s.complete(d.id), CompletionOutcome::Deliver);
+    }
+
+    #[test]
+    fn dispatch_respects_balanced_time_shares() {
+        let mut s = Scheduler::new(DispatchPolicy::Balanced);
+        s.spawn(reg("n1", 0)).unwrap();
+        s.spawn(reg("n2", 0)).unwrap();
+        s.spawn(spec_task("s1", 1)).unwrap();
+        s.spawn(spec_task("s2", 1)).unwrap();
+        // Charge each lane equal cost per dispatch -> strict alternation.
+        let mut names = Vec::new();
+        while let Some(d) = s.dispatch() {
+            s.charge(d.class, 10);
+            names.push(d.name);
+        }
+        assert_eq!(names, vec!["n1", "s1", "n2", "s2"]);
+    }
+
+    #[test]
+    fn balanced_gives_starved_lane_priority() {
+        let mut s = Scheduler::new(DispatchPolicy::Balanced);
+        s.spawn(reg("n1", 0)).unwrap();
+        s.spawn(spec_task("s1", 1)).unwrap();
+        // Speculation already consumed much more time than the natural
+        // path: the natural task must dispatch first.
+        s.charge(TaskClass::Speculative, 1000);
+        s.charge(TaskClass::Regular, 10);
+        assert_eq!(s.lane_busy_us(), (10, 1000));
+        let d = s.dispatch().unwrap();
+        assert_eq!(d.name, "n1");
+    }
+}

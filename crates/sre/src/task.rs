@@ -1,0 +1,283 @@
+//! The coarse-grain task model.
+//!
+//! Tasks in the SRE are side-effect-free units of computation "with clearly
+//! defined inputs and outputs" and execution times in the millisecond (here:
+//! tens-of-microseconds to millisecond) range. A task is described by a
+//! [`TaskSpec`]; once spawned it is identified by a [`TaskId`] and can carry
+//! a speculation version tag and an abort flag.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Virtual (or wall-clock-derived) time in microseconds.
+pub type Time = u64;
+
+/// Unique task identifier, assigned at spawn.
+pub type TaskId = u64;
+
+/// Monotonic speculation version; tasks tagged with an aborted version are
+/// destroyed (ready) or flagged (running) during rollback.
+pub type SpecVersion = u32;
+
+/// Scheduling class of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    /// Ordinary pipeline work on the natural (non-speculative) path.
+    Regular,
+    /// Ordinary pipeline work on a speculative path (must carry a version).
+    Speculative,
+    /// A value-prediction task. Always dispatched first — the paper gives
+    /// "value predicting and verification tasks the highest priority, no
+    /// matter where they are located in the pipeline".
+    Predictor,
+    /// A speculation-verification (check) task. Also always dispatched
+    /// first.
+    Check,
+}
+
+impl TaskClass {
+    /// Whether tasks of this class are drained before any policy decision.
+    pub fn is_control(self) -> bool {
+        matches!(self, TaskClass::Predictor | TaskClass::Check)
+    }
+}
+
+/// The type-erased output of a task.
+pub type Payload = Box<dyn Any + Send>;
+
+/// Handle given to a running task body.
+///
+/// The only capability a side-effect-free task needs at run time is to learn
+/// that its speculation was aborted while it runs, so it can stop early
+/// ("launched tasks cannot be deleted; the system marks them with an abort
+/// flag"). Honouring the flag is an optimisation, not a correctness
+/// requirement — discarded outputs are dropped either way.
+#[derive(Clone, Debug, Default)]
+pub struct TaskCtx {
+    abort: Arc<AtomicBool>,
+}
+
+impl TaskCtx {
+    /// A fresh context with an unset abort flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once the task's version has been rolled back.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// The shared flag itself (held by the scheduler to signal aborts).
+    pub(crate) fn abort_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.abort)
+    }
+
+    /// Raise the abort flag.
+    pub(crate) fn signal_abort(flag: &AtomicBool) {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The body of a task: consumes nothing but its captured inputs (tasks are
+/// side-effect free), may poll `ctx.aborted()`, and returns its output.
+pub type TaskFn = Box<dyn FnOnce(&TaskCtx) -> Payload + Send>;
+
+/// Everything the scheduler needs to know to run a task.
+pub struct TaskSpec {
+    /// Task kind name; keys the cost model and appears in traces
+    /// (e.g. `"count"`, `"reduce"`, `"tree"`, `"offset"`, `"encode"`).
+    pub name: &'static str,
+    /// Scheduling class.
+    pub class: TaskClass,
+    /// Pipeline depth: deeper (later-stage) tasks are preferred, the SRE's
+    /// antidote to breadth-first FCFS which "extends latency and tends to
+    /// be toxic to memory locality".
+    pub depth: u32,
+    /// Number of payload bytes the task touches; feeds the cost model and
+    /// the Cell local-store admission check.
+    pub bytes: usize,
+    /// Speculation version for `Speculative`/version-bound control tasks.
+    pub version: Option<SpecVersion>,
+    /// Application-defined tag (e.g. block index) carried to the completion.
+    pub tag: u64,
+    /// The task body.
+    pub run: TaskFn,
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("depth", &self.depth)
+            .field("bytes", &self.bytes)
+            .field("version", &self.version)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+impl TaskSpec {
+    /// A regular (non-speculative) task.
+    pub fn regular(
+        name: &'static str,
+        depth: u32,
+        bytes: usize,
+        tag: u64,
+        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+    ) -> Self {
+        TaskSpec {
+            name,
+            class: TaskClass::Regular,
+            depth,
+            bytes,
+            version: None,
+            tag,
+            run: Box::new(run),
+        }
+    }
+
+    /// A speculative task tagged with `version`.
+    pub fn speculative(
+        name: &'static str,
+        depth: u32,
+        bytes: usize,
+        version: SpecVersion,
+        tag: u64,
+        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+    ) -> Self {
+        TaskSpec {
+            name,
+            class: TaskClass::Speculative,
+            depth,
+            bytes,
+            version: Some(version),
+            tag,
+            run: Box::new(run),
+        }
+    }
+
+    /// A value-prediction task (highest dispatch priority).
+    pub fn predictor(
+        name: &'static str,
+        bytes: usize,
+        version: SpecVersion,
+        tag: u64,
+        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+    ) -> Self {
+        TaskSpec {
+            name,
+            class: TaskClass::Predictor,
+            depth: u32::MAX,
+            bytes,
+            version: Some(version),
+            tag,
+            run: Box::new(run),
+        }
+    }
+
+    /// A verification task (highest dispatch priority).
+    ///
+    /// Check tasks are *not* tagged with the version they examine: they must
+    /// survive the rollback they themselves may trigger.
+    pub fn check(
+        name: &'static str,
+        bytes: usize,
+        tag: u64,
+        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+    ) -> Self {
+        TaskSpec {
+            name,
+            class: TaskClass::Check,
+            depth: u32::MAX,
+            bytes,
+            version: None,
+            tag,
+            run: Box::new(run),
+        }
+    }
+
+    /// Whether this task runs on a speculative path.
+    pub fn is_speculative(&self) -> bool {
+        matches!(self.class, TaskClass::Speculative)
+    }
+}
+
+/// Convenience for building payloads.
+pub fn payload<T: Any + Send>(value: T) -> Payload {
+    Box::new(value)
+}
+
+/// Downcast a payload, panicking with a readable message on type mismatch
+/// (a routing bug in the workload, not a runtime condition).
+pub fn expect_payload<T: Any>(p: Payload, what: &str) -> T {
+    *p.downcast::<T>()
+        .unwrap_or_else(|_| panic!("payload type mismatch: expected {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_flag_round_trip() {
+        let ctx = TaskCtx::new();
+        assert!(!ctx.aborted());
+        let flag = ctx.abort_flag();
+        TaskCtx::signal_abort(&flag);
+        assert!(ctx.aborted());
+    }
+
+    #[test]
+    fn control_classes() {
+        assert!(TaskClass::Predictor.is_control());
+        assert!(TaskClass::Check.is_control());
+        assert!(!TaskClass::Regular.is_control());
+        assert!(!TaskClass::Speculative.is_control());
+    }
+
+    #[test]
+    fn constructors_set_classes_and_versions() {
+        let r = TaskSpec::regular("count", 1, 4096, 7, |_| payload(1u32));
+        assert_eq!(r.class, TaskClass::Regular);
+        assert_eq!(r.version, None);
+        assert!(!r.is_speculative());
+
+        let s = TaskSpec::speculative("encode", 4, 4096, 3, 9, |_| payload(2u32));
+        assert_eq!(s.class, TaskClass::Speculative);
+        assert_eq!(s.version, Some(3));
+        assert!(s.is_speculative());
+
+        let p = TaskSpec::predictor("tree", 1024, 5, 0, |_| payload(3u32));
+        assert_eq!(p.class, TaskClass::Predictor);
+        assert_eq!(p.depth, u32::MAX);
+
+        let c = TaskSpec::check("check", 0, 0, |_| payload(4u32));
+        assert_eq!(c.class, TaskClass::Check);
+        assert_eq!(c.version, None);
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let p = payload(vec![1u8, 2, 3]);
+        let v: Vec<u8> = expect_payload(p, "Vec<u8>");
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn payload_mismatch_panics() {
+        let p = payload(42u32);
+        let _: String = expect_payload(p, "String");
+    }
+
+    #[test]
+    fn task_bodies_run_and_see_ctx() {
+        let spec = TaskSpec::regular("t", 0, 0, 0, |ctx| payload(ctx.aborted()));
+        let ctx = TaskCtx::new();
+        let out = (spec.run)(&ctx);
+        assert!(!expect_payload::<bool>(out, "bool"));
+    }
+}

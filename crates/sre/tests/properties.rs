@@ -1,0 +1,280 @@
+//! Property-based tests for the runtime: the ready queue against a
+//! reference model, scheduler lifecycle invariants, and discrete-event
+//! determinism under arbitrary workload shapes.
+
+use proptest::prelude::*;
+use tvs_sre::exec::sim::{run, SimConfig};
+use tvs_sre::policy::LaneLoads;
+use tvs_sre::queue::ReadyQueue;
+use tvs_sre::task::{payload, TaskClass, TaskSpec};
+use tvs_sre::workload::{Completion, InputBlock, SchedCtx, Workload};
+use tvs_sre::{x86_smp, CostModel, DispatchPolicy, Scheduler, Time};
+
+// ---------------------------------------------------------------------
+// Ready queue vs a transparent reference model
+// ---------------------------------------------------------------------
+
+/// The reference: a plain vector, popped by scanning for the best-ranked
+/// entry per the documented rules (control first; then the policy lane;
+/// within a lane, deepest first, FCFS tie-break).
+#[derive(Clone, Debug)]
+struct ModelEntry {
+    id: u64,
+    class: TaskClass,
+    depth: u32,
+    version: Option<u32>,
+    seq: u64,
+}
+
+fn model_pop(
+    entries: &mut Vec<ModelEntry>,
+    policy: DispatchPolicy,
+    loads: LaneLoads,
+) -> Option<u64> {
+    let best = |es: &[(usize, &ModelEntry)]| -> Option<usize> {
+        es.iter()
+            .min_by_key(|(_, e)| (u32::MAX - e.depth, e.seq))
+            .map(|(i, _)| *i)
+    };
+    fn by_lane(entries: &[ModelEntry], want_spec: bool) -> Vec<(usize, &ModelEntry)> {
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| match e.class {
+                TaskClass::Regular => !want_spec,
+                TaskClass::Speculative => want_spec,
+                _ => false,
+            })
+            .collect()
+    }
+    // Control first.
+    let control: Vec<(usize, &ModelEntry)> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.class.is_control())
+        .collect();
+    if let Some(i) = best(&control) {
+        return Some(entries.remove(i).id);
+    }
+    let normal = by_lane(entries, false);
+    let spec = by_lane(entries, true);
+    let kind = policy.choose(!normal.is_empty(), !spec.is_empty(), loads, false)?;
+    let pick = match kind {
+        tvs_sre::policy::QueueKind::Normal => best(&normal),
+        tvs_sre::policy::QueueKind::Speculative => best(&spec),
+    }?;
+    Some(entries.remove(pick).id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BTreeMap-backed queue agrees with the brute-force model under
+    /// arbitrary interleavings of pushes, pops and version removals.
+    #[test]
+    fn prop_queue_matches_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // (class selector, depth, version)
+                (0u8..4, 0u32..5, 0u32..3).prop_map(|(c, d, v)| (0u8, c, d, v)),
+                Just((1u8, 0, 0, 0)),                 // pop
+                (0u32..3).prop_map(|v| (2u8, 0, 0, v)), // remove_version
+            ],
+            1..120,
+        ),
+        policy_ix in 0usize..4,
+    ) {
+        let policy = [
+            DispatchPolicy::NonSpeculative,
+            DispatchPolicy::Conservative,
+            DispatchPolicy::Aggressive,
+            DispatchPolicy::Balanced,
+        ][policy_ix];
+        let mut q = ReadyQueue::new();
+        let mut model: Vec<ModelEntry> = Vec::new();
+        let mut next_id = 0u64;
+        let mut seq = 0u64;
+        for (op, c, d, v) in ops {
+            match op {
+                0 => {
+                    let class = match c {
+                        0 => TaskClass::Regular,
+                        1 => TaskClass::Speculative,
+                        2 => TaskClass::Predictor,
+                        _ => TaskClass::Check,
+                    };
+                    // NonSpeculative runs don't receive speculative tasks.
+                    if class == TaskClass::Speculative && !policy.speculates() {
+                        continue;
+                    }
+                    let version =
+                        (class == TaskClass::Speculative).then_some(v);
+                    next_id += 1;
+                    q.push(next_id, class, d, version);
+                    model.push(ModelEntry { id: next_id, class, depth: d, version, seq });
+                    seq += 1;
+                }
+                1 => {
+                    let got = q.pop(policy, LaneLoads::default(), false);
+                    let want = model_pop(&mut model, policy, LaneLoads::default());
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    let mut got = q.remove_version(v);
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = model
+                        .iter()
+                        .filter(|e| e.version == Some(v))
+                        .map(|e| e.id)
+                        .collect();
+                    want.sort_unstable();
+                    model.retain(|e| e.version != Some(v));
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+
+    /// Scheduler conservation: every spawned task is exactly once either
+    /// (a) dispatched and completed, (b) deleted by a rollback while
+    /// ready, or (c) rejected at spawn.
+    #[test]
+    fn prop_scheduler_conserves_tasks(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u32..4).prop_map(|v| (0u8, v)), // spawn spec v
+                Just((1u8, 0)),                   // spawn regular
+                Just((2u8, 0)),                   // dispatch+complete one
+                (0u32..4).prop_map(|v| (3u8, v)), // abort version v
+            ],
+            1..200,
+        ),
+    ) {
+        let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+        let mut spawned = 0u64;
+        let mut completed = 0u64;
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    if s.spawn(TaskSpec::speculative("s", 0, 0, v, 0, |_| payload(()))).is_some() {
+                        spawned += 1;
+                    }
+                }
+                1 => {
+                    s.spawn(TaskSpec::regular("r", 0, 0, 0, |_| payload(()))).unwrap();
+                    spawned += 1;
+                }
+                2 => {
+                    if let Some(d) = s.dispatch() {
+                        s.complete(d.id);
+                        completed += 1;
+                    }
+                }
+                _ => {
+                    s.abort_version(v);
+                }
+            }
+        }
+        // Drain what remains.
+        while let Some(d) = s.dispatch() {
+            s.complete(d.id);
+            completed += 1;
+        }
+        let st = s.stats();
+        prop_assert_eq!(st.spawned, spawned);
+        prop_assert_eq!(completed, st.delivered + st.discarded);
+        prop_assert_eq!(spawned, completed + st.deleted_ready);
+        prop_assert!(s.is_idle());
+    }
+}
+
+// ---------------------------------------------------------------------
+// DES determinism under arbitrary fan-out workloads
+// ---------------------------------------------------------------------
+
+/// A workload whose shape is driven by a byte script: each completed task
+/// spawns `script[tag] % 3` children until the budget is exhausted.
+struct FanOut {
+    script: Vec<u8>,
+    spawned: usize,
+    seen: usize,
+}
+
+impl FanOut {
+    fn child(&mut self, ctx: &mut dyn SchedCtx, tag: u64) {
+        if self.spawned >= self.script.len() {
+            return;
+        }
+        self.spawned += 1;
+        ctx.spawn(TaskSpec::regular(
+            "t",
+            (tag % 7) as u32,
+            (tag as usize % 5) * 100,
+            tag,
+            |_| payload(()),
+        ));
+    }
+}
+
+impl Workload for FanOut {
+    fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+        self.child(ctx, 1);
+    }
+    fn on_input(&mut self, _ctx: &mut dyn SchedCtx, _b: InputBlock) {}
+    fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+        self.seen += 1;
+        let n = self.script.get(done.tag as usize).copied().unwrap_or(0) % 3;
+        for i in 0..n {
+            self.child(ctx, done.tag * 3 + i as u64 + 1);
+        }
+    }
+    fn is_finished(&self) -> bool {
+        self.seen >= self.spawned && self.spawned > 0
+    }
+}
+
+struct TagCost;
+impl CostModel for TagCost {
+    fn cost_us(&self, _name: &str, bytes: usize) -> Time {
+        10 + bytes as Time
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same script, same platform -> byte-identical traces; and the trace
+    /// respects worker exclusivity (no overlapping tasks on one worker).
+    #[test]
+    fn prop_sim_deterministic_and_exclusive(
+        script in proptest::collection::vec(any::<u8>(), 1..100),
+        workers in 1usize..6,
+    ) {
+        let cfg = SimConfig {
+            platform: x86_smp(workers),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: true,
+        };
+        let mk = || FanOut { script: script.clone(), spawned: 0, seen: 0 };
+        let a = run(mk(), &cfg, &TagCost, vec![]);
+        let b = run(mk(), &cfg, &TagCost, vec![]);
+        prop_assert_eq!(&a.trace, &b.trace);
+        prop_assert_eq!(a.metrics.makespan, b.metrics.makespan);
+        // Worker exclusivity.
+        for w in 0..workers {
+            let mut spans: Vec<(Time, Time)> = a
+                .trace
+                .iter()
+                .filter(|t| t.worker == w)
+                .map(|t| (t.start, t.end))
+                .collect();
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                prop_assert!(pair[1].0 >= pair[0].1, "worker {w} overlap: {pair:?}");
+            }
+        }
+        // Conservation: every spawned task traced exactly once.
+        prop_assert_eq!(a.trace.len(), a.workload.spawned);
+    }
+}

@@ -1,0 +1,100 @@
+//! Prefix-convergence analysis.
+//!
+//! The speculation dynamics of the paper's Huffman benchmark are governed by
+//! one quantity: how far a tree built from a *prefix* of the input is, in
+//! compressed-size terms, from a tree built from a longer prefix — measured
+//! on the longer prefix's histogram, exactly like the paper's check task.
+//! This module computes that quantity so tests (and the calibration of the
+//! generators) can pin each workload's drift shape.
+
+use tvs_huffman::{relative_cost_delta, CodeLengths, Histogram};
+
+/// The check metric: relative extra compressed size of a *covering* tree
+/// (see [`CodeLengths::build_covering`]) built from `data[..prefix]`,
+/// versus the exact tree built from `data[..eval]`, both evaluated on the
+/// histogram of `data[..eval]`.
+///
+/// `prefix` and `eval` are byte counts with `prefix <= eval`.
+pub fn prefix_check_delta(data: &[u8], prefix: usize, eval: usize) -> f64 {
+    assert!(prefix >= 1 && prefix <= eval && eval <= data.len());
+    let h_prefix = Histogram::from_bytes(&data[..prefix]);
+    let h_eval = Histogram::from_bytes(&data[..eval]);
+    let t_spec = CodeLengths::build_covering(&h_prefix).expect("non-empty prefix");
+    let t_ref = CodeLengths::build(&h_eval).expect("non-empty eval prefix");
+    relative_cost_delta(&t_spec, &t_ref, &h_eval)
+}
+
+/// One row of a drift profile: the worst check delta a speculation started
+/// at `prefix_frac` would see over all later evaluation points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPoint {
+    /// Prefix size as a fraction of the input.
+    pub prefix_frac: f64,
+    /// `max` over evaluation fractions of the check delta.
+    pub worst_delta: f64,
+}
+
+/// Evaluate the worst-case check delta for a grid of prefix fractions.
+///
+/// For each prefix fraction, evaluation points sweep from the prefix to the
+/// full file in steps of `eval_step_frac`. This is (conservatively) the
+/// rollback criterion a full-verification run would apply.
+pub fn drift_profile(data: &[u8], prefix_fracs: &[f64], eval_step_frac: f64) -> Vec<DriftPoint> {
+    assert!(!data.is_empty());
+    let n = data.len();
+    prefix_fracs
+        .iter()
+        .map(|&pf| {
+            let prefix = ((n as f64 * pf) as usize).clamp(1, n);
+            let mut worst: f64 = 0.0;
+            let mut ef = pf;
+            loop {
+                ef = (ef + eval_step_frac).min(1.0);
+                let eval = ((n as f64 * ef) as usize).clamp(prefix, n);
+                worst = worst.max(prefix_check_delta(data, prefix, eval));
+                if ef >= 1.0 {
+                    break;
+                }
+            }
+            DriftPoint { prefix_frac: pf, worst_delta: worst }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_near_zero_for_stationary_data() {
+        let pattern = b"a stationary, reasonably rich sample text 0123456789!";
+        let data: Vec<u8> = pattern.iter().cycle().take(40_000).copied().collect();
+        let d = prefix_check_delta(&data, 10_000, 40_000);
+        assert!(d < 0.005, "stationary data must have ~0 delta, got {d}");
+    }
+
+    #[test]
+    fn delta_large_for_disjoint_halves() {
+        let mut data = vec![b'a'; 20_000];
+        data.extend((0..20_000u32).map(|i| 128 + (i % 100) as u8));
+        let d = prefix_check_delta(&data, 10_000, 40_000);
+        assert!(d > 0.05, "disjoint halves should blow up the delta, got {d}");
+    }
+
+    #[test]
+    fn drift_profile_monotone_grid() {
+        let mut data = vec![b'x'; 8_000];
+        data.extend((0..32_000u32).map(|i| (i % 200) as u8));
+        let prof = drift_profile(&data, &[0.1, 0.5, 0.9], 0.25);
+        assert_eq!(prof.len(), 3);
+        // A later prefix has seen more of the stable region: less drift.
+        assert!(prof[2].worst_delta <= prof[0].worst_delta + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefix_beyond_eval_rejected() {
+        let data = vec![1u8; 100];
+        let _ = prefix_check_delta(&data, 60, 50);
+    }
+}

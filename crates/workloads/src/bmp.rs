@@ -1,0 +1,237 @@
+//! Synthetic BMP generator.
+//!
+//! Produces a structurally valid 24-bpp Windows bitmap whose pixel
+//! statistics are **prefix-biased**: the first stretch of the file (header
+//! plus an initial band of rows — think of the dark foreground at the
+//! bottom of a photo, since BMP stores rows bottom-up) is distributed
+//! differently from the rest. Trees speculated from small prefixes are
+//! misled; once roughly a quarter of the file has been seen they converge —
+//! reproducing the paper's observed rollback threshold at speculation step
+//! ≈ 8 for the 2 MB BMP.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stationary dark fraction at the left edge of every row (a shadowed
+/// border). Identical in every row, so it contributes texture without any
+/// sampling variance between prefixes.
+const DARK_FRAC: f64 = 0.08;
+
+/// Fine-detail rows (full 8-bit pixel values instead of the 4-quantised
+/// palette) appear in two phases:
+///
+/// 1. a brief *preview burst* in `[BURST_LO, BURST_HI]` — placed between
+///    the step-4 basis (1/8 of the file) and the step-8 basis (1/4), so
+///    the step-8 threshold tree absorbs fine-symbol statistics whose
+///    frequency closely matches the file-wide average, while every
+///    earlier tree has seen none of the fine alphabet at all;
+/// 2. the main mass, ramping up from `MAIN_LO` to `MAIN_HI` and flat
+///    after — heavy enough that fine-blind trees escape-cost their way
+///    past the 1 % tolerance, but only at the 50 % check or later.
+///
+/// Net effect (the paper's Fig. 5b): speculations below step 8 roll back
+/// *late* and perform poorly; step-8 speculations survive every check.
+const BURST_LO: f64 = 0.13;
+/// End of the preview burst.
+const BURST_HI: f64 = 0.16;
+/// Fine-row probability inside the burst.
+const BURST_PROB: f64 = 0.05;
+/// Start of the main fine-mass ramp.
+const MAIN_LO: f64 = 0.30;
+/// End of the main ramp (flat at `FINE_PROB` afterwards).
+const MAIN_HI: f64 = 0.50;
+/// Peak fine-row probability after the main ramp.
+const FINE_PROB: f64 = 0.03;
+
+/// Width of the intro band's (dark) base-value range.
+const INTRO_BASE: std::ops::Range<i32> = 4..44;
+
+/// Width of the body's base-value range.
+const BODY_BASE: std::ops::Range<i32> = 40..232;
+
+/// Generate a `bytes`-byte BMP-like file (valid headers, 24-bpp pixel rows).
+pub fn generate(bytes: usize, seed: u64) -> Vec<u8> {
+    generate_with(bytes, seed, BURST_PROB, FINE_PROB)
+}
+
+/// Fine-row probability at file position `pos`.
+fn fine_prob_at(pos: f64, burst_prob: f64, main_prob: f64) -> f64 {
+    if (BURST_LO..BURST_HI).contains(&pos) {
+        burst_prob
+    } else {
+        main_prob * ((pos - MAIN_LO) / (MAIN_HI - MAIN_LO)).clamp(0.0, 1.0)
+    }
+}
+
+/// Parameterised core, exposed for calibration and ablation tests.
+pub(crate) fn generate_with(bytes: usize, seed: u64, burst_prob: f64, main_prob: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes + 64);
+    let width: u32 = 256;
+    let row_bytes = width as usize * 3; // 24 bpp, width divisible by 4 => no pad
+    let height: u32 = (bytes.saturating_sub(54)).div_ceil(row_bytes).max(1) as u32;
+
+    // --- BITMAPFILEHEADER (14 bytes) ---
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(bytes as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&54u32.to_le_bytes()); // pixel data offset
+    // --- BITMAPINFOHEADER (40 bytes) ---
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(width as i32).to_le_bytes());
+    out.extend_from_slice(&(height as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&24u16.to_le_bytes()); // bpp
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&((row_bytes as u32) * height).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 dpi
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // colors used
+    out.extend_from_slice(&0u32.to_le_bytes()); // important colors
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0B4D_0B4D);
+
+    // Pixel stream: per-row slowly-varying base + small noise, quantised to
+    // multiples of 4 (real photos have correlated low bits too). Two drift
+    // sources: a mild dark-row ramp at the top of the file, and — from
+    // `fine_start` on — occasional fine-detail rows that use the full
+    // 8-bit value range (un-quantised), introducing symbols never seen in
+    // any earlier prefix.
+    let px_per_row = row_bytes / 3;
+    let dark_px = (px_per_row as f64 * DARK_FRAC) as usize;
+    while out.len() < bytes {
+        let pos = out.len() as f64 / bytes as f64;
+        let fine_row = rng.random::<f64>() < fine_prob_at(pos, burst_prob, main_prob);
+        let base: i32 = rng.random_range(BODY_BASE);
+        // Horizontal luminance sweep across the row: real photo rows span a
+        // wide value range, which also keeps small prefixes statistically
+        // representative of the whole (low per-row histogram variance).
+        let sweep: i32 = rng.random_range(-120..=120);
+        for j in 0..px_per_row {
+            if out.len() >= bytes {
+                break;
+            }
+            let dark = j < dark_px;
+            let (row_base, spread) = if dark {
+                (rng.random_range(INTRO_BASE), 6)
+            } else {
+                (base, 24)
+            };
+            let noise = rng.random_range(-spread..=spread);
+            let drift = if dark { 0 } else { sweep * j as i32 / px_per_row as i32 };
+            let px = (row_base + drift + noise).clamp(0, 255) as u8;
+            let (r, g, b) = if fine_row && !dark {
+                // Full-precision pixels: low bits carry dithered detail.
+                let d = rng.random_range(0..4u8);
+                (px | d, px.saturating_add(5) | d, px.saturating_sub(5) | d)
+            } else {
+                (px & 0xFC, px.saturating_add(6) & 0xFC, px.saturating_sub(6) & 0xFC)
+            };
+            out.push(b);
+            if out.len() < bytes {
+                out.push(g);
+            }
+            if out.len() < bytes {
+                out.push(r);
+            }
+        }
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::drift_profile;
+    use tvs_huffman::Histogram;
+
+    #[test]
+    fn header_is_valid_bmp() {
+        let data = generate(100_000, 1);
+        assert_eq!(&data[0..2], b"BM");
+        let offset = u32::from_le_bytes(data[10..14].try_into().unwrap());
+        assert_eq!(offset, 54);
+        let dib = u32::from_le_bytes(data[14..18].try_into().unwrap());
+        assert_eq!(dib, 40);
+        let bpp = u16::from_le_bytes(data[28..30].try_into().unwrap());
+        assert_eq!(bpp, 24);
+    }
+
+    #[test]
+    fn fine_alphabet_appears_only_past_the_burst() {
+        let data = generate(2 << 20, 2);
+        let n = data.len();
+        // Bytes off the 4-quantised grid exist only in fine-detail rows.
+        let off_grid = |h: &Histogram| {
+            h.iter_nonzero().filter(|&(s, _)| s & 0x03 != 0).map(|(_, c)| c).sum::<u64>() as f64
+                / h.total() as f64
+        };
+        let head = Histogram::from_bytes(&data[54..n / 8]); // before the burst
+        let tail = Histogram::from_bytes(&data[n / 2..]);
+        assert_eq!(off_grid(&head), 0.0, "no fine symbols before the burst");
+        assert!(off_grid(&tail) > 0.002, "tail must carry fine mass: {}", off_grid(&tail));
+    }
+
+    #[test]
+    fn drift_crosses_one_percent_near_a_quarter() {
+        // The calibration the Fig. 5 reproduction depends on: early
+        // prefixes violate 1 % tolerance, quarter-file prefixes respect it.
+        let data = generate(2 << 20, 3);
+        let prof = drift_profile(&data, &[0.0625, 0.125, 0.25, 0.5], 0.125);
+        assert!(prof[0].worst_delta > 0.01, "1/16 prefix should exceed 1%: {:?}", prof[0]);
+        assert!(prof[1].worst_delta > 0.01, "1/8 prefix should exceed 1%: {:?}", prof[1]);
+        assert!(prof[2].worst_delta < 0.01, "1/4 prefix should be inside 1%: {:?}", prof[2]);
+        assert!(prof[3].worst_delta < 0.01, "1/2 prefix must be safe: {:?}", prof[3]);
+    }
+
+    #[test]
+    fn tail_has_higher_entropy_than_head() {
+        let data = generate(512 * 1024, 4);
+        let head = Histogram::from_bytes(&data[54..30_000]);
+        let tail = Histogram::from_bytes(&data[data.len() * 6 / 10..]);
+        assert!(tail.entropy_bits() > head.entropy_bits());
+    }
+
+    /// Prints the exact check-delta matrix (speculative tree at basis f vs
+    /// the candidate tree at each verification point g) used to pick the
+    /// ramp constants. Run with
+    /// `cargo test -p tvs-workloads bmp -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "manual calibration aid"]
+    fn calibration_grid() {
+        use tvs_huffman::{relative_cost_delta, CodeLengths, Histogram};
+        for (burst_prob, main_prob, seed) in [
+            (0.05, 0.03, 3),
+            (0.05, 0.03, 2011),
+            (0.05, 0.03, 7),
+            (0.07, 0.028, 3),
+            (0.07, 0.028, 2011),
+            (0.07, 0.028, 7),
+            (0.07, 0.035, 2011),
+            (0.09, 0.03, 2011),
+        ] {
+            let data = generate_with(2 << 20, seed, burst_prob, main_prob);
+            let n_groups = 32;
+            let gsz = data.len() / n_groups;
+            let cum: Vec<Histogram> =
+                (1..=n_groups).map(|g| Histogram::from_bytes(&data[..g * gsz])).collect();
+            println!("burst={burst_prob} main={main_prob} seed={seed}:");
+            for f in [1usize, 2, 4, 8] {
+                let spec = CodeLengths::build_covering(&cum[f - 1]).unwrap();
+                print!("  tree@{f:2}:");
+                for g in [8usize, 16, 24, 32] {
+                    if g <= f {
+                        continue;
+                    }
+                    let cand = CodeLengths::build_covering(&cum[g - 1]).unwrap();
+                    print!(" g{g}={:.2}%", relative_cost_delta(&spec, &cand, &cum[g - 1]) * 100.0);
+                }
+                let fin = CodeLengths::build(&cum[n_groups - 1]).unwrap();
+                println!(
+                    " FINAL={:.2}%",
+                    relative_cost_delta(&spec, &fin, &cum[n_groups - 1]) * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Synthetic workload generators for the speculation benchmarks.
+//!
+//! The paper encodes three real files: an e-book **text** (4 MB), a Windows
+//! **BMP** (2 MB) and a **PDF** (4 MB). We do not have the authors' files,
+//! so this crate generates synthetic stand-ins whose *statistical shape* —
+//! the only property the speculation dynamics depend on — is controlled and
+//! asserted by tests:
+//!
+//! * [`text`]: a stationary, English-like character process. A tree guessed
+//!   from any modest prefix stays within 1 % of the final tree → **no
+//!   rollbacks**, the paper's best case.
+//! * [`bmp`]: a valid BMP container whose early pixel rows are distributed
+//!   differently from the rest (dark-to-light gradient plus texture noise).
+//!   Early speculation is misled; prefixes of roughly a quarter of the file
+//!   converge → rollbacks for small speculation steps, none beyond the
+//!   paper's observed threshold (step ≈ 8).
+//! * [`pdf`]: a PDF-like alternation of ASCII object text and high-entropy
+//!   (compressed-stream-like) segments, with the binary share growing over
+//!   the first part of the file → drift persists longer (threshold ≈ 16).
+//!
+//! [`analysis`] quantifies prefix convergence with the same cost metric the
+//! paper's check task uses, which is how the generator parameters were
+//! calibrated and how the tests pin the shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bmp;
+pub mod pdf;
+pub mod text;
+
+/// The three benchmark input kinds of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// E-book-like text, 4 MB in the paper.
+    Text,
+    /// Bitmap image, 2 MB in the paper.
+    Bmp,
+    /// PDF document, 4 MB in the paper.
+    Pdf,
+}
+
+impl FileKind {
+    /// The input size the paper uses for this kind.
+    pub fn paper_bytes(self) -> usize {
+        match self {
+            FileKind::Text | FileKind::Pdf => 4 * 1024 * 1024,
+            FileKind::Bmp => 2 * 1024 * 1024,
+        }
+    }
+
+    /// Short label used in reports ("TXT", "BMP", "PDF").
+    pub fn label(self) -> &'static str {
+        match self {
+            FileKind::Text => "TXT",
+            FileKind::Bmp => "BMP",
+            FileKind::Pdf => "PDF",
+        }
+    }
+
+    /// All three kinds, in the paper's presentation order.
+    pub const ALL: [FileKind; 3] = [FileKind::Text, FileKind::Bmp, FileKind::Pdf];
+}
+
+/// Generate `bytes` bytes of the given kind with a deterministic `seed`.
+pub fn generate(kind: FileKind, bytes: usize, seed: u64) -> Vec<u8> {
+    match kind {
+        FileKind::Text => text::generate(bytes, seed),
+        FileKind::Bmp => bmp::generate(bytes, seed),
+        FileKind::Pdf => pdf::generate(bytes, seed),
+    }
+}
+
+/// Generate the paper-sized input for `kind`.
+pub fn generate_paper_sized(kind: FileKind, seed: u64) -> Vec<u8> {
+    generate(kind, kind.paper_bytes(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(FileKind::Text.paper_bytes(), 4 << 20);
+        assert_eq!(FileKind::Bmp.paper_bytes(), 2 << 20);
+        assert_eq!(FileKind::Pdf.paper_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in FileKind::ALL {
+            let a = generate(kind, 64 * 1024, 42);
+            let b = generate(kind, 64 * 1024, 42);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            let c = generate(kind, 64 * 1024, 43);
+            assert_ne!(a, c, "{kind:?} ignores seed");
+        }
+    }
+
+    #[test]
+    fn generated_sizes_exact() {
+        for kind in FileKind::ALL {
+            for n in [1usize, 100, 4096, 100_000] {
+                assert_eq!(generate(kind, n, 7).len(), n, "{kind:?} size {n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Stationary English-like text generator.
+//!
+//! Word-based: a fixed Zipf-weighted vocabulary over the ~70 characters the
+//! paper mentions (letters, digits, punctuation), emitted with sentence and
+//! paragraph structure. Because the word process is stationary, the
+//! character distribution of any prefix beyond a few kilobytes is within a
+//! fraction of a percent of the whole file's — the paper's "no rollback"
+//! case.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "he", "have", "it", "that", "for", "they", "with",
+    "as", "not", "on", "she", "at", "by", "this", "we", "you", "do", "but", "from", "or",
+    "which", "one", "would", "all", "will", "there", "say", "who", "make", "when", "can",
+    "more", "if", "no", "man", "out", "other", "so", "what", "time", "up", "go", "about",
+    "than", "into", "could", "state", "only", "new", "year", "some", "take", "come", "these",
+    "know", "see", "use", "get", "like", "then", "first", "any", "work", "now", "may", "such",
+    "give", "over", "think", "most", "even", "find", "day", "also", "after", "way", "many",
+    "must", "look", "before", "great", "back", "through", "long", "where", "much", "should",
+    "well", "people", "down", "own", "just", "because", "good", "each", "those", "feel",
+    "seem", "how", "high", "too", "place", "little", "world", "very", "still", "nation",
+    "hand", "old", "life", "tell", "write", "become", "here", "show", "house", "both",
+    "between", "need", "mean", "call", "develop", "under", "last", "right", "move", "thing",
+    "general", "school", "never", "same", "another", "begin", "while", "number", "part",
+    "turn", "real", "leave", "might", "want", "point", "form", "off", "child", "few",
+    "small", "since", "against", "ask", "late", "home", "interest", "large", "person",
+    "end", "open", "public", "follow", "during", "present", "without", "again", "hold",
+    "govern", "around", "possible", "head", "consider", "word", "program", "problem",
+    "however", "lead", "system", "set", "order", "eye", "plan", "run", "keep", "face",
+    "fact", "group", "play", "stand", "increase", "early", "course", "change", "help",
+    "line",
+];
+
+/// Generate `bytes` bytes of stationary text.
+pub fn generate(bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7E57_7E57);
+    let mut out = Vec::with_capacity(bytes + 32);
+    let mut words_in_sentence = 0usize;
+    let mut sentences_in_paragraph = 0usize;
+    let mut capitalize = true;
+    while out.len() < bytes {
+        // Zipf-ish pick: rank ~ floor(K * (u^-s - 1)) clipped; cheap
+        // approximation via squaring uniform draws twice.
+        let u: f64 = rng.random();
+        let rank = ((u * u) * VOCAB.len() as f64) as usize;
+        let word = VOCAB[rank.min(VOCAB.len() - 1)];
+        if capitalize {
+            let mut chars = word.bytes();
+            if let Some(first) = chars.next() {
+                out.push(first.to_ascii_uppercase());
+                out.extend(chars);
+            }
+            capitalize = false;
+        } else {
+            out.extend_from_slice(word.as_bytes());
+        }
+        words_in_sentence += 1;
+        // Occasionally a digit token (years, figures) keeps digits in the
+        // alphabet, as in a real e-book.
+        if rng.random_range(0..100u32) < 2 {
+            out.push(b' ');
+            let year: u32 = rng.random_range(1800..2000);
+            out.extend_from_slice(year.to_string().as_bytes());
+        }
+        if words_in_sentence >= rng.random_range(6..18) {
+            words_in_sentence = 0;
+            sentences_in_paragraph += 1;
+            let punct = match rng.random_range(0..10u32) {
+                0 => b'?',
+                1 => b'!',
+                2 => b';',
+                _ => b'.',
+            };
+            out.push(punct);
+            if sentences_in_paragraph >= rng.random_range(4..9) {
+                sentences_in_paragraph = 0;
+                out.extend_from_slice(b"\r\n\r\n");
+            } else {
+                out.push(b' ');
+            }
+            capitalize = punct != b';';
+        } else {
+            if rng.random_range(0..40u32) == 0 {
+                out.push(b',');
+            }
+            out.push(b' ');
+        }
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_huffman::Histogram;
+
+    #[test]
+    fn uses_a_restricted_printable_alphabet() {
+        let data = generate(200_000, 1);
+        let h = Histogram::from_bytes(&data);
+        let distinct = h.distinct_symbols();
+        assert!((30..=90).contains(&distinct), "distinct symbols = {distinct}");
+        for (sym, _) in h.iter_nonzero() {
+            assert!(
+                sym.is_ascii_graphic() || sym == b' ' || sym == b'\r' || sym == b'\n',
+                "non-textual byte {sym}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_and_e_dominate() {
+        let data = generate(200_000, 2);
+        let h = Histogram::from_bytes(&data);
+        assert!(h.count(b' ') > h.total() / 20, "spaces too rare");
+        assert!(h.count(b'e') > h.count(b'q'), "letter frequencies not English-like");
+    }
+
+    #[test]
+    fn prefix_distribution_is_stationary() {
+        // 1/8th prefix vs the whole file: total-variation distance tiny.
+        let data = generate(1 << 20, 3);
+        let prefix = Histogram::from_bytes(&data[..data.len() / 8]);
+        let whole = Histogram::from_bytes(&data);
+        let tv = prefix.tv_distance(&whole);
+        assert!(tv < 0.01, "text prefix drifted: tv = {tv}");
+    }
+
+    #[test]
+    fn compresses_like_text() {
+        let data = generate(256 * 1024, 4);
+        let h = Histogram::from_bytes(&data);
+        // English-like text entropy: ~4.0-4.6 bits/char.
+        let e = h.entropy_bits();
+        assert!((3.2..=5.2).contains(&e), "entropy {e} not text-like");
+    }
+}

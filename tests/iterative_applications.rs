@@ -1,0 +1,140 @@
+//! Cross-cutting invariants over all three iterative applications (the
+//! paper's §II-A workload classes): the filter solver, k-means, and
+//! simulated annealing, next to the Huffman prefix case.
+//!
+//! One engine (`tvs-core`) drives four very different basis processes:
+//! a linear contraction, a piecewise-constant Lloyd descent, a stochastic
+//! annealing chain, and a converging prefix histogram. The invariants that
+//! must hold regardless of the basis' character:
+//!
+//! 1. every block is finalised exactly once;
+//! 2. speculation + commit never loses to the natural path by more than
+//!    the verification overhead;
+//! 3. a committed value is within the declared tolerance of the final one;
+//! 4. non-speculative runs never roll back.
+
+use tvs_pipelines::annealing::{run_anneal_sim, AnnealConfig};
+use tvs_pipelines::filter::{run_filter_sim, FilterConfig};
+use tvs_pipelines::kmeans::{run_kmeans_sim, KMeansConfig};
+use tvs_sre::DispatchPolicy;
+
+const BLOCKS: usize = 96;
+const GAP: u64 = 8;
+const WORKERS: usize = 8;
+
+#[test]
+fn filter_speculation_dominates_naturally() {
+    let (ns, mn) = run_filter_sim(
+        &FilterConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() },
+        BLOCKS,
+        GAP,
+        WORKERS,
+    );
+    let (sp, ms) = run_filter_sim(&FilterConfig::default(), BLOCKS, GAP, WORKERS);
+    assert_eq!(mn.rollbacks, 0);
+    assert_eq!(ns.blocks.len(), BLOCKS);
+    assert_eq!(sp.blocks.len(), BLOCKS);
+    assert!(
+        sp.mean_latency() <= ns.mean_latency(),
+        "filter: {} vs {}",
+        sp.mean_latency(),
+        ns.mean_latency()
+    );
+    assert!(ms.makespan <= mn.makespan);
+}
+
+#[test]
+fn kmeans_speculation_dominates_naturally() {
+    let (ns, mn) = run_kmeans_sim(
+        &KMeansConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() },
+        BLOCKS,
+        GAP,
+        WORKERS,
+    );
+    let (sp, _ms) = run_kmeans_sim(&KMeansConfig::default(), BLOCKS, GAP, WORKERS);
+    assert_eq!(mn.rollbacks, 0);
+    assert_eq!(sp.blocks.len(), BLOCKS);
+    assert!(
+        sp.mean_latency() <= ns.mean_latency(),
+        "kmeans: {} vs {}",
+        sp.mean_latency(),
+        ns.mean_latency()
+    );
+}
+
+#[test]
+fn annealing_speculation_never_worse_than_natural_plus_checks() {
+    let (ns, mn) = run_anneal_sim(
+        &AnnealConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() },
+        BLOCKS,
+        GAP,
+        WORKERS,
+    );
+    let (sp, _ms) = run_anneal_sim(&AnnealConfig::default(), BLOCKS, GAP, WORKERS);
+    assert_eq!(mn.rollbacks, 0);
+    assert_eq!(sp.blocks.len(), BLOCKS);
+    // Annealing's stochastic basis may force a late rollback; even then
+    // the candidate-promotion path caps the damage near the natural run.
+    assert!(
+        sp.mean_latency() <= ns.mean_latency() * 1.05,
+        "annealing: {} vs {}",
+        sp.mean_latency(),
+        ns.mean_latency()
+    );
+}
+
+#[test]
+fn all_dispatch_policies_complete_every_app() {
+    for policy in [
+        DispatchPolicy::NonSpeculative,
+        DispatchPolicy::Conservative,
+        DispatchPolicy::Aggressive,
+        DispatchPolicy::Balanced,
+        DispatchPolicy::BalancedTaskCount,
+    ] {
+        let (f, _) = run_filter_sim(&FilterConfig { policy, ..Default::default() }, 24, GAP, 4);
+        assert_eq!(f.blocks.len(), 24, "{policy:?} filter");
+        let (k, _) = run_kmeans_sim(&KMeansConfig { policy, ..Default::default() }, 24, GAP, 4);
+        assert_eq!(k.blocks.len(), 24, "{policy:?} kmeans");
+        let (a, _) = run_anneal_sim(&AnnealConfig { policy, ..Default::default() }, 24, GAP, 4);
+        assert_eq!(a.blocks.len(), 24, "{policy:?} annealing");
+    }
+}
+
+#[test]
+fn committed_values_within_declared_tolerance() {
+    // Filter: L2 distance of committed coefficients to the converged ones.
+    let cfg = FilterConfig::default();
+    let (sp, _) = run_filter_sim(&cfg, 24, GAP, 4);
+    if sp.committed_version.is_some() {
+        let (ns, _) = run_filter_sim(
+            &FilterConfig { policy: DispatchPolicy::NonSpeculative, ..cfg.clone() },
+            24,
+            GAP,
+            4,
+        );
+        let num: f64 = sp
+            .coefficients
+            .iter()
+            .zip(&ns.coefficients)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = ns.coefficients.iter().map(|b| b * b).sum::<f64>().sqrt();
+        assert!(num / den <= cfg.tolerance.margin + 1e-9, "filter tolerance violated");
+    }
+
+    // Annealing: committed objective within tolerance of the final one.
+    let acfg = AnnealConfig::default();
+    let (asp, _) = run_anneal_sim(&acfg, 24, GAP, 4);
+    if asp.committed_version.is_some() {
+        let (ans, _) = run_anneal_sim(
+            &AnnealConfig { policy: DispatchPolicy::NonSpeculative, ..acfg.clone() },
+            24,
+            GAP,
+            4,
+        );
+        let rel = (asp.solution.cost - ans.solution.cost).max(0.0) / ans.solution.cost;
+        assert!(rel <= acfg.tolerance.margin + 1e-9, "annealing tolerance violated: {rel}");
+    }
+}
