@@ -1,34 +1,38 @@
 //! End-to-end figure-regeneration benchmarks: one representative run per
 //! paper experiment family, so regressions in pipeline performance (wall
 //! time of the harness itself) are tracked.
+//!
+//! Run with `cargo bench --bench figures`; numbers land in
+//! `results/figures_bench.csv`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tvs_bench::microbench::{bench_with, black_box, Measurement, Opts};
+use tvs_bench::results_dir;
 use tvs_iosim::Disk;
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::runner::run_huffman_sim;
 use tvs_sre::{cell_be, x86_smp, DispatchPolicy};
 use tvs_workloads::FileKind;
 
-fn bench_fig3_style(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_runs");
-    g.sample_size(10);
+fn main() {
+    let mut rows: Vec<Measurement> = Vec::new();
     let x86 = x86_smp(16);
     let cell = cell_be(16);
     for kind in FileKind::ALL {
         let data = tvs_workloads::generate(kind, 1 << 20, 2011);
-        g.bench_with_input(BenchmarkId::new("x86_balanced", kind.label()), &data, |b, data| {
-            let cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
-            b.iter(|| black_box(run_huffman_sim(data, &cfg, &x86, &Disk::default())))
-        });
+        let cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
+        rows.push(bench_with(
+            &format!("paper_runs/x86_balanced/{}", kind.label()),
+            Opts::heavy(),
+            || black_box(run_huffman_sim(&data, &cfg, &x86, &Disk::default())),
+        ));
     }
     let data = tvs_workloads::generate(FileKind::Text, 1 << 20, 2011);
-    g.bench_function("cell_balanced_txt", |b| {
-        let cfg = HuffmanConfig::disk_cell(DispatchPolicy::Balanced);
-        b.iter(|| black_box(run_huffman_sim(&data, &cfg, &cell, &Disk::default())))
-    });
-    g.finish();
+    let cfg = HuffmanConfig::disk_cell(DispatchPolicy::Balanced);
+    rows.push(bench_with(
+        "paper_runs/cell_balanced_txt",
+        Opts::heavy(),
+        || black_box(run_huffman_sim(&data, &cfg, &cell, &Disk::default())),
+    ));
+    tvs_bench::microbench::write_csv(&results_dir().join("figures_bench.csv"), &rows)
+        .expect("write csv");
 }
-
-criterion_group!(benches, bench_fig3_style);
-criterion_main!(benches);

@@ -1,72 +1,49 @@
-//! Criterion micro-benchmarks of the SRE runtime: scheduler throughput,
-//! queue behaviour under policies, version rollback cost, and end-to-end
-//! simulator overhead per task.
+//! Micro-benchmarks of the SRE runtime — scheduler throughput, version
+//! rollback cost, simulator overhead per task — plus the executor
+//! throughput matrix the work-stealing rebuild is judged by: tasks/sec
+//! for the sharded-lane executor versus the single-lock baseline across
+//! 1–16 workers, with short (near-empty) and long (~100 µs) task bodies.
+//!
+//! Run with `cargo bench --bench runtime_micro`; numbers land in
+//! `results/runtime_micro.csv` and `results/runtime_micro_throughput.csv`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tvs_bench::microbench::{bench, bench_with, black_box, write_csv, Opts};
+use tvs_bench::results_dir;
 use tvs_sre::exec::sim::{run as sim_run, SimConfig};
+use tvs_sre::exec::threaded::ThreadedConfig;
+use tvs_sre::exec::{baseline, threaded};
 use tvs_sre::task::{payload, TaskSpec};
-use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, Scheduler};
 use tvs_sre::workload::{Completion, InputBlock, SchedCtx, Workload};
+use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, Scheduler};
 
-fn bench_spawn_dispatch_complete(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler_cycle");
-    for policy in [DispatchPolicy::NonSpeculative, DispatchPolicy::Balanced] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(policy.label()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut s = Scheduler::new(policy);
-                    for i in 0..256u64 {
-                        if policy.speculates() && i % 2 == 0 {
-                            s.spawn(TaskSpec::speculative("s", 1, 0, 1, i, |_| payload(())));
-                        } else {
-                            s.spawn(TaskSpec::regular("r", 0, 0, i, |_| payload(())));
-                        }
-                    }
-                    let mut n = 0;
-                    while let Some(d) = s.dispatch() {
-                        s.charge(d.class, 10);
-                        s.complete(d.id);
-                        n += 1;
-                    }
-                    black_box(n)
-                })
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_rollback(c: &mut Criterion) {
-    // Cost of aborting a version with many ready tasks (the destroy
-    // propagation path).
-    let mut g = c.benchmark_group("rollback");
-    for n_tasks in [64usize, 512, 2048] {
-        g.bench_with_input(BenchmarkId::from_parameter(n_tasks), &n_tasks, |b, &n| {
-            b.iter(|| {
-                let mut s = Scheduler::new(DispatchPolicy::Aggressive);
-                for i in 0..n as u64 {
-                    s.spawn(TaskSpec::speculative("e", 1, 0, 1, i, |_| payload(())));
-                }
-                black_box(s.abort_version(1))
-            })
-        });
-    }
-    g.finish();
-}
-
-/// A trivial workload: one task per block, used to measure per-task
-/// simulator overhead.
+/// One task per input block; each body spins for `spin` wall time
+/// (zero = short body, dominated by runtime overhead).
 struct PerBlock {
     n: usize,
     seen: usize,
+    spin: Duration,
 }
 
 impl Workload for PerBlock {
     fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
-        ctx.spawn(TaskSpec::regular("w", 0, b.data.len(), b.index as u64, |_| payload(())));
+        let spin = self.spin;
+        ctx.spawn(TaskSpec::regular(
+            "w",
+            0,
+            b.data.len(),
+            b.index as u64,
+            move |_| {
+                if !spin.is_zero() {
+                    let t = Instant::now();
+                    while t.elapsed() < spin {
+                        std::hint::spin_loop();
+                    }
+                }
+                payload(())
+            },
+        ));
     }
     fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {
         self.seen += 1;
@@ -76,28 +53,212 @@ impl Workload for PerBlock {
     }
 }
 
-fn bench_sim_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_executor");
-    g.sample_size(20);
-    for n_tasks in [1024usize, 8192] {
-        g.bench_with_input(BenchmarkId::new("tasks", n_tasks), &n_tasks, |b, &n| {
-            let inputs: Vec<InputBlock> = (0..n)
-                .map(|i| InputBlock { index: i, arrival: i as u64, data: vec![0u8; 16].into() })
-                .collect();
-            let cfg = SimConfig {
-                platform: x86_smp(16),
-                policy: DispatchPolicy::NonSpeculative,
-                trace: false,
-            };
-            b.iter(|| {
-                let rep =
-                    sim_run(PerBlock { n, seen: 0 }, &cfg, &FixedCost(50), inputs.clone());
-                black_box(rep.metrics.makespan)
-            })
-        });
+fn bench_scheduler_cycle(rows: &mut Vec<tvs_bench::microbench::Measurement>) {
+    for policy in [DispatchPolicy::NonSpeculative, DispatchPolicy::Balanced] {
+        rows.push(bench(
+            &format!("scheduler_cycle/{}", policy.label()),
+            || {
+                let mut s = Scheduler::new(policy);
+                for i in 0..256u64 {
+                    if policy.speculates() && i % 2 == 0 {
+                        s.spawn(TaskSpec::speculative("s", 1, 0, 1, i, |_| payload(())));
+                    } else {
+                        s.spawn(TaskSpec::regular("r", 0, 0, i, |_| payload(())));
+                    }
+                }
+                let mut n = 0;
+                while let Some(d) = s.dispatch() {
+                    s.charge(d.class, 10);
+                    s.complete(d.id);
+                    n += 1;
+                }
+                black_box(n)
+            },
+        ));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_spawn_dispatch_complete, bench_rollback, bench_sim_executor);
-criterion_main!(benches);
+fn bench_rollback(rows: &mut Vec<tvs_bench::microbench::Measurement>) {
+    // Cost of aborting a version with many ready tasks (the destroy
+    // propagation path).
+    for n_tasks in [64usize, 512, 2048] {
+        rows.push(bench(&format!("rollback/{n_tasks}"), || {
+            let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+            for i in 0..n_tasks as u64 {
+                s.spawn(TaskSpec::speculative("e", 1, 0, 1, i, |_| payload(())));
+            }
+            black_box(s.abort_version(1))
+        }));
+    }
+}
+
+fn bench_sim_executor(rows: &mut Vec<tvs_bench::microbench::Measurement>) {
+    for n_tasks in [1024usize, 8192] {
+        let inputs: Vec<InputBlock> = (0..n_tasks)
+            .map(|i| InputBlock {
+                index: i,
+                arrival: i as u64,
+                data: vec![0u8; 16].into(),
+            })
+            .collect();
+        let cfg = SimConfig {
+            platform: x86_smp(16),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
+        rows.push(bench_with(
+            &format!("sim_executor/tasks/{n_tasks}"),
+            Opts::heavy(),
+            || {
+                let rep = sim_run(
+                    PerBlock {
+                        n: n_tasks,
+                        seen: 0,
+                        spin: Duration::ZERO,
+                    },
+                    &cfg,
+                    &FixedCost(50),
+                    inputs.clone(),
+                );
+                black_box(rep.metrics.makespan)
+            },
+        ));
+    }
+}
+
+/// Which real-thread executor a throughput cell exercises.
+#[derive(Clone, Copy, PartialEq)]
+enum Exec {
+    WorkStealing,
+    Baseline,
+}
+
+impl Exec {
+    fn label(self) -> &'static str {
+        match self {
+            Exec::WorkStealing => "work_stealing",
+            Exec::Baseline => "baseline",
+        }
+    }
+}
+
+/// Median wall-clock seconds over `reps` full runs of `n` tasks.
+fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -> f64 {
+    let cfg = ThreadedConfig {
+        workers,
+        policy: DispatchPolicy::NonSpeculative,
+    };
+    let mut secs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let inputs: Vec<(usize, Arc<[u8]>)> =
+                (0..n).map(|i| (i, Arc::from(vec![0u8; 16]))).collect();
+            let t = Instant::now();
+            let (w, m) = match exec {
+                Exec::WorkStealing => threaded::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
+                Exec::Baseline => baseline::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
+            };
+            let el = t.elapsed().as_secs_f64();
+            assert_eq!(w.seen, n);
+            assert_eq!(m.tasks_delivered as usize, n);
+            el
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    secs[secs.len() / 2]
+}
+
+struct Cell {
+    exec: Exec,
+    body: &'static str,
+    workers: usize,
+    tasks: usize,
+    median_s: f64,
+}
+
+fn bench_executor_throughput() -> Vec<Cell> {
+    const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+    const N_SHORT: usize = 1000;
+    const N_LONG: usize = 64;
+    const REPS: usize = 5;
+    let mut cells = Vec::new();
+    for (body, n, spin) in [
+        ("short", N_SHORT, Duration::ZERO),
+        ("long", N_LONG, Duration::from_micros(100)),
+    ] {
+        for workers in WORKER_COUNTS {
+            for exec in [Exec::WorkStealing, Exec::Baseline] {
+                let median_s = run_once(exec, workers, n, spin, REPS);
+                let cell = Cell {
+                    exec,
+                    body,
+                    workers,
+                    tasks: n,
+                    median_s,
+                };
+                println!(
+                    "{:<14} {:<6} workers={:<3} {:>9.3} ms  {:>12.0} tasks/s",
+                    cell.exec.label(),
+                    body,
+                    workers,
+                    median_s * 1e3,
+                    n as f64 / median_s,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+fn throughput_csv(cells: &[Cell], cores: usize) -> String {
+    let mut out = String::from("executor,body,workers,cores,tasks,median_ms,tasks_per_sec\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.3},{:.0}\n",
+            c.exec.label(),
+            c.body,
+            c.workers,
+            cores,
+            c.tasks,
+            c.median_s * 1e3,
+            c.tasks as f64 / c.median_s,
+        ));
+    }
+    out
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut rows = Vec::new();
+    println!("== scheduler_cycle ==");
+    bench_scheduler_cycle(&mut rows);
+    println!("== rollback ==");
+    bench_rollback(&mut rows);
+    println!("== sim_executor ==");
+    bench_sim_executor(&mut rows);
+    write_csv(&dir.join("runtime_micro.csv"), &rows).expect("write csv");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("== executor throughput (tasks/sec, median of 5 runs, {cores} cores) ==");
+    let cells = bench_executor_throughput();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("runtime_micro_throughput.csv");
+    std::fs::write(&path, throughput_csv(&cells, cores)).expect("write csv");
+    println!("  -> {}", path.display());
+
+    // The headline number: sharded lanes vs the global lock at 8 workers
+    // on short tasks, where dispatch overhead dominates. Meaningful only
+    // with real hardware parallelism — on a single core the baseline
+    // degenerates into a serial loop with an uncontended lock.
+    let pick = |exec: Exec| {
+        cells
+            .iter()
+            .find(|c| c.exec == exec && c.body == "short" && c.workers == 8)
+            .map(|c| c.tasks as f64 / c.median_s)
+            .expect("cell present")
+    };
+    let speedup = pick(Exec::WorkStealing) / pick(Exec::Baseline);
+    println!("work-stealing vs baseline, short tasks @ 8 workers ({cores} cores): {speedup:.2}x");
+}

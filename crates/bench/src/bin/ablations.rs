@@ -16,8 +16,8 @@
 use tvs_iosim::Disk;
 use tvs_pipelines::config::{HuffmanConfig, PredictorKind};
 use tvs_pipelines::cost::HuffmanCost;
-use tvs_pipelines::runner::{run_huffman_sim, schedule_blocks};
 use tvs_pipelines::huffman::HuffmanWorkload;
+use tvs_pipelines::runner::{run_huffman_sim, schedule_blocks};
 use tvs_sre::exec::sim::{run as sim_run, SimConfig};
 use tvs_sre::{cell_be, x86_smp, CostModel, DispatchPolicy, Time};
 use tvs_workloads::FileKind;
@@ -94,7 +94,11 @@ fn ablation_check_cost() {
         cfg.schedule = tvs_core::SpeculationSchedule::with_step(1);
         let (blocks, times) = schedule_blocks(&data, cfg.block_bytes, &Disk::default());
         let wl = HuffmanWorkload::new(cfg.clone(), data.len());
-        let sim = SimConfig { platform: platform.clone(), policy: cfg.policy, trace: false };
+        let sim = SimConfig {
+            platform: platform.clone(),
+            policy: cfg.policy,
+            trace: false,
+        };
         let rep = sim_run(wl, &sim, &ScaledCheckCost(scale), blocks);
         let out = tvs_pipelines::RunOutcome {
             result: rep.workload.result(),
@@ -115,10 +119,19 @@ fn ablation_predictor_kind() {
     // where add-one smoothing injects 256/4352 = 6 % of phantom mass.
     let platform = x86_smp(16);
     for (kind_label, data) in [
-        ("TXT step0", tvs_workloads::generate_paper_sized(FileKind::Text, 2011)),
-        ("BMP step0", tvs_workloads::generate_paper_sized(FileKind::Bmp, 2011)),
+        (
+            "TXT step0",
+            tvs_workloads::generate_paper_sized(FileKind::Text, 2011),
+        ),
+        (
+            "BMP step0",
+            tvs_workloads::generate_paper_sized(FileKind::Bmp, 2011),
+        ),
     ] {
-        for kind in [PredictorKind::CoveringEscape, PredictorKind::LaplaceSmoothing] {
+        for kind in [
+            PredictorKind::CoveringEscape,
+            PredictorKind::LaplaceSmoothing,
+        ] {
             let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
             cfg.predictor = kind;
             cfg.schedule = tvs_core::SpeculationSchedule::with_step(0);

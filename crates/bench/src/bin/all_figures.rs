@@ -1,7 +1,10 @@
 //! Regenerates every figure of the paper's evaluation section.
 fn main() {
     for (name, f) in [
-        ("fig3", tvs_bench::fig3 as fn() -> Vec<tvs_pipelines::report::Figure>),
+        (
+            "fig3",
+            tvs_bench::fig3 as fn() -> Vec<tvs_pipelines::report::Figure>,
+        ),
         ("fig4", tvs_bench::fig4),
         ("fig5", tvs_bench::fig5),
         ("fig6", tvs_bench::fig6),

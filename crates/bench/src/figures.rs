@@ -4,11 +4,11 @@
 //! The per-experiment index (parameters, modules, expectations) lives in
 //! DESIGN.md; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
 
+use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
 use tvs_iosim::{Disk, Socket};
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::report::{Figure, Series};
 use tvs_pipelines::runner::{run_huffman_sim, RunOutcome};
-use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
 use tvs_sre::{cell_be, x86_smp, DispatchPolicy, Platform};
 use tvs_workloads::FileKind;
 
@@ -71,8 +71,13 @@ fn policy_figures(
     base: fn(DispatchPolicy) -> HuffmanConfig,
 ) -> Vec<Figure> {
     let mut figs = Vec::new();
-    let mut runtime_series: Vec<Series> =
-        DispatchPolicy::ALL.iter().map(|p| Series { label: p.label().into(), points: vec![] }).collect();
+    let mut runtime_series: Vec<Series> = DispatchPolicy::ALL
+        .iter()
+        .map(|p| Series {
+            label: p.label().into(),
+            points: vec![],
+        })
+        .collect();
     for (fi, kind) in FileKind::ALL.iter().enumerate() {
         let data = input_for(*kind);
         let mut series = Vec::new();
@@ -80,11 +85,16 @@ fn policy_figures(
             let cfg = policy_cfg(base, *policy);
             let out = run_huffman_sim(&data, &cfg, platform, &disk());
             series.push(latency_series(policy.label(), &out));
-            runtime_series[pi].points.push((fi as f64, out.completion_time() as f64));
+            runtime_series[pi]
+                .points
+                .push((fi as f64, out.completion_time() as f64));
         }
         figs.push(Figure {
             id: format!("{id}{}", [b'a', b'b', b'c'][fi] as char),
-            title: format!("Latency per element, {} file, {plat_name}+disk", kind.label()),
+            title: format!(
+                "Latency per element, {} file, {plat_name}+disk",
+                kind.label()
+            ),
             x_label: "element".into(),
             y_label: "latency_us".into(),
             series,
@@ -108,8 +118,11 @@ pub fn fig5() -> Vec<Figure> {
     let mut figs = Vec::new();
     for (fi, kind) in FileKind::ALL.iter().enumerate() {
         let data = input_for(*kind);
-        let steps: &[u64] =
-            if *kind == FileKind::Bmp { &[0, 1, 2, 4, 8, 16] } else { &[0, 1, 2, 4, 8, 16, 32] };
+        let steps: &[u64] = if *kind == FileKind::Bmp {
+            &[0, 1, 2, 4, 8, 16]
+        } else {
+            &[0, 1, 2, 4, 8, 16, 32]
+        };
         let mut series = Vec::new();
         for policy in DispatchPolicy::ALL {
             let mut pts = Vec::new();
@@ -128,7 +141,10 @@ pub fn fig5() -> Vec<Figure> {
                     pts.push((i as f64, out.mean_latency()));
                 }
             }
-            series.push(Series { label: policy.label().into(), points: pts });
+            series.push(Series {
+                label: policy.label().into(),
+                points: pts,
+            });
         }
         figs.push(Figure {
             id: format!("fig5{}", [b'a', b'b', b'c'][fi] as char),
@@ -156,8 +172,13 @@ pub fn fig6() -> Vec<Figure> {
         ("full", Some(VerificationPolicy::Full)),
     ];
     let mut figs = Vec::new();
-    let mut runtime_series: Vec<Series> =
-        variants.iter().map(|(l, _)| Series { label: (*l).into(), points: vec![] }).collect();
+    let mut runtime_series: Vec<Series> = variants
+        .iter()
+        .map(|(l, _)| Series {
+            label: (*l).into(),
+            points: vec![],
+        })
+        .collect();
     for (fi, kind) in FileKind::ALL.iter().enumerate() {
         let data = input_for(*kind);
         let mut series = Vec::new();
@@ -177,11 +198,16 @@ pub fn fig6() -> Vec<Figure> {
             };
             let out = run_huffman_sim(&data, &cfg, &platform, &disk());
             series.push(latency_series(label, &out));
-            runtime_series[vi].points.push((fi as f64, out.completion_time() as f64));
+            runtime_series[vi]
+                .points
+                .push((fi as f64, out.completion_time() as f64));
         }
         figs.push(Figure {
             id: format!("fig6{}", [b'a', b'b', b'c'][fi] as char),
-            title: format!("Latency per element vs verification policy, {} file, x86+disk", kind.label()),
+            title: format!(
+                "Latency per element vs verification policy, {} file, x86+disk",
+                kind.label()
+            ),
             x_label: "element".into(),
             y_label: "latency_us".into(),
             series,
@@ -206,13 +232,13 @@ pub fn fig7() -> Vec<Figure> {
         let data = input_for(*kind);
         let cfg = HuffmanConfig::socket_x86(DispatchPolicy::Balanced);
         let out = run_huffman_sim(&data, &cfg, &platform, &socket());
-        let arrivals = Series::from_values(
-            "arrival_time",
-            out.arrivals.iter().map(|&a| a as f64),
-        );
+        let arrivals = Series::from_values("arrival_time", out.arrivals.iter().map(|&a| a as f64));
         figs.push(Figure {
             id: format!("fig7{}", [b'a', b'b'][fi] as char),
-            title: format!("Socket I/O: arrival time and latency, {} file", kind.label()),
+            title: format!(
+                "Socket I/O: arrival time and latency, {} file",
+                kind.label()
+            ),
             x_label: "element".into(),
             y_label: "time_or_latency_us".into(),
             series: vec![arrivals, latency_series("latency", &out)],
@@ -260,7 +286,10 @@ pub fn fig9() -> Vec<Figure> {
         }
         figs.push(Figure {
             id: format!("fig9{}", [b'a', b'b'][fi] as char),
-            title: format!("Latency per element vs tolerance, {} file, x86+disk", kind.label()),
+            title: format!(
+                "Latency per element vs tolerance, {} file, x86+disk",
+                kind.label()
+            ),
             x_label: "element".into(),
             y_label: "latency_us".into(),
             series,

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod microbench;
 pub mod output;
 
 pub use figures::*;

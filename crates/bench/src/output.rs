@@ -3,12 +3,22 @@
 use std::path::{Path, PathBuf};
 use tvs_pipelines::report::Figure;
 
-/// Directory figure CSVs are written to (`results/` under the workspace,
-/// overridable with `TVS_RESULTS_DIR`).
+/// Directory figure CSVs are written to (`results/` under the workspace
+/// root, overridable with `TVS_RESULTS_DIR`).
+///
+/// Anchored at the workspace root rather than the current directory so
+/// `cargo bench` (which runs with the *package* directory as cwd) and the
+/// figure binaries (run from the root) agree on where numbers land.
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("TVS_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    if let Some(dir) = std::env::var_os("TVS_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/bench -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .join("results")
 }
 
 /// Write each figure's CSV under `dir` and print its summary to stdout.

@@ -1,0 +1,95 @@
+//! Scaling assertion for the work-stealing executor: at 8 workers on
+//! short tasks — where dispatch overhead, not task work, dominates — the
+//! sharded-lane runtime must not be slower than the single-lock baseline,
+//! and under `TVS_SCALING_STRICT=1` (the CI contention job, multi-core
+//! runners) it must hit the ≥2× speedup the rebuild was sized for.
+//!
+//! The lenient default adapts to the hardware: with real parallelism the
+//! work-stealing runtime must at least match the baseline (0.8× floor for
+//! load noise); on a single execution unit the comparison degenerates —
+//! the baseline's one runnable worker becomes an optimal serial loop with
+//! an uncontended lock, while sharded dispatch still pays its channel hop
+//! and lane bookkeeping — so the test only guards against pathological
+//! regressions there (0.4× floor).
+
+use std::sync::Arc;
+use std::time::Instant;
+use tvs_sre::exec::threaded::ThreadedConfig;
+use tvs_sre::exec::{baseline, threaded};
+use tvs_sre::task::{payload, TaskSpec};
+use tvs_sre::workload::{Completion, InputBlock, SchedCtx, Workload};
+use tvs_sre::DispatchPolicy;
+
+struct PerBlock {
+    n: usize,
+    seen: usize,
+}
+
+impl Workload for PerBlock {
+    fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
+        ctx.spawn(TaskSpec::regular(
+            "w",
+            0,
+            b.data.len(),
+            b.index as u64,
+            |_| payload(()),
+        ));
+    }
+    fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {
+        self.seen += 1;
+    }
+    fn is_finished(&self) -> bool {
+        self.seen == self.n
+    }
+}
+
+fn median_secs(reps: usize, mut run: impl FnMut() -> f64) -> f64 {
+    let mut secs: Vec<f64> = (0..reps).map(|_| run()).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    secs[secs.len() / 2]
+}
+
+#[test]
+fn work_stealing_beats_single_lock_on_short_tasks() {
+    const N: usize = 2000;
+    const WORKERS: usize = 8;
+    let cfg = ThreadedConfig {
+        workers: WORKERS,
+        policy: DispatchPolicy::NonSpeculative,
+    };
+    let inputs =
+        || -> Vec<(usize, Arc<[u8]>)> { (0..N).map(|i| (i, vec![0u8; 16].into())).collect() };
+
+    let ws = median_secs(5, || {
+        let t = Instant::now();
+        let (w, _) = threaded::run(PerBlock { n: N, seen: 0 }, &cfg, inputs());
+        assert_eq!(w.seen, N);
+        t.elapsed().as_secs_f64()
+    });
+    let base = median_secs(5, || {
+        let t = Instant::now();
+        let (w, _) = baseline::run(PerBlock { n: N, seen: 0 }, &cfg, inputs());
+        assert_eq!(w.seen, N);
+        t.elapsed().as_secs_f64()
+    });
+
+    let speedup = base / ws;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "short tasks @ {WORKERS} workers ({cores} cores): \
+         ws {ws:.4}s, baseline {base:.4}s ({speedup:.2}x)"
+    );
+    let floor = if std::env::var_os("TVS_SCALING_STRICT").is_some_and(|v| v == "1") {
+        2.0
+    } else if cores >= 2 {
+        0.8
+    } else {
+        0.4
+    };
+    assert!(
+        speedup >= floor,
+        "work-stealing must be >= {floor}x the single-lock baseline, got {speedup:.2}x"
+    );
+}

@@ -23,7 +23,11 @@ pub struct WaitBuffer<V> {
 
 impl<V> Default for WaitBuffer<V> {
     fn default() -> Self {
-        WaitBuffer { by_version: HashMap::new(), buffered: 0, discarded: 0 }
+        WaitBuffer {
+            by_version: HashMap::new(),
+            buffered: 0,
+            discarded: 0,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ impl<V> WaitBuffer<V> {
     /// earlier one and returns the old value.
     pub fn push(&mut self, version: SpecVersion, slot: u64, value: V) -> Option<V> {
         self.buffered += 1;
-        self.by_version.entry(version).or_default().insert(slot, value)
+        self.by_version
+            .entry(version)
+            .or_default()
+            .insert(slot, value)
     }
 
     /// Release all outputs of a committed version, ordered by slot.
@@ -52,7 +59,11 @@ impl<V> WaitBuffer<V> {
     /// Reclaim (drop) all outputs of an aborted version; returns how many
     /// were discarded.
     pub fn abort(&mut self, version: SpecVersion) -> usize {
-        let n = self.by_version.remove(&version).map(|m| m.len()).unwrap_or(0);
+        let n = self
+            .by_version
+            .remove(&version)
+            .map(|m| m.len())
+            .unwrap_or(0);
         self.discarded += n as u64;
         n
     }

@@ -160,7 +160,10 @@ mod tests {
 
     #[test]
     fn baseline_is_every_8th() {
-        assert_eq!(VerificationPolicy::baseline(), VerificationPolicy::EveryKth(8));
+        assert_eq!(
+            VerificationPolicy::baseline(),
+            VerificationPolicy::EveryKth(8)
+        );
         assert_eq!(VerificationPolicy::baseline().label(), "baseline");
     }
 }

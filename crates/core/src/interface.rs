@@ -126,7 +126,9 @@ impl SpeculationBuilder {
             edge: self.edge.ok_or(MissingDetail("what (edge)"))?,
             source: self.source.ok_or(MissingDetail("how (source)"))?,
             barrier: self.barrier.ok_or(MissingDetail("where (barrier)"))?,
-            tolerance: self.tolerance.ok_or(MissingDetail("how to validate (tolerance)"))?,
+            tolerance: self
+                .tolerance
+                .ok_or(MissingDetail("how to validate (tolerance)"))?,
             schedule: self.schedule,
             verification: self.verification,
         })
@@ -160,8 +162,11 @@ mod tests {
         assert_eq!(err, MissingDetail("what (edge)"));
         let err = SpeculationBuilder::new().on_edge("e").build().unwrap_err();
         assert_eq!(err, MissingDetail("how (source)"));
-        let err =
-            SpeculationBuilder::new().on_edge("e").from_source("s").build().unwrap_err();
+        let err = SpeculationBuilder::new()
+            .on_edge("e")
+            .from_source("s")
+            .build()
+            .unwrap_err();
         assert_eq!(err, MissingDetail("where (barrier)"));
         let err = SpeculationBuilder::new()
             .on_edge("e")

@@ -90,7 +90,11 @@ enum Phase<T> {
     /// Predictor task outstanding.
     Pending { version: SpecVersion },
     /// Speculative value installed and driving speculative tasks.
-    Active { version: SpecVersion, value: T, installed_at: u64 },
+    Active {
+        version: SpecVersion,
+        value: T,
+        installed_at: u64,
+    },
     /// Final check outstanding.
     FinalChecking { version: SpecVersion, value: T },
     /// Committed or recomputing; no further speculation.
@@ -207,7 +211,11 @@ impl<T> SpeculationManager<T> {
                     out.push(Action::StartPrediction { version });
                 }
             }
-            Phase::Active { version, installed_at, .. } => {
+            Phase::Active {
+                version,
+                installed_at,
+                ..
+            } => {
                 if self.verify.should_check(basis, *installed_at) {
                     self.stats.checks += 1;
                     out.push(Action::SpawnCheck { version: *version });
@@ -228,7 +236,11 @@ impl<T> SpeculationManager<T> {
                     return false;
                 }
                 let installed_at = self.tracker.basis_of(version).expect("allocated");
-                self.phase = Phase::Active { version, value, installed_at };
+                self.phase = Phase::Active {
+                    version,
+                    value,
+                    installed_at,
+                };
                 true
             }
             _ => {
@@ -248,7 +260,8 @@ impl<T> SpeculationManager<T> {
         candidate: Option<(T, u64)>,
     ) -> Vec<Action> {
         let mut out = Vec::new();
-        let is_current_active = matches!(&self.phase, Phase::Active { version: v, .. } if *v == version);
+        let is_current_active =
+            matches!(&self.phase, Phase::Active { version: v, .. } if *v == version);
         if !is_current_active {
             self.stats.stale_results += 1;
             return out;
@@ -264,7 +277,11 @@ impl<T> SpeculationManager<T> {
                 let v2 = self.tracker.allocate(candidate_basis);
                 assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
                 self.stats.predictions += 1;
-                self.phase = Phase::Active { version: v2, value, installed_at: candidate_basis };
+                self.phase = Phase::Active {
+                    version: v2,
+                    value,
+                    installed_at: candidate_basis,
+                };
                 out.push(Action::PromoteCandidate { version: v2 });
             }
             None => {
@@ -301,13 +318,19 @@ impl<T> SpeculationManager<T> {
     }
 
     /// The final check reported: commit or recompute.
-    pub fn on_final_check_result(&mut self, version: SpecVersion, result: CheckResult) -> Vec<Action> {
+    pub fn on_final_check_result(
+        &mut self,
+        version: SpecVersion,
+        result: CheckResult,
+    ) -> Vec<Action> {
         let mut out = Vec::new();
         match std::mem::replace(&mut self.phase, Phase::Done { committed: None }) {
             Phase::FinalChecking { version: v, .. } if v == version => {
                 if result.valid {
                     self.tracker.commit(version);
-                    self.phase = Phase::Done { committed: Some(version) };
+                    self.phase = Phase::Done {
+                        committed: Some(version),
+                    };
                     out.push(Action::Commit { version });
                 } else {
                     self.stats.checks_failed += 1;
@@ -343,7 +366,9 @@ mod tests {
         assert_eq!(m.active(), Some((1, &"tree-v1")));
         // Basis 2: check due (every 2nd).
         assert_eq!(m.on_basis(2), vec![Action::SpawnCheck { version: 1 }]);
-        assert!(m.on_check_result(1, CheckResult::pass(0.001), None).is_empty());
+        assert!(m
+            .on_check_result(1, CheckResult::pass(0.001), None)
+            .is_empty());
         // Basis 3: no check (odd).
         assert!(m.on_basis(3).is_empty());
         // Final: decisive check, then commit.
@@ -369,7 +394,10 @@ mod tests {
         let acts = m.on_check_result(1, CheckResult::fail(0.09), Some(("v2", 2)));
         assert_eq!(
             acts,
-            vec![Action::Rollback { version: 1 }, Action::PromoteCandidate { version: 2 }]
+            vec![
+                Action::Rollback { version: 1 },
+                Action::PromoteCandidate { version: 2 }
+            ]
         );
         assert_eq!(m.active(), Some((2, &"v2")));
         assert_eq!(m.version_state(1), Some(VersionState::Aborted));
@@ -407,7 +435,10 @@ mod tests {
         }
         assert_eq!(m.on_final(), vec![Action::SpawnFinalCheck { version: 1 }]);
         let acts = m.on_final_check_result(1, CheckResult::fail(0.3));
-        assert_eq!(acts, vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]);
+        assert_eq!(
+            acts,
+            vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]
+        );
         assert_eq!(m.committed(), None);
         assert!(m.is_done());
     }
@@ -417,7 +448,10 @@ mod tests {
         let mut m = mgr(1, VerificationPolicy::baseline());
         m.on_basis(1);
         let acts = m.on_final();
-        assert_eq!(acts, vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]);
+        assert_eq!(
+            acts,
+            vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]
+        );
         // The late prediction is dropped.
         assert!(!m.install_prediction(1, "late"));
         assert_eq!(m.stats().stale_results, 1);

@@ -34,7 +34,11 @@ pub struct UndoLog<E: Undo> {
 
 impl<E: Undo> Default for UndoLog<E> {
     fn default() -> Self {
-        UndoLog { journal: HashMap::new(), committed: 0, undone: 0 }
+        UndoLog {
+            journal: HashMap::new(),
+            committed: 0,
+            undone: 0,
+        }
     }
 }
 
@@ -108,7 +112,10 @@ impl<T: Clone> JournaledCell<T> {
 
     /// Non-speculative write: only legal with no speculation outstanding.
     pub fn set(&mut self, value: T) {
-        assert!(self.saved.is_none(), "non-speculative write during speculation");
+        assert!(
+            self.saved.is_none(),
+            "non-speculative write during speculation"
+        );
         self.value = value;
     }
 
@@ -262,14 +269,12 @@ mod tests {
 
         // Shared undo journal driven by the manager's rollback hook — the
         // paper's "user-defined rollback routines" wired end to end.
-        let log: Arc<Mutex<UndoLog<Box<dyn FnOnce() + Send>>>> =
-            Arc::new(Mutex::new(UndoLog::new()));
+        type SharedLog = Arc<Mutex<UndoLog<Box<dyn FnOnce() + Send>>>>;
+        let log: SharedLog = Arc::new(Mutex::new(UndoLog::new()));
         let state = Arc::new(Mutex::new(0i64));
 
-        let mut mgr: SpeculationManager<i64> = SpeculationManager::new(
-            SpeculationSchedule::with_step(1),
-            VerificationPolicy::Full,
-        );
+        let mut mgr: SpeculationManager<i64> =
+            SpeculationManager::new(SpeculationSchedule::with_step(1), VerificationPolicy::Full);
         let log2 = Arc::clone(&log);
         mgr.set_rollback_hook(move |v| {
             log2.lock().unwrap().abort(v);
@@ -283,14 +288,21 @@ mod tests {
             let old = *st;
             *st = 42;
             let state2 = Arc::clone(&state);
-            log.lock().unwrap().record(1, Box::new(move || {
-                *state2.lock().unwrap() = old;
-            }));
+            log.lock().unwrap().record(
+                1,
+                Box::new(move || {
+                    *state2.lock().unwrap() = old;
+                }),
+            );
         }
         assert_eq!(*state.lock().unwrap(), 42);
         // The check fails: the hook must restore the state.
         mgr.on_basis(2);
         mgr.on_check_result(1, CheckResult::fail(9.0), None);
-        assert_eq!(*state.lock().unwrap(), 0, "rollback hook reversed the effect");
+        assert_eq!(
+            *state.lock().unwrap(),
+            0,
+            "rollback hook reversed the effect"
+        );
     }
 }

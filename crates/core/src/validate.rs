@@ -23,7 +23,10 @@ impl CheckResult {
 
     /// A failing result with the given measured delta.
     pub fn fail(delta: f64) -> Self {
-        CheckResult { valid: false, delta }
+        CheckResult {
+            valid: false,
+            delta,
+        }
     }
 }
 
@@ -46,12 +49,17 @@ impl Default for Tolerance {
 impl Tolerance {
     /// A tolerance of `percent` per cent.
     pub fn percent(percent: f64) -> Self {
-        Tolerance { margin: percent / 100.0 }
+        Tolerance {
+            margin: percent / 100.0,
+        }
     }
 
     /// Judge a measured relative error.
     pub fn judge(&self, delta: f64) -> CheckResult {
-        CheckResult { valid: delta <= self.margin, delta }
+        CheckResult {
+            valid: delta <= self.margin,
+            delta,
+        }
     }
 }
 
@@ -171,7 +179,10 @@ mod tests {
     fn fn_validator_delegates() {
         let v = FnValidator::new(|a: &u32, b: &u32| {
             let delta = (*a as f64 - *b as f64).abs();
-            CheckResult { valid: a == b, delta }
+            CheckResult {
+                valid: a == b,
+                delta,
+            }
         });
         assert!(v.check(&3, &3).valid);
         let r = v.check(&3, &5);

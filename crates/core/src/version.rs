@@ -5,8 +5,8 @@
 //! that version (the SRE deletes/flags them wholesale on rollback), and the
 //! wait buffer partitions speculative outputs by it.
 
-use tvs_sre::SpecVersion;
 use std::collections::HashMap;
+use tvs_sre::SpecVersion;
 
 /// Lifecycle state of one speculation version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,11 @@ impl VersionTracker {
     /// An empty tracker; versions start at 1 (0 is never issued, so it can
     /// serve as a sentinel in application code).
     pub fn new() -> Self {
-        VersionTracker { next: 1, states: HashMap::new(), basis: HashMap::new() }
+        VersionTracker {
+            next: 1,
+            states: HashMap::new(),
+            basis: HashMap::new(),
+        }
     }
 
     /// Allocate a fresh `Pending` version, recording the basis event count

@@ -1,11 +1,11 @@
 //! State-machine fuzz of [`SpeculationManager`]: drive it with arbitrary
 //! (but causally plausible) event sequences and check global invariants.
+//! Hand-rolled seeded loops (`tvs_rng::cases`) stand in for proptest in the
+//! offline build; per-case seeds make failures reproducible.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
-use tvs_core::{
-    Action, CheckResult, SpeculationManager, SpeculationSchedule, VerificationPolicy,
-};
+use tvs_core::{Action, CheckResult, SpeculationManager, SpeculationSchedule, VerificationPolicy};
+use tvs_rng::{cases, SmallRng};
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -14,40 +14,49 @@ enum Ev {
     Install,
     /// Answer one outstanding check with the given verdict and whether a
     /// candidate accompanies it.
-    CheckResult { valid: bool, with_candidate: bool },
+    CheckResult {
+        valid: bool,
+        with_candidate: bool,
+    },
     /// Declare the final value (at most once, ends the event stream).
-    Final { valid: bool },
+    Final {
+        valid: bool,
+    },
 }
 
-fn ev_strategy() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        3 => Just(Ev::Basis),
-        2 => Just(Ev::Install),
-        2 => (any::<bool>(), any::<bool>())
-            .prop_map(|(valid, with_candidate)| Ev::CheckResult { valid, with_candidate }),
-        1 => any::<bool>().prop_map(|valid| Ev::Final { valid }),
-    ]
+/// Weighted event draw matching the original proptest strategy
+/// (Basis 3 : Install 2 : CheckResult 2 : Final 1).
+fn draw_ev(rng: &mut SmallRng) -> Ev {
+    match rng.random_range(0..8u8) {
+        0..=2 => Ev::Basis,
+        3..=4 => Ev::Install,
+        5..=6 => Ev::CheckResult {
+            valid: rng.random(),
+            with_candidate: rng.random(),
+        },
+        _ => Ev::Final {
+            valid: rng.random(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn prop_manager_invariants(
-        step in 0u64..4,
-        verify_ix in 0usize..3,
-        events in proptest::collection::vec(ev_strategy(), 1..60),
-    ) {
+#[test]
+fn prop_manager_invariants() {
+    cases(0xFA22, 256, |rng, case| {
+        let step = rng.random_range(0..4u64);
         let verify = [
             VerificationPolicy::EveryKth(2),
             VerificationPolicy::Optimistic,
             VerificationPolicy::Full,
-        ][verify_ix];
+        ][rng.random_range(0..3usize)];
+        let n_events = rng.random_range(1..60usize);
+        let events: Vec<Ev> = (0..n_events).map(|_| draw_ev(rng)).collect();
+
         let mut mgr: SpeculationManager<u64> =
             SpeculationManager::new(SpeculationSchedule::with_step(step), verify);
 
         let mut basis = 0u64;
-        let mut pending: Option<u32> = None;           // outstanding prediction
+        let mut pending: Option<u32> = None; // outstanding prediction
         let mut outstanding_checks: Vec<u32> = Vec::new();
         let mut outstanding_final: Option<u32> = None;
         let mut started: HashSet<u32> = HashSet::new();
@@ -56,14 +65,17 @@ proptest! {
         let mut recompute = false;
         let mut finalised = false;
 
-        let absorb = |actions: Vec<Action>,
-                          pending: &mut Option<u32>,
-                          outstanding_checks: &mut Vec<u32>,
-                          outstanding_final: &mut Option<u32>,
-                          started: &mut HashSet<u32>,
-                          rolled_back: &mut HashSet<u32>,
-                          committed: &mut Option<u32>,
-                          recompute: &mut bool| {
+        #[allow(clippy::too_many_arguments)]
+        fn absorb(
+            actions: Vec<Action>,
+            pending: &mut Option<u32>,
+            outstanding_checks: &mut Vec<u32>,
+            outstanding_final: &mut Option<u32>,
+            started: &mut HashSet<u32>,
+            rolled_back: &mut HashSet<u32>,
+            committed: &mut Option<u32>,
+            recompute: &mut bool,
+        ) {
             for a in actions {
                 match a {
                     Action::StartPrediction { version } => {
@@ -90,7 +102,10 @@ proptest! {
                     }
                     Action::Commit { version } => {
                         assert!(committed.is_none(), "double commit");
-                        assert!(!rolled_back.contains(&version), "committed an aborted version");
+                        assert!(
+                            !rolled_back.contains(&version),
+                            "committed an aborted version"
+                        );
                         *committed = Some(version);
                     }
                     Action::RecomputeNaturally => {
@@ -99,7 +114,7 @@ proptest! {
                     }
                 }
             }
-        };
+        }
 
         for ev in events {
             if finalised && !matches!(ev, Ev::CheckResult { .. }) {
@@ -111,8 +126,16 @@ proptest! {
                 Ev::Basis => {
                     basis += 1;
                     let acts = mgr.on_basis(basis);
-                    absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
-                           &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                    absorb(
+                        acts,
+                        &mut pending,
+                        &mut outstanding_checks,
+                        &mut outstanding_final,
+                        &mut started,
+                        &mut rolled_back,
+                        &mut committed,
+                        &mut recompute,
+                    );
                 }
                 Ev::Install => {
                     if let Some(v) = pending.take() {
@@ -121,18 +144,32 @@ proptest! {
                         // on_final in the meantime; both outcomes are legal,
                         // but acceptance implies it was not rolled back.
                         if accepted {
-                            prop_assert!(!rolled_back.contains(&v));
+                            assert!(!rolled_back.contains(&v), "case {case}");
                         }
                     }
                 }
-                Ev::CheckResult { valid, with_candidate } => {
+                Ev::CheckResult {
+                    valid,
+                    with_candidate,
+                } => {
                     if let Some(v) = outstanding_checks.pop() {
-                        let result =
-                            if valid { CheckResult::pass(0.0) } else { CheckResult::fail(1.0) };
+                        let result = if valid {
+                            CheckResult::pass(0.0)
+                        } else {
+                            CheckResult::fail(1.0)
+                        };
                         let candidate = with_candidate.then(|| (basis + 100, basis));
                         let acts = mgr.on_check_result(v, result, candidate);
-                        absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
-                               &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                        absorb(
+                            acts,
+                            &mut pending,
+                            &mut outstanding_checks,
+                            &mut outstanding_final,
+                            &mut started,
+                            &mut rolled_back,
+                            &mut committed,
+                            &mut recompute,
+                        );
                     }
                 }
                 Ev::Final { valid } => {
@@ -141,31 +178,53 @@ proptest! {
                     }
                     finalised = true;
                     let acts = mgr.on_final();
-                    absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
-                           &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                    absorb(
+                        acts,
+                        &mut pending,
+                        &mut outstanding_checks,
+                        &mut outstanding_final,
+                        &mut started,
+                        &mut rolled_back,
+                        &mut committed,
+                        &mut recompute,
+                    );
                     if let Some(v) = outstanding_final.take() {
-                        let result =
-                            if valid { CheckResult::pass(0.0) } else { CheckResult::fail(1.0) };
+                        let result = if valid {
+                            CheckResult::pass(0.0)
+                        } else {
+                            CheckResult::fail(1.0)
+                        };
                         let acts = mgr.on_final_check_result(v, result);
-                        absorb(acts, &mut pending, &mut outstanding_checks, &mut outstanding_final,
-                               &mut started, &mut rolled_back, &mut committed, &mut recompute);
+                        absorb(
+                            acts,
+                            &mut pending,
+                            &mut outstanding_checks,
+                            &mut outstanding_final,
+                            &mut started,
+                            &mut rolled_back,
+                            &mut committed,
+                            &mut recompute,
+                        );
                     }
                 }
             }
         }
 
         // Terminal coherence.
-        prop_assert_eq!(mgr.committed(), committed);
+        assert_eq!(mgr.committed(), committed, "case {case}");
         if finalised {
-            prop_assert!(mgr.is_done());
+            assert!(mgr.is_done(), "case {case}");
             // Exactly one of commit / recompute decided the run.
-            prop_assert!(committed.is_some() ^ recompute);
+            assert!(committed.is_some() ^ recompute, "case {case}");
         }
         if let Some(v) = committed {
-            prop_assert!(!rolled_back.contains(&v));
+            assert!(!rolled_back.contains(&v), "case {case}");
         }
         // Stats agree with the model.
-        let stats = mgr.stats();
-        prop_assert_eq!(stats.rollbacks as usize, rolled_back.len());
-    }
+        assert_eq!(
+            mgr.stats().rollbacks as usize,
+            rolled_back.len(),
+            "case {case}"
+        );
+    });
 }

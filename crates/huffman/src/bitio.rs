@@ -16,7 +16,10 @@ impl BitWriter {
 
     /// An empty writer with capacity for roughly `bits` bits.
     pub fn with_capacity_bits(bits: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bits / 8 + 1), partial_bits: 0 }
+        BitWriter {
+            buf: Vec::with_capacity(bits / 8 + 1),
+            partial_bits: 0,
+        }
     }
 
     /// Append the low `len` bits of `code`, most significant of those first.
@@ -79,7 +82,11 @@ impl<'a> BitReader<'a> {
     /// Panics if `bit_len` exceeds the bits available in `data`.
     pub fn new(data: &'a [u8], bit_len: u64) -> Self {
         assert!(bit_len <= data.len() as u64 * 8, "bit_len exceeds data");
-        BitReader { data, pos: 0, end: bit_len }
+        BitReader {
+            data,
+            pos: 0,
+            end: bit_len,
+        }
     }
 
     /// Start reading at an absolute bit offset (used when decoding a block
@@ -89,7 +96,11 @@ impl<'a> BitReader<'a> {
             bit_offset + bit_len <= data.len() as u64 * 8,
             "offset+len exceeds data"
         );
-        BitReader { data, pos: bit_offset, end: bit_offset + bit_len }
+        BitReader {
+            data,
+            pos: bit_offset,
+            end: bit_offset + bit_len,
+        }
     }
 
     /// Bits still available.

@@ -130,7 +130,9 @@ mod tests {
     fn canonical_codes_are_prefix_free() {
         assert_prefix_free(&table_for(b"abracadabra"));
         assert_prefix_free(&table_for(b"mississippi river runs deep"));
-        let noisy: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+        let noisy: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
         assert_prefix_free(&table_for(&noisy));
     }
 
@@ -188,9 +190,7 @@ mod tests {
         let h = Histogram::from_bytes(b"some deterministic input 12345");
         let l = CodeLengths::build(&h).unwrap();
         let t1 = CodeTable::from_lengths(&l);
-        let t2 = CodeTable::from_lengths(
-            &CodeLengths::from_lengths(t1.lengths_array()).unwrap(),
-        );
+        let t2 = CodeTable::from_lengths(&CodeLengths::from_lengths(t1.lengths_array()).unwrap());
         assert_eq!(t1, t2);
     }
 }

@@ -66,7 +66,10 @@ impl std::error::Error for ContainerError {}
 /// Pack an encoded stream into a standalone container.
 pub fn pack(lengths: &CodeLengths, stream: &[u8], bit_len: u64, src_len: usize) -> Vec<u8> {
     let need = bit_len.div_ceil(8) as usize;
-    assert!(stream.len() >= need, "stream holds fewer bytes than bit_len requires");
+    assert!(
+        stream.len() >= need,
+        "stream holds fewer bytes than bit_len requires"
+    );
     let mut out = Vec::with_capacity(HEADER_LEN + need);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(src_len as u64).to_le_bytes());
@@ -119,7 +122,12 @@ pub fn parse(data: &[u8]) -> Result<Container<'_>, ContainerError> {
     if src_len as u64 > bit_len {
         return Err(ContainerError::BadHeader);
     }
-    Ok(Container { src_len, bit_len, lengths, stream })
+    Ok(Container {
+        src_len,
+        bit_len,
+        lengths,
+        stream,
+    })
 }
 
 /// Parse and fully decode a container back to the original bytes.
@@ -161,7 +169,10 @@ mod tests {
         let data = b"containers make streams portable".repeat(100);
         let packed = compress(&data).unwrap();
         assert_eq!(&packed[..5], MAGIC);
-        assert!(packed.len() < data.len(), "text should compress even with the header");
+        assert!(
+            packed.len() < data.len(),
+            "text should compress even with the header"
+        );
         let back = unpack(&packed).unwrap();
         assert_eq!(back, data);
     }

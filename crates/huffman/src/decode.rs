@@ -97,7 +97,11 @@ impl Decoder {
     }
 
     /// Decode exactly `n_symbols` symbols.
-    pub fn decode_n(&self, r: &mut BitReader<'_>, n_symbols: usize) -> Result<Vec<u8>, DecodeError> {
+    pub fn decode_n(
+        &self,
+        r: &mut BitReader<'_>,
+        n_symbols: usize,
+    ) -> Result<Vec<u8>, DecodeError> {
         // Cap the pre-allocation by what the stream could possibly hold
         // (each symbol consumes >= 1 bit): `n_symbols` may come from an
         // untrusted header.

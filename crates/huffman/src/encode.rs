@@ -30,7 +30,11 @@ pub fn encode_block(block: &[u8], table: &CodeTable) -> Option<EncodedBlock> {
         w.push(table.code(b), len);
     }
     let bit_len = w.bit_len();
-    Some(EncodedBlock { bytes: w.into_bytes(), bit_len, src_len: block.len() })
+    Some(EncodedBlock {
+        bytes: w.into_bytes(),
+        bit_len,
+        src_len: block.len(),
+    })
 }
 
 /// Concatenate encoded blocks into one contiguous bitstream.
@@ -145,6 +149,9 @@ mod tests {
             .collect();
         let t = table_for(&data);
         let e = encode_block(&data, &t).unwrap();
-        assert!(e.bit_len < data.len() as u64 * 8 / 4, "skewed input should compress 4x+");
+        assert!(
+            e.bit_len < data.len() as u64 * 8 / 4,
+            "skewed input should compress 4x+"
+        );
     }
 }

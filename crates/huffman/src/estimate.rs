@@ -111,10 +111,17 @@ mod tests {
     #[test]
     fn similar_distributions_pass_one_percent() {
         // Two large samples of the same process: trees nearly identical.
-        let a: Vec<u8> = (0..40_000u32).map(|i| b"etaoin shrdlu"[(i % 13) as usize]).collect();
-        let b: Vec<u8> = (0..40_000u32).map(|i| b"etaoin shrdlu"[((i * 7 + 3) % 13) as usize]).collect();
+        let a: Vec<u8> = (0..40_000u32)
+            .map(|i| b"etaoin shrdlu"[(i % 13) as usize])
+            .collect();
+        let b: Vec<u8> = (0..40_000u32)
+            .map(|i| b"etaoin shrdlu"[((i * 7 + 3) % 13) as usize])
+            .collect();
         let (ha, hb) = (hist_of(&a), hist_of(&b));
-        let (ta, tb) = (CodeLengths::build(&ha).unwrap(), CodeLengths::build(&hb).unwrap());
+        let (ta, tb) = (
+            CodeLengths::build(&ha).unwrap(),
+            CodeLengths::build(&hb).unwrap(),
+        );
         let global = Histogram::merged([&ha, &hb]);
         assert!(tolerance_verdict(&ta, &tb, &global, 0.01).is_valid());
     }

@@ -34,10 +34,13 @@ impl Default for Histogram {
 impl Histogram {
     /// An empty histogram (all counts zero).
     pub const fn new() -> Self {
-        Histogram { counts: [0; ALPHABET] }
+        Histogram {
+            counts: [0; ALPHABET],
+        }
     }
 
     /// Count the bytes of `data` (the paper's `count` task body).
+    #[inline]
     pub fn from_bytes(data: &[u8]) -> Self {
         let mut h = Histogram::new();
         h.accumulate(data);
@@ -56,14 +59,13 @@ impl Histogram {
             lanes[2][c[2] as usize] += 1;
             lanes[3][c[3] as usize] += 1;
         }
-        for &b in chunks.remainder() {
-            lanes[0][b as usize] += 1;
+        // Spread the ≤3 tail bytes across distinct lanes too, so a tail of
+        // equal bytes doesn't serialise on lane 0's counter.
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            lanes[i][b as usize] += 1;
         }
         for (i, c) in self.counts.iter_mut().enumerate() {
-            *c += lanes[0][i] as u64
-                + lanes[1][i] as u64
-                + lanes[2][i] as u64
-                + lanes[3][i] as u64;
+            *c += lanes[0][i] as u64 + lanes[1][i] as u64 + lanes[2][i] as u64 + lanes[3][i] as u64;
         }
     }
 
@@ -240,8 +242,7 @@ mod tests {
     #[test]
     fn merged_over_parts_matches_whole() {
         let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
-        let parts: Vec<Histogram> =
-            data.chunks(777).map(Histogram::from_bytes).collect();
+        let parts: Vec<Histogram> = data.chunks(777).map(Histogram::from_bytes).collect();
         let merged = Histogram::merged(parts.iter());
         assert_eq!(merged, Histogram::from_bytes(&data));
     }

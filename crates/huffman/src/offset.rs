@@ -36,7 +36,10 @@ impl Default for OffsetChain {
 impl OffsetChain {
     /// A chain starting at bit offset 0.
     pub fn new() -> Self {
-        OffsetChain { next_offset: 0, offsets: Vec::new() }
+        OffsetChain {
+            next_offset: 0,
+            offsets: Vec::new(),
+        }
     }
 
     /// Extend the chain with one group of blocks (the body of one `offset`
@@ -125,11 +128,11 @@ mod tests {
         let good = Histogram::from_bytes(b"abab");
         let bad = Histogram::from_bytes(b"abz");
         let mut chain = OffsetChain::new();
-        chain.extend_group(std::slice::from_ref(&good), &table).unwrap();
+        chain
+            .extend_group(std::slice::from_ref(&good), &table)
+            .unwrap();
         let before = (chain.total_bits(), chain.blocks_done());
-        assert!(chain
-            .extend_group(&[good.clone(), bad], &table)
-            .is_none());
+        assert!(chain.extend_group(&[good.clone(), bad], &table).is_none());
         assert_eq!((chain.total_bits(), chain.blocks_done()), before);
     }
 
@@ -148,14 +151,22 @@ mod tests {
         use crate::encode::concat_blocks;
         let data = b"every block must decode at exactly its computed offset";
         let (blocks, hists, table) = setup(data, 8);
-        let encoded: Vec<_> = blocks.iter().map(|b| encode_block(b, &table).unwrap()).collect();
+        let encoded: Vec<_> = blocks
+            .iter()
+            .map(|b| encode_block(b, &table).unwrap())
+            .collect();
         let (stream, _) = concat_blocks(encoded.iter());
         let mut chain = OffsetChain::new();
         let starts = chain.extend_group(&hists, &table).unwrap();
         for i in 0..blocks.len() {
-            let back =
-                decode_exact(&stream, starts[i], encoded[i].bit_len, blocks[i].len(), &table)
-                    .unwrap();
+            let back = decode_exact(
+                &stream,
+                starts[i],
+                encoded[i].bit_len,
+                blocks[i].len(),
+                &table,
+            )
+            .unwrap();
             assert_eq!(back, blocks[i], "block {i}");
         }
     }

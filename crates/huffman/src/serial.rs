@@ -42,7 +42,12 @@ pub fn serial_encode(data: &[u8]) -> Result<SerialEncoded, TreeError> {
     let hist = Histogram::from_bytes(data);
     let table = CodeTable::build(&hist)?;
     let e = encode_block(data, &table).expect("full-input table covers all symbols");
-    Ok(SerialEncoded { table, bytes: e.bytes, bit_len: e.bit_len, src_len: data.len() })
+    Ok(SerialEncoded {
+        table,
+        bytes: e.bytes,
+        bit_len: e.bit_len,
+        src_len: data.len(),
+    })
 }
 
 /// Decode a [`SerialEncoded`] stream back to bytes.
@@ -64,7 +69,9 @@ mod tests {
 
     #[test]
     fn round_trip_binary() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
         let enc = serial_encode(&data).unwrap();
         assert_eq!(serial_decode(&enc).unwrap(), data);
     }
@@ -84,7 +91,11 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..50_000u32 {
             let r = i.wrapping_mul(2654435761) >> 24;
-            let b = if r < 200 { b' ' + (r % 16) as u8 } else { b'a' + (r % 26) as u8 };
+            let b = if r < 200 {
+                b' ' + (r % 16) as u8
+            } else {
+                b'a' + (r % 26) as u8
+            };
             data.push(b);
         }
         let enc = serial_encode(&data).unwrap();

@@ -32,7 +32,9 @@ pub enum TreeError {
 impl std::fmt::Display for TreeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TreeError::EmptyHistogram => write!(f, "cannot build a Huffman tree from an empty histogram"),
+            TreeError::EmptyHistogram => {
+                write!(f, "cannot build a Huffman tree from an empty histogram")
+            }
             TreeError::CodeTooLong => write!(f, "optimal code exceeds 64 bits"),
         }
     }
@@ -90,13 +92,19 @@ impl CodeLengths {
         }
 
         let mut nodes: Vec<Node> = Vec::with_capacity(symbols.len() * 2 - 1);
-        let mut heap: BinaryHeap<Reverse<(Key, usize)>> =
-            BinaryHeap::with_capacity(symbols.len());
+        let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::with_capacity(symbols.len());
         for &(sym, w) in symbols {
             let idx = nodes.len();
-            nodes.push(Node { children: None, symbol: sym });
+            nodes.push(Node {
+                children: None,
+                symbol: sym,
+            });
             heap.push(Reverse((
-                Key { weight: w, height: 0, min_symbol: sym },
+                Key {
+                    weight: w,
+                    height: 0,
+                    min_symbol: sym,
+                },
                 idx,
             )));
         }
@@ -106,7 +114,10 @@ impl CodeLengths {
             let Reverse((kb, b)) = heap.pop().expect("heap len checked");
             let idx = nodes.len();
             let min_symbol = ka.min_symbol.min(kb.min_symbol);
-            nodes.push(Node { children: Some((a, b)), symbol: min_symbol });
+            nodes.push(Node {
+                children: Some((a, b)),
+                symbol: min_symbol,
+            });
             heap.push(Reverse((
                 Key {
                     weight: ka.weight.saturating_add(kb.weight),
@@ -175,7 +186,10 @@ impl CodeLengths {
             Self::build_multi(&with_escape)?
         };
         let escape_len = base.len[escape as usize];
-        let unseen_len = escape_len.checked_add(8).filter(|&l| l <= 64).ok_or(TreeError::CodeTooLong)?;
+        let unseen_len = escape_len
+            .checked_add(8)
+            .filter(|&l| l <= 64)
+            .ok_or(TreeError::CodeTooLong)?;
         for s in 0..ALPHABET {
             if hist.count(s as u8) == 0 {
                 base.len[s] = unseen_len;
@@ -256,7 +270,10 @@ mod tests {
 
     #[test]
     fn empty_histogram_rejected() {
-        assert_eq!(CodeLengths::build(&Histogram::new()), Err(TreeError::EmptyHistogram));
+        assert_eq!(
+            CodeLengths::build(&Histogram::new()),
+            Err(TreeError::EmptyHistogram)
+        );
     }
 
     #[test]
@@ -278,7 +295,14 @@ mod tests {
     #[test]
     fn classic_textbook_example() {
         // Frequencies 5,9,12,13,16,45 -> lengths 4,4,3,3,3,1 (CLRS).
-        let h = hist(&[(b'a', 45), (b'b', 13), (b'c', 12), (b'd', 16), (b'e', 9), (b'f', 5)]);
+        let h = hist(&[
+            (b'a', 45),
+            (b'b', 13),
+            (b'c', 12),
+            (b'd', 16),
+            (b'e', 9),
+            (b'f', 5),
+        ]);
         let cl = CodeLengths::build(&h).unwrap();
         assert_eq!(cl.len(b'a'), 1);
         assert_eq!(cl.len(b'b'), 3);
@@ -290,7 +314,9 @@ mod tests {
 
     #[test]
     fn kraft_equality_holds() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 97) as u8 ^ (i / 13) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i % 97) as u8 ^ (i / 13) as u8)
+            .collect();
         let cl = CodeLengths::build(&Histogram::from_bytes(&data)).unwrap();
         let kraft: f64 = cl
             .lengths()
@@ -324,7 +350,10 @@ mod tests {
         let cost = cl.cost_bits(&h).unwrap() as f64;
         let entropy = h.entropy_bits() * h.total() as f64;
         assert!(cost >= entropy - 1e-6, "below entropy: {cost} < {entropy}");
-        assert!(cost <= entropy + h.total() as f64, "more than 1 bit/symbol over entropy");
+        assert!(
+            cost <= entropy + h.total() as f64,
+            "more than 1 bit/symbol over entropy"
+        );
     }
 
     #[test]
@@ -372,7 +401,10 @@ mod tests {
     fn covering_code_covers_everything() {
         let h = hist(&[(b'a', 100), (b'b', 50), (b'c', 10)]);
         let cl = CodeLengths::build_covering(&h).unwrap();
-        assert!(cl.lengths().iter().all(|&l| l > 0), "every symbol must have a code");
+        assert!(
+            cl.lengths().iter().all(|&l| l > 0),
+            "every symbol must have a code"
+        );
         // Kraft must still hold (checked by from_lengths).
         assert!(CodeLengths::from_lengths(*cl.lengths()).is_ok());
     }
@@ -449,7 +481,11 @@ mod tests {
             b = n;
         }
         let cl = CodeLengths::build(&h).unwrap();
-        assert!(cl.max_len() >= 30, "expected a deep tree, got {}", cl.max_len());
+        assert!(
+            cl.max_len() >= 30,
+            "expected a deep tree, got {}",
+            cl.max_len()
+        );
         assert!(cl.max_len() <= 64);
     }
 }

@@ -1,38 +1,42 @@
-//! Property-based tests for the Huffman substrate.
+//! Property-based tests for the Huffman substrate — hand-rolled seeded
+//! loops (`tvs_rng::cases`); the offline build has no proptest, and
+//! deterministic per-case seeds reproduce failures exactly.
 
-use proptest::prelude::*;
 use tvs_huffman::{
     concat_blocks, decode_exact, encode_block, relative_cost_delta, serial_decode, serial_encode,
     CodeLengths, CodeTable, Histogram, OffsetChain,
 };
+use tvs_rng::{bytes, cases};
 
-
-proptest! {
-    /// encode ∘ decode = identity for arbitrary non-empty inputs.
-    #[test]
-    fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+/// encode ∘ decode = identity for arbitrary non-empty inputs.
+#[test]
+fn prop_round_trip() {
+    cases(0x4F01, 64, |rng, _| {
+        let data = bytes(rng, 1..4096);
         let enc = serial_encode(&data).unwrap();
-        prop_assert_eq!(serial_decode(&enc).unwrap(), data);
-    }
+        assert_eq!(serial_decode(&enc).unwrap(), data);
+    });
+}
 
-    /// Optimal code cost lies within [H, H + n) bits (Shannon bound).
-    #[test]
-    fn prop_shannon_bound(data in proptest::collection::vec(any::<u8>(), 2..4096)) {
+/// Optimal code cost lies within [H, H + n) bits (Shannon bound).
+#[test]
+fn prop_shannon_bound() {
+    cases(0x4F02, 64, |rng, _| {
+        let data = bytes(rng, 2..4096);
         let h = Histogram::from_bytes(&data);
         let cl = CodeLengths::build(&h).unwrap();
         let cost = cl.cost_bits(&h).unwrap() as f64;
         let entropy = h.entropy_bits() * data.len() as f64;
-        prop_assert!(cost >= entropy - 1e-6);
-        prop_assert!(cost < entropy + data.len() as f64 + 1.0);
-    }
+        assert!(cost >= entropy - 1e-6);
+        assert!(cost < entropy + data.len() as f64 + 1.0);
+    });
+}
 
-    /// Histogram merge is commutative and associative.
-    #[test]
-    fn prop_merge_algebra(
-        a in proptest::collection::vec(any::<u8>(), 0..512),
-        b in proptest::collection::vec(any::<u8>(), 0..512),
-        c in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// Histogram merge is commutative and associative.
+#[test]
+fn prop_merge_algebra() {
+    cases(0x4F03, 64, |rng, _| {
+        let (a, b, c) = (bytes(rng, 0..512), bytes(rng, 0..512), bytes(rng, 0..512));
         let (ha, hb, hc) = (
             Histogram::from_bytes(&a),
             Histogram::from_bytes(&b),
@@ -41,21 +45,22 @@ proptest! {
         // commutativity
         let ab = Histogram::merged([&ha, &hb]);
         let ba = Histogram::merged([&hb, &ha]);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         // associativity
         let ab_c = Histogram::merged([&ab, &hc]);
         let bc = Histogram::merged([&hb, &hc]);
         let a_bc = Histogram::merged([&ha, &bc]);
-        prop_assert_eq!(ab_c, a_bc);
-    }
+        assert_eq!(ab_c, a_bc);
+    });
+}
 
-    /// Blockwise encoding + offset chain reproduces the serial stream
-    /// bit-for-bit when the same (final) table is used.
-    #[test]
-    fn prop_blockwise_equals_serial(
-        data in proptest::collection::vec(any::<u8>(), 1..4096),
-        chunk in 1usize..257,
-    ) {
+/// Blockwise encoding + offset chain reproduces the serial stream
+/// bit-for-bit when the same (final) table is used.
+#[test]
+fn prop_blockwise_equals_serial() {
+    cases(0x4F04, 64, |rng, _| {
+        let data = bytes(rng, 1..4096);
+        let chunk = rng.random_range(1..257usize);
         let serial = serial_encode(&data).unwrap();
         let blocks: Vec<&[u8]> = data.chunks(chunk).collect();
         let encoded: Vec<_> = blocks
@@ -63,38 +68,50 @@ proptest! {
             .map(|b| encode_block(b, &serial.table).unwrap())
             .collect();
         let (stream, bits) = concat_blocks(encoded.iter());
-        prop_assert_eq!(bits, serial.bit_len);
-        prop_assert_eq!(stream, serial.bytes);
-    }
+        assert_eq!(bits, serial.bit_len);
+        assert_eq!(stream, serial.bytes);
+    });
+}
 
-    /// Offsets computed from histograms equal actual positions in the
-    /// concatenated stream, and every block decodes at its offset.
-    #[test]
-    fn prop_offsets_exact(
-        data in proptest::collection::vec(any::<u8>(), 1..2048),
-        chunk in 1usize..129,
-    ) {
+/// Offsets computed from histograms equal actual positions in the
+/// concatenated stream, and every block decodes at its offset.
+#[test]
+fn prop_offsets_exact() {
+    cases(0x4F05, 64, |rng, _| {
+        let data = bytes(rng, 1..2048);
+        let chunk = rng.random_range(1..129usize);
         let table = CodeTable::build(&Histogram::from_bytes(&data)).unwrap();
         let blocks: Vec<&[u8]> = data.chunks(chunk).collect();
         let hists: Vec<Histogram> = blocks.iter().map(|b| Histogram::from_bytes(b)).collect();
         let mut chain = OffsetChain::new();
         let starts = chain.extend_group(&hists, &table).unwrap();
-        let encoded: Vec<_> = blocks.iter().map(|b| encode_block(b, &table).unwrap()).collect();
+        let encoded: Vec<_> = blocks
+            .iter()
+            .map(|b| encode_block(b, &table).unwrap())
+            .collect();
         let (stream, total) = concat_blocks(encoded.iter());
-        prop_assert_eq!(chain.total_bits(), total);
+        assert_eq!(chain.total_bits(), total);
         for i in 0..blocks.len() {
-            let got = decode_exact(&stream, starts[i], encoded[i].bit_len, blocks[i].len(), &table).unwrap();
-            prop_assert_eq!(got.as_slice(), blocks[i]);
+            let got = decode_exact(
+                &stream,
+                starts[i],
+                encoded[i].bit_len,
+                blocks[i].len(),
+                &table,
+            )
+            .unwrap();
+            assert_eq!(got.as_slice(), blocks[i]);
         }
-    }
+    });
+}
 
-    /// A table trained on a superset histogram always covers the data and
-    /// its cost delta versus the optimal table is non-negative and finite.
-    #[test]
-    fn prop_cost_delta_sane(
-        early in proptest::collection::vec(any::<u8>(), 1..1024),
-        late in proptest::collection::vec(any::<u8>(), 1..1024),
-    ) {
+/// A table trained on a superset histogram always covers the data and
+/// its cost delta versus the optimal table is non-negative and finite.
+#[test]
+fn prop_cost_delta_sane() {
+    cases(0x4F06, 64, |rng, _| {
+        let early = bytes(rng, 1..1024);
+        let late = bytes(rng, 1..1024);
         let h_early = Histogram::from_bytes(&early);
         let mut h_all = h_early.clone();
         h_all.merge(&Histogram::from_bytes(&late));
@@ -103,54 +120,57 @@ proptest! {
         let t_spec = CodeLengths::build(&h_early.with_smoothing(1)).unwrap();
         let t_ref = CodeLengths::build(&h_all).unwrap();
         let delta = relative_cost_delta(&t_spec, &t_ref, &h_all);
-        prop_assert!(delta >= 0.0);
-        prop_assert!(delta.is_finite());
+        assert!(delta >= 0.0);
+        assert!(delta.is_finite());
         let t_unsmoothed = CodeLengths::build(&h_early).unwrap();
         let raw = relative_cost_delta(&t_unsmoothed, &t_ref, &h_all);
-        prop_assert!(raw >= 0.0);
+        assert!(raw >= 0.0);
         // The optimal tree on h_all can never be beaten by more than the
         // clamp allows in the other direction.
-        prop_assert_eq!(relative_cost_delta(&t_ref, &t_ref, &h_all), 0.0);
-    }
+        assert_eq!(relative_cost_delta(&t_ref, &t_ref, &h_all), 0.0);
+    });
+}
 
-    /// Canonical code assignment is order-independent and prefix-free
-    /// (checked via successful decode of every single symbol).
-    #[test]
-    fn prop_every_symbol_decodes(data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+/// Canonical code assignment is order-independent and prefix-free
+/// (checked via successful decode of every single symbol).
+#[test]
+fn prop_every_symbol_decodes() {
+    cases(0x4F07, 32, |rng, _| {
+        let data = bytes(rng, 1..2048);
         let h = Histogram::from_bytes(&data);
         let table = CodeTable::build(&h).unwrap();
         for (sym, _) in h.iter_nonzero() {
             let one = [sym];
             let e = encode_block(&one, &table).unwrap();
             let back = decode_exact(&e.bytes, 0, e.bit_len, 1, &table).unwrap();
-            prop_assert_eq!(back, vec![sym]);
+            assert_eq!(back, vec![sym]);
         }
-    }
+    });
 }
 
-proptest! {
-    /// The decoder never panics on arbitrary garbage bitstreams: it either
-    /// yields bytes or a structured error.
-    #[test]
-    fn prop_decoder_total_on_garbage(
-        table_data in proptest::collection::vec(any::<u8>(), 2..512),
-        garbage in proptest::collection::vec(any::<u8>(), 0..256),
-        n_symbols in 0usize..64,
-    ) {
+/// The decoder never panics on arbitrary garbage bitstreams: it either
+/// yields bytes or a structured error.
+#[test]
+fn prop_decoder_total_on_garbage() {
+    cases(0x4F08, 128, |rng, _| {
+        let table_data = bytes(rng, 2..512);
+        let garbage = bytes(rng, 0..256);
+        let n_symbols = rng.random_range(0..64usize);
         let table = CodeTable::build(&Histogram::from_bytes(&table_data)).unwrap();
         let bits = garbage.len() as u64 * 8;
         let _ = decode_exact(&garbage, 0, bits, n_symbols, &table);
-    }
+    });
+}
 
-    /// Container round-trip for arbitrary inputs, and arbitrary corruption
-    /// never panics the parser/decoder.
-    #[test]
-    fn prop_container_round_trip_and_total(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        flip_at in any::<u16>(),
-    ) {
+/// Container round-trip for arbitrary inputs, and arbitrary corruption
+/// never panics the parser/decoder.
+#[test]
+fn prop_container_round_trip_and_total() {
+    cases(0x4F09, 128, |rng, _| {
+        let data = bytes(rng, 0..2048);
+        let flip_at: u16 = rng.random();
         let packed = tvs_huffman::compress(&data).unwrap();
-        prop_assert_eq!(tvs_huffman::unpack(&packed).unwrap(), data);
+        assert_eq!(tvs_huffman::unpack(&packed).unwrap(), data);
         // Corruption: totality (no panic); round-trip integrity is only
         // guaranteed for untouched containers.
         let mut bad = packed.clone();
@@ -158,21 +178,29 @@ proptest! {
         bad[i] ^= 0x5A;
         let _ = tvs_huffman::unpack(&bad);
         // Truncation at every header-adjacent point is also total.
-        for cut in [0usize, 4, 5, 20, 21, tvs_huffman::container::HEADER_LEN.min(bad.len())] {
+        for cut in [
+            0usize,
+            4,
+            5,
+            20,
+            21,
+            tvs_huffman::container::HEADER_LEN.min(bad.len()),
+        ] {
             let _ = tvs_huffman::unpack(&packed[..cut.min(packed.len())]);
         }
-    }
+    });
+}
 
-    /// Canonical decode after a canonical re-encode of the *lengths only*
-    /// (the container's premise): lengths fully determine the code.
-    #[test]
-    fn prop_lengths_fully_determine_the_code(
-        data in proptest::collection::vec(any::<u8>(), 1..1024),
-    ) {
+/// Canonical decode after a canonical re-encode of the *lengths only*
+/// (the container's premise): lengths fully determine the code.
+#[test]
+fn prop_lengths_fully_determine_the_code() {
+    cases(0x4F0A, 64, |rng, _| {
+        let data = bytes(rng, 1..1024);
         let enc = serial_encode(&data).unwrap();
         let lengths = CodeLengths::from_lengths(enc.table.lengths_array()).unwrap();
         let rebuilt = CodeTable::from_lengths(&lengths);
         let back = decode_exact(&enc.bytes, 0, enc.bit_len, data.len(), &rebuilt).unwrap();
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
 }

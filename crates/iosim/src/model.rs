@@ -1,8 +1,7 @@
 //! Deterministic arrival-schedule models.
 
 use crate::Micros;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tvs_rng::SmallRng;
 
 /// A model that assigns an arrival time to each input block.
 ///
@@ -58,7 +57,11 @@ impl ArrivalModel for Disk {
         let mut out = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
             t += per_block_us;
-            let jitter = if self.jitter_us > 0 { rng.random_range(0..=self.jitter_us) } else { 0 };
+            let jitter = if self.jitter_us > 0 {
+                rng.random_range(0..=self.jitter_us)
+            } else {
+                0
+            };
             out.push(t + jitter);
             // Jitter delays an individual block's visibility but does not
             // slow the underlying transfer, so `t` advances without it.
@@ -151,7 +154,9 @@ pub struct Uniform {
 
 impl ArrivalModel for Uniform {
     fn schedule(&self, n_blocks: usize, _block_bytes: usize) -> Vec<Micros> {
-        (0..n_blocks as u64).map(|i| self.start_us + i * self.gap_us).collect()
+        (0..n_blocks as u64)
+            .map(|i| self.start_us + i * self.gap_us)
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -238,7 +243,12 @@ mod tests {
 
     fn assert_monotone(s: &[Micros]) {
         for w in s.windows(2) {
-            assert!(w[1] >= w[0], "schedule not monotone: {} then {}", w[0], w[1]);
+            assert!(
+                w[1] >= w[0],
+                "schedule not monotone: {} then {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -248,7 +258,11 @@ mod tests {
         assert_eq!(s.len(), 1024);
         assert_monotone(&s);
         // 4 MB at 400 MB/s: everything arrives within ~11 ms.
-        assert!(*s.last().unwrap() < 20_000, "disk too slow: {}", s.last().unwrap());
+        assert!(
+            *s.last().unwrap() < 20_000,
+            "disk too slow: {}",
+            s.last().unwrap()
+        );
     }
 
     #[test]
@@ -256,13 +270,21 @@ mod tests {
         let s = Socket::default().schedule(1024, 4096);
         assert_monotone(&s);
         // 4 MB at ~0.7 MB/s: the last block arrives after several seconds.
-        assert!(*s.last().unwrap() > 3_000_000, "socket too fast: {}", s.last().unwrap());
+        assert!(
+            *s.last().unwrap() > 3_000_000,
+            "socket too fast: {}",
+            s.last().unwrap()
+        );
         assert!(s[0] >= 150_000, "first block must wait for the RTT");
     }
 
     #[test]
     fn socket_delivers_in_bursts() {
-        let m = Socket { burst_blocks: 8, jitter_us: 0, ..Socket::default() };
+        let m = Socket {
+            burst_blocks: 8,
+            jitter_us: 0,
+            ..Socket::default()
+        };
         let s = m.schedule(32, 4096);
         // All blocks of one burst share an arrival time...
         for b in s.chunks(8) {
@@ -275,7 +297,11 @@ mod tests {
 
     #[test]
     fn socket_burst_one_is_smooth() {
-        let m = Socket { burst_blocks: 1, jitter_us: 0, ..Socket::default() };
+        let m = Socket {
+            burst_blocks: 1,
+            jitter_us: 0,
+            ..Socket::default()
+        };
         let s = m.schedule(16, 4096);
         for w in s.windows(2) {
             assert!(w[1] > w[0], "smooth delivery must be strictly increasing");
@@ -294,14 +320,26 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Disk { seed: 1, ..Disk::default() }.schedule(256, 4096);
-        let b = Disk { seed: 2, ..Disk::default() }.schedule(256, 4096);
+        let a = Disk {
+            seed: 1,
+            ..Disk::default()
+        }
+        .schedule(256, 4096);
+        let b = Disk {
+            seed: 2,
+            ..Disk::default()
+        }
+        .schedule(256, 4096);
         assert_ne!(a, b);
     }
 
     #[test]
     fn uniform_gap_exact() {
-        let s = Uniform { gap_us: 10, start_us: 5 }.schedule(4, 4096);
+        let s = Uniform {
+            gap_us: 10,
+            start_us: 5,
+        }
+        .schedule(4, 4096);
         assert_eq!(s, vec![5, 15, 25, 35]);
     }
 
@@ -326,7 +364,9 @@ mod tests {
     #[test]
     fn replay_interpolates_between_samples() {
         // 0 bytes at t=0, 8192 bytes at t=1000: linear in between.
-        let m = Replay { samples: vec![(0, 0), (1000, 8192)] };
+        let m = Replay {
+            samples: vec![(0, 0), (1000, 8192)],
+        };
         let s = m.schedule(2, 4096);
         assert_eq!(s, vec![500, 1000]);
     }
@@ -334,7 +374,9 @@ mod tests {
     #[test]
     fn replay_respects_stalls() {
         // A stall between 4096 and 8192 bytes delays block 1.
-        let m = Replay { samples: vec![(0, 0), (100, 4096), (900, 4096), (1000, 8192)] };
+        let m = Replay {
+            samples: vec![(0, 0), (100, 4096), (900, 4096), (1000, 8192)],
+        };
         let s = m.schedule(2, 4096);
         assert_eq!(s[0], 100);
         assert_eq!(s[1], 1000);
@@ -344,7 +386,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "replay trace transfers")]
     fn replay_rejects_short_traces() {
-        let m = Replay { samples: vec![(0, 0), (10, 100)] };
+        let m = Replay {
+            samples: vec![(0, 0), (10, 100)],
+        };
         let _ = m.schedule(1, 4096);
     }
 
@@ -356,10 +400,18 @@ mod tests {
 
     #[test]
     fn bandwidth_scales_schedule() {
-        let fast = Disk { bytes_per_sec: 800 * 1024 * 1024, jitter_us: 0, ..Disk::default() }
-            .schedule(512, 4096);
-        let slow = Disk { bytes_per_sec: 100 * 1024 * 1024, jitter_us: 0, ..Disk::default() }
-            .schedule(512, 4096);
+        let fast = Disk {
+            bytes_per_sec: 800 * 1024 * 1024,
+            jitter_us: 0,
+            ..Disk::default()
+        }
+        .schedule(512, 4096);
+        let slow = Disk {
+            bytes_per_sec: 100 * 1024 * 1024,
+            jitter_us: 0,
+            ..Disk::default()
+        }
+        .schedule(512, 4096);
         assert!(slow.last().unwrap() > fast.last().unwrap());
     }
 }

@@ -25,8 +25,19 @@ impl<'a> PacedBlocks<'a> {
     /// [`crate::ArrivalModel::schedule`]).
     pub fn new(data: &'a [u8], block_bytes: usize, schedule: Vec<Micros>) -> Self {
         let n_blocks = data.len().div_ceil(block_bytes.max(1));
-        assert_eq!(schedule.len(), n_blocks, "schedule length must equal block count");
-        PacedBlocks { data, block_bytes, schedule, next: 0, start: Instant::now(), time_scale: 1 }
+        assert_eq!(
+            schedule.len(),
+            n_blocks,
+            "schedule length must equal block count"
+        );
+        PacedBlocks {
+            data,
+            block_bytes,
+            schedule,
+            next: 0,
+            start: Instant::now(),
+            time_scale: 1,
+        }
     }
 
     /// Speed up wall-clock pacing by `factor` (tests use large factors so a
@@ -71,7 +82,11 @@ mod tests {
     #[test]
     fn yields_every_block_in_order() {
         let data: Vec<u8> = (0..1000u16).map(|i| i as u8).collect();
-        let schedule = Uniform { gap_us: 0, start_us: 0 }.schedule(4, 256);
+        let schedule = Uniform {
+            gap_us: 0,
+            start_us: 0,
+        }
+        .schedule(4, 256);
         let blocks: Vec<_> = PacedBlocks::new(&data, 256, schedule).collect();
         assert_eq!(blocks.len(), 4);
         assert_eq!(blocks[0].2.len(), 256);
@@ -96,7 +111,9 @@ mod tests {
         let data = vec![0u8; 512];
         let schedule = vec![0, 1_000_000]; // 1 virtual second
         let start = Instant::now();
-        let n = PacedBlocks::new(&data, 256, schedule).with_time_scale(1000).count();
+        let n = PacedBlocks::new(&data, 256, schedule)
+            .with_time_scale(1000)
+            .count();
         assert_eq!(n, 2);
         assert!(start.elapsed() < Duration::from_millis(500));
     }

@@ -102,7 +102,10 @@ mod tests {
         let mut received = Vec::new();
         read_blocks(&mut conn, 4096, |_, _, b| received.extend_from_slice(b)).unwrap();
         assert_eq!(received, data);
-        assert!(start.elapsed() >= Duration::from_millis(80), "transfer not throttled");
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "transfer not throttled"
+        );
         server.join().unwrap().unwrap();
     }
 

@@ -143,8 +143,8 @@ pub fn anneal_epoch(mut sol: Solution, t: f64, moves: u32, rng_state: u64) -> (S
         }
         sol.order.swap(i, j);
         let new_cost = objective(&sol.order);
-        let accept = new_cost <= sol.cost
-            || rng.next_f64() < ((sol.cost - new_cost) / t.max(1e-9)).exp();
+        let accept =
+            new_cost <= sol.cost || rng.next_f64() < ((sol.cost - new_cost) / t.max(1e-9)).exp();
         if accept {
             sol.cost = new_cost;
         } else {
@@ -274,9 +274,15 @@ impl AnnealWorkload {
         assert!(self.is_finished());
         AnnealResult {
             blocks: self.done.iter().map(|d| d.expect("done")).collect(),
-            solution: (*self.used_solution.as_ref().expect("committed")).as_ref().clone(),
+            solution: (*self.used_solution.as_ref().expect("committed"))
+                .as_ref()
+                .clone(),
             committed_version: self.committed_version,
-            spec_stats: if self.cfg.policy.speculates() { Some(self.mgr.stats()) } else { None },
+            spec_stats: if self.cfg.policy.speculates() {
+                Some(self.mgr.stats())
+            } else {
+                None
+            },
         }
     }
 
@@ -295,7 +301,12 @@ impl AnnealWorkload {
         ));
     }
 
-    fn spawn_evals(&mut self, ctx: &mut dyn SchedCtx, version: Option<SpecVersion>, sol: Arc<Solution>) {
+    fn spawn_evals(
+        &mut self,
+        ctx: &mut dyn SchedCtx,
+        version: Option<SpecVersion>,
+        sol: Arc<Solution>,
+    ) {
         for idx in 0..self.n_blocks {
             let done = match version {
                 Some(_) => &mut self.spec_done,
@@ -319,8 +330,11 @@ impl AnnealWorkload {
 
     fn finalize(&mut self, idx: usize, score: f64, finished: Time) {
         assert!(self.done[idx].is_none(), "block {idx} evaluated twice");
-        self.done[idx] =
-            Some(EvaluatedBlock { arrival: self.arrival[idx], evaluated_at: finished, score });
+        self.done[idx] = Some(EvaluatedBlock {
+            arrival: self.arrival[idx],
+            evaluated_at: finished,
+            score,
+        });
         self.blocks_done += 1;
     }
 
@@ -329,9 +343,13 @@ impl AnnealWorkload {
             match a {
                 Action::StartPrediction { version } => {
                     let sol = self.current.clone();
-                    ctx.spawn(TaskSpec::predictor("predict", 64, version, version as u64, move |_| {
-                        payload(sol)
-                    }));
+                    ctx.spawn(TaskSpec::predictor(
+                        "predict",
+                        64,
+                        version,
+                        version as u64,
+                        move |_| payload(sol),
+                    ));
                 }
                 Action::SpawnCheck { version } => {
                     let (_, spec) = self.mgr.active().expect("active");
@@ -366,10 +384,15 @@ impl AnnealWorkload {
                     let spec = spec.clone();
                     let fin = self.final_solution.as_ref().expect("final").clone();
                     let tol = self.cfg.tolerance;
-                    ctx.spawn(TaskSpec::check("final-check", 64, version as u64, move |_| {
-                        let delta = ((spec.cost - fin.cost) / fin.cost.max(1e-12)).max(0.0);
-                        payload((version, tol.judge(delta)))
-                    }));
+                    ctx.spawn(TaskSpec::check(
+                        "final-check",
+                        64,
+                        version as u64,
+                        move |_| {
+                            let delta = ((spec.cost - fin.cost) / fin.cost.max(1e-12)).max(0.0);
+                            payload((version, tol.judge(delta)))
+                        },
+                    ));
                 }
                 Action::Commit { version } => {
                     self.committed_version = Some(version);
@@ -379,7 +402,11 @@ impl AnnealWorkload {
                     }
                 }
                 Action::RecomputeNaturally => {
-                    let sol = self.final_solution.as_ref().expect("final solution").clone();
+                    let sol = self
+                        .final_solution
+                        .as_ref()
+                        .expect("final solution")
+                        .clone();
                     self.used_solution = Some(sol.clone());
                     self.natural = Some(sol.clone());
                     self.spawn_evals(ctx, None, sol);
@@ -442,12 +469,11 @@ impl Workload for AnnealWorkload {
                 }
             }
             "check" => {
-                let (version, r, newer, basis) = expect_payload::<(
-                    SpecVersion,
-                    CheckResult,
-                    Arc<Solution>,
-                    u64,
-                )>(done.output, "check tuple");
+                let (version, r, newer, basis) =
+                    expect_payload::<(SpecVersion, CheckResult, Arc<Solution>, u64)>(
+                        done.output,
+                        "check tuple",
+                    );
                 let actions = self.mgr.on_check_result(version, r, Some((newer, basis)));
                 self.handle_actions(ctx, actions);
             }
@@ -465,7 +491,14 @@ impl Workload for AnnealWorkload {
                         if self.committed_version == Some(v) {
                             self.finalize(idx, score, done.finished);
                         } else {
-                            self.buffer.push(v, idx as u64, EvalOut { score, finished: done.finished });
+                            self.buffer.push(
+                                v,
+                                idx as u64,
+                                EvalOut {
+                                    score,
+                                    finished: done.finished,
+                                },
+                            );
                         }
                     }
                     None => self.finalize(idx, score, done.finished),
@@ -489,9 +522,17 @@ pub fn run_anneal_sim(
 ) -> (AnnealResult, tvs_sre::RunMetrics) {
     use tvs_sre::exec::sim::{run, SimConfig};
     let wl = AnnealWorkload::new(cfg.clone(), n_blocks);
-    let sim = SimConfig { platform: tvs_sre::x86_smp(workers), policy: cfg.policy, trace: false };
+    let sim = SimConfig {
+        platform: tvs_sre::x86_smp(workers),
+        policy: cfg.policy,
+        trace: false,
+    };
     let inputs: Vec<InputBlock> = (0..n_blocks)
-        .map(|i| InputBlock { index: i, arrival: i as Time * arrival_gap_us, data: make_block(i) })
+        .map(|i| InputBlock {
+            index: i,
+            arrival: i as Time * arrival_gap_us,
+            data: make_block(i),
+        })
         .collect();
     let rep = run(wl, &sim, &AnnealCost, inputs);
     (rep.workload.result(), rep.metrics)
@@ -525,14 +566,21 @@ mod tests {
             rng = rng2;
             t *= cfg.cooling;
         }
-        assert!(sol.cost < start * 0.7, "annealing should improve: {start} -> {}", sol.cost);
+        assert!(
+            sol.cost < start * 0.7,
+            "annealing should improve: {start} -> {}",
+            sol.cost
+        );
         // The chain is deterministic.
         assert_eq!(objective(&sol.order), sol.cost);
     }
 
     #[test]
     fn non_speculative_run_completes() {
-        let cfg = AnnealConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
+        let cfg = AnnealConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
         let (res, m) = run_anneal_sim(&cfg, 32, 10, 4);
         assert_eq!(res.blocks.len(), 32);
         assert_eq!(m.rollbacks, 0);
@@ -545,7 +593,10 @@ mod tests {
 
     #[test]
     fn speculation_commits_within_tolerance_and_wins() {
-        let ns = AnnealConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
+        let ns = AnnealConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
         let sp = AnnealConfig::default();
         let (rn, _) = run_anneal_sim(&ns, 64, 10, 8);
         let (rs, _) = run_anneal_sim(&sp, 64, 10, 8);
@@ -583,8 +634,15 @@ mod tests {
             ..Default::default()
         };
         let (res, m) = run_anneal_sim(&cfg, 32, 10, 4);
-        assert!(m.rollbacks <= 2, "cold-chain speculation churned: {}", m.rollbacks);
-        assert!(res.committed_version.is_some(), "a cold-chain prediction must commit");
+        assert!(
+            m.rollbacks <= 2,
+            "cold-chain speculation churned: {}",
+            m.rollbacks
+        );
+        assert!(
+            res.committed_version.is_some(),
+            "a cold-chain prediction must commit"
+        );
 
         // And late speculation must be strictly calmer than hot-chain
         // speculation under the same margin.
@@ -594,12 +652,20 @@ mod tests {
             ..Default::default()
         };
         let (_, mh) = run_anneal_sim(&hot, 32, 10, 4);
-        assert!(mh.rollbacks > m.rollbacks, "hot {} vs cold {}", mh.rollbacks, m.rollbacks);
+        assert!(
+            mh.rollbacks > m.rollbacks,
+            "hot {} vs cold {}",
+            mh.rollbacks,
+            m.rollbacks
+        );
     }
 
     #[test]
     fn committed_and_final_solutions_may_differ_but_score_close() {
-        let cfg = AnnealConfig { schedule: SpeculationSchedule::with_step(6), ..Default::default() };
+        let cfg = AnnealConfig {
+            schedule: SpeculationSchedule::with_step(6),
+            ..Default::default()
+        };
         let (res, _) = run_anneal_sim(&cfg, 16, 10, 4);
         if res.committed_version.is_some() {
             // Recompute the final solution serially.
@@ -616,7 +682,10 @@ mod tests {
                 t *= cfg.cooling;
             }
             let rel = (res.solution.cost - sol.cost).abs() / sol.cost;
-            assert!(rel <= 0.02 + 1e-9, "committed objective within tolerance: {rel}");
+            assert!(
+                rel <= 0.02 + 1e-9,
+                "committed objective within tolerance: {rel}"
+            );
         }
     }
 }

@@ -66,13 +66,21 @@ impl HuffmanConfig {
     /// local store on the Cell platform, 16:1 ratios are used there in both
     /// cases").
     pub fn disk_cell(policy: DispatchPolicy) -> Self {
-        HuffmanConfig { reduce_ratio: 16, offset_fanout: 16, ..Self::disk_x86(policy) }
+        HuffmanConfig {
+            reduce_ratio: 16,
+            offset_fanout: 16,
+            ..Self::disk_x86(policy)
+        }
     }
 
     /// The paper's socket configuration ("both reduce and offset ratios go
     /// down to 8:1 in order to reduce average latency").
     pub fn socket_x86(policy: DispatchPolicy) -> Self {
-        HuffmanConfig { reduce_ratio: 8, offset_fanout: 8, ..Self::disk_x86(policy) }
+        HuffmanConfig {
+            reduce_ratio: 8,
+            offset_fanout: 8,
+            ..Self::disk_x86(policy)
+        }
     }
 
     /// Whether this run speculates at all.

@@ -13,11 +13,11 @@
 
 use crate::config::BLOCK_BYTES;
 use std::sync::Arc;
+use tvs_core::validate::{L2Error, Validator};
 use tvs_core::{
     Action, CheckResult, ManagerStats, SpecVersion, SpeculationManager, SpeculationSchedule,
     Tolerance, VerificationPolicy, WaitBuffer,
 };
-use tvs_core::validate::{L2Error, Validator};
 use tvs_sre::task::{expect_payload, payload};
 use tvs_sre::{
     Completion, CostModel, DispatchPolicy, InputBlock, SchedCtx, TaskSpec, Time, Workload,
@@ -171,8 +171,9 @@ impl FilterWorkload {
         assert!(cfg.iterations >= 1);
         // Deterministic target and start coefficients.
         let taps = cfg.taps;
-        let target: Vec<f64> =
-            (0..taps).map(|k| ((k as f64 * 0.7).sin() + 1.5) / taps as f64).collect();
+        let target: Vec<f64> = (0..taps)
+            .map(|k| ((k as f64 * 0.7).sin() + 1.5) / taps as f64)
+            .collect();
         let start: Vec<f64> = vec![1.0 / taps as f64; taps];
         let mgr = SpeculationManager::new(cfg.schedule, cfg.verification);
         FilterWorkload {
@@ -202,9 +203,17 @@ impl FilterWorkload {
         assert!(self.is_finished());
         FilterResult {
             blocks: self.done.iter().map(|d| d.expect("done")).collect(),
-            coefficients: self.used_coeffs.as_ref().expect("committed coefficients").to_vec(),
+            coefficients: self
+                .used_coeffs
+                .as_ref()
+                .expect("committed coefficients")
+                .to_vec(),
             committed_version: self.committed_version,
-            spec_stats: if self.cfg.policy.speculates() { Some(self.mgr.stats()) } else { None },
+            spec_stats: if self.cfg.policy.speculates() {
+                Some(self.mgr.stats())
+            } else {
+                None
+            },
         }
     }
 
@@ -213,11 +222,20 @@ impl FilterWorkload {
         let target = self.target.clone();
         let mu = self.cfg.mu;
         let k = self.iter_done;
-        ctx.spawn(TaskSpec::regular("iterate", 1, self.cfg.taps * 8, k, move |_| {
-            let next: Vec<f64> =
-                h.iter().zip(target.iter()).map(|(a, t)| a + mu * (t - a)).collect();
-            payload(Arc::new(next))
-        }));
+        ctx.spawn(TaskSpec::regular(
+            "iterate",
+            1,
+            self.cfg.taps * 8,
+            k,
+            move |_| {
+                let next: Vec<f64> = h
+                    .iter()
+                    .zip(target.iter())
+                    .map(|(a, t)| a + mu * (t - a))
+                    .collect();
+                payload(Arc::new(next))
+            },
+        ));
     }
 
     fn spawn_filters(&mut self, ctx: &mut dyn SchedCtx, version: Option<SpecVersion>, h: Coeffs) {
@@ -244,8 +262,11 @@ impl FilterWorkload {
 
     fn finalize(&mut self, idx: usize, checksum: f64, finished: Time) {
         assert!(self.done[idx].is_none(), "block {idx} filtered twice");
-        self.done[idx] =
-            Some(FilteredBlock { arrival: self.arrival[idx], filtered_at: finished, checksum });
+        self.done[idx] = Some(FilteredBlock {
+            arrival: self.arrival[idx],
+            filtered_at: finished,
+            checksum,
+        });
         self.blocks_done += 1;
     }
 
@@ -271,10 +292,15 @@ impl FilterWorkload {
                     let newer = self.current.clone();
                     let tol = self.cfg.tolerance;
                     let basis = self.iter_done;
-                    ctx.spawn(TaskSpec::check("check", self.cfg.taps * 16, basis, move |_| {
-                        let r = L2Error(tol).check(&spec, &newer);
-                        payload((version, r, newer.clone(), basis))
-                    }));
+                    ctx.spawn(TaskSpec::check(
+                        "check",
+                        self.cfg.taps * 16,
+                        basis,
+                        move |_| {
+                            let r = L2Error(tol).check(&spec, &newer);
+                            payload((version, r, newer.clone(), basis))
+                        },
+                    ));
                 }
                 Action::Rollback { version } => {
                     ctx.abort_version(version);
@@ -293,10 +319,15 @@ impl FilterWorkload {
                     let spec = spec.clone();
                     let final_h = self.final_coeffs.as_ref().expect("final").clone();
                     let tol = self.cfg.tolerance;
-                    ctx.spawn(TaskSpec::check("final-check", self.cfg.taps * 16, version as u64, move |_| {
-                        let r = L2Error(tol).check(&spec, &final_h);
-                        payload((version, r))
-                    }));
+                    ctx.spawn(TaskSpec::check(
+                        "final-check",
+                        self.cfg.taps * 16,
+                        version as u64,
+                        move |_| {
+                            let r = L2Error(tol).check(&spec, &final_h);
+                            payload((version, r))
+                        },
+                    ));
                 }
                 Action::Commit { version } => {
                     self.committed_version = Some(version);
@@ -306,7 +337,11 @@ impl FilterWorkload {
                     }
                 }
                 Action::RecomputeNaturally => {
-                    let h = self.final_coeffs.as_ref().expect("final coefficients").clone();
+                    let h = self
+                        .final_coeffs
+                        .as_ref()
+                        .expect("final coefficients")
+                        .clone();
                     self.used_coeffs = Some(h.clone());
                     self.natural_coeffs = Some(h.clone());
                     self.spawn_filters(ctx, None, h);
@@ -366,12 +401,11 @@ impl Workload for FilterWorkload {
                 }
             }
             "check" => {
-                let (version, r, newer, basis) = expect_payload::<(
-                    SpecVersion,
-                    CheckResult,
-                    Coeffs,
-                    u64,
-                )>(done.output, "check tuple");
+                let (version, r, newer, basis) =
+                    expect_payload::<(SpecVersion, CheckResult, Coeffs, u64)>(
+                        done.output,
+                        "check tuple",
+                    );
                 let actions = self.mgr.on_check_result(version, r, Some((newer, basis)));
                 self.handle_actions(ctx, actions);
             }
@@ -392,7 +426,10 @@ impl Workload for FilterWorkload {
                             self.buffer.push(
                                 v,
                                 idx as u64,
-                                FilterOut { checksum, finished: done.finished },
+                                FilterOut {
+                                    checksum,
+                                    finished: done.finished,
+                                },
                             );
                         }
                     }
@@ -417,7 +454,11 @@ pub fn run_filter_sim(
 ) -> (FilterResult, tvs_sre::RunMetrics) {
     use tvs_sre::exec::sim::{run, SimConfig};
     let wl = FilterWorkload::new(cfg.clone(), n_blocks);
-    let sim = SimConfig { platform: tvs_sre::x86_smp(workers), policy: cfg.policy, trace: false };
+    let sim = SimConfig {
+        platform: tvs_sre::x86_smp(workers),
+        policy: cfg.policy,
+        trace: false,
+    };
     let inputs: Vec<InputBlock> = (0..n_blocks)
         .map(|i| InputBlock {
             index: i,
@@ -442,7 +483,10 @@ mod tests {
 
     #[test]
     fn non_speculative_filter_completes() {
-        let cfg = FilterConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
+        let cfg = FilterConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
         let (res, m) = run_filter_sim(&cfg, 32, 10, 4);
         assert_eq!(res.blocks.len(), 32);
         assert_eq!(res.committed_version, None);
@@ -453,11 +497,20 @@ mod tests {
 
     #[test]
     fn speculative_filter_commits_and_is_faster() {
-        let base = FilterConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
-        let spec = FilterConfig { policy: DispatchPolicy::Balanced, ..Default::default() };
+        let base = FilterConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
+        let spec = FilterConfig {
+            policy: DispatchPolicy::Balanced,
+            ..Default::default()
+        };
         let (rn, mn) = run_filter_sim(&base, 64, 5, 8);
         let (rs, ms) = run_filter_sim(&spec, 64, 5, 8);
-        assert!(rs.committed_version.is_some(), "contraction converges; spec must commit");
+        assert!(
+            rs.committed_version.is_some(),
+            "contraction converges; spec must commit"
+        );
         assert!(
             rs.mean_latency() < rn.mean_latency(),
             "spec {} vs non-spec {}",
@@ -487,7 +540,10 @@ mod tests {
 
     #[test]
     fn committed_checksums_match_used_coefficients() {
-        let cfg = FilterConfig { policy: DispatchPolicy::Balanced, ..Default::default() };
+        let cfg = FilterConfig {
+            policy: DispatchPolicy::Balanced,
+            ..Default::default()
+        };
         let (res, _) = run_filter_sim(&cfg, 8, 5, 4);
         for (i, b) in res.blocks.iter().enumerate() {
             let expect = fir_checksum(&make_block(i), &res.coefficients);

@@ -25,12 +25,8 @@
 
 use crate::config::{HuffmanConfig, PredictorKind};
 use std::sync::Arc;
-use tvs_core::{
-    Action, CheckResult, ManagerStats, SpecVersion, SpeculationManager, WaitBuffer,
-};
-use tvs_huffman::{
-    relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, Histogram,
-};
+use tvs_core::{Action, CheckResult, ManagerStats, SpecVersion, SpeculationManager, WaitBuffer};
+use tvs_huffman::{relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, Histogram};
 use tvs_sre::task::{expect_payload, payload};
 use tvs_sre::{Completion, InputBlock, SchedCtx, TaskSpec, Time, Workload};
 
@@ -51,7 +47,11 @@ impl SpecTree {
     pub fn covering(hist: &Histogram, basis: u64) -> Self {
         let lengths = CodeLengths::build_covering(hist).expect("non-empty histogram");
         let table = CodeTable::from_lengths(&lengths);
-        SpecTree { lengths, table, basis }
+        SpecTree {
+            lengths,
+            table,
+            basis,
+        }
     }
 
     /// Build a tree from a Laplace-smoothed histogram (ablation variant).
@@ -59,7 +59,11 @@ impl SpecTree {
         let lengths =
             CodeLengths::build(&hist.with_smoothing(1)).expect("smoothed histogram non-empty");
         let table = CodeTable::from_lengths(&lengths);
-        SpecTree { lengths, table, basis }
+        SpecTree {
+            lengths,
+            table,
+            basis,
+        }
     }
 
     /// Build a speculative tree per the configured predictor kind.
@@ -74,7 +78,11 @@ impl SpecTree {
     pub fn exact(hist: &Histogram, basis: u64) -> Self {
         let lengths = CodeLengths::build(hist).expect("non-empty histogram");
         let table = CodeTable::from_lengths(&lengths);
-        SpecTree { lengths, table, basis }
+        SpecTree {
+            lengths,
+            table,
+            basis,
+        }
     }
 }
 
@@ -216,8 +224,11 @@ impl HuffmanWorkload {
         let blocks: Vec<BlockDone> = self.done.iter().map(|d| d.expect("all done")).collect();
         let compressed_bits = blocks.iter().map(|b| b.bits).sum();
         let output = if self.cfg.collect_output {
-            let encs: Vec<&EncodedBlock> =
-                self.outputs.iter().map(|o| o.as_ref().expect("collected")).collect();
+            let encs: Vec<&EncodedBlock> = self
+                .outputs
+                .iter()
+                .map(|o| o.as_ref().expect("collected"))
+                .collect();
             let (bytes, bits) = tvs_huffman::concat_blocks(encs);
             let lengths = self
                 .committed_tree
@@ -234,7 +245,11 @@ impl HuffmanWorkload {
             compressed_bits,
             src_bytes: self.data_len(),
             committed_version: self.committed_version,
-            spec_stats: if self.cfg.speculates() { Some(self.mgr.stats()) } else { None },
+            spec_stats: if self.cfg.speculates() {
+                Some(self.mgr.stats())
+            } else {
+                None
+            },
             output,
         }
     }
@@ -249,9 +264,13 @@ impl HuffmanWorkload {
 
     fn spawn_count(&mut self, ctx: &mut dyn SchedCtx, idx: usize) {
         let data = self.data[idx].as_ref().expect("block arrived").clone();
-        ctx.spawn(TaskSpec::regular("count", 0, data.len(), idx as u64, move |_| {
-            payload(Arc::new(Histogram::from_bytes(&data)))
-        }));
+        ctx.spawn(TaskSpec::regular(
+            "count",
+            0,
+            data.len(),
+            idx as u64,
+            move |_| payload(Arc::new(Histogram::from_bytes(&data))),
+        ));
     }
 
     fn maybe_spawn_reduce(&mut self, ctx: &mut dyn SchedCtx) {
@@ -264,9 +283,14 @@ impl HuffmanWorkload {
         if self.counted_prefix < hi {
             return;
         }
-        let group: Vec<Arc<Histogram>> =
-            (lo..hi).map(|i| self.counts[i].as_ref().expect("counted").clone()).collect();
-        let prev = if g == 0 { None } else { Some(self.acc[g - 1].clone()) };
+        let group: Vec<Arc<Histogram>> = (lo..hi)
+            .map(|i| self.counts[i].as_ref().expect("counted").clone())
+            .collect();
+        let prev = if g == 0 {
+            None
+        } else {
+            Some(self.acc[g - 1].clone())
+        };
         // Per-block histograms travel as u32 counts (1 KB); the running
         // accumulator needs u64 (2 KB). At the Cell's 16:1 ratio this is
         // 18 KB — inside the 32 KB local-store task limit, as the paper's
@@ -296,16 +320,26 @@ impl HuffmanWorkload {
         let (hist, basis) = if self.reduces_done == 0 {
             (self.counts[0].as_ref().expect("first count").clone(), 0)
         } else {
-            (self.acc[self.reduces_done - 1].clone(), self.reduces_done as u64)
+            (
+                self.acc[self.reduces_done - 1].clone(),
+                self.reduces_done as u64,
+            )
         };
         let kind = self.cfg.predictor;
-        ctx.spawn(TaskSpec::predictor("predict", 2048, version, version as u64, move |_| {
-            payload(Arc::new(SpecTree::predict(kind, &hist, basis)))
-        }));
+        ctx.spawn(TaskSpec::predictor(
+            "predict",
+            2048,
+            version,
+            version as u64,
+            move |_| payload(Arc::new(SpecTree::predict(kind, &hist, basis))),
+        ));
     }
 
     fn spawn_check(&mut self, ctx: &mut dyn SchedCtx, version: SpecVersion) {
-        let (_, tree) = self.mgr.active().expect("check only against an active speculation");
+        let (_, tree) = self
+            .mgr
+            .active()
+            .expect("check only against an active speculation");
         let spec_tree = tree.clone();
         let basis = self.reduces_done as u64;
         let hist = self.acc[self.reduces_done - 1].clone();
@@ -319,15 +353,23 @@ impl HuffmanWorkload {
     }
 
     fn spawn_final_check(&mut self, ctx: &mut dyn SchedCtx, version: SpecVersion) {
-        let (_, tree) = self.mgr.pending_final().expect("final check needs a pending value");
+        let (_, tree) = self
+            .mgr
+            .pending_final()
+            .expect("final check needs a pending value");
         let spec_tree = tree.clone();
         let final_tree = self.final_tree.as_ref().expect("final tree built").clone();
         let hist = self.acc[self.n_groups - 1].clone();
         let tolerance = self.cfg.tolerance;
-        ctx.spawn(TaskSpec::check("final-check", 4096, version as u64, move |_| {
-            let delta = relative_cost_delta(&spec_tree.lengths, &final_tree.lengths, &hist);
-            payload((version, tolerance.judge(delta)))
-        }));
+        ctx.spawn(TaskSpec::check(
+            "final-check",
+            4096,
+            version as u64,
+            move |_| {
+                let delta = relative_cost_delta(&spec_tree.lengths, &final_tree.lengths, &hist);
+                payload((version, tolerance.judge(delta)))
+            },
+        ));
     }
 
     /// Advance a path's serial offset chain: spawn the next offset task if
@@ -337,7 +379,9 @@ impl HuffmanWorkload {
         let counted_prefix = self.counted_prefix;
         let (fanout, n_blocks) = (self.cfg.offset_fanout, self.n_blocks);
         let (version, table, lo) = {
-            let Some(path) = self.path_mut(which) else { return };
+            let Some(path) = self.path_mut(which) else {
+                return;
+            };
             if path.offset_inflight || path.next_block >= n_blocks {
                 return;
             }
@@ -347,13 +391,19 @@ impl HuffmanWorkload {
         if hi <= lo {
             return;
         }
-        let group: Vec<Arc<Histogram>> =
-            (lo..hi).map(|i| self.counts[i].as_ref().expect("counted").clone()).collect();
+        let group: Vec<Arc<Histogram>> = (lo..hi)
+            .map(|i| self.counts[i].as_ref().expect("counted").clone())
+            .collect();
         let bytes = group.len() * 1024;
         let body = move |_: &tvs_sre::TaskCtx| {
             let lens: Vec<u64> = group
                 .iter()
-                .map(|h| table.table.encoded_bits(h).expect("covering/exact table encodes all"))
+                .map(|h| {
+                    table
+                        .table
+                        .encoded_bits(h)
+                        .expect("covering/exact table encodes all")
+                })
                 .collect();
             payload((lo, lens))
         };
@@ -362,7 +412,9 @@ impl HuffmanWorkload {
             None => TaskSpec::regular("offset", 3, bytes, lo as u64, body),
         };
         if ctx.spawn(task).is_some() {
-            self.path_mut(which).expect("path still live").offset_inflight = true;
+            self.path_mut(which)
+                .expect("path still live")
+                .offset_inflight = true;
         }
     }
 
@@ -391,8 +443,17 @@ impl HuffmanWorkload {
                 payload(e)
             };
             let task = match version {
-                Some(v) => TaskSpec::speculative("encode", 4, data_len_of(&self.data, idx), v, idx as u64, body),
-                None => TaskSpec::regular("encode", 4, data_len_of(&self.data, idx), idx as u64, body),
+                Some(v) => TaskSpec::speculative(
+                    "encode",
+                    4,
+                    data_len_of(&self.data, idx),
+                    v,
+                    idx as u64,
+                    body,
+                ),
+                None => {
+                    TaskSpec::regular("encode", 4, data_len_of(&self.data, idx), idx as u64, body)
+                }
             };
             ctx.spawn(task);
         }
@@ -412,7 +473,11 @@ impl HuffmanWorkload {
         if self.cfg.collect_output {
             self.outputs[idx] = Some(encoded);
         } else {
-            self.outputs[idx] = Some(EncodedBlock { bytes: Vec::new(), bit_len: encoded.bit_len, src_len: encoded.src_len });
+            self.outputs[idx] = Some(EncodedBlock {
+                bytes: Vec::new(),
+                bit_len: encoded.bit_len,
+                src_len: encoded.src_len,
+            });
         }
         self.blocks_done += 1;
     }
@@ -429,7 +494,12 @@ impl HuffmanWorkload {
                 Action::Rollback { version } => {
                     ctx.abort_version(version);
                     self.buffer.abort(version);
-                    if self.spec_path.as_ref().map(|p| p.version == Some(version)).unwrap_or(false) {
+                    if self
+                        .spec_path
+                        .as_ref()
+                        .map(|p| p.version == Some(version))
+                        .unwrap_or(false)
+                    {
                         self.spec_path = None;
                     }
                 }
@@ -446,19 +516,28 @@ impl HuffmanWorkload {
                 Action::SpawnFinalCheck { version } => self.spawn_final_check(ctx, version),
                 Action::Commit { version } => {
                     self.committed_version = Some(version);
-                    self.committed_tree =
-                        self.spec_path.as_ref().map(|p| p.tree.clone()).or_else(|| {
-                            self.mgr.pending_final().map(|(_, t)| t.clone())
-                        });
+                    self.committed_tree = self
+                        .spec_path
+                        .as_ref()
+                        .map(|p| p.tree.clone())
+                        .or_else(|| self.mgr.pending_final().map(|(_, t)| t.clone()));
                     for (slot, out) in self.buffer.commit(version) {
                         self.finalize_block(slot as usize, out.encoded, out.finished);
                     }
                 }
                 Action::RecomputeNaturally => {
-                    let tree = self.final_tree.as_ref().expect("final tree available").clone();
+                    let tree = self
+                        .final_tree
+                        .as_ref()
+                        .expect("final tree available")
+                        .clone();
                     self.committed_tree = Some(tree.clone());
-                    self.natural_path =
-                        Some(Path { version: None, tree, next_block: 0, offset_inflight: false });
+                    self.natural_path = Some(Path {
+                        version: None,
+                        tree,
+                        next_block: 0,
+                        offset_inflight: false,
+                    });
                     self.pump_path(ctx, PathSel::Natural);
                 }
             }
@@ -489,7 +568,10 @@ impl Workload for HuffmanWorkload {
         match done.name {
             "count" => {
                 let idx = done.tag as usize;
-                self.counts[idx] = Some(expect_payload::<Arc<Histogram>>(done.output, "Arc<Histogram>"));
+                self.counts[idx] = Some(expect_payload::<Arc<Histogram>>(
+                    done.output,
+                    "Arc<Histogram>",
+                ));
                 while self.counted_prefix < self.n_blocks
                     && self.counts[self.counted_prefix].is_some()
                 {
@@ -552,13 +634,15 @@ impl Workload for HuffmanWorkload {
                 }
             }
             "check" => {
-                let (version, result, candidate) = expect_payload::<(
-                    SpecVersion,
-                    CheckResult,
-                    Arc<SpecTree>,
-                )>(done.output, "(version, CheckResult, Arc<SpecTree>)");
+                let (version, result, candidate) =
+                    expect_payload::<(SpecVersion, CheckResult, Arc<SpecTree>)>(
+                        done.output,
+                        "(version, CheckResult, Arc<SpecTree>)",
+                    );
                 let basis = candidate.basis;
-                let actions = self.mgr.on_check_result(version, result, Some((candidate, basis)));
+                let actions = self
+                    .mgr
+                    .on_check_result(version, result, Some((candidate, basis)));
                 self.handle_actions(ctx, actions);
             }
             "final-check" => {
@@ -570,8 +654,13 @@ impl Workload for HuffmanWorkload {
                 self.handle_actions(ctx, actions);
             }
             "offset" => {
-                let (lo, lens) = expect_payload::<(usize, Vec<u64>)>(done.output, "(usize, Vec<u64>)");
-                let which = if done.version.is_some() { PathSel::Spec } else { PathSel::Natural };
+                let (lo, lens) =
+                    expect_payload::<(usize, Vec<u64>)>(done.output, "(usize, Vec<u64>)");
+                let which = if done.version.is_some() {
+                    PathSel::Spec
+                } else {
+                    PathSel::Natural
+                };
                 // Stale offsets of rolled-back paths are already filtered by
                 // version-abort; an offset for a *replaced* path is impossible
                 // because replacement only happens after abort.
@@ -594,8 +683,14 @@ impl Workload for HuffmanWorkload {
                         if self.committed_version == Some(v) {
                             self.finalize_block(idx, encoded, done.finished);
                         } else {
-                            self.buffer
-                                .push(v, idx as u64, EncodeOut { encoded, finished: done.finished });
+                            self.buffer.push(
+                                v,
+                                idx as u64,
+                                EncodeOut {
+                                    encoded,
+                                    finished: done.finished,
+                                },
+                            );
                         }
                     }
                     None => self.finalize_block(idx, encoded, done.finished),
@@ -621,7 +716,11 @@ mod tests {
     fn blocks_of(data: &[u8], block: usize, gap: Time) -> Vec<InputBlock> {
         data.chunks(block)
             .enumerate()
-            .map(|(i, c)| InputBlock { index: i, arrival: i as Time * gap, data: c.into() })
+            .map(|(i, c)| InputBlock {
+                index: i,
+                arrival: i as Time * gap,
+                data: c.into(),
+            })
             .collect()
     }
 
@@ -641,7 +740,11 @@ mod tests {
 
     fn run_small(data: &[u8], cfg: HuffmanConfig) -> (PipelineResult, tvs_sre::RunMetrics) {
         let wl = HuffmanWorkload::new(cfg.clone(), data.len());
-        let sim = SimConfig { platform: x86_smp(4), policy: cfg.policy, trace: false };
+        let sim = SimConfig {
+            platform: x86_smp(4),
+            policy: cfg.policy,
+            trace: false,
+        };
         let inputs = blocks_of(data, cfg.block_bytes, 5);
         let rep = run(wl, &sim, &HuffmanCost, inputs);
         (rep.workload.result(), rep.metrics)
@@ -686,7 +789,10 @@ mod tests {
         // installs, so intermediate checks actually run.
         let data = stationary_data(64 * 1024);
         let (res, m) = run_small(&data, small_cfg(DispatchPolicy::Balanced));
-        assert!(res.committed_version.is_some(), "stationary data must commit");
+        assert!(
+            res.committed_version.is_some(),
+            "stationary data must commit"
+        );
         assert_eq!(m.rollbacks, 0, "stationary data must not roll back");
         decode_output(&res, &data);
         let s = res.spec_stats.unwrap();
@@ -738,10 +844,16 @@ mod tests {
         let mut data = vec![b'x'; 8 * 1024];
         data.extend((0..8 * 1024u32).map(|i| (i % 251) as u8));
         let (res, _m) = run_small(&data, cfg);
-        assert_eq!(res.committed_version, None, "zero tolerance must reject speculation");
+        assert_eq!(
+            res.committed_version, None,
+            "zero tolerance must reject speculation"
+        );
         decode_output(&res, &data);
         let serial = tvs_huffman::serial_encode(&data).unwrap();
-        assert_eq!(res.compressed_bits, serial.bit_len, "natural path is optimal");
+        assert_eq!(
+            res.compressed_bits, serial.bit_len,
+            "natural path is optimal"
+        );
     }
 
     #[test]

@@ -271,7 +271,11 @@ impl KMeansWorkload {
             blocks: self.done.iter().map(|d| d.clone().expect("done")).collect(),
             centroids: self.used_centroids.as_ref().expect("committed").to_vec(),
             committed_version: self.committed_version,
-            spec_stats: if self.cfg.policy.speculates() { Some(self.mgr.stats()) } else { None },
+            spec_stats: if self.cfg.policy.speculates() {
+                Some(self.mgr.stats())
+            } else {
+                None
+            },
         }
     }
 
@@ -288,7 +292,12 @@ impl KMeansWorkload {
         ));
     }
 
-    fn spawn_assigns(&mut self, ctx: &mut dyn SchedCtx, version: Option<SpecVersion>, c: Centroids) {
+    fn spawn_assigns(
+        &mut self,
+        ctx: &mut dyn SchedCtx,
+        version: Option<SpecVersion>,
+        c: Centroids,
+    ) {
         for idx in 0..self.n_blocks {
             let assigned = match version {
                 Some(_) => &mut self.spec_assigned,
@@ -344,10 +353,15 @@ impl KMeansWorkload {
                     let newer = self.current.clone();
                     let tol = self.cfg.tolerance;
                     let basis = self.iter_done;
-                    ctx.spawn(TaskSpec::check("check", spec.len() * 16, basis, move |_| {
-                        let r = tvs_core::validate::L2Error(tol).check(&spec, &newer);
-                        payload((version, r, newer.clone(), basis))
-                    }));
+                    ctx.spawn(TaskSpec::check(
+                        "check",
+                        spec.len() * 16,
+                        basis,
+                        move |_| {
+                            let r = tvs_core::validate::L2Error(tol).check(&spec, &newer);
+                            payload((version, r, newer.clone(), basis))
+                        },
+                    ));
                 }
                 Action::Rollback { version } => {
                     ctx.abort_version(version);
@@ -384,7 +398,11 @@ impl KMeansWorkload {
                     }
                 }
                 Action::RecomputeNaturally => {
-                    let c = self.final_centroids.as_ref().expect("final centroids").clone();
+                    let c = self
+                        .final_centroids
+                        .as_ref()
+                        .expect("final centroids")
+                        .clone();
                     self.used_centroids = Some(c.clone());
                     self.natural = Some(c.clone());
                     self.spawn_assigns(ctx, None, c);
@@ -443,12 +461,11 @@ impl Workload for KMeansWorkload {
                 }
             }
             "check" => {
-                let (version, r, newer, basis) = expect_payload::<(
-                    SpecVersion,
-                    CheckResult,
-                    Centroids,
-                    u64,
-                )>(done.output, "check tuple");
+                let (version, r, newer, basis) =
+                    expect_payload::<(SpecVersion, CheckResult, Centroids, u64)>(
+                        done.output,
+                        "check tuple",
+                    );
                 let actions = self.mgr.on_check_result(version, r, Some((newer, basis)));
                 self.handle_actions(ctx, actions);
             }
@@ -462,7 +479,11 @@ impl Workload for KMeansWorkload {
                 let idx = done.tag as usize;
                 let (label_counts, distortion) =
                     expect_payload::<(Vec<u64>, f64)>(done.output, "(Vec<u64>, f64)");
-                let out = AssignOut { label_counts, distortion, finished: done.finished };
+                let out = AssignOut {
+                    label_counts,
+                    distortion,
+                    finished: done.finished,
+                };
                 match done.version {
                     Some(v) => {
                         if self.committed_version == Some(v) {
@@ -492,9 +513,17 @@ pub fn run_kmeans_sim(
 ) -> (KMeansResult, tvs_sre::RunMetrics) {
     use tvs_sre::exec::sim::{run, SimConfig};
     let wl = KMeansWorkload::new(cfg.clone(), n_blocks);
-    let sim = SimConfig { platform: tvs_sre::x86_smp(workers), policy: cfg.policy, trace: false };
+    let sim = SimConfig {
+        platform: tvs_sre::x86_smp(workers),
+        policy: cfg.policy,
+        trace: false,
+    };
     let inputs: Vec<InputBlock> = (0..n_blocks)
-        .map(|i| InputBlock { index: i, arrival: i as Time * arrival_gap_us, data: make_block(i) })
+        .map(|i| InputBlock {
+            index: i,
+            arrival: i as Time * arrival_gap_us,
+            data: make_block(i),
+        })
         .collect();
     let rep = run(wl, &sim, &KMeansCost, inputs);
     (rep.workload.result(), rep.metrics)
@@ -516,8 +545,11 @@ mod tests {
         // Lloyd's guarantee is monotone *distortion* (not centroid shift).
         let cfg = KMeansConfig::default();
         let wl = KMeansWorkload::new(cfg.clone(), 1);
-        let sample_bytes: Vec<u8> =
-            wl.sample.iter().map(|&x| (x * 256.0).clamp(0.0, 255.0) as u8).collect();
+        let sample_bytes: Vec<u8> = wl
+            .sample
+            .iter()
+            .map(|&x| (x * 256.0).clamp(0.0, 255.0) as u8)
+            .collect();
         let mut c = (*wl.current).clone();
         let mut prev_distortion = f64::INFINITY;
         let mut last_shift = f64::INFINITY;
@@ -529,30 +561,57 @@ mod tests {
                 "Lloyd distortion must not grow: {distortion} > {prev_distortion}"
             );
             prev_distortion = distortion;
-            last_shift =
-                c.iter().zip(&next).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            last_shift = c
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
             c = next;
         }
-        assert!(last_shift < 0.01, "centroids should settle: shift {last_shift}");
+        assert!(
+            last_shift < 0.01,
+            "centroids should settle: shift {last_shift}"
+        );
     }
 
     #[test]
     fn non_speculative_run_completes() {
-        let cfg = KMeansConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
+        let cfg = KMeansConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
         let (res, m) = run_kmeans_sim(&cfg, 32, 10, 4);
         assert_eq!(res.blocks.len(), 32);
         assert_eq!(m.rollbacks, 0);
-        let total_pts: u64 = res.blocks.iter().map(|b| b.label_counts.iter().sum::<u64>()).sum();
-        assert_eq!(total_pts, 32 * (4096 / cfg.dim) as u64, "every point labelled");
+        let total_pts: u64 = res
+            .blocks
+            .iter()
+            .map(|b| b.label_counts.iter().sum::<u64>())
+            .sum();
+        assert_eq!(
+            total_pts,
+            32 * (4096 / cfg.dim) as u64,
+            "every point labelled"
+        );
     }
 
     #[test]
     fn speculation_commits_and_cuts_latency() {
-        let ns = KMeansConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
-        let sp = KMeansConfig { policy: DispatchPolicy::Balanced, ..Default::default() };
+        let ns = KMeansConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
+        let sp = KMeansConfig {
+            policy: DispatchPolicy::Balanced,
+            ..Default::default()
+        };
         let (rn, _) = run_kmeans_sim(&ns, 64, 10, 8);
         let (rs, _) = run_kmeans_sim(&sp, 64, 10, 8);
-        assert!(rs.committed_version.is_some(), "Lloyd converges; speculation must commit");
+        assert!(
+            rs.committed_version.is_some(),
+            "Lloyd converges; speculation must commit"
+        );
         assert!(
             rs.mean_latency() < rn.mean_latency(),
             "spec {} vs non-spec {}",
@@ -565,12 +624,21 @@ mod tests {
     fn committed_distortion_within_tolerance_band() {
         // The committed assignment uses speculated centroids; its quality
         // may lag the converged ones, but only slightly.
-        let ns = KMeansConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
-        let sp = KMeansConfig { policy: DispatchPolicy::Balanced, ..Default::default() };
+        let ns = KMeansConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        };
+        let sp = KMeansConfig {
+            policy: DispatchPolicy::Balanced,
+            ..Default::default()
+        };
         let (rn, _) = run_kmeans_sim(&ns, 16, 10, 4);
         let (rs, _) = run_kmeans_sim(&sp, 16, 10, 4);
         let rel = rs.total_distortion() / rn.total_distortion();
-        assert!(rel < 1.05, "speculated assignment quality too far off: {rel}");
+        assert!(
+            rel < 1.05,
+            "speculated assignment quality too far off: {rel}"
+        );
     }
 
     #[test]
@@ -606,7 +674,10 @@ mod tests {
             for _ in 0..cfg.iterations {
                 c = lloyd_step(&c, &wl.sample, cfg.k, cfg.dim);
             }
-            assert_eq!(res.centroids, c, "zero tolerance may only commit the exact value");
+            assert_eq!(
+                res.centroids, c,
+                "zero tolerance may only commit the exact value"
+            );
         }
     }
 

@@ -17,7 +17,11 @@ impl Series {
     pub fn from_values<I: IntoIterator<Item = f64>>(label: impl Into<String>, ys: I) -> Self {
         Series {
             label: label.into(),
-            points: ys.into_iter().enumerate().map(|(i, y)| (i as f64, y)).collect(),
+            points: ys
+                .into_iter()
+                .enumerate()
+                .map(|(i, y)| (i as f64, y))
+                .collect(),
         }
     }
 
@@ -56,7 +60,12 @@ impl Figure {
             let _ = write!(out, ",{}", s.label);
         }
         out.push('\n');
-        let rows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for r in 0..rows {
             let x = self
                 .series
@@ -92,8 +101,10 @@ impl Figure {
             .flat_map(|s| s.points.iter().map(|p| p.1))
             .fold(0.0f64, f64::max);
         if y_max <= 0.0 {
-            out.push_str("  (no data)
-");
+            out.push_str(
+                "  (no data)
+",
+            );
             return out;
         }
         let x_max = self
@@ -107,8 +118,8 @@ impl Figure {
             let marker = b'a' + (si as u8 % 26);
             for &(x, y) in &s.points {
                 let col = ((x / x_max) * (width - 1) as f64).round() as usize;
-                let row = ((1.0 - (y / y_max).clamp(0.0, 1.0)) * (height - 1) as f64).round()
-                    as usize;
+                let row =
+                    ((1.0 - (y / y_max).clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
                 grid[row.min(height - 1)][col.min(width - 1)] = marker;
             }
         }
@@ -150,7 +161,11 @@ impl Figure {
                     );
                 }
                 _ => {
-                    let _ = writeln!(out, "  {:<14} mean {} = {:>12.1}", s.label, self.y_label, mean);
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} mean {} = {:>12.1}",
+                        s.label, self.y_label, mean
+                    );
                 }
             }
         }
@@ -170,8 +185,14 @@ mod tests {
             x_label: "element".into(),
             y_label: "latency".into(),
             series: vec![
-                Series { label: "a".into(), points: vec![(0.0, 1.0), (1.0, 2.0)] },
-                Series { label: "b".into(), points: vec![(0.0, 3.0)] },
+                Series {
+                    label: "a".into(),
+                    points: vec![(0.0, 1.0), (1.0, 2.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(0.0, 3.0)],
+                },
             ],
         };
         let csv = fig.to_csv();

@@ -50,7 +50,11 @@ pub fn schedule_blocks(
         .chunks(block_bytes)
         .zip(&times)
         .enumerate()
-        .map(|(index, (chunk, &arrival))| InputBlock { index, arrival, data: chunk.into() })
+        .map(|(index, (chunk, &arrival))| InputBlock {
+            index,
+            arrival,
+            data: chunk.into(),
+        })
         .collect();
     (blocks, times)
 }
@@ -76,10 +80,18 @@ pub fn run_huffman_sim_traced(
 ) -> (RunOutcome, Vec<TaskTrace>) {
     let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
     let wl = HuffmanWorkload::new(cfg.clone(), data.len());
-    let sim = SimConfig { platform: platform.clone(), policy: cfg.policy, trace };
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace,
+    };
     let rep = sim_run(wl, &sim, &HuffmanCost, blocks);
     (
-        RunOutcome { result: rep.workload.result(), metrics: rep.metrics, arrivals: times },
+        RunOutcome {
+            result: rep.workload.result(),
+            metrics: rep.metrics,
+            arrivals: times,
+        },
         rep.trace,
     )
 }
@@ -97,7 +109,10 @@ pub fn run_huffman_threaded(
     let n = data.len().div_ceil(cfg.block_bytes);
     let times = arrival.schedule(n, cfg.block_bytes);
     let wl = HuffmanWorkload::new(cfg.clone(), data.len());
-    let tcfg = ThreadedConfig { workers, policy: cfg.policy };
+    let tcfg = ThreadedConfig {
+        workers,
+        policy: cfg.policy,
+    };
 
     // The feeder consumes a paced iterator; build owned blocks up front.
     let owned: Vec<(usize, Arc<[u8]>)> = data
@@ -120,7 +135,11 @@ pub fn run_huffman_threaded(
         (i, d)
     });
     let (wl, metrics) = threaded_run(wl, &tcfg, iter);
-    RunOutcome { result: wl.result(), metrics, arrivals: times }
+    RunOutcome {
+        result: wl.result(),
+        metrics,
+        arrivals: times,
+    }
 }
 
 #[cfg(test)]
@@ -130,17 +149,25 @@ mod tests {
     use tvs_sre::{x86_smp, DispatchPolicy};
 
     fn data() -> Vec<u8> {
-        (0..64 * 1024).map(|i| b"streaming speculation"[i % 21]).collect()
+        (0..64 * 1024)
+            .map(|i| b"streaming speculation"[i % 21])
+            .collect()
     }
 
     fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
-        HuffmanConfig { collect_output: true, ..HuffmanConfig::disk_x86(policy) }
+        HuffmanConfig {
+            collect_output: true,
+            ..HuffmanConfig::disk_x86(policy)
+        }
     }
 
     #[test]
     fn sim_runner_end_to_end() {
         let d = data();
-        let arrival = Uniform { gap_us: 2, start_us: 0 };
+        let arrival = Uniform {
+            gap_us: 2,
+            start_us: 0,
+        };
         let out = run_huffman_sim(&d, &cfg(DispatchPolicy::Balanced), &x86_smp(8), &arrival);
         assert_eq!(out.result.blocks.len(), 16);
         assert_eq!(out.arrivals.len(), 16);
@@ -152,7 +179,10 @@ mod tests {
     #[test]
     fn sim_runner_is_deterministic() {
         let d = data();
-        let arrival = Uniform { gap_us: 3, start_us: 1 };
+        let arrival = Uniform {
+            gap_us: 3,
+            start_us: 1,
+        };
         let c = cfg(DispatchPolicy::Aggressive);
         let a = run_huffman_sim(&d, &c, &x86_smp(8), &arrival);
         let b = run_huffman_sim(&d, &c, &x86_smp(8), &arrival);
@@ -164,7 +194,10 @@ mod tests {
     #[test]
     fn trace_capture_when_requested() {
         let d = data();
-        let arrival = Uniform { gap_us: 2, start_us: 0 };
+        let arrival = Uniform {
+            gap_us: 2,
+            start_us: 0,
+        };
         let (_, trace) = run_huffman_sim_traced(
             &d,
             &cfg(DispatchPolicy::NonSpeculative),
@@ -180,7 +213,10 @@ mod tests {
     #[test]
     fn threaded_runner_produces_decodable_output() {
         let d = data();
-        let arrival = Uniform { gap_us: 1, start_us: 0 };
+        let arrival = Uniform {
+            gap_us: 1,
+            start_us: 0,
+        };
         let out = run_huffman_threaded(&d, &cfg(DispatchPolicy::Balanced), 4, &arrival, 1000);
         let (bytes, bits, lengths) = out.result.output.as_ref().unwrap();
         let table = tvs_huffman::CodeTable::from_lengths(lengths);

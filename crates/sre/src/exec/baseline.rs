@@ -1,0 +1,287 @@
+//! Single-lock thread-pool executor — the pre-sharding baseline.
+//!
+//! This is the original threaded runtime: every dispatch, completion and
+//! SuperTask routing decision happens under one global `Mutex`, and idle
+//! workers poll on a 5 ms condvar timeout. It is kept (a) as the comparison
+//! point for the `runtime_micro` throughput bench, which measures what the
+//! work-stealing executor in [`super::threaded`] buys, and (b) as a third
+//! cross-validation target in the executor-equivalence property tests.
+//!
+//! New code should use [`super::threaded::run`]; this module is not
+//! re-exported at the crate root.
+
+use crate::metrics::RunMetrics;
+use crate::sched::{CompletionOutcome, Scheduler};
+use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
+use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub use super::threaded::ThreadedConfig;
+
+struct Inner<W> {
+    sched: Scheduler,
+    workload: W,
+    input_done: bool,
+    delivered: u64,
+    discarded: u64,
+    busy_us: Time,
+    wasted_us: Time,
+    finished_at: Option<Time>,
+}
+
+struct Shared<W> {
+    inner: Mutex<Inner<W>>,
+    cv: Condvar,
+    start: Instant,
+}
+
+impl<W> Shared<W> {
+    fn now(&self) -> Time {
+        self.start.elapsed().as_micros() as Time
+    }
+}
+
+struct LockedCtx<'a> {
+    sched: &'a mut Scheduler,
+    now: Time,
+}
+
+impl SchedCtx for LockedCtx<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn spawn(&mut self, spec: TaskSpec) -> Option<TaskId> {
+        self.sched.spawn(spec)
+    }
+    fn abort_version(&mut self, version: SpecVersion) {
+        self.sched.abort_version(version);
+    }
+}
+
+fn run_complete<W: Workload>(inner: &mut Inner<W>, now: Time) -> bool {
+    let done = inner.workload.is_finished() && inner.input_done && inner.sched.is_idle();
+    if done && inner.finished_at.is_none() {
+        inner.finished_at = Some(now);
+    }
+    done
+}
+
+/// Run `workload` on `cfg.workers` real threads with the single-lock
+/// dispatch path. Semantics are identical to [`super::threaded::run`]; only
+/// the synchronisation strategy differs.
+pub fn run<W, I>(workload: W, cfg: &ThreadedConfig, inputs: I) -> (W, RunMetrics)
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    assert!(cfg.workers > 0, "need at least one worker");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            sched: Scheduler::new(cfg.policy),
+            workload,
+            input_done: false,
+            delivered: 0,
+            discarded: 0,
+            busy_us: 0,
+            wasted_us: 0,
+            finished_at: None,
+        }),
+        cv: Condvar::new(),
+        start: Instant::now(),
+    });
+
+    {
+        let mut inner = shared.inner.lock().expect("lock poisoned");
+        let now = shared.now();
+        let Inner {
+            sched, workload, ..
+        } = &mut *inner;
+        workload.on_start(&mut LockedCtx { sched, now });
+    }
+
+    // Input feeder thread (the paper's first auxiliary thread).
+    let feeder = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for (index, data) in inputs {
+                let now = shared.now();
+                let mut inner = shared.inner.lock().expect("lock poisoned");
+                let Inner {
+                    sched, workload, ..
+                } = &mut *inner;
+                workload.on_input(
+                    &mut LockedCtx { sched, now },
+                    InputBlock {
+                        index,
+                        arrival: now,
+                        data,
+                    },
+                );
+                drop(inner);
+                shared.cv.notify_all();
+            }
+            let now = shared.now();
+            let mut inner = shared.inner.lock().expect("lock poisoned");
+            let Inner {
+                sched,
+                workload,
+                input_done,
+                ..
+            } = &mut *inner;
+            workload.on_input_done(&mut LockedCtx { sched, now });
+            *input_done = true;
+            drop(inner);
+            shared.cv.notify_all();
+        })
+    };
+
+    // Worker threads: dispatch, execution and completion routing all take
+    // the same global lock.
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                let mut inner = shared.inner.lock().expect("lock poisoned");
+                if let Some(work) = inner.sched.dispatch() {
+                    drop(inner);
+                    let started = shared.now();
+                    let output = (work.run)(&work.ctx);
+                    let finished = shared.now();
+                    let mut inner = shared.inner.lock().expect("lock poisoned");
+                    let busy = finished.saturating_sub(started);
+                    inner.busy_us += busy;
+                    inner.sched.charge(work.class, busy);
+                    match inner.sched.complete(work.id) {
+                        CompletionOutcome::Discard => {
+                            inner.discarded += 1;
+                            inner.wasted_us += busy;
+                        }
+                        CompletionOutcome::Deliver => {
+                            inner.delivered += 1;
+                            let Inner {
+                                sched, workload, ..
+                            } = &mut *inner;
+                            workload.on_complete(
+                                &mut LockedCtx {
+                                    sched,
+                                    now: finished,
+                                },
+                                Completion {
+                                    id: work.id,
+                                    name: work.name,
+                                    version: work.version,
+                                    tag: work.tag,
+                                    started,
+                                    finished,
+                                    output,
+                                },
+                            );
+                        }
+                    }
+                    let done = run_complete(&mut inner, finished);
+                    drop(inner);
+                    shared.cv.notify_all();
+                    if done {
+                        return;
+                    }
+                } else {
+                    if run_complete(&mut inner, shared.now()) {
+                        drop(inner);
+                        shared.cv.notify_all();
+                        return;
+                    }
+                    // Re-check periodically: completion conditions can
+                    // change without a notify in rare shutdown races.
+                    let _ = shared
+                        .cv
+                        .wait_timeout(inner, Duration::from_millis(5))
+                        .expect("lock poisoned");
+                }
+            })
+        })
+        .collect();
+
+    feeder.join().expect("feeder thread panicked");
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("threads gone, shared state uniquely owned"));
+    let inner = shared.inner.into_inner().expect("lock poisoned");
+    let st = inner.sched.stats().clone();
+    let metrics = RunMetrics {
+        makespan: inner
+            .finished_at
+            .unwrap_or_else(|| shared.start.elapsed().as_micros() as Time),
+        tasks_delivered: inner.delivered,
+        tasks_discarded: inner.discarded,
+        tasks_deleted_ready: st.deleted_ready,
+        busy_us: inner.busy_us,
+        wasted_us: inner.wasted_us,
+        rollbacks: st.rollbacks,
+        workers: cfg.workers,
+        lane_dispatches: Vec::new(),
+        steals: 0,
+    };
+    (inner.workload, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DispatchPolicy;
+    use crate::task::payload;
+
+    struct Summer {
+        n: usize,
+        seen: usize,
+        total: u64,
+    }
+
+    impl Workload for Summer {
+        fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
+            let data = b.data.clone();
+            ctx.spawn(TaskSpec::regular(
+                "sum",
+                0,
+                data.len(),
+                b.index as u64,
+                move |_| payload(data.iter().map(|&x| x as u64).sum::<u64>()),
+            ));
+        }
+        fn on_complete(&mut self, _ctx: &mut dyn SchedCtx, done: Completion) {
+            self.total += *done.output.downcast::<u64>().unwrap();
+            self.seen += 1;
+        }
+        fn is_finished(&self) -> bool {
+            self.seen == self.n
+        }
+    }
+
+    #[test]
+    fn baseline_sums_all_blocks() {
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..32).map(|i| (i, vec![i as u8; 100].into())).collect();
+        let expect: u64 = (0..32u64).map(|i| i * 100).sum();
+        let cfg = ThreadedConfig {
+            workers: 4,
+            policy: DispatchPolicy::NonSpeculative,
+        };
+        let (w, m) = run(
+            Summer {
+                n: 32,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+        );
+        assert_eq!(w.total, expect);
+        assert_eq!(m.tasks_delivered, 32);
+        assert!(m.lane_dispatches.is_empty(), "baseline has no lanes");
+        assert_eq!(m.steals, 0);
+    }
+}

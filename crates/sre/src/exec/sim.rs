@@ -14,9 +14,9 @@ use crate::policy::DispatchPolicy;
 use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
 use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
 use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
+use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::cmp::Reverse;
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -72,7 +72,10 @@ pub fn run<W: Workload>(
     cost: &dyn CostModel,
     inputs: Vec<InputBlock>,
 ) -> SimReport<W> {
-    assert!(cfg.platform.workers > 0, "platform must have at least one worker");
+    assert!(
+        cfg.platform.workers > 0,
+        "platform must have at least one worker"
+    );
     assert!(
         inputs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
         "inputs must be sorted by arrival time"
@@ -80,7 +83,10 @@ pub fn run<W: Workload>(
 
     let mut sched = Scheduler::new(cfg.policy);
     let mut workers: Vec<WorkerState> = (0..cfg.platform.workers)
-        .map(|_| WorkerState { pipeline_end: 0, assigned: VecDeque::new() })
+        .map(|_| WorkerState {
+            pipeline_end: 0,
+            assigned: VecDeque::new(),
+        })
         .collect();
 
     // Event queue ordered by (time, push sequence) for determinism.
@@ -95,17 +101,34 @@ pub fn run<W: Workload>(
         input_map.insert(i, b);
     }
 
-    let mut metrics = RunMetrics { workers: cfg.platform.workers, ..Default::default() };
+    let mut metrics = RunMetrics {
+        workers: cfg.platform.workers,
+        lane_dispatches: vec![0; cfg.platform.workers],
+        ..Default::default()
+    };
     let mut trace: Vec<TaskTrace> = Vec::new();
     let mut arrivals_seen = 0usize;
     let mut finished_at: Option<Time> = None;
     let mut last_event_time: Time = 0;
 
     {
-        let mut ctx = SimCtx { sched: &mut sched, platform: &cfg.platform, now: 0 };
+        let mut ctx = SimCtx {
+            sched: &mut sched,
+            platform: &cfg.platform,
+            now: 0,
+        };
         workload.on_start(&mut ctx);
     }
-    dispatch_all(&mut sched, &mut workers, cfg, cost, 0, &mut heap, &mut heap_seq);
+    dispatch_all(
+        &mut sched,
+        &mut workers,
+        cfg,
+        cost,
+        0,
+        &mut heap,
+        &mut heap_seq,
+        &mut metrics.lane_dispatches,
+    );
 
     while let Some(Reverse((t, _seq, aux, slot))) = heap.pop() {
         last_event_time = t;
@@ -115,7 +138,11 @@ pub fn run<W: Workload>(
                     Entry::Occupied(e) => e.remove(),
                     Entry::Vacant(_) => unreachable!("arrival {aux} delivered twice"),
                 };
-                let mut ctx = SimCtx { sched: &mut sched, platform: &cfg.platform, now: t };
+                let mut ctx = SimCtx {
+                    sched: &mut sched,
+                    platform: &cfg.platform,
+                    now: t,
+                };
                 workload.on_input(&mut ctx, block);
                 arrivals_seen += 1;
                 if arrivals_seen == n_inputs {
@@ -151,7 +178,11 @@ pub fn run<W: Workload>(
                     // Run the body now; outputs of discarded tasks are
                     // never materialised ("deleted with their content").
                     let output = (work.run)(&work.ctx);
-                    let mut ctx = SimCtx { sched: &mut sched, platform: &cfg.platform, now: t };
+                    let mut ctx = SimCtx {
+                        sched: &mut sched,
+                        platform: &cfg.platform,
+                        now: t,
+                    };
                     workload.on_complete(
                         &mut ctx,
                         Completion {
@@ -170,7 +201,16 @@ pub fn run<W: Workload>(
         if finished_at.is_none() && workload.is_finished() {
             finished_at = Some(t);
         }
-        dispatch_all(&mut sched, &mut workers, cfg, cost, t, &mut heap, &mut heap_seq);
+        dispatch_all(
+            &mut sched,
+            &mut workers,
+            cfg,
+            cost,
+            t,
+            &mut heap,
+            &mut heap_seq,
+            &mut metrics.lane_dispatches,
+        );
     }
 
     if !workload.is_finished() {
@@ -191,7 +231,11 @@ pub fn run<W: Workload>(
     metrics.tasks_deleted_ready = st.deleted_ready;
     metrics.rollbacks = st.rollbacks;
 
-    SimReport { workload, metrics, trace }
+    SimReport {
+        workload,
+        metrics,
+        trace,
+    }
 }
 
 /// Event discriminant kept `Copy + Ord` for the heap.
@@ -202,7 +246,9 @@ enum EvSlot {
 }
 
 /// Fill worker prefetch queues with dispatchable tasks, scheduling their
-/// completion events.
+/// completion events. `lane_dispatches` counts tasks bound per worker (the
+/// simulator's analogue of the threaded executor's ready lanes).
+#[allow(clippy::too_many_arguments)]
 fn dispatch_all(
     sched: &mut Scheduler,
     workers: &mut [WorkerState],
@@ -211,6 +257,7 @@ fn dispatch_all(
     now: Time,
     heap: &mut BinaryHeap<Reverse<(Time, u64, usize, EvSlot)>>,
     heap_seq: &mut u64,
+    lane_dispatches: &mut [u64],
 ) {
     loop {
         if !sched.has_dispatchable() {
@@ -234,11 +281,16 @@ fn dispatch_all(
         // always false and conservative reverts to ready-queue idleness.
         let normal_pending_elsewhere = cfg.platform.prefetch_depth > 1
             && workers.iter().any(|w| {
-                w.assigned.iter().any(|a| a.work.class == crate::task::TaskClass::Regular)
+                w.assigned
+                    .iter()
+                    .any(|a| a.work.class == crate::task::TaskClass::Regular)
             });
-        let Some(work) = sched.dispatch_with(normal_pending_elsewhere) else { return };
+        let Some(work) = sched.dispatch_with(normal_pending_elsewhere) else {
+            return;
+        };
         let c = cfg.platform.task_cost_us(cost, work.name, work.bytes);
         sched.charge(work.class, c);
+        lane_dispatches[wi] += 1;
         let w = &mut workers[wi];
         let start = w.pipeline_end.max(now);
         let end = start + c.max(1);
@@ -256,7 +308,11 @@ mod tests {
     use crate::task::{payload, TaskSpec};
 
     fn block(i: usize, t: Time, len: usize) -> InputBlock {
-        InputBlock { index: i, arrival: t, data: vec![i as u8; len].into() }
+        InputBlock {
+            index: i,
+            arrival: t,
+            data: vec![i as u8; len].into(),
+        }
     }
 
     /// One task per block; finishes when all are processed.
@@ -268,9 +324,13 @@ mod tests {
 
     impl Workload for PerBlock {
         fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
-            ctx.spawn(TaskSpec::regular("work", 0, b.data.len(), b.index as u64, move |_| {
-                payload(())
-            }));
+            ctx.spawn(TaskSpec::regular(
+                "work",
+                0,
+                b.data.len(),
+                b.index as u64,
+                move |_| payload(()),
+            ));
         }
         fn on_complete(&mut self, _ctx: &mut dyn SchedCtx, done: Completion) {
             self.seen += 1;
@@ -283,8 +343,16 @@ mod tests {
 
     #[test]
     fn single_worker_serialises() {
-        let w = PerBlock { n: 3, seen: 0, completions: vec![] };
-        let cfg = SimConfig { platform: x86_smp(1), policy: DispatchPolicy::NonSpeculative, trace: true };
+        let w = PerBlock {
+            n: 3,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(1),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: true,
+        };
         let inputs = vec![block(0, 0, 10), block(1, 0, 10), block(2, 0, 10)];
         let rep = run(w, &cfg, &FixedCost(9), inputs);
         // Each task costs 9 + 1 (dispatch overhead) = 10.
@@ -299,17 +367,36 @@ mod tests {
 
     #[test]
     fn parallel_workers_overlap() {
-        let w = PerBlock { n: 4, seen: 0, completions: vec![] };
-        let cfg = SimConfig { platform: x86_smp(4), policy: DispatchPolicy::NonSpeculative, trace: false };
+        let w = PerBlock {
+            n: 4,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(4),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
         let inputs = (0..4).map(|i| block(i, 0, 10)).collect();
         let rep = run(w, &cfg, &FixedCost(9), inputs);
-        assert_eq!(rep.metrics.makespan, 10, "4 tasks on 4 workers run concurrently");
+        assert_eq!(
+            rep.metrics.makespan, 10,
+            "4 tasks on 4 workers run concurrently"
+        );
     }
 
     #[test]
     fn arrivals_gate_task_starts() {
-        let w = PerBlock { n: 2, seen: 0, completions: vec![] };
-        let cfg = SimConfig { platform: x86_smp(4), policy: DispatchPolicy::NonSpeculative, trace: false };
+        let w = PerBlock {
+            n: 2,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(4),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
         let inputs = vec![block(0, 0, 10), block(1, 100, 10)];
         let rep = run(w, &cfg, &FixedCost(4), inputs);
         let mut ends: Vec<Time> = rep.workload.completions.iter().map(|c| c.1).collect();
@@ -320,8 +407,16 @@ mod tests {
 
     #[test]
     fn deterministic_traces() {
-        let mk = || PerBlock { n: 16, seen: 0, completions: vec![] };
-        let cfg = SimConfig { platform: x86_smp(3), policy: DispatchPolicy::NonSpeculative, trace: true };
+        let mk = || PerBlock {
+            n: 16,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(3),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: true,
+        };
         let inputs: Vec<InputBlock> = (0..16).map(|i| block(i, (i as u64) * 3, 64)).collect();
         let a = run(mk(), &cfg, &FixedCost(7), inputs.clone());
         let b = run(mk(), &cfg, &FixedCost(7), inputs);
@@ -374,11 +469,18 @@ mod tests {
                 }
             }
         }
-        let cfg = SimConfig { platform: x86_smp(2), policy: DispatchPolicy::Aggressive, trace: true };
+        let cfg = SimConfig {
+            platform: x86_smp(2),
+            policy: DispatchPolicy::Aggressive,
+            trace: true,
+        };
         let rep = run(AbortingWl { phase: 0 }, &cfg, &NameCost, vec![]);
         assert_eq!(rep.metrics.tasks_discarded, 1);
         assert_eq!(rep.metrics.rollbacks, 1);
-        assert!(rep.metrics.wasted_us >= 50, "discarded work must count as waste");
+        assert!(
+            rep.metrics.wasted_us >= 50,
+            "discarded work must count as waste"
+        );
         let spec_trace = rep.trace.iter().find(|t| t.name == "spec").unwrap();
         assert!(spec_trace.discarded);
     }
@@ -394,7 +496,11 @@ mod tests {
                 false
             }
         }
-        let cfg = SimConfig { platform: x86_smp(1), policy: DispatchPolicy::NonSpeculative, trace: false };
+        let cfg = SimConfig {
+            platform: x86_smp(1),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
         let _ = run(NeverDone, &cfg, &FixedCost(1), vec![]);
     }
 
@@ -426,13 +532,29 @@ mod tests {
 
         let mut plat = x86_smp(1);
         plat.prefetch_depth = 2;
-        let cfg = SimConfig { platform: plat, policy: DispatchPolicy::NonSpeculative, trace: false };
+        let cfg = SimConfig {
+            platform: plat,
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
         let rep = run(TwoPhase { seen: vec![] }, &cfg, &FixedCost(5), vec![]);
-        assert_eq!(rep.workload.seen, vec!["a", "b", "deep"], "prefetched 'b' runs before 'deep'");
+        assert_eq!(
+            rep.workload.seen,
+            vec!["a", "b", "deep"],
+            "prefetched 'b' runs before 'deep'"
+        );
 
-        let cfg1 = SimConfig { platform: x86_smp(1), policy: DispatchPolicy::NonSpeculative, trace: false };
+        let cfg1 = SimConfig {
+            platform: x86_smp(1),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
         let rep1 = run(TwoPhase { seen: vec![] }, &cfg1, &FixedCost(5), vec![]);
-        assert_eq!(rep1.workload.seen, vec!["a", "deep", "b"], "without prefetch, depth wins");
+        assert_eq!(
+            rep1.workload.seen,
+            vec!["a", "deep", "b"],
+            "without prefetch, depth wins"
+        );
     }
 
     #[test]
@@ -463,8 +585,16 @@ mod tests {
                 1 + bytes as Time / 1024
             }
         }
-        let cfg = SimConfig { platform: x86_smp(2), policy: DispatchPolicy::NonSpeculative, trace: false };
+        let cfg = SimConfig {
+            platform: x86_smp(2),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
         let rep = run(EarlyExit { done: false }, &cfg, &ByteCost, vec![]);
-        assert!(rep.metrics.makespan < 100, "makespan {} should not wait for the straggler", rep.metrics.makespan);
+        assert!(
+            rep.metrics.makespan < 100,
+            "makespan {} should not wait for the straggler",
+            rep.metrics.makespan
+        );
     }
 }

@@ -1,22 +1,56 @@
-//! Real thread-pool executor.
+//! Work-stealing thread-pool executor.
 //!
-//! Mirrors the paper's x86 SRE deployment: an input-feeder thread pushes
-//! blocks into the system, worker threads poll for ready tasks and execute
-//! them, and completion routing (the SuperTask role) happens under a shared
-//! lock. Time is wall-clock microseconds since run start.
+//! Mirrors the paper's x86 SRE deployment — an input-feeder thread pushes
+//! blocks into the system, worker threads execute ready tasks, and a
+//! dedicated router thread plays the SuperTask role — but, unlike the
+//! original single-lock runtime (kept as [`super::baseline`]), nothing on
+//! the worker hot path takes the global scheduler lock:
+//!
+//! * **Sharded dispatch.** A *dispatch pump*, run by whoever already holds
+//!   the commit lock (feeder on input, router on completion, or an idle
+//!   worker that `try_lock`s it — work conservation without ever blocking
+//!   a worker on the lock), batches [`Scheduler::dispatch_with`] pops out
+//!   of the central ready queue into per-worker *ready lanes* (bounded at
+//!   4× the worker count so policy decisions stay fresh). Pushes prefer
+//!   lanes whose workers are awake; workers pop their own lane from the
+//!   front and steal from other lanes' backs when theirs runs dry — tasks
+//!   here are coarse-grain (tens of µs to ms), so a `Mutex<VecDeque>` per
+//!   lane is plenty and keeps the crate `forbid(unsafe_code)`-clean.
+//! * **Epoch-checked rollback.** Rollback stays O(1): [`Scheduler::
+//!   abort_version`] never chases entries already bound into lanes. Instead
+//!   every batch is stamped with the global abort epoch ([`AtomicU64`]); a
+//!   version abort bumps the epoch, and a worker re-validates any stamped
+//!   task whose epoch is stale against its (already signalled) abort flag
+//!   before running it. Cancelled tasks are routed back to the scheduler as
+//!   ready deletions — the paper's "ready tasks must be deleted" — without
+//!   ever executing.
+//! * **Parker wake-up.** Idle workers park ([`std::thread::park_timeout`])
+//!   instead of polling a condvar every 5 ms, and waking is demand-driven:
+//!   the pump unparks *one* worker only while the lane backlog exceeds
+//!   what the awake set (capped at `available_parallelism`) will drain
+//!   anyway; ramp-up to full width happens by wake chaining on every
+//!   successful grab. A hot system never pays a syscall per task the way
+//!   the baseline's `notify_all` storm does, and an over-provisioned one
+//!   never turns queue depth into futex churn.
+//! * **Completion routing off the critical section.** Workers report
+//!   results over a bounded MPSC channel; a single router thread drains it,
+//!   charges lanes, runs `Workload::on_complete` and re-pumps — so workload
+//!   routing code never blocks a worker.
 //!
 //! The figure benches use the deterministic simulator instead; this
-//! executor exists to demonstrate the system end-to-end on real threads
-//! (examples, integration tests) and to cross-validate outputs: both
-//! executors run the *same* `Workload` implementations.
+//! executor exists to run the system end-to-end on real threads and to
+//! cross-validate outputs: both executors (and the baseline) run the *same*
+//! `Workload` implementations.
 
 use crate::metrics::RunMetrics;
 use crate::policy::DispatchPolicy;
-use crate::sched::{CompletionOutcome, Scheduler};
-use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
+use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
+use crate::task::{Payload, SpecVersion, TaskClass, TaskId, TaskSpec, Time};
 use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of a threaded run.
@@ -28,6 +62,178 @@ pub struct ThreadedConfig {
     pub policy: DispatchPolicy,
 }
 
+/// A dispatched task parked in a worker lane, stamped with the abort epoch
+/// current when the pump bound it.
+struct Ready {
+    work: Dispatched,
+    epoch: u64,
+}
+
+struct Parker {
+    handle: OnceLock<std::thread::Thread>,
+    parked: AtomicBool,
+}
+
+/// Lock-free-ish fabric shared by workers: ready lanes, parkers and the
+/// counters that let the pump and the policy observe lane state without the
+/// commit lock.
+struct Fabric {
+    lanes: Vec<Mutex<VecDeque<Ready>>>,
+    parkers: Vec<Parker>,
+    /// Bumped by every version abort; lanes re-validate stale stamps.
+    abort_epoch: AtomicU64,
+    /// Regular (non-speculative) tasks currently bound in lanes — feeds the
+    /// conservative policy's multiple-buffering hint.
+    normal_bound: AtomicUsize,
+    /// Total tasks currently bound in lanes (pump back-pressure).
+    in_lanes: AtomicUsize,
+    /// Workers currently parked (see [`Fabric::wake_for_work`]).
+    parked_count: AtomicUsize,
+    /// How many workers are worth keeping awake: `min(workers,
+    /// available_parallelism)`. Waking more than the hardware can run
+    /// just converts queue depth into futex churn.
+    target_awake: usize,
+    /// Yield-spin budget before parking (workers) or blocking (router).
+    /// Zero when the hardware has a single execution unit: there,
+    /// spinning only steals the quantum from the thread being waited on.
+    spin_limit: u32,
+    /// Round-robin cursor for lane routing.
+    next_lane: AtomicUsize,
+    lane_dispatches: Vec<AtomicU64>,
+    steals: AtomicU64,
+    done: AtomicBool,
+    start: Instant,
+}
+
+impl Fabric {
+    fn new(workers: usize) -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(workers);
+        Fabric {
+            lanes: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            parkers: (0..workers)
+                .map(|_| Parker {
+                    handle: OnceLock::new(),
+                    parked: AtomicBool::new(false),
+                })
+                .collect(),
+            abort_epoch: AtomicU64::new(0),
+            normal_bound: AtomicUsize::new(0),
+            in_lanes: AtomicUsize::new(0),
+            parked_count: AtomicUsize::new(0),
+            target_awake: hw.min(workers).max(1),
+            spin_limit: if hw > 1 { 3 } else { 0 },
+            next_lane: AtomicUsize::new(0),
+            lane_dispatches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            start: Instant::now(),
+        }
+    }
+
+    fn now(&self) -> Time {
+        self.start.elapsed().as_micros() as Time
+    }
+
+    /// Bind a dispatched task into the next lane (round-robin over lanes
+    /// whose workers are awake — work bound to a parked worker's lane costs
+    /// either a steal scan or a park/unpark round trip, so prefer lanes
+    /// that will be drained without one; fall back to plain round-robin
+    /// when everyone is parked).
+    fn push(&self, work: Dispatched, epoch: u64) {
+        let n = self.lanes.len();
+        let mut lane = self.next_lane.fetch_add(1, Ordering::Relaxed) % n;
+        if self.parkers[lane].parked.load(Ordering::Relaxed) {
+            for off in 1..n {
+                let alt = (lane + off) % n;
+                if !self.parkers[alt].parked.load(Ordering::Relaxed) {
+                    lane = alt;
+                    break;
+                }
+            }
+        }
+        if work.class == TaskClass::Regular {
+            self.normal_bound.fetch_add(1, Ordering::SeqCst);
+        }
+        self.lane_dispatches[lane].fetch_add(1, Ordering::Relaxed);
+        // `in_lanes` rises before the entry is visible so a racing parker's
+        // re-check errs towards staying awake, never towards sleeping on
+        // available work.
+        self.in_lanes.fetch_add(1, Ordering::SeqCst);
+        self.lanes[lane]
+            .lock()
+            .expect("lane poisoned")
+            .push_back(Ready { work, epoch });
+    }
+
+    /// Take work for worker `me`: own lane front first (FCFS within the
+    /// lane), then steal from the back of the other lanes.
+    fn grab(&self, me: usize) -> Option<(Ready, bool)> {
+        if let Some(r) = self.lanes[me].lock().expect("lane poisoned").pop_front() {
+            self.on_take(&r);
+            return Some((r, false));
+        }
+        let n = self.lanes.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(r) = self.lanes[victim].lock().expect("lane poisoned").pop_back() {
+                self.on_take(&r);
+                return Some((r, true));
+            }
+        }
+        None
+    }
+
+    fn on_take(&self, r: &Ready) {
+        self.in_lanes.fetch_sub(1, Ordering::SeqCst);
+        if r.work.class == TaskClass::Regular {
+            self.normal_bound.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Demand-driven wake-up: unpark *one* worker, and only when the lane
+    /// backlog exceeds what the currently-awake workers will drain anyway.
+    /// Awake workers always return to [`Fabric::grab`], so they need no
+    /// wake; and waking beyond `target_awake` buys no parallelism. Ramp-up
+    /// to full width happens by chaining — every successful grab calls this
+    /// again, so each woken worker can wake the next while backlog remains.
+    ///
+    /// Lost-wakeup safety: a parker increments `parked_count` *before*
+    /// re-checking `in_lanes`, and the pump raises `in_lanes` *before*
+    /// calling this (both SeqCst). If the parker missed the push, this call
+    /// is guaranteed to see `parked_count > 0` with zero awake workers and
+    /// wake it (or a sibling, which then grabs the work).
+    fn wake_for_work(&self) {
+        let parked = self.parked_count.load(Ordering::SeqCst);
+        if parked == 0 {
+            return;
+        }
+        let awake = self.lanes.len() - parked.min(self.lanes.len());
+        if awake < self.target_awake && self.in_lanes.load(Ordering::SeqCst) > awake {
+            for p in &self.parkers {
+                if p.parked.swap(false, Ordering::SeqCst) {
+                    if let Some(t) = p.handle.get() {
+                        t.unpark();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Unpark everyone, parked flag or not (shutdown path).
+    fn wake_all(&self) {
+        for p in &self.parkers {
+            if let Some(t) = p.handle.get() {
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// Scheduler + workload + run counters: everything behind the commit lock.
+/// Workers never touch this; only the feeder and the router do.
 struct Inner<W> {
     sched: Scheduler,
     workload: W,
@@ -39,24 +245,30 @@ struct Inner<W> {
     finished_at: Option<Time>,
 }
 
-struct Shared<W> {
-    inner: Mutex<Inner<W>>,
-    cv: Condvar,
-    start: Instant,
+/// A worker's report to the router. `ran == false` means the task was
+/// cancelled by lane re-validation and never executed.
+struct Finished {
+    id: TaskId,
+    name: &'static str,
+    class: TaskClass,
+    version: Option<SpecVersion>,
+    tag: u64,
+    started: Time,
+    finished: Time,
+    ran: bool,
+    output: Option<Payload>,
 }
 
-impl<W> Shared<W> {
-    fn now(&self) -> Time {
-        self.start.elapsed().as_micros() as Time
-    }
-}
-
-struct LockedCtx<'a> {
+/// `SchedCtx` handed to workload callbacks: spawns go straight to the
+/// scheduler (the caller holds the commit lock) and version aborts bump the
+/// global abort epoch so lanes re-validate.
+struct WsCtx<'a> {
     sched: &'a mut Scheduler,
+    abort_epoch: &'a AtomicU64,
     now: Time,
 }
 
-impl SchedCtx for LockedCtx<'_> {
+impl SchedCtx for WsCtx<'_> {
     fn now(&self) -> Time {
         self.now
     }
@@ -65,7 +277,28 @@ impl SchedCtx for LockedCtx<'_> {
     }
     fn abort_version(&mut self, version: SpecVersion) {
         self.sched.abort_version(version);
+        self.abort_epoch.fetch_add(1, Ordering::SeqCst);
     }
+}
+
+/// Refill the worker lanes from the central ready queue. Caller holds the
+/// commit lock; the whole batch is stamped with the current abort epoch.
+/// Returns whether anything was pushed (i.e. parked workers need a wake).
+fn pump<W>(fabric: &Fabric, inner: &mut Inner<W>) -> bool {
+    let cap = (4 * fabric.lanes.len()).max(16);
+    let epoch = fabric.abort_epoch.load(Ordering::SeqCst);
+    let mut pushed = false;
+    while fabric.in_lanes.load(Ordering::SeqCst) < cap {
+        // Re-read the hint per pop: binding a regular task must make the
+        // conservative policy decline speculation for the rest of the batch.
+        let hint = fabric.normal_bound.load(Ordering::SeqCst) > 0;
+        let Some(work) = inner.sched.dispatch_with(hint) else {
+            break;
+        };
+        fabric.push(work, epoch);
+        pushed = true;
+    }
+    pushed
 }
 
 fn run_complete<W: Workload>(inner: &mut Inner<W>, now: Time) -> bool {
@@ -89,121 +322,320 @@ where
     I::IntoIter: Send,
 {
     assert!(cfg.workers > 0, "need at least one worker");
-    let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner {
-            sched: Scheduler::new(cfg.policy),
-            workload,
-            input_done: false,
-            delivered: 0,
-            discarded: 0,
-            busy_us: 0,
-            wasted_us: 0,
-            finished_at: None,
-        }),
-        cv: Condvar::new(),
-        start: Instant::now(),
-    });
+    let fabric = Arc::new(Fabric::new(cfg.workers));
+    let commit = Arc::new(Mutex::new(Inner {
+        sched: Scheduler::new(cfg.policy),
+        workload,
+        input_done: false,
+        delivered: 0,
+        discarded: 0,
+        busy_us: 0,
+        wasted_us: 0,
+        finished_at: None,
+    }));
 
     {
-        let mut inner = shared.inner.lock();
-        let now = shared.now();
-        let Inner { sched, workload, .. } = &mut *inner;
-        workload.on_start(&mut LockedCtx { sched, now });
+        let mut guard = commit.lock().expect("commit lock poisoned");
+        let inner = &mut *guard;
+        let now = fabric.now();
+        let Inner {
+            sched, workload, ..
+        } = inner;
+        workload.on_start(&mut WsCtx {
+            sched,
+            abort_epoch: &fabric.abort_epoch,
+            now,
+        });
+        pump(&fabric, inner);
     }
 
-    // Input feeder thread (the paper's first auxiliary thread).
-    let feeder = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || {
-            for (index, data) in inputs {
-                let now = shared.now();
-                let mut inner = shared.inner.lock();
-                let Inner { sched, workload, .. } = &mut *inner;
-                workload.on_input(
-                    &mut LockedCtx { sched, now },
-                    InputBlock { index, arrival: now, data },
-                );
-                drop(inner);
-                shared.cv.notify_all();
-            }
-            let now = shared.now();
-            let mut inner = shared.inner.lock();
-            let Inner { sched, workload, input_done, .. } = &mut *inner;
-            workload.on_input_done(&mut LockedCtx { sched, now });
-            *input_done = true;
-            drop(inner);
-            shared.cv.notify_all();
-        })
-    };
+    // Completion channel: workers produce, the router consumes. Bounded so
+    // a stalled router back-pressures workers instead of buffering
+    // unboundedly; wide enough that a short-task storm rarely blocks a send.
+    let (tx, rx) = sync_channel::<Finished>((8 * cfg.workers).max(64));
 
-    // Worker threads.
+    // Worker threads: grab from lanes, run, report. The commit lock is
+    // never *waited on* here — an idle worker may `try_lock` it to refill
+    // its own lanes (work conservation), but gives up instantly if the
+    // feeder or router holds it.
     let workers: Vec<_> = (0..cfg.workers)
-        .map(|_| {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || loop {
-                let mut inner = shared.inner.lock();
-                if let Some(work) = inner.sched.dispatch() {
-                    drop(inner);
-                    let started = shared.now();
-                    let output = (work.run)(&work.ctx);
-                    let finished = shared.now();
-                    let mut inner = shared.inner.lock();
-                    let busy = finished.saturating_sub(started);
-                    inner.busy_us += busy;
-                    inner.sched.charge(work.class, busy);
-                    match inner.sched.complete(work.id) {
-                        CompletionOutcome::Discard => {
-                            inner.discarded += 1;
-                            inner.wasted_us += busy;
-                        }
-                        CompletionOutcome::Deliver => {
-                            inner.delivered += 1;
-                            let Inner { sched, workload, .. } = &mut *inner;
-                            workload.on_complete(
-                                &mut LockedCtx { sched, now: finished },
-                                Completion {
+        .map(|me| {
+            let fabric = Arc::clone(&fabric);
+            let commit = Arc::clone(&commit);
+            let tx: SyncSender<Finished> = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("tvs-worker-{me}"))
+                .spawn(move || {
+                    let _ = fabric.parkers[me].handle.set(std::thread::current());
+                    let mut spins = 0u32;
+                    loop {
+                        match fabric.grab(me) {
+                            Some((ready, stolen)) => {
+                                spins = 0;
+                                if stolen {
+                                    fabric.steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                                // Wake chain: if backlog remains beyond the
+                                // awake set, ramp up one more worker.
+                                fabric.wake_for_work();
+                                let work = ready.work;
+                                // Epoch-checked re-validation: only a task
+                                // bound before some rollback can be stale,
+                                // and only a flagged one is actually dead.
+                                let stale =
+                                    ready.epoch != fabric.abort_epoch.load(Ordering::SeqCst);
+                                if stale && work.version.is_some() && work.ctx.aborted() {
+                                    let now = fabric.now();
+                                    let cancelled = Finished {
+                                        id: work.id,
+                                        name: work.name,
+                                        class: work.class,
+                                        version: work.version,
+                                        tag: work.tag,
+                                        started: now,
+                                        finished: now,
+                                        ran: false,
+                                        output: None,
+                                    };
+                                    if tx.send(cancelled).is_err() {
+                                        return;
+                                    }
+                                    continue;
+                                }
+                                let started = fabric.now();
+                                let output = (work.run)(&work.ctx);
+                                let finished = fabric.now();
+                                let report = Finished {
                                     id: work.id,
                                     name: work.name,
+                                    class: work.class,
                                     version: work.version,
                                     tag: work.tag,
                                     started,
                                     finished,
-                                    output,
-                                },
-                            );
+                                    ran: true,
+                                    output: Some(output),
+                                };
+                                if tx.send(report).is_err() {
+                                    return;
+                                }
+                            }
+                            None => {
+                                if fabric.done.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                // Work conservation: refill the lanes
+                                // ourselves if the commit lock happens to be
+                                // free — a dry spell doesn't have to cost a
+                                // round trip through the router thread.
+                                if let Ok(mut guard) = commit.try_lock() {
+                                    let pushed = pump(&fabric, &mut guard);
+                                    drop(guard);
+                                    if pushed {
+                                        continue;
+                                    }
+                                }
+                                // Spin-then-park: a couple of yields lets
+                                // the feeder/router run and refill before we
+                                // pay the (µs-scale) park/unpark futex trip.
+                                if spins < fabric.spin_limit {
+                                    spins += 1;
+                                    std::thread::yield_now();
+                                    continue;
+                                }
+                                spins = 0;
+                                let p = &fabric.parkers[me];
+                                // Dekker-style handshake with the pump: set
+                                // parked (flag and count), then re-check;
+                                // the pump pushes, then checks the count.
+                                // SeqCst total order guarantees at least one
+                                // side sees the other, so no wake-up is
+                                // lost. The timeout is belt-and-braces only.
+                                p.parked.store(true, Ordering::SeqCst);
+                                fabric.parked_count.fetch_add(1, Ordering::SeqCst);
+                                if fabric.in_lanes.load(Ordering::SeqCst) == 0
+                                    && !fabric.done.load(Ordering::SeqCst)
+                                {
+                                    std::thread::park_timeout(Duration::from_millis(100));
+                                }
+                                p.parked.store(false, Ordering::SeqCst);
+                                fabric.parked_count.fetch_sub(1, Ordering::SeqCst);
+                            }
                         }
                     }
-                    let done = run_complete(&mut inner, finished);
-                    drop(inner);
-                    shared.cv.notify_all();
-                    if done {
-                        return;
-                    }
-                } else {
-                    if run_complete(&mut inner, shared.now()) {
-                        drop(inner);
-                        shared.cv.notify_all();
-                        return;
-                    }
-                    // Re-check periodically: completion conditions can
-                    // change without a notify in rare shutdown races.
-                    shared.cv.wait_for(&mut inner, Duration::from_millis(5));
-                }
-            })
+                })
+                .expect("failed to spawn worker thread")
         })
         .collect();
+    // Workers hold the only senders from here on: when they exit, the
+    // channel disconnects and the router drains out.
+    drop(tx);
+
+    // Input feeder thread (the paper's first auxiliary thread).
+    let feeder = {
+        let fabric = Arc::clone(&fabric);
+        let commit = Arc::clone(&commit);
+        std::thread::Builder::new()
+            .name("tvs-feeder".into())
+            .spawn(move || {
+                for (index, data) in inputs {
+                    let now = fabric.now();
+                    let mut guard = commit.lock().expect("commit lock poisoned");
+                    let inner = &mut *guard;
+                    let Inner {
+                        sched, workload, ..
+                    } = inner;
+                    workload.on_input(
+                        &mut WsCtx {
+                            sched,
+                            abort_epoch: &fabric.abort_epoch,
+                            now,
+                        },
+                        InputBlock {
+                            index,
+                            arrival: now,
+                            data,
+                        },
+                    );
+                    let pushed = pump(&fabric, inner);
+                    drop(guard);
+                    if pushed {
+                        fabric.wake_for_work();
+                    }
+                }
+                let now = fabric.now();
+                let mut guard = commit.lock().expect("commit lock poisoned");
+                let inner = &mut *guard;
+                let Inner {
+                    sched, workload, ..
+                } = inner;
+                workload.on_input_done(&mut WsCtx {
+                    sched,
+                    abort_epoch: &fabric.abort_epoch,
+                    now,
+                });
+                inner.input_done = true;
+                let pushed = pump(&fabric, inner);
+                let done = run_complete(inner, fabric.now());
+                drop(guard);
+                if done {
+                    fabric.done.store(true, Ordering::SeqCst);
+                    fabric.wake_all();
+                } else if pushed {
+                    fabric.wake_for_work();
+                }
+            })
+            .expect("failed to spawn feeder thread")
+    };
+
+    // Router thread (the paper's SuperTask role): the only place completion
+    // routing touches the commit lock, so `on_complete` never blocks a
+    // worker.
+    let router = {
+        let fabric = Arc::clone(&fabric);
+        let commit = Arc::clone(&commit);
+        std::thread::Builder::new()
+            .name("tvs-router".into())
+            .spawn(move || {
+                // Batch drain: one blocking recv, then opportunistic
+                // try_recvs, all routed under a single commit-lock
+                // acquisition with one pump and one wake at the end. On a
+                // short-task storm this amortises the lock/pump/wake cost
+                // across the whole backlog instead of paying it per task.
+                let mut batch: Vec<Finished> = Vec::with_capacity(64);
+                let mut idle = 0u32;
+                loop {
+                    while batch.len() < 256 {
+                        match rx.try_recv() {
+                            Ok(f) => batch.push(f),
+                            Err(_) => break,
+                        }
+                    }
+                    if batch.is_empty() {
+                        // Spin-then-sleep: yield a few times before paying
+                        // the blocking-recv futex wait — on a hot system the
+                        // next completion is only a task body away.
+                        if idle < 4 * fabric.spin_limit {
+                            idle += 1;
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        match rx.recv() {
+                            Ok(f) => batch.push(f),
+                            Err(_) => return,
+                        }
+                    }
+                    idle = 0;
+                    let mut guard = commit.lock().expect("commit lock poisoned");
+                    let inner = &mut *guard;
+                    for f in batch.drain(..) {
+                        if !f.ran {
+                            inner.sched.cancel_bound(f.id);
+                            continue;
+                        }
+                        let busy = f.finished.saturating_sub(f.started);
+                        inner.busy_us += busy;
+                        inner.sched.charge(f.class, busy);
+                        match inner.sched.complete(f.id) {
+                            CompletionOutcome::Discard => {
+                                inner.discarded += 1;
+                                inner.wasted_us += busy;
+                            }
+                            CompletionOutcome::Deliver => {
+                                inner.delivered += 1;
+                                let Inner {
+                                    sched, workload, ..
+                                } = inner;
+                                workload.on_complete(
+                                    &mut WsCtx {
+                                        sched,
+                                        abort_epoch: &fabric.abort_epoch,
+                                        now: f.finished,
+                                    },
+                                    Completion {
+                                        id: f.id,
+                                        name: f.name,
+                                        version: f.version,
+                                        tag: f.tag,
+                                        started: f.started,
+                                        finished: f.finished,
+                                        output: f.output.expect("ran tasks carry output"),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    let pushed = pump(&fabric, inner);
+                    let done = run_complete(inner, fabric.now());
+                    drop(guard);
+                    if done {
+                        fabric.done.store(true, Ordering::SeqCst);
+                        fabric.wake_all();
+                        return;
+                    }
+                    if pushed {
+                        fabric.wake_for_work();
+                    }
+                }
+            })
+            .expect("failed to spawn router thread")
+    };
 
     feeder.join().expect("feeder thread panicked");
     for w in workers {
         w.join().expect("worker thread panicked");
     }
+    router.join().expect("router thread panicked");
 
-    let shared = Arc::try_unwrap(shared)
-        .unwrap_or_else(|_| panic!("threads gone, shared state uniquely owned"));
-    let inner = shared.inner.into_inner();
+    let fabric =
+        Arc::try_unwrap(fabric).unwrap_or_else(|_| panic!("threads gone, fabric uniquely owned"));
+    let inner = Arc::try_unwrap(commit)
+        .unwrap_or_else(|_| panic!("threads gone, commit state uniquely owned"))
+        .into_inner()
+        .expect("commit lock poisoned");
     let st = inner.sched.stats().clone();
     let metrics = RunMetrics {
-        makespan: inner.finished_at.unwrap_or_else(|| shared.start.elapsed().as_micros() as Time),
+        makespan: inner.finished_at.unwrap_or_else(|| fabric.now()),
         tasks_delivered: inner.delivered,
         tasks_discarded: inner.discarded,
         tasks_deleted_ready: st.deleted_ready,
@@ -211,6 +643,12 @@ where
         wasted_us: inner.wasted_us,
         rollbacks: st.rollbacks,
         workers: cfg.workers,
+        lane_dispatches: fabric
+            .lane_dispatches
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        steals: fabric.steals.load(Ordering::Relaxed),
     };
     (inner.workload, metrics)
 }
@@ -229,9 +667,13 @@ mod tests {
     impl Workload for Summer {
         fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
             let data = b.data.clone();
-            ctx.spawn(TaskSpec::regular("sum", 0, data.len(), b.index as u64, move |_| {
-                payload(data.iter().map(|&x| x as u64).sum::<u64>())
-            }));
+            ctx.spawn(TaskSpec::regular(
+                "sum",
+                0,
+                data.len(),
+                b.index as u64,
+                move |_| payload(data.iter().map(|&x| x as u64).sum::<u64>()),
+            ));
         }
         fn on_complete(&mut self, _ctx: &mut dyn SchedCtx, done: Completion) {
             self.total += *done.output.downcast::<u64>().unwrap();
@@ -247,12 +689,29 @@ mod tests {
         let blocks: Vec<(usize, Arc<[u8]>)> =
             (0..32).map(|i| (i, vec![i as u8; 100].into())).collect();
         let expect: u64 = (0..32u64).map(|i| i * 100).sum();
-        let cfg = ThreadedConfig { workers: 4, policy: DispatchPolicy::NonSpeculative };
-        let (w, m) = run(Summer { n: 32, seen: 0, total: 0 }, &cfg, blocks);
+        let cfg = ThreadedConfig {
+            workers: 4,
+            policy: DispatchPolicy::NonSpeculative,
+        };
+        let (w, m) = run(
+            Summer {
+                n: 32,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+        );
         assert_eq!(w.total, expect);
         assert_eq!(m.tasks_delivered, 32);
         assert_eq!(m.tasks_discarded, 0);
         assert_eq!(m.workers, 4);
+        assert_eq!(m.lane_dispatches.len(), 4);
+        assert_eq!(
+            m.lane_dispatches.iter().sum::<u64>(),
+            32,
+            "every task went through a lane"
+        );
     }
 
     #[test]
@@ -265,7 +724,10 @@ mod tests {
                 true
             }
         }
-        let cfg = ThreadedConfig { workers: 2, policy: DispatchPolicy::NonSpeculative };
+        let cfg = ThreadedConfig {
+            workers: 2,
+            policy: DispatchPolicy::NonSpeculative,
+        };
         let (_w, m) = run(Nothing, &cfg, Vec::<(usize, Arc<[u8]>)>::new());
         assert_eq!(m.tasks_delivered, 0);
     }
@@ -273,7 +735,7 @@ mod tests {
     #[test]
     fn chained_spawning_from_completions() {
         // on_complete spawns a second-stage task: exercises re-entrant
-        // spawning under the lock.
+        // spawning through the router's pump.
         struct TwoStage {
             stage2_done: bool,
         }
@@ -295,7 +757,10 @@ mod tests {
             }
         }
         let inputs: Vec<(usize, Arc<[u8]>)> = vec![(0, vec![0u8; 4].into())];
-        let cfg = ThreadedConfig { workers: 3, policy: DispatchPolicy::NonSpeculative };
+        let cfg = ThreadedConfig {
+            workers: 3,
+            policy: DispatchPolicy::NonSpeculative,
+        };
         let (w, m) = run(TwoStage { stage2_done: false }, &cfg, inputs);
         assert!(w.stage2_done);
         assert_eq!(m.tasks_delivered, 2);
@@ -336,12 +801,83 @@ mod tests {
                 self.normal_done
             }
         }
-        let cfg = ThreadedConfig { workers: 2, policy: DispatchPolicy::Aggressive };
-        let (w, m) =
-            run(SpecAbort { normal_done: false, spec_delivered: false }, &cfg, Vec::<(usize, Arc<[u8]>)>::new());
+        let cfg = ThreadedConfig {
+            workers: 2,
+            policy: DispatchPolicy::Aggressive,
+        };
+        let (w, m) = run(
+            SpecAbort {
+                normal_done: false,
+                spec_delivered: false,
+            },
+            &cfg,
+            Vec::<(usize, Arc<[u8]>)>::new(),
+        );
         assert!(w.normal_done);
         assert!(!w.spec_delivered, "aborted speculative output leaked");
         assert_eq!(m.tasks_discarded, 1);
+        assert_eq!(m.rollbacks, 1);
+    }
+
+    #[test]
+    fn rollback_accounts_for_every_lane_bound_spec_task() {
+        // A fast normal task aborts a version with many speculative tasks:
+        // some are still in the central ready queue (deleted by the
+        // rollback), some are bound in worker lanes (cancelled by epoch
+        // re-validation, also counted as ready deletions), and any that
+        // started running see their abort flag and get discarded. Whatever
+        // the interleaving, every spawned spec task must be accounted for
+        // and none may be delivered.
+        struct AbortFirst {
+            normal_done: bool,
+            spec_delivered: bool,
+        }
+        impl Workload for AbortFirst {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                // Balanced pumps the normal task into a lane before any
+                // speculative one (equal lane loads prefer normal).
+                ctx.spawn(TaskSpec::regular("normal", 0, 0, 0, |_| payload(())));
+                for i in 0..8 {
+                    ctx.spawn(TaskSpec::speculative("spec", 0, 0, 1, i, |ctx| {
+                        let t0 = std::time::Instant::now();
+                        while !ctx.aborted() && t0.elapsed() < Duration::from_millis(200) {
+                            std::thread::yield_now();
+                        }
+                        payload(())
+                    }));
+                }
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+                match done.name {
+                    "normal" => {
+                        ctx.abort_version(1);
+                        self.normal_done = true;
+                    }
+                    "spec" => self.spec_delivered = true,
+                    _ => unreachable!(),
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.normal_done
+            }
+        }
+        let cfg = ThreadedConfig {
+            workers: 2,
+            policy: DispatchPolicy::Balanced,
+        };
+        let (w, m) = run(
+            AbortFirst {
+                normal_done: false,
+                spec_delivered: false,
+            },
+            &cfg,
+            Vec::<(usize, Arc<[u8]>)>::new(),
+        );
+        assert!(w.normal_done);
+        assert!(!w.spec_delivered, "aborted speculative output leaked");
+        assert_eq!(m.tasks_delivered, 1);
+        assert_eq!(m.tasks_deleted_ready + m.tasks_discarded, 8);
         assert_eq!(m.rollbacks, 1);
     }
 }

@@ -26,7 +26,10 @@
 //! * [`exec::sim`] — a deterministic discrete-event executor (virtual µs
 //!   clock) used by every figure-regeneration bench;
 //! * [`exec::threaded`] — a real thread-pool executor running the same
-//!   workloads on wall-clock time;
+//!   workloads on wall-clock time, with sharded per-worker ready lanes,
+//!   work stealing and a dedicated completion-router thread (the
+//!   pre-sharding single-lock runtime survives as [`exec::baseline`] for
+//!   benchmarking);
 //! * [`metrics`] — per-task traces and aggregate counters shared by both.
 //!
 //! Speculation *policy* (predictors, tolerance checks, wait buffers,

@@ -47,6 +47,9 @@ pub trait Summary: Default + Send + Sync + 'static {
     fn merge(&mut self, other: &Self);
 }
 
+/// The shared per-block map function.
+type MapFn<T> = Arc<dyn Fn(&[u8]) -> T + Send + Sync>;
+
 /// Streaming map-reduce over fixed-size input blocks.
 ///
 /// * `map` runs as one coarse task per block (depth 0);
@@ -60,7 +63,7 @@ pub struct MapReduce<T: Summary> {
     name_reduce: &'static str,
     ratio: usize,
     n_blocks: usize,
-    map: Arc<dyn Fn(&[u8]) -> T + Send + Sync>,
+    map: MapFn<T>,
 
     data: Vec<Option<Arc<[u8]>>>,
     summaries: Vec<Option<Arc<T>>>,
@@ -129,21 +132,32 @@ impl<T: Summary> MapReduce<T> {
         if self.mapped_prefix < hi {
             return;
         }
-        let group: Vec<Arc<T>> =
-            (lo..hi).map(|i| self.summaries[i].as_ref().expect("mapped").clone()).collect();
-        let prev = if g == 0 { None } else { Some(self.acc[g - 1].clone()) };
+        let group: Vec<Arc<T>> = (lo..hi)
+            .map(|i| self.summaries[i].as_ref().expect("mapped").clone())
+            .collect();
+        let prev = if g == 0 {
+            None
+        } else {
+            Some(self.acc[g - 1].clone())
+        };
         self.reduce_inflight = true;
         let bytes = (group.len() + prev.is_some() as usize) * std::mem::size_of::<T>();
-        ctx.spawn(TaskSpec::regular(self.name_reduce, 1, bytes, g as u64, move |_| {
-            let mut acc = T::default();
-            if let Some(p) = prev {
-                acc.merge(&p);
-            }
-            for part in &group {
-                acc.merge(part);
-            }
-            payload(Arc::new(acc))
-        }));
+        ctx.spawn(TaskSpec::regular(
+            self.name_reduce,
+            1,
+            bytes,
+            g as u64,
+            move |_| {
+                let mut acc = T::default();
+                if let Some(p) = prev {
+                    acc.merge(&p);
+                }
+                for part in &group {
+                    acc.merge(part);
+                }
+                payload(Arc::new(acc))
+            },
+        ));
     }
 }
 
@@ -154,9 +168,13 @@ impl<T: Summary> Workload for MapReduce<T> {
         self.data[idx] = Some(block.data.clone());
         let map = Arc::clone(&self.map);
         let data = block.data;
-        ctx.spawn(TaskSpec::regular(self.name_map, 0, data.len(), idx as u64, move |_| {
-            payload(Arc::new(map(&data)))
-        }));
+        ctx.spawn(TaskSpec::regular(
+            self.name_map,
+            0,
+            data.len(),
+            idx as u64,
+            move |_| payload(Arc::new(map(&data))),
+        ));
     }
 
     fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
@@ -275,8 +293,8 @@ mod tests {
                 }
             }
         }
-        let wl = MapReduce::new(4, 2, |d: &[u8]| Sum(d.len() as u64))
-            .with_task_names("count", "fold");
+        let wl =
+            MapReduce::new(4, 2, |d: &[u8]| Sum(d.len() as u64)).with_task_names("count", "fold");
         let cfg = SimConfig {
             platform: x86_smp(2),
             policy: DispatchPolicy::NonSpeculative,

@@ -43,6 +43,14 @@ pub struct RunMetrics {
     pub rollbacks: u64,
     /// Worker count of the platform that produced this run.
     pub workers: usize,
+    /// Tasks routed into each worker's ready lane by the dispatcher
+    /// (threaded executor) or bound to each simulated worker (simulator).
+    /// Empty for executors without per-worker lanes (the single-lock
+    /// baseline).
+    pub lane_dispatches: Vec<u64>,
+    /// Tasks a worker executed after stealing them from another worker's
+    /// lane. Always zero for the simulator and the single-lock baseline.
+    pub steals: u64,
 }
 
 impl RunMetrics {
@@ -61,14 +69,42 @@ impl RunMetrics {
         }
         self.wasted_us as f64 / self.busy_us as f64
     }
+
+    /// Fraction of executed tasks that were stolen from another worker's
+    /// lane, in `[0, 1]`. Zero when nothing ran or the executor has no
+    /// lanes.
+    pub fn steal_ratio(&self) -> f64 {
+        let executed = self.tasks_delivered + self.tasks_discarded;
+        if executed == 0 {
+            return 0.0;
+        }
+        self.steals as f64 / executed as f64
+    }
+
+    /// Imbalance of lane routing: max over mean lane dispatch count. 1.0 is
+    /// perfectly even; 0.0 when the executor reported no lanes.
+    pub fn lane_imbalance(&self) -> f64 {
+        if self.lane_dispatches.is_empty() {
+            return 0.0;
+        }
+        let max = self.lane_dispatches.iter().copied().max().unwrap_or(0) as f64;
+        let mean =
+            self.lane_dispatches.iter().sum::<u64>() as f64 / self.lane_dispatches.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        max / mean
+    }
 }
 
 /// Render a trace as CSV (`id,name,worker,version,tag,start,end,discarded`),
 /// one row per executed task — loadable into any plotting tool for Gantt
 /// views of a run.
 pub fn trace_to_csv(trace: &[TaskTrace]) -> String {
-    let mut out = String::from("id,name,worker,version,tag,start,end,discarded
-");
+    let mut out = String::from(
+        "id,name,worker,version,tag,start,end,discarded
+",
+    );
     for t in trace {
         use std::fmt::Write as _;
         let _ = writeln!(
@@ -92,11 +128,20 @@ pub fn worker_utilization(trace: &[TaskTrace], workers: usize, makespan: Time) -
     let mut busy = vec![0u64; workers];
     for t in trace {
         if t.worker < workers {
-            busy[t.worker] += t.end.saturating_sub(t.start).min(makespan.saturating_sub(t.start));
+            busy[t.worker] += t
+                .end
+                .saturating_sub(t.start)
+                .min(makespan.saturating_sub(t.start));
         }
     }
     busy.into_iter()
-        .map(|b| if makespan == 0 { 0.0 } else { (b as f64 / makespan as f64).min(1.0) })
+        .map(|b| {
+            if makespan == 0 {
+                0.0
+            } else {
+                (b as f64 / makespan as f64).min(1.0)
+            }
+        })
         .collect()
 }
 
@@ -134,25 +179,43 @@ mod tests {
 
     #[test]
     fn utilization_math() {
-        let m = RunMetrics { makespan: 100, busy_us: 150, workers: 2, ..Default::default() };
+        let m = RunMetrics {
+            makespan: 100,
+            busy_us: 150,
+            workers: 2,
+            ..Default::default()
+        };
         assert!((m.utilization() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn utilization_degenerate_cases() {
         assert_eq!(RunMetrics::default().utilization(), 0.0);
-        let m = RunMetrics { makespan: 0, busy_us: 10, workers: 4, ..Default::default() };
+        let m = RunMetrics {
+            makespan: 0,
+            busy_us: 10,
+            workers: 4,
+            ..Default::default()
+        };
         assert_eq!(m.utilization(), 0.0);
     }
 
     fn tr(name: &'static str, worker: usize, start: Time, end: Time, discarded: bool) -> TaskTrace {
-        TaskTrace { id: 0, name, worker, version: None, tag: 0, start, end, discarded }
+        TaskTrace {
+            id: 0,
+            name,
+            worker,
+            version: None,
+            tag: 0,
+            start,
+            end,
+            discarded,
+        }
     }
 
     #[test]
     fn csv_rendering() {
-        let trace =
-            vec![tr("count", 0, 0, 10, false), tr("encode", 1, 5, 25, true)];
+        let trace = vec![tr("count", 0, 0, 10, false), tr("encode", 1, 5, 25, true)];
         let csv = trace_to_csv(&trace);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "id,name,worker,version,tag,start,end,discarded");
@@ -186,7 +249,11 @@ mod tests {
 
     #[test]
     fn waste_ratio() {
-        let m = RunMetrics { busy_us: 200, wasted_us: 50, ..Default::default() };
+        let m = RunMetrics {
+            busy_us: 200,
+            wasted_us: 50,
+            ..Default::default()
+        };
         assert!((m.waste_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(RunMetrics::default().waste_ratio(), 0.0);
     }

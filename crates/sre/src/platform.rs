@@ -123,7 +123,12 @@ mod tests {
 
     #[test]
     fn platform_cost_composition() {
-        let p = Platform { compute_scale: 2.0, dma_us: 5, dispatch_overhead_us: 3, ..x86_smp(4) };
+        let p = Platform {
+            compute_scale: 2.0,
+            dma_us: 5,
+            dispatch_overhead_us: 3,
+            ..x86_smp(4)
+        };
         assert_eq!(p.task_cost_us(&FixedCost(10), "t", 0), 10 * 2 + 5 + 3);
     }
 

@@ -149,7 +149,11 @@ mod tests {
     use QueueKind::*;
 
     fn busy(n: u64, s: u64) -> LaneLoads {
-        LaneLoads { busy_normal_us: n, busy_spec_us: s, ..Default::default() }
+        LaneLoads {
+            busy_normal_us: n,
+            busy_spec_us: s,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -172,18 +176,36 @@ mod tests {
 
     #[test]
     fn contention_resolution_matches_paper() {
-        assert_eq!(Conservative.choose(true, true, busy(5, 5), false), Some(Normal));
-        assert_eq!(Aggressive.choose(true, true, busy(5, 5), false), Some(Speculative));
-        assert_eq!(NonSpeculative.choose(true, true, busy(5, 5), false), Some(Normal));
+        assert_eq!(
+            Conservative.choose(true, true, busy(5, 5), false),
+            Some(Normal)
+        );
+        assert_eq!(
+            Aggressive.choose(true, true, busy(5, 5), false),
+            Some(Speculative)
+        );
+        assert_eq!(
+            NonSpeculative.choose(true, true, busy(5, 5), false),
+            Some(Normal)
+        );
     }
 
     #[test]
     fn balanced_prefers_the_lane_with_less_busy_time() {
         // Less speculative busy time so far -> speculative next.
-        assert_eq!(Balanced.choose(true, true, busy(300, 200), false), Some(Speculative));
+        assert_eq!(
+            Balanced.choose(true, true, busy(300, 200), false),
+            Some(Speculative)
+        );
         // Equal or more -> normal next.
-        assert_eq!(Balanced.choose(true, true, busy(300, 300), false), Some(Normal));
-        assert_eq!(Balanced.choose(true, true, busy(200, 300), false), Some(Normal));
+        assert_eq!(
+            Balanced.choose(true, true, busy(300, 300), false),
+            Some(Normal)
+        );
+        assert_eq!(
+            Balanced.choose(true, true, busy(200, 300), false),
+            Some(Normal)
+        );
     }
 
     #[test]
@@ -210,11 +232,18 @@ mod tests {
 
     #[test]
     fn balanced_task_count_alternates_by_count() {
-        let loads =
-            LaneLoads { busy_normal_us: 10, busy_spec_us: 9000, count_normal: 3, count_spec: 2 };
+        let loads = LaneLoads {
+            busy_normal_us: 10,
+            busy_spec_us: 9000,
+            count_normal: 3,
+            count_spec: 2,
+        };
         // By time, speculation is saturated; by count it is behind — the
         // count variant still feeds it (the ablation's pathology).
-        assert_eq!(BalancedTaskCount.choose(true, true, loads, false), Some(Speculative));
+        assert_eq!(
+            BalancedTaskCount.choose(true, true, loads, false),
+            Some(Speculative)
+        );
         assert_eq!(Balanced.choose(true, true, loads, false), Some(Normal));
     }
 

@@ -25,7 +25,10 @@ struct Rank {
 
 impl Rank {
     fn new(depth: u32, seq: u64) -> Self {
-        Rank { inv_depth: u32::MAX - depth, seq }
+        Rank {
+            inv_depth: u32::MAX - depth,
+            seq,
+        }
     }
 }
 
@@ -74,7 +77,14 @@ impl ReadyQueue {
             Lane::Speculative => &mut self.spec,
         };
         map.insert(rank, id);
-        self.index.insert(id, IndexEntry { rank, lane, version });
+        self.index.insert(
+            id,
+            IndexEntry {
+                rank,
+                lane,
+                version,
+            },
+        );
     }
 
     /// Take the next task to dispatch under `policy`, if any.
@@ -89,8 +99,7 @@ impl ReadyQueue {
         loads: LaneLoads,
         normal_pending_elsewhere: bool,
     ) -> Option<TaskId> {
-        if let Some((&rank, &id)) = self.control.iter().next() {
-            self.control.remove(&rank);
+        if let Some((_, id)) = self.control.pop_first() {
             self.index.remove(&id);
             return Some(id);
         }
@@ -104,8 +113,7 @@ impl ReadyQueue {
             QueueKind::Normal => &mut self.normal,
             QueueKind::Speculative => &mut self.spec,
         };
-        let (&rank, &id) = map.iter().next().expect("choose() saw a non-empty lane");
-        map.remove(&rank);
+        let (_, id) = map.pop_first().expect("choose() saw a non-empty lane");
         self.index.remove(&id);
         Some(id)
     }
@@ -244,7 +252,15 @@ mod tests {
         }
         let (mut bn, mut bs) = (0u64, 0u64);
         let mut order = Vec::new();
-        while let Some(id) = q.pop(Balanced, LaneLoads { busy_normal_us: bn, busy_spec_us: bs, ..Default::default() }, false) {
+        while let Some(id) = q.pop(
+            Balanced,
+            LaneLoads {
+                busy_normal_us: bn,
+                busy_spec_us: bs,
+                ..Default::default()
+            },
+            false,
+        ) {
             if id >= 20 {
                 bs += 10;
             } else {
@@ -262,12 +278,34 @@ mod tests {
         push_reg(&mut q, 1, 0);
         push_spec(&mut q, 2, 0, 0);
         // Speculation has consumed far more time: normal goes first.
-        assert_eq!(q.pop(Balanced, LaneLoads { busy_normal_us: 100, busy_spec_us: 900, ..Default::default() }, false), Some(1));
+        assert_eq!(
+            q.pop(
+                Balanced,
+                LaneLoads {
+                    busy_normal_us: 100,
+                    busy_spec_us: 900,
+                    ..Default::default()
+                },
+                false
+            ),
+            Some(1)
+        );
         let mut q = ReadyQueue::new();
         push_reg(&mut q, 1, 0);
         push_spec(&mut q, 2, 0, 0);
         // Natural path has consumed more: speculation goes first.
-        assert_eq!(q.pop(Balanced, LaneLoads { busy_normal_us: 900, busy_spec_us: 100, ..Default::default() }, false), Some(2));
+        assert_eq!(
+            q.pop(
+                Balanced,
+                LaneLoads {
+                    busy_normal_us: 900,
+                    busy_spec_us: 100,
+                    ..Default::default()
+                },
+                false
+            ),
+            Some(2)
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ impl Scheduler {
         if spec.is_speculative() && !self.policy.speculates() {
             // A NonSpeculative run must not receive speculative tasks; this
             // is a workload wiring bug, surface it loudly.
-            panic!("speculative task '{}' spawned under the non-speculative policy", spec.name);
+            panic!(
+                "speculative task '{}' spawned under the non-speculative policy",
+                spec.name
+            );
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -133,7 +136,9 @@ impl Scheduler {
     /// yet executing (see
     /// [`DispatchPolicy::choose`](crate::policy::DispatchPolicy::choose)).
     pub fn dispatch_with(&mut self, normal_pending_elsewhere: bool) -> Option<Dispatched> {
-        let id = self.queue.pop(self.policy, self.loads, normal_pending_elsewhere)?;
+        let id = self
+            .queue
+            .pop(self.policy, self.loads, normal_pending_elsewhere)?;
         let spec = self.bodies.remove(&id).expect("queued task has a body");
         match spec.class {
             TaskClass::Regular => self.loads.count_normal += 1,
@@ -141,8 +146,13 @@ impl Scheduler {
             TaskClass::Predictor | TaskClass::Check => {}
         }
         let ctx = TaskCtx::new();
-        self.running
-            .insert(id, Running { version: spec.version, abort: ctx.abort_flag() });
+        self.running.insert(
+            id,
+            Running {
+                version: spec.version,
+                abort: ctx.abort_flag(),
+            },
+        );
         Some(Dispatched {
             id,
             name: spec.name,
@@ -153,6 +163,35 @@ impl Scheduler {
             ctx,
             run: spec.run,
         })
+    }
+
+    /// Batch form of [`Self::dispatch_with`]: pop up to `limit` tasks in
+    /// dispatch order. Used by the threaded executor's dispatch pump to
+    /// amortise the commit lock over many ready-lane hand-offs.
+    pub fn dispatch_batch(
+        &mut self,
+        limit: usize,
+        normal_pending_elsewhere: bool,
+    ) -> Vec<Dispatched> {
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match self.dispatch_with(normal_pending_elsewhere) {
+                Some(d) => out.push(d),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Cancel a dispatched-but-not-yet-executed task (bound into a worker's
+    /// ready lane when its version was rolled back). The task never ran, so
+    /// it counts as a ready deletion — the paper's "ready tasks must be
+    /// deleted" — not as discarded work.
+    pub fn cancel_bound(&mut self, id: TaskId) {
+        self.running
+            .remove(&id)
+            .expect("cancel_bound() called for a task that is not running");
+        self.stats.deleted_ready += 1;
     }
 
     /// Whether any task could be dispatched right now.
@@ -200,7 +239,10 @@ impl Scheduler {
             .running
             .remove(&id)
             .expect("complete() called for a task that is not running");
-        let aborted = r.version.map(|v| self.aborted.contains(&v)).unwrap_or(false);
+        let aborted = r
+            .version
+            .map(|v| self.aborted.contains(&v))
+            .unwrap_or(false);
         if aborted {
             self.stats.discarded += 1;
             CompletionOutcome::Discard
@@ -341,7 +383,8 @@ mod tests {
     #[test]
     fn checks_survive_rollbacks() {
         let mut s = Scheduler::new(DispatchPolicy::Aggressive);
-        s.spawn(TaskSpec::check("check", 0, 0, |_| payload(()))).unwrap();
+        s.spawn(TaskSpec::check("check", 0, 0, |_| payload(())))
+            .unwrap();
         s.spawn(spec_task("enc", 1)).unwrap();
         s.abort_version(1);
         // The check is version-less and must still dispatch (first).

@@ -109,9 +109,13 @@ mod tests {
     impl Workload for ByteSum {
         fn on_input(&mut self, ctx: &mut dyn SchedCtx, block: InputBlock) {
             let data = block.data.clone();
-            ctx.spawn(TaskSpec::regular("len", 0, data.len(), block.index as u64, move |_| {
-                payload(data.len() as u64)
-            }));
+            ctx.spawn(TaskSpec::regular(
+                "len",
+                0,
+                data.len(),
+                block.index as u64,
+                move |_| payload(data.len() as u64),
+            ));
         }
 
         fn on_complete(&mut self, _ctx: &mut dyn SchedCtx, done: Completion) {
@@ -145,12 +149,26 @@ mod tests {
 
     #[test]
     fn workload_contract_smoke() {
-        let mut w = ByteSum { expected_blocks: 3, seen: 0, total: 0 };
-        let mut ctx = MiniCtx { sched: crate::sched::Scheduler::new(crate::DispatchPolicy::NonSpeculative), now: 0 };
+        let mut w = ByteSum {
+            expected_blocks: 3,
+            seen: 0,
+            total: 0,
+        };
+        let mut ctx = MiniCtx {
+            sched: crate::sched::Scheduler::new(crate::DispatchPolicy::NonSpeculative),
+            now: 0,
+        };
         w.on_start(&mut ctx);
         for i in 0..3usize {
             let data: Arc<[u8]> = vec![0u8; 10 * (i + 1)].into();
-            w.on_input(&mut ctx, InputBlock { index: i, arrival: i as u64, data });
+            w.on_input(
+                &mut ctx,
+                InputBlock {
+                    index: i,
+                    arrival: i as u64,
+                    data,
+                },
+            );
         }
         w.on_input_done(&mut ctx);
         while let Some(d) = ctx.sched.dispatch() {

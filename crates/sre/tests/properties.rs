@@ -1,9 +1,18 @@
 //! Property-based tests for the runtime: the ready queue against a
-//! reference model, scheduler lifecycle invariants, and discrete-event
-//! determinism under arbitrary workload shapes.
+//! reference model, scheduler lifecycle invariants, discrete-event
+//! determinism under arbitrary workload shapes, and cross-executor output
+//! equivalence (simulator vs work-stealing threads vs the single-lock
+//! baseline).
+//!
+//! Hand-rolled seeded-loop properties (`tvs_rng::cases`): the offline build
+//! has no proptest, and deterministic per-case seeds reproduce failures
+//! exactly.
 
-use proptest::prelude::*;
-use tvs_sre::exec::sim::{run, SimConfig};
+use std::sync::Arc;
+use tvs_rng::cases;
+use tvs_sre::exec::baseline::run as run_baseline;
+use tvs_sre::exec::sim::{run as run_sim, SimConfig};
+use tvs_sre::exec::threaded::{run as run_threaded, ThreadedConfig};
 use tvs_sre::policy::LaneLoads;
 use tvs_sre::queue::ReadyQueue;
 use tvs_sre::task::{payload, TaskClass, TaskSpec};
@@ -66,38 +75,26 @@ fn model_pop(
     Some(entries.remove(pick).id)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The BTreeMap-backed queue agrees with the brute-force model under
-    /// arbitrary interleavings of pushes, pops and version removals.
-    #[test]
-    fn prop_queue_matches_model(
-        ops in proptest::collection::vec(
-            prop_oneof![
-                // (class selector, depth, version)
-                (0u8..4, 0u32..5, 0u32..3).prop_map(|(c, d, v)| (0u8, c, d, v)),
-                Just((1u8, 0, 0, 0)),                 // pop
-                (0u32..3).prop_map(|v| (2u8, 0, 0, v)), // remove_version
-            ],
-            1..120,
-        ),
-        policy_ix in 0usize..4,
-    ) {
+/// The BTreeMap-backed queue agrees with the brute-force model under
+/// arbitrary interleavings of pushes, pops and version removals.
+#[test]
+fn prop_queue_matches_model() {
+    cases(0x51EE7, 64, |rng, case| {
         let policy = [
             DispatchPolicy::NonSpeculative,
             DispatchPolicy::Conservative,
             DispatchPolicy::Aggressive,
             DispatchPolicy::Balanced,
-        ][policy_ix];
+        ][rng.random_range(0..4usize)];
         let mut q = ReadyQueue::new();
         let mut model: Vec<ModelEntry> = Vec::new();
         let mut next_id = 0u64;
         let mut seq = 0u64;
-        for (op, c, d, v) in ops {
-            match op {
+        let n_ops = rng.random_range(1..120usize);
+        for _ in 0..n_ops {
+            match rng.random_range(0..3u8) {
                 0 => {
-                    let class = match c {
+                    let class = match rng.random_range(0..4u8) {
                         0 => TaskClass::Regular,
                         1 => TaskClass::Speculative,
                         2 => TaskClass::Predictor,
@@ -107,19 +104,27 @@ proptest! {
                     if class == TaskClass::Speculative && !policy.speculates() {
                         continue;
                     }
-                    let version =
-                        (class == TaskClass::Speculative).then_some(v);
+                    let depth = rng.random_range(0..5u32);
+                    let v = rng.random_range(0..3u32);
+                    let version = (class == TaskClass::Speculative).then_some(v);
                     next_id += 1;
-                    q.push(next_id, class, d, version);
-                    model.push(ModelEntry { id: next_id, class, depth: d, version, seq });
+                    q.push(next_id, class, depth, version);
+                    model.push(ModelEntry {
+                        id: next_id,
+                        class,
+                        depth,
+                        version,
+                        seq,
+                    });
                     seq += 1;
                 }
                 1 => {
                     let got = q.pop(policy, LaneLoads::default(), false);
                     let want = model_pop(&mut model, policy, LaneLoads::default());
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}: queue disagrees with model");
                 }
                 _ => {
+                    let v = rng.random_range(0..3u32);
                     let mut got = q.remove_version(v);
                     got.sort_unstable();
                     let mut want: Vec<u64> = model
@@ -129,40 +134,37 @@ proptest! {
                         .collect();
                     want.sort_unstable();
                     model.retain(|e| e.version != Some(v));
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}: remove_version({v}) disagrees");
                 }
             }
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.len(), model.len(), "case {case}: length drift");
         }
-    }
+    });
+}
 
-    /// Scheduler conservation: every spawned task is exactly once either
-    /// (a) dispatched and completed, (b) deleted by a rollback while
-    /// ready, or (c) rejected at spawn.
-    #[test]
-    fn prop_scheduler_conserves_tasks(
-        ops in proptest::collection::vec(
-            prop_oneof![
-                (0u32..4).prop_map(|v| (0u8, v)), // spawn spec v
-                Just((1u8, 0)),                   // spawn regular
-                Just((2u8, 0)),                   // dispatch+complete one
-                (0u32..4).prop_map(|v| (3u8, v)), // abort version v
-            ],
-            1..200,
-        ),
-    ) {
+/// Scheduler conservation: every spawned task is exactly once either
+/// (a) dispatched and completed, (b) deleted by a rollback while
+/// ready, or (c) rejected at spawn.
+#[test]
+fn prop_scheduler_conserves_tasks() {
+    cases(0xC0A5E, 64, |rng, case| {
         let mut s = Scheduler::new(DispatchPolicy::Aggressive);
         let mut spawned = 0u64;
         let mut completed = 0u64;
-        for (op, v) in ops {
-            match op {
+        let n_ops = rng.random_range(1..200usize);
+        for _ in 0..n_ops {
+            match rng.random_range(0..4u8) {
                 0 => {
-                    if s.spawn(TaskSpec::speculative("s", 0, 0, v, 0, |_| payload(()))).is_some() {
+                    let v = rng.random_range(0..4u32);
+                    if s.spawn(TaskSpec::speculative("s", 0, 0, v, 0, |_| payload(())))
+                        .is_some()
+                    {
                         spawned += 1;
                     }
                 }
                 1 => {
-                    s.spawn(TaskSpec::regular("r", 0, 0, 0, |_| payload(()))).unwrap();
+                    s.spawn(TaskSpec::regular("r", 0, 0, 0, |_| payload(())))
+                        .unwrap();
                     spawned += 1;
                 }
                 2 => {
@@ -172,7 +174,7 @@ proptest! {
                     }
                 }
                 _ => {
-                    s.abort_version(v);
+                    s.abort_version(rng.random_range(0..4u32));
                 }
             }
         }
@@ -182,11 +184,11 @@ proptest! {
             completed += 1;
         }
         let st = s.stats();
-        prop_assert_eq!(st.spawned, spawned);
-        prop_assert_eq!(completed, st.delivered + st.discarded);
-        prop_assert_eq!(spawned, completed + st.deleted_ready);
-        prop_assert!(s.is_idle());
-    }
+        assert_eq!(st.spawned, spawned, "case {case}");
+        assert_eq!(completed, st.delivered + st.discarded, "case {case}");
+        assert_eq!(spawned, completed + st.deleted_ready, "case {case}");
+        assert!(s.is_idle(), "case {case}");
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -241,26 +243,27 @@ impl CostModel for TagCost {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Same script, same platform -> byte-identical traces; and the trace
-    /// respects worker exclusivity (no overlapping tasks on one worker).
-    #[test]
-    fn prop_sim_deterministic_and_exclusive(
-        script in proptest::collection::vec(any::<u8>(), 1..100),
-        workers in 1usize..6,
-    ) {
+/// Same script, same platform -> byte-identical traces; and the trace
+/// respects worker exclusivity (no overlapping tasks on one worker).
+#[test]
+fn prop_sim_deterministic_and_exclusive() {
+    cases(0xDE5, 32, |rng, case| {
+        let script = tvs_rng::bytes(rng, 1..100);
+        let workers = rng.random_range(1..6usize);
         let cfg = SimConfig {
             platform: x86_smp(workers),
             policy: DispatchPolicy::NonSpeculative,
             trace: true,
         };
-        let mk = || FanOut { script: script.clone(), spawned: 0, seen: 0 };
-        let a = run(mk(), &cfg, &TagCost, vec![]);
-        let b = run(mk(), &cfg, &TagCost, vec![]);
-        prop_assert_eq!(&a.trace, &b.trace);
-        prop_assert_eq!(a.metrics.makespan, b.metrics.makespan);
+        let mk = || FanOut {
+            script: script.clone(),
+            spawned: 0,
+            seen: 0,
+        };
+        let a = run_sim(mk(), &cfg, &TagCost, vec![]);
+        let b = run_sim(mk(), &cfg, &TagCost, vec![]);
+        assert_eq!(&a.trace, &b.trace, "case {case}");
+        assert_eq!(a.metrics.makespan, b.metrics.makespan, "case {case}");
         // Worker exclusivity.
         for w in 0..workers {
             let mut spans: Vec<(Time, Time)> = a
@@ -271,10 +274,242 @@ proptest! {
                 .collect();
             spans.sort_unstable();
             for pair in spans.windows(2) {
-                prop_assert!(pair[1].0 >= pair[0].1, "worker {w} overlap: {pair:?}");
+                assert!(
+                    pair[1].0 >= pair[0].1,
+                    "case {case}: worker {w} overlap: {pair:?}"
+                );
             }
         }
         // Conservation: every spawned task traced exactly once.
-        prop_assert_eq!(a.trace.len(), a.workload.spawned);
+        assert_eq!(a.trace.len(), a.workload.spawned);
+        // The simulator's per-worker binding counts cover every task.
+        assert_eq!(
+            a.metrics.lane_dispatches.iter().sum::<u64>(),
+            a.trace.len() as u64,
+            "case {case}"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Cross-executor equivalence: sim == threaded == baseline
+// ---------------------------------------------------------------------
+
+/// Deterministic two-stage workload: each input block spawns a "digest"
+/// task (sums bytes), whose delivery spawns a "fold" task mixing the digest
+/// with the tag. Delivered fold outputs are collected as `(tag, value)`.
+struct TwoStage {
+    blocks: usize,
+    folds_done: usize,
+    results: Vec<(u64, u64)>,
+}
+
+impl TwoStage {
+    fn new(blocks: usize) -> Self {
+        TwoStage {
+            blocks,
+            folds_done: 0,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Workload for TwoStage {
+    fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
+        let data = b.data.clone();
+        ctx.spawn(TaskSpec::regular(
+            "digest",
+            0,
+            data.len(),
+            b.index as u64,
+            move |_| {
+                payload(
+                    data.iter()
+                        .enumerate()
+                        .map(|(i, &x)| (i as u64 + 1) * x as u64)
+                        .sum::<u64>(),
+                )
+            },
+        ));
+    }
+    fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+        match done.name {
+            "digest" => {
+                let digest = *done.output.downcast::<u64>().unwrap();
+                let tag = done.tag;
+                ctx.spawn(TaskSpec::regular("fold", 1, 0, tag, move |_| {
+                    payload(digest.wrapping_mul(0x9E3779B97F4A7C15) ^ tag)
+                }));
+            }
+            "fold" => {
+                self.folds_done += 1;
+                self.results
+                    .push((done.tag, *done.output.downcast::<u64>().unwrap()));
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn is_finished(&self) -> bool {
+        self.folds_done == self.blocks
+    }
+}
+
+/// The same deterministic workload must deliver the same output set on the
+/// simulator, the work-stealing threaded executor and the single-lock
+/// baseline, at every worker count — executors may reorder completions but
+/// never change, drop or duplicate results.
+#[test]
+fn prop_cross_executor_outputs_identical() {
+    cases(0xE9_0A11, 8, |rng, case| {
+        let n_blocks = rng.random_range(1..40usize);
+        let data: Vec<Arc<[u8]>> = (0..n_blocks)
+            .map(|_| tvs_rng::bytes(rng, 1..512).into())
+            .collect();
+
+        let sorted = |mut v: Vec<(u64, u64)>| {
+            v.sort_unstable();
+            v
+        };
+
+        // Reference: single-worker simulator run.
+        let sim_inputs: Vec<InputBlock> = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| InputBlock {
+                index: i,
+                arrival: i as Time,
+                data: d.clone(),
+            })
+            .collect();
+        let sim_cfg = SimConfig {
+            platform: x86_smp(1),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
+        let reference = sorted(
+            run_sim(TwoStage::new(n_blocks), &sim_cfg, &TagCost, sim_inputs)
+                .workload
+                .results,
+        );
+        assert_eq!(reference.len(), n_blocks);
+
+        for workers in [1usize, 2, 4, 8] {
+            // Simulator at this worker count.
+            let cfg = SimConfig {
+                platform: x86_smp(workers),
+                policy: DispatchPolicy::NonSpeculative,
+                trace: false,
+            };
+            let sim_inputs: Vec<InputBlock> = data
+                .iter()
+                .enumerate()
+                .map(|(i, d)| InputBlock {
+                    index: i,
+                    arrival: i as Time,
+                    data: d.clone(),
+                })
+                .collect();
+            let got = sorted(
+                run_sim(TwoStage::new(n_blocks), &cfg, &TagCost, sim_inputs)
+                    .workload
+                    .results,
+            );
+            assert_eq!(got, reference, "case {case}: sim@{workers} diverged");
+
+            // Threaded (work-stealing) and baseline executors.
+            let tcfg = ThreadedConfig {
+                workers,
+                policy: DispatchPolicy::NonSpeculative,
+            };
+            let blocks: Vec<(usize, Arc<[u8]>)> = data.iter().cloned().enumerate().collect();
+            let (w, m) = run_threaded(TwoStage::new(n_blocks), &tcfg, blocks.clone());
+            assert_eq!(
+                sorted(w.results),
+                reference,
+                "case {case}: threaded@{workers} diverged"
+            );
+            assert_eq!(m.tasks_delivered, 2 * n_blocks as u64);
+            assert_eq!(
+                m.lane_dispatches.iter().sum::<u64>(),
+                2 * n_blocks as u64,
+                "case {case}: every threaded task routes through a lane"
+            );
+
+            let (w, m) = run_baseline(TwoStage::new(n_blocks), &tcfg, blocks);
+            assert_eq!(
+                sorted(w.results),
+                reference,
+                "case {case}: baseline@{workers} diverged"
+            );
+            assert_eq!(m.tasks_delivered, 2 * n_blocks as u64);
+        }
+    });
+}
+
+/// Chained speculation on real threads: delivered results must be immune to
+/// executor races — an aborted version's outputs never surface, whatever
+/// the interleaving. Runs the same speculative workload many times across
+/// worker counts.
+#[test]
+fn prop_threaded_abort_never_leaks() {
+    struct SpecLeak {
+        normal_done: bool,
+        leaked: bool,
+    }
+    impl Workload for SpecLeak {
+        fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+            for i in 0..4 {
+                ctx.spawn(TaskSpec::speculative("spec", 0, 0, 1, i, |_| payload(())));
+            }
+            ctx.spawn(TaskSpec::regular("normal", 0, 0, 0, |_| payload(())));
+        }
+        fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+        fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+            match done.name {
+                "normal" => {
+                    ctx.abort_version(1);
+                    self.normal_done = true;
+                }
+                "spec" => {
+                    if self.normal_done {
+                        // Delivered after its version was aborted: a leak.
+                        self.leaked = true;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn is_finished(&self) -> bool {
+            self.normal_done
+        }
+    }
+    for workers in [1usize, 2, 4] {
+        for _ in 0..8 {
+            let cfg = ThreadedConfig {
+                workers,
+                policy: DispatchPolicy::Balanced,
+            };
+            let (w, m) = run_threaded(
+                SpecLeak {
+                    normal_done: false,
+                    leaked: false,
+                },
+                &cfg,
+                Vec::<(usize, Arc<[u8]>)>::new(),
+            );
+            assert!(w.normal_done);
+            assert!(
+                !w.leaked,
+                "aborted speculative output delivered at {workers} workers"
+            );
+            // Conservation: 1 normal delivered; every spec accounted for as
+            // early-delivered, discarded or deleted (queue or lane).
+            let spec_delivered = m.tasks_delivered - 1;
+            assert_eq!(
+                spec_delivered + m.tasks_discarded + m.tasks_deleted_ready,
+                4,
+                "spec tasks unaccounted for at {workers} workers"
+            );
+        }
     }
 }

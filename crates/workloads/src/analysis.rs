@@ -56,7 +56,10 @@ pub fn drift_profile(data: &[u8], prefix_fracs: &[f64], eval_step_frac: f64) -> 
                     break;
                 }
             }
-            DriftPoint { prefix_frac: pf, worst_delta: worst }
+            DriftPoint {
+                prefix_frac: pf,
+                worst_delta: worst,
+            }
         })
         .collect()
 }
@@ -78,7 +81,10 @@ mod tests {
         let mut data = vec![b'a'; 20_000];
         data.extend((0..20_000u32).map(|i| 128 + (i % 100) as u8));
         let d = prefix_check_delta(&data, 10_000, 40_000);
-        assert!(d > 0.05, "disjoint halves should blow up the delta, got {d}");
+        assert!(
+            d > 0.05,
+            "disjoint halves should blow up the delta, got {d}"
+        );
     }
 
     #[test]

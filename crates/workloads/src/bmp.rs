@@ -9,8 +9,7 @@
 //! reproducing the paper's observed rollback threshold at speculation step
 //! ≈ 8 for the 2 MB BMP.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tvs_rng::SmallRng;
 
 /// Stationary dark fraction at the left edge of every row (a shadowed
 /// border). Identical in every row, so it contributes texture without any
@@ -75,7 +74,7 @@ pub(crate) fn generate_with(bytes: usize, seed: u64, burst_prob: f64, main_prob:
     out.extend_from_slice(&(bytes as u32).to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // reserved
     out.extend_from_slice(&54u32.to_le_bytes()); // pixel data offset
-    // --- BITMAPINFOHEADER (40 bytes) ---
+                                                 // --- BITMAPINFOHEADER (40 bytes) ---
     out.extend_from_slice(&40u32.to_le_bytes());
     out.extend_from_slice(&(width as i32).to_le_bytes());
     out.extend_from_slice(&(height as i32).to_le_bytes());
@@ -112,19 +111,27 @@ pub(crate) fn generate_with(bytes: usize, seed: u64, burst_prob: f64, main_prob:
             }
             let dark = j < dark_px;
             let (row_base, spread) = if dark {
-                (rng.random_range(INTRO_BASE), 6)
+                (rng.random_range(INTRO_BASE), 6i32)
             } else {
                 (base, 24)
             };
             let noise = rng.random_range(-spread..=spread);
-            let drift = if dark { 0 } else { sweep * j as i32 / px_per_row as i32 };
+            let drift = if dark {
+                0
+            } else {
+                sweep * j as i32 / px_per_row as i32
+            };
             let px = (row_base + drift + noise).clamp(0, 255) as u8;
             let (r, g, b) = if fine_row && !dark {
                 // Full-precision pixels: low bits carry dithered detail.
                 let d = rng.random_range(0..4u8);
                 (px | d, px.saturating_add(5) | d, px.saturating_sub(5) | d)
             } else {
-                (px & 0xFC, px.saturating_add(6) & 0xFC, px.saturating_sub(6) & 0xFC)
+                (
+                    px & 0xFC,
+                    px.saturating_add(6) & 0xFC,
+                    px.saturating_sub(6) & 0xFC,
+                )
             };
             out.push(b);
             if out.len() < bytes {
@@ -163,13 +170,20 @@ mod tests {
         let n = data.len();
         // Bytes off the 4-quantised grid exist only in fine-detail rows.
         let off_grid = |h: &Histogram| {
-            h.iter_nonzero().filter(|&(s, _)| s & 0x03 != 0).map(|(_, c)| c).sum::<u64>() as f64
+            h.iter_nonzero()
+                .filter(|&(s, _)| s & 0x03 != 0)
+                .map(|(_, c)| c)
+                .sum::<u64>() as f64
                 / h.total() as f64
         };
         let head = Histogram::from_bytes(&data[54..n / 8]); // before the burst
         let tail = Histogram::from_bytes(&data[n / 2..]);
         assert_eq!(off_grid(&head), 0.0, "no fine symbols before the burst");
-        assert!(off_grid(&tail) > 0.002, "tail must carry fine mass: {}", off_grid(&tail));
+        assert!(
+            off_grid(&tail) > 0.002,
+            "tail must carry fine mass: {}",
+            off_grid(&tail)
+        );
     }
 
     #[test]
@@ -178,10 +192,26 @@ mod tests {
         // prefixes violate 1 % tolerance, quarter-file prefixes respect it.
         let data = generate(2 << 20, 3);
         let prof = drift_profile(&data, &[0.0625, 0.125, 0.25, 0.5], 0.125);
-        assert!(prof[0].worst_delta > 0.01, "1/16 prefix should exceed 1%: {:?}", prof[0]);
-        assert!(prof[1].worst_delta > 0.01, "1/8 prefix should exceed 1%: {:?}", prof[1]);
-        assert!(prof[2].worst_delta < 0.01, "1/4 prefix should be inside 1%: {:?}", prof[2]);
-        assert!(prof[3].worst_delta < 0.01, "1/2 prefix must be safe: {:?}", prof[3]);
+        assert!(
+            prof[0].worst_delta > 0.01,
+            "1/16 prefix should exceed 1%: {:?}",
+            prof[0]
+        );
+        assert!(
+            prof[1].worst_delta > 0.01,
+            "1/8 prefix should exceed 1%: {:?}",
+            prof[1]
+        );
+        assert!(
+            prof[2].worst_delta < 0.01,
+            "1/4 prefix should be inside 1%: {:?}",
+            prof[2]
+        );
+        assert!(
+            prof[3].worst_delta < 0.01,
+            "1/2 prefix must be safe: {:?}",
+            prof[3]
+        );
     }
 
     #[test]
@@ -213,8 +243,9 @@ mod tests {
             let data = generate_with(2 << 20, seed, burst_prob, main_prob);
             let n_groups = 32;
             let gsz = data.len() / n_groups;
-            let cum: Vec<Histogram> =
-                (1..=n_groups).map(|g| Histogram::from_bytes(&data[..g * gsz])).collect();
+            let cum: Vec<Histogram> = (1..=n_groups)
+                .map(|g| Histogram::from_bytes(&data[..g * gsz]))
+                .collect();
             println!("burst={burst_prob} main={main_prob} seed={seed}:");
             for f in [1usize, 2, 4, 8] {
                 let spec = CodeLengths::build_covering(&cum[f - 1]).unwrap();
@@ -224,7 +255,10 @@ mod tests {
                         continue;
                     }
                     let cand = CodeLengths::build_covering(&cum[g - 1]).unwrap();
-                    print!(" g{g}={:.2}%", relative_cost_delta(&spec, &cand, &cum[g - 1]) * 100.0);
+                    print!(
+                        " g{g}={:.2}%",
+                        relative_cost_delta(&spec, &cand, &cum[g - 1]) * 100.0
+                    );
                 }
                 let fin = CodeLengths::build(&cum[n_groups - 1]).unwrap();
                 println!(

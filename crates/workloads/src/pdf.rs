@@ -10,8 +10,7 @@
 //! paper's rollback threshold appears at speculation step ≈ 16 instead
 //! of ≈ 8.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tvs_rng::SmallRng;
 
 /// File fraction over which the ASCII/binary mix keeps shifting.
 /// Calibrated with the `calibration_grid` test (see `bmp.rs` for the
@@ -52,12 +51,52 @@ const MAIN_HI: f64 = 0.55;
 const IMAGE_PROB: f64 = 0.12;
 
 const DICT_TOKENS: &[&str] = &[
-    "obj", "endobj", "stream", "endstream", "<<", ">>", "/Type", "/Page", "/Pages",
-    "/Contents", "/Font", "/F1", "/Length", "/Filter", "/FlateDecode", "/MediaBox",
-    "/Parent", "/Kids", "/Count", "/Resources", "/ProcSet", "/XObject", "/Subtype",
-    "/Image", "/Width", "/Height", "/BitsPerComponent", "/ColorSpace", "/DeviceRGB",
-    "xref", "trailer", "startxref", "%%EOF", "R", "0", "1", "2", "3", "4", "5",
-    "612", "792", "<</Root", "/Size", "/Info", "/Producer",
+    "obj",
+    "endobj",
+    "stream",
+    "endstream",
+    "<<",
+    ">>",
+    "/Type",
+    "/Page",
+    "/Pages",
+    "/Contents",
+    "/Font",
+    "/F1",
+    "/Length",
+    "/Filter",
+    "/FlateDecode",
+    "/MediaBox",
+    "/Parent",
+    "/Kids",
+    "/Count",
+    "/Resources",
+    "/ProcSet",
+    "/XObject",
+    "/Subtype",
+    "/Image",
+    "/Width",
+    "/Height",
+    "/BitsPerComponent",
+    "/ColorSpace",
+    "/DeviceRGB",
+    "xref",
+    "trailer",
+    "startxref",
+    "%%EOF",
+    "R",
+    "0",
+    "1",
+    "2",
+    "3",
+    "4",
+    "5",
+    "612",
+    "792",
+    "<</Root",
+    "/Size",
+    "/Info",
+    "/Producer",
 ];
 
 /// Generate a `bytes`-byte PDF-like file.
@@ -75,12 +114,7 @@ fn image_prob_at(pos: f64, burst_prob: f64, main_prob: f64) -> f64 {
 }
 
 /// Parameterised core, exposed for calibration and ablation tests.
-pub(crate) fn generate_with(
-    bytes: usize,
-    seed: u64,
-    burst_prob: f64,
-    image_prob: f64,
-) -> Vec<u8> {
+pub(crate) fn generate_with(bytes: usize, seed: u64, burst_prob: f64, image_prob: f64) -> Vec<u8> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9DF9_D00D);
     let mut out = Vec::with_capacity(bytes + 64);
     out.extend_from_slice(b"%PDF-1.4\n%\xE2\xE3\xCF\xD3\n");
@@ -109,16 +143,19 @@ fn write_image_stream(out: &mut Vec<u8>, rng: &mut SmallRng, obj_id: &mut u32, c
     // byte-mass curve smooth across seeds.
     let len = rng.random_range(300..900usize);
     out.extend_from_slice(
-        format!("{} 0 obj\n<< /Length {} /Filter /DCTDecode >>\nstream\n", obj_id, len)
-            .as_bytes(),
+        format!(
+            "{} 0 obj\n<< /Length {} /Filter /DCTDecode >>\nstream\n",
+            obj_id, len
+        )
+        .as_bytes(),
     );
     *obj_id += 1;
     for _ in 0..len {
         if out.len() >= cap {
             return;
         }
-        let a: u16 = rng.random_range(0..128);
-        let b: u16 = rng.random_range(0..128);
+        let a: u16 = rng.random_range(0..128u16);
+        let b: u16 = rng.random_range(0..128u16);
         out.push(a.min(b) as u8);
     }
     out.extend_from_slice(b"\nendstream\nendobj\n");
@@ -142,8 +179,11 @@ fn write_ascii_object(out: &mut Vec<u8>, rng: &mut SmallRng, obj_id: &mut u32, c
 fn write_binary_stream(out: &mut Vec<u8>, rng: &mut SmallRng, obj_id: &mut u32, cap: usize) {
     let len = rng.random_range(800..4000usize);
     out.extend_from_slice(
-        format!("{} 0 obj\n<< /Length {} /Filter /FlateDecode >>\nstream\n", obj_id, len)
-            .as_bytes(),
+        format!(
+            "{} 0 obj\n<< /Length {} /Filter /FlateDecode >>\nstream\n",
+            obj_id, len
+        )
+        .as_bytes(),
     );
     *obj_id += 1;
     // Flate-like output: high-entropy, spanning the full byte range with a
@@ -153,8 +193,8 @@ fn write_binary_stream(out: &mut Vec<u8>, rng: &mut SmallRng, obj_id: &mut u32, 
         if out.len() >= cap {
             return;
         }
-        let a: u16 = rng.random_range(0..256);
-        let b: u16 = rng.random_range(0..256);
+        let a: u16 = rng.random_range(0..256u16);
+        let b: u16 = rng.random_range(0..256u16);
         out.push((255 - (a.min(b) / 2)) as u8);
     }
     out.extend_from_slice(b"\nendstream\nendobj\n");
@@ -177,7 +217,11 @@ mod tests {
         let data = generate(1 << 20, 2);
         let h = Histogram::from_bytes(&data);
         // Binary streams reach well past ASCII...
-        assert!(h.distinct_symbols() > 150, "distinct = {}", h.distinct_symbols());
+        assert!(
+            h.distinct_symbols() > 150,
+            "distinct = {}",
+            h.distinct_symbols()
+        );
         // ...but ASCII structure keeps entropy below uniform-random 8 bits.
         let e = h.entropy_bits();
         assert!((5.0..7.9).contains(&e), "entropy {e}");
@@ -212,23 +256,46 @@ mod tests {
         // Control bytes (below 0x0A, excluding none used by text) come only
         // from DCT-like image streams.
         let ctrl = |h: &Histogram| {
-            h.iter_nonzero().filter(|&(s, _)| s < 0x0A).map(|(_, c)| c).sum::<u64>() as f64
+            h.iter_nonzero()
+                .filter(|&(s, _)| s < 0x0A)
+                .map(|(_, c)| c)
+                .sum::<u64>() as f64
                 / h.total() as f64
         };
         let head = Histogram::from_bytes(&data[..n / 8]); // before the burst
         let tail = Histogram::from_bytes(&data[n / 2..]);
         assert_eq!(ctrl(&head), 0.0, "no image bytes before the burst");
-        assert!(ctrl(&tail) > 0.002, "tail must carry image mass: {}", ctrl(&tail));
+        assert!(
+            ctrl(&tail) > 0.002,
+            "tail must carry image mass: {}",
+            ctrl(&tail)
+        );
     }
 
     #[test]
     fn drift_threshold_near_a_quarter() {
         let data = generate(4 << 20, 4);
         let prof = drift_profile(&data, &[0.0625, 0.125, 0.25, 0.5], 0.125);
-        assert!(prof[0].worst_delta > 0.01, "1/16 prefix should exceed 1%: {:?}", prof[0]);
-        assert!(prof[1].worst_delta > 0.01, "1/8 prefix should exceed 1%: {:?}", prof[1]);
-        assert!(prof[2].worst_delta < 0.01, "1/4 prefix should be inside 1%: {:?}", prof[2]);
-        assert!(prof[3].worst_delta < 0.01, "1/2 prefix must be safe: {:?}", prof[3]);
+        assert!(
+            prof[0].worst_delta > 0.01,
+            "1/16 prefix should exceed 1%: {:?}",
+            prof[0]
+        );
+        assert!(
+            prof[1].worst_delta > 0.01,
+            "1/8 prefix should exceed 1%: {:?}",
+            prof[1]
+        );
+        assert!(
+            prof[2].worst_delta < 0.01,
+            "1/4 prefix should be inside 1%: {:?}",
+            prof[2]
+        );
+        assert!(
+            prof[3].worst_delta < 0.01,
+            "1/2 prefix must be safe: {:?}",
+            prof[3]
+        );
     }
 
     /// Prints the drift grid used to pick the mix constants. Run with
@@ -248,8 +315,9 @@ mod tests {
             let data = generate_with(4 << 20, seed, burst_prob, image_prob);
             let n_groups = 64;
             let gsz = data.len() / n_groups;
-            let cum: Vec<Histogram> =
-                (1..=n_groups).map(|g| Histogram::from_bytes(&data[..g * gsz])).collect();
+            let cum: Vec<Histogram> = (1..=n_groups)
+                .map(|g| Histogram::from_bytes(&data[..g * gsz]))
+                .collect();
             println!("burst={burst_prob} main={image_prob} seed={seed}:");
             for f in [2usize, 8, 16] {
                 let spec = CodeLengths::build_covering(&cum[f - 1]).unwrap();
@@ -259,7 +327,10 @@ mod tests {
                         continue;
                     }
                     let cand = CodeLengths::build_covering(&cum[g - 1]).unwrap();
-                    print!(" g{g}={:.2}", relative_cost_delta(&spec, &cand, &cum[g - 1]) * 100.0);
+                    print!(
+                        " g{g}={:.2}",
+                        relative_cost_delta(&spec, &cand, &cum[g - 1]) * 100.0
+                    );
                 }
                 let fin = CodeLengths::build(&cum[n_groups - 1]).unwrap();
                 println!(

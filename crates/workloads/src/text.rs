@@ -7,30 +7,27 @@
 //! fraction of a percent of the whole file's — the paper's "no rollback"
 //! case.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tvs_rng::SmallRng;
 
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "a", "to", "in", "he", "have", "it", "that", "for", "they", "with",
-    "as", "not", "on", "she", "at", "by", "this", "we", "you", "do", "but", "from", "or",
-    "which", "one", "would", "all", "will", "there", "say", "who", "make", "when", "can",
-    "more", "if", "no", "man", "out", "other", "so", "what", "time", "up", "go", "about",
-    "than", "into", "could", "state", "only", "new", "year", "some", "take", "come", "these",
-    "know", "see", "use", "get", "like", "then", "first", "any", "work", "now", "may", "such",
-    "give", "over", "think", "most", "even", "find", "day", "also", "after", "way", "many",
-    "must", "look", "before", "great", "back", "through", "long", "where", "much", "should",
-    "well", "people", "down", "own", "just", "because", "good", "each", "those", "feel",
-    "seem", "how", "high", "too", "place", "little", "world", "very", "still", "nation",
-    "hand", "old", "life", "tell", "write", "become", "here", "show", "house", "both",
-    "between", "need", "mean", "call", "develop", "under", "last", "right", "move", "thing",
-    "general", "school", "never", "same", "another", "begin", "while", "number", "part",
-    "turn", "real", "leave", "might", "want", "point", "form", "off", "child", "few",
-    "small", "since", "against", "ask", "late", "home", "interest", "large", "person",
-    "end", "open", "public", "follow", "during", "present", "without", "again", "hold",
-    "govern", "around", "possible", "head", "consider", "word", "program", "problem",
-    "however", "lead", "system", "set", "order", "eye", "plan", "run", "keep", "face",
-    "fact", "group", "play", "stand", "increase", "early", "course", "change", "help",
-    "line",
+    "the", "of", "and", "a", "to", "in", "he", "have", "it", "that", "for", "they", "with", "as",
+    "not", "on", "she", "at", "by", "this", "we", "you", "do", "but", "from", "or", "which", "one",
+    "would", "all", "will", "there", "say", "who", "make", "when", "can", "more", "if", "no",
+    "man", "out", "other", "so", "what", "time", "up", "go", "about", "than", "into", "could",
+    "state", "only", "new", "year", "some", "take", "come", "these", "know", "see", "use", "get",
+    "like", "then", "first", "any", "work", "now", "may", "such", "give", "over", "think", "most",
+    "even", "find", "day", "also", "after", "way", "many", "must", "look", "before", "great",
+    "back", "through", "long", "where", "much", "should", "well", "people", "down", "own", "just",
+    "because", "good", "each", "those", "feel", "seem", "how", "high", "too", "place", "little",
+    "world", "very", "still", "nation", "hand", "old", "life", "tell", "write", "become", "here",
+    "show", "house", "both", "between", "need", "mean", "call", "develop", "under", "last",
+    "right", "move", "thing", "general", "school", "never", "same", "another", "begin", "while",
+    "number", "part", "turn", "real", "leave", "might", "want", "point", "form", "off", "child",
+    "few", "small", "since", "against", "ask", "late", "home", "interest", "large", "person",
+    "end", "open", "public", "follow", "during", "present", "without", "again", "hold", "govern",
+    "around", "possible", "head", "consider", "word", "program", "problem", "however", "lead",
+    "system", "set", "order", "eye", "plan", "run", "keep", "face", "fact", "group", "play",
+    "stand", "increase", "early", "course", "change", "help", "line",
 ];
 
 /// Generate `bytes` bytes of stationary text.
@@ -61,10 +58,10 @@ pub fn generate(bytes: usize, seed: u64) -> Vec<u8> {
         // alphabet, as in a real e-book.
         if rng.random_range(0..100u32) < 2 {
             out.push(b' ');
-            let year: u32 = rng.random_range(1800..2000);
+            let year: u32 = rng.random_range(1800..2000u32);
             out.extend_from_slice(year.to_string().as_bytes());
         }
-        if words_in_sentence >= rng.random_range(6..18) {
+        if words_in_sentence >= rng.random_range(6..18usize) {
             words_in_sentence = 0;
             sentences_in_paragraph += 1;
             let punct = match rng.random_range(0..10u32) {
@@ -74,7 +71,7 @@ pub fn generate(bytes: usize, seed: u64) -> Vec<u8> {
                 _ => b'.',
             };
             out.push(punct);
-            if sentences_in_paragraph >= rng.random_range(4..9) {
+            if sentences_in_paragraph >= rng.random_range(4..9usize) {
                 sentences_in_paragraph = 0;
                 out.extend_from_slice(b"\r\n\r\n");
             } else {
@@ -102,7 +99,10 @@ mod tests {
         let data = generate(200_000, 1);
         let h = Histogram::from_bytes(&data);
         let distinct = h.distinct_symbols();
-        assert!((30..=90).contains(&distinct), "distinct symbols = {distinct}");
+        assert!(
+            (30..=90).contains(&distinct),
+            "distinct symbols = {distinct}"
+        );
         for (sym, _) in h.iter_nonzero() {
             assert!(
                 sym.is_ascii_graphic() || sym == b' ' || sym == b'\r' || sym == b'\n',
@@ -116,7 +116,10 @@ mod tests {
         let data = generate(200_000, 2);
         let h = Histogram::from_bytes(&data);
         assert!(h.count(b' ') > h.total() / 20, "spaces too rare");
-        assert!(h.count(b'e') > h.count(b'q'), "letter frequencies not English-like");
+        assert!(
+            h.count(b'e') > h.count(b'q'),
+            "letter frequencies not English-like"
+        );
     }
 
     #[test]

@@ -30,8 +30,13 @@ fn compress(data: &[u8]) -> Vec<u8> {
         .enumerate()
         .map(|(i, c)| (i, Arc::<[u8]>::from(c)))
         .collect();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let tcfg = ThreadedConfig { workers, policy: cfg.policy };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let tcfg = ThreadedConfig {
+        workers,
+        policy: cfg.policy,
+    };
     let (workload, metrics) = run_threaded(workload, &tcfg, blocks);
     let mut result = workload.result();
     let (stream, bit_len, lengths) = result.output.take().expect("collected");

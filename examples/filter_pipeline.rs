@@ -19,7 +19,10 @@ fn main() {
     let gap_us = 40;
     let workers = 8;
 
-    let base = FilterConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() };
+    let base = FilterConfig {
+        policy: DispatchPolicy::NonSpeculative,
+        ..Default::default()
+    };
     let (b, bm) = run_filter_sim(&base, blocks, gap_us, workers);
     println!(
         "non-speculative: mean latency {:>8.0} us, completion {:>7} us",
@@ -43,7 +46,9 @@ fn main() {
             r.mean_latency(),
             m.makespan,
             m.rollbacks,
-            r.committed_version.map(|v| format!("v{v}")).unwrap_or_else(|| "no".into()),
+            r.committed_version
+                .map(|v| format!("v{v}"))
+                .unwrap_or_else(|| "no".into()),
         );
     }
     println!(

@@ -48,8 +48,8 @@ fn run_row(
     );
     if trace_mode {
         if let Some(dir) = std::env::var_os("TVS_TRACE_CSV") {
-            let path = std::path::Path::new(&dir)
-                .join(format!("{}.csv", label.replace([' ', '/'], "_")));
+            let path =
+                std::path::Path::new(&dir).join(format!("{}.csv", label.replace([' ', '/'], "_")));
             std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
             std::fs::write(&path, tvs_sre::metrics::trace_to_csv(&trace)).expect("write trace");
             println!("    trace -> {}", path.display());
@@ -100,18 +100,30 @@ fn main() {
 
         for policy in DispatchPolicy::ALL {
             let cfg = base(policy);
-            let label = format!("{} {} {} {}", kind.label(), platform.name, arrival.name(), policy.label());
+            let label = format!(
+                "{} {} {} {}",
+                kind.label(),
+                platform.name,
+                arrival.name(),
+                policy.label()
+            );
             run_row(&label, &data, &cfg, &platform, arrival.as_ref());
         }
         // Two extra columns of the design space on the balanced policy.
-        for (name, vp) in
-            [("optimistic", VerificationPolicy::Optimistic), ("full", VerificationPolicy::Full)]
-        {
+        for (name, vp) in [
+            ("optimistic", VerificationPolicy::Optimistic),
+            ("full", VerificationPolicy::Full),
+        ] {
             let mut cfg = base(DispatchPolicy::Balanced);
             cfg.verification = vp;
             cfg.schedule = SpeculationSchedule::with_step(1);
-            let label =
-                format!("{} {} {} balanced/{}", kind.label(), platform.name, arrival.name(), name);
+            let label = format!(
+                "{} {} {} balanced/{}",
+                kind.label(),
+                platform.name,
+                arrival.name(),
+                name
+            );
             run_row(&label, &data, &cfg, &platform, arrival.as_ref());
         }
         for pct in [2.0, 5.0] {

@@ -24,9 +24,8 @@ fn main() {
 
     // Serve the file over loopback at ~2 MB/s (a fast long-distance link;
     // scaled up so the demo finishes in well under a second).
-    let (addr, server) =
-        tvs_iosim::tcp::serve_throttled(data.clone(), 2 * 1024 * 1024, 8 * 1024)
-            .expect("bind loopback");
+    let (addr, server) = tvs_iosim::tcp::serve_throttled(data.clone(), 2 * 1024 * 1024, 8 * 1024)
+        .expect("bind loopback");
     println!("streaming {} bytes from {addr} ...", data.len());
 
     let mut cfg = HuffmanConfig::socket_x86(DispatchPolicy::Balanced);
@@ -45,7 +44,10 @@ fn main() {
     });
 
     let started = std::time::Instant::now();
-    let tcfg = ThreadedConfig { workers: 8, policy: cfg.policy };
+    let tcfg = ThreadedConfig {
+        workers: 8,
+        policy: cfg.policy,
+    };
     let (workload, metrics) = run_threaded(workload, &tcfg, rx);
     reader.join().expect("reader");
     server.join().expect("server").expect("server io");

@@ -43,13 +43,20 @@ fn non_speculative_dfg_matches_fig2a() {
         &data,
         &cfg(DispatchPolicy::NonSpeculative),
         &x86_smp(8),
-        &Uniform { gap_us: 1, start_us: 0 },
+        &Uniform {
+            gap_us: 1,
+            start_us: 0,
+        },
         true,
     );
     assert_eq!(count_kind(&trace, "count"), 64, "one count per block");
     assert_eq!(count_kind(&trace, "reduce"), 16, "reduce fan-in 4:1");
     assert_eq!(count_kind(&trace, "tree"), 1, "a single serial tree task");
-    assert_eq!(count_kind(&trace, "offset"), 8, "offset chain at 8:1 fan-out");
+    assert_eq!(
+        count_kind(&trace, "offset"),
+        8,
+        "offset chain at 8:1 fan-out"
+    );
     assert_eq!(count_kind(&trace, "encode"), 64, "one encode per block");
     assert_eq!(count_kind(&trace, "predict"), 0);
     assert_eq!(count_kind(&trace, "check"), 0);
@@ -58,8 +65,11 @@ fn non_speculative_dfg_matches_fig2a() {
     // The serial chains really are serial: reduces never overlap in time,
     // and neither do offsets.
     for name in ["reduce", "offset"] {
-        let mut spans: Vec<(u64, u64)> =
-            trace.iter().filter(|t| t.name == name).map(|t| (t.start, t.end)).collect();
+        let mut spans: Vec<(u64, u64)> = trace
+            .iter()
+            .filter(|t| t.name == name)
+            .map(|t| (t.start, t.end))
+            .collect();
         spans.sort_unstable();
         for w in spans.windows(2) {
             assert!(w[1].0 >= w[0].1, "{name} chain must be serial: {w:?}");
@@ -68,7 +78,12 @@ fn non_speculative_dfg_matches_fig2a() {
 
     // Dependency sanity: no encode starts before the tree finishes.
     let tree_end = trace.iter().find(|t| t.name == "tree").unwrap().end;
-    let first_encode = trace.iter().filter(|t| t.name == "encode").map(|t| t.start).min().unwrap();
+    let first_encode = trace
+        .iter()
+        .filter(|t| t.name == "encode")
+        .map(|t| t.start)
+        .min()
+        .unwrap();
     assert!(first_encode >= tree_end, "encodes depend on the tree");
 }
 
@@ -84,7 +99,10 @@ fn speculative_dfg_matches_fig2b() {
         &data,
         &c,
         &x86_smp(8),
-        &Uniform { gap_us: 1, start_us: 0 },
+        &Uniform {
+            gap_us: 1,
+            start_us: 0,
+        },
         true,
     );
     // The natural first pass is unchanged.
@@ -92,12 +110,23 @@ fn speculative_dfg_matches_fig2b() {
     assert_eq!(count_kind(&trace, "reduce"), 16);
     assert_eq!(count_kind(&trace, "tree"), 1);
     // The speculative overlay appears...
-    assert_eq!(count_kind(&trace, "predict"), 1, "one speculative tree prediction");
-    assert!(count_kind(&trace, "check") >= 1, "intermediate checks per Fig. 2b");
+    assert_eq!(
+        count_kind(&trace, "predict"),
+        1,
+        "one speculative tree prediction"
+    );
+    assert!(
+        count_kind(&trace, "check") >= 1,
+        "intermediate checks per Fig. 2b"
+    );
     assert_eq!(count_kind(&trace, "final-check"), 1, "the decisive check");
     // ...and replaces the natural encode phase entirely on commit.
     assert!(out.result.committed_version.is_some());
-    assert_eq!(count_kind(&trace, "encode"), 64, "no re-encoding when committed");
+    assert_eq!(
+        count_kind(&trace, "encode"),
+        64,
+        "no re-encoding when committed"
+    );
     assert!(trace
         .iter()
         .filter(|t| t.name == "encode")
@@ -106,7 +135,12 @@ fn speculative_dfg_matches_fig2b() {
     // Speculative encodes start before the final tree exists — the whole
     // point of the paper.
     let tree_end = trace.iter().find(|t| t.name == "tree").unwrap().end;
-    let first_encode = trace.iter().filter(|t| t.name == "encode").map(|t| t.start).min().unwrap();
+    let first_encode = trace
+        .iter()
+        .filter(|t| t.name == "encode")
+        .map(|t| t.start)
+        .min()
+        .unwrap();
     assert!(
         first_encode < tree_end,
         "speculative encodes must precede the serial bottleneck's output"
@@ -123,20 +157,28 @@ fn rollback_dfg_discards_and_reissues() {
         &data,
         &cfg(DispatchPolicy::Balanced),
         &x86_smp(8),
-        &Uniform { gap_us: 1, start_us: 0 },
+        &Uniform {
+            gap_us: 1,
+            start_us: 0,
+        },
         true,
     );
     assert!(out.metrics.rollbacks > 0);
     let discarded = trace.iter().filter(|t| t.discarded).count();
     let deleted = out.metrics.tasks_deleted_ready as usize;
-    assert!(discarded + deleted > 0, "rollback must destroy speculative work");
+    assert!(
+        discarded + deleted > 0,
+        "rollback must destroy speculative work"
+    );
     // Committed/natural encodes still cover all 64 blocks exactly once.
     let good_encodes: Vec<u64> = trace
         .iter()
-        .filter(|t| t.name == "encode" && !t.discarded && {
-            match out.result.committed_version {
-                Some(v) => t.version == Some(v),
-                None => t.version.is_none(),
+        .filter(|t| {
+            t.name == "encode" && !t.discarded && {
+                match out.result.committed_version {
+                    Some(v) => t.version == Some(v),
+                    None => t.version.is_none(),
+                }
             }
         })
         .map(|t| t.tag)
@@ -144,5 +186,9 @@ fn rollback_dfg_discards_and_reissues() {
     let mut tags = good_encodes.clone();
     tags.sort_unstable();
     tags.dedup();
-    assert_eq!(tags.len(), 64, "every block encoded exactly once in the surviving version");
+    assert_eq!(
+        tags.len(),
+        64,
+        "every block encoded exactly once in the surviving version"
+    );
 }

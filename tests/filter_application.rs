@@ -6,7 +6,10 @@ use tvs_pipelines::filter::{run_filter_sim, FilterConfig};
 use tvs_sre::DispatchPolicy;
 
 fn base(policy: DispatchPolicy) -> FilterConfig {
-    FilterConfig { policy, ..Default::default() }
+    FilterConfig {
+        policy,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -66,7 +69,10 @@ fn earlier_speculation_is_better_despite_rollbacks() {
     };
     let (e, em) = run_filter_sim(&early, 128, 10, 8);
     let (l, lm) = run_filter_sim(&late, 128, 10, 8);
-    assert!(em.rollbacks > 0, "early speculation must pay some rollbacks");
+    assert!(
+        em.rollbacks > 0,
+        "early speculation must pay some rollbacks"
+    );
     assert_eq!(lm.rollbacks, 0, "iterate 10 of 12 is converged");
     assert!(
         e.mean_latency() < l.mean_latency(),
@@ -115,8 +121,14 @@ fn committed_outputs_stay_within_tolerance_of_natural() {
     for (a, b) in ns.blocks.iter().zip(&sp.blocks) {
         let scale = a.checksum.abs().max(1.0);
         let rel = (a.checksum - b.checksum).abs() / scale;
-        assert!(rel < 0.01, "committed output must stay within tolerance: {rel}");
-        assert!(rel > 0.0, "speculated coefficients differ from final ones by design");
+        assert!(
+            rel < 0.01,
+            "committed output must stay within tolerance: {rel}"
+        );
+        assert!(
+            rel > 0.0,
+            "speculated coefficients differ from final ones by design"
+        );
     }
 }
 
@@ -124,5 +136,9 @@ fn committed_outputs_stay_within_tolerance_of_natural() {
 fn single_worker_and_many_blocks() {
     let (res, m) = run_filter_sim(&base(DispatchPolicy::Balanced), 200, 2, 1);
     assert_eq!(res.blocks.len(), 200);
-    assert!(m.utilization() > 0.5, "one worker should be busy: {}", m.utilization());
+    assert!(
+        m.utilization() > 0.5,
+        "one worker should be busy: {}",
+        m.utilization()
+    );
 }

@@ -16,14 +16,22 @@ fn decode_and_check(out: &RunOutcome, input: &[u8]) {
 }
 
 fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
-    HuffmanConfig { collect_output: true, ..HuffmanConfig::disk_x86(policy) }
+    HuffmanConfig {
+        collect_output: true,
+        ..HuffmanConfig::disk_x86(policy)
+    }
 }
 
 #[test]
 fn non_speculative_equals_serial_reference_on_all_kinds() {
     for kind in FileKind::ALL {
         let data = tvs_workloads::generate(kind, 1 << 20, 11);
-        let out = run_huffman_sim(&data, &cfg(DispatchPolicy::NonSpeculative), &x86_smp(16), &Disk::default());
+        let out = run_huffman_sim(
+            &data,
+            &cfg(DispatchPolicy::NonSpeculative),
+            &x86_smp(16),
+            &Disk::default(),
+        );
         decode_and_check(&out, &data);
         let serial = serial_encode(&data).unwrap();
         assert_eq!(
@@ -39,7 +47,11 @@ fn non_speculative_equals_serial_reference_on_all_kinds() {
 fn speculative_output_decodes_on_all_kinds_and_policies() {
     for kind in FileKind::ALL {
         let data = tvs_workloads::generate(kind, 1 << 20, 12);
-        for policy in [DispatchPolicy::Balanced, DispatchPolicy::Aggressive, DispatchPolicy::Conservative] {
+        for policy in [
+            DispatchPolicy::Balanced,
+            DispatchPolicy::Aggressive,
+            DispatchPolicy::Conservative,
+        ] {
             let out = run_huffman_sim(&data, &cfg(policy), &x86_smp(16), &Disk::default());
             decode_and_check(&out, &data);
         }
@@ -49,8 +61,16 @@ fn speculative_output_decodes_on_all_kinds_and_policies() {
 #[test]
 fn committed_speculation_is_within_tolerance_of_optimal() {
     let data = tvs_workloads::generate(FileKind::Text, 2 << 20, 13);
-    let out = run_huffman_sim(&data, &cfg(DispatchPolicy::Balanced), &x86_smp(16), &Disk::default());
-    assert!(out.result.committed_version.is_some(), "stationary text must commit");
+    let out = run_huffman_sim(
+        &data,
+        &cfg(DispatchPolicy::Balanced),
+        &x86_smp(16),
+        &Disk::default(),
+    );
+    assert!(
+        out.result.committed_version.is_some(),
+        "stationary text must commit"
+    );
     let serial = serial_encode(&data).unwrap();
     let excess = out.result.compressed_bits as f64 / serial.bit_len as f64 - 1.0;
     assert!(
@@ -63,7 +83,10 @@ fn committed_speculation_is_within_tolerance_of_optimal() {
 fn cell_platform_runs_all_kinds() {
     for kind in FileKind::ALL {
         let data = tvs_workloads::generate(kind, 1 << 20, 14);
-        let c = HuffmanConfig { collect_output: true, ..HuffmanConfig::disk_cell(DispatchPolicy::Balanced) };
+        let c = HuffmanConfig {
+            collect_output: true,
+            ..HuffmanConfig::disk_cell(DispatchPolicy::Balanced)
+        };
         let out = run_huffman_sim(&data, &c, &cell_be(16), &Disk::default());
         decode_and_check(&out, &data);
     }
@@ -72,7 +95,14 @@ fn cell_platform_runs_all_kinds() {
 #[test]
 fn simulation_is_fully_deterministic() {
     let data = tvs_workloads::generate(FileKind::Pdf, 1 << 20, 15);
-    let run = || run_huffman_sim(&data, &cfg(DispatchPolicy::Aggressive), &x86_smp(16), &Disk::default());
+    let run = || {
+        run_huffman_sim(
+            &data,
+            &cfg(DispatchPolicy::Aggressive),
+            &x86_smp(16),
+            &Disk::default(),
+        )
+    };
     let (a, b) = (run(), run());
     assert_eq!(a.latencies(), b.latencies());
     assert_eq!(a.completion_time(), b.completion_time());
@@ -86,9 +116,18 @@ fn threaded_and_sim_executors_produce_identical_streams() {
     // Timing differs wildly, but the committed *content* of a no-rollback
     // run is executor-independent.
     let data = tvs_workloads::generate(FileKind::Text, 256 * 1024, 16);
-    let arrival = Uniform { gap_us: 1, start_us: 0 };
+    let arrival = Uniform {
+        gap_us: 1,
+        start_us: 0,
+    };
     let sim = run_huffman_sim(&data, &cfg(DispatchPolicy::Balanced), &x86_smp(8), &arrival);
-    let thr = run_huffman_threaded(&data, &cfg(DispatchPolicy::Balanced), 8, &arrival, 1_000_000);
+    let thr = run_huffman_threaded(
+        &data,
+        &cfg(DispatchPolicy::Balanced),
+        8,
+        &arrival,
+        1_000_000,
+    );
     decode_and_check(&sim, &data);
     decode_and_check(&thr, &data);
 }
@@ -96,10 +135,18 @@ fn threaded_and_sim_executors_produce_identical_streams() {
 #[test]
 fn latency_series_is_complete_and_positive() {
     let data = tvs_workloads::generate(FileKind::Bmp, 1 << 20, 17);
-    let out = run_huffman_sim(&data, &cfg(DispatchPolicy::Balanced), &x86_smp(16), &Disk::default());
+    let out = run_huffman_sim(
+        &data,
+        &cfg(DispatchPolicy::Balanced),
+        &x86_smp(16),
+        &Disk::default(),
+    );
     let lat = out.latencies();
     assert_eq!(lat.len(), 256, "one latency per 4 KB block");
-    assert!(lat.iter().all(|&l| l > 0), "every block takes non-zero time");
+    assert!(
+        lat.iter().all(|&l| l > 0),
+        "every block takes non-zero time"
+    );
     assert_eq!(out.arrivals.len(), 256);
 }
 
@@ -121,17 +168,29 @@ fn compression_ratios_are_plausible_per_kind() {
         })
         .collect();
     let get = |k: FileKind| ratios.iter().find(|(kk, _)| *kk == k).unwrap().1;
-    assert!(get(FileKind::Text) > 1.5, "text ratio {}", get(FileKind::Text));
+    assert!(
+        get(FileKind::Text) > 1.5,
+        "text ratio {}",
+        get(FileKind::Text)
+    );
     assert!(get(FileKind::Bmp) > 1.2, "bmp ratio {}", get(FileKind::Bmp));
     assert!(get(FileKind::Pdf) > 1.0, "pdf ratio {}", get(FileKind::Pdf));
-    assert!(get(FileKind::Text) > get(FileKind::Pdf), "text must beat pdf");
+    assert!(
+        get(FileKind::Text) > get(FileKind::Pdf),
+        "text must beat pdf"
+    );
 }
 
 #[test]
 fn tiny_inputs_work_end_to_end() {
     for len in [1usize, 100, 4096, 4097, 8192] {
         let data = tvs_workloads::generate(FileKind::Text, len, 19);
-        let out = run_huffman_sim(&data, &cfg(DispatchPolicy::Balanced), &x86_smp(4), &Disk::default());
+        let out = run_huffman_sim(
+            &data,
+            &cfg(DispatchPolicy::Balanced),
+            &x86_smp(4),
+            &Disk::default(),
+        );
         decode_and_check(&out, &data);
         assert_eq!(out.result.blocks.len(), len.div_ceil(4096));
     }

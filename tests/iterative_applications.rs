@@ -25,7 +25,10 @@ const WORKERS: usize = 8;
 #[test]
 fn filter_speculation_dominates_naturally() {
     let (ns, mn) = run_filter_sim(
-        &FilterConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() },
+        &FilterConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        },
         BLOCKS,
         GAP,
         WORKERS,
@@ -46,7 +49,10 @@ fn filter_speculation_dominates_naturally() {
 #[test]
 fn kmeans_speculation_dominates_naturally() {
     let (ns, mn) = run_kmeans_sim(
-        &KMeansConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() },
+        &KMeansConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        },
         BLOCKS,
         GAP,
         WORKERS,
@@ -65,7 +71,10 @@ fn kmeans_speculation_dominates_naturally() {
 #[test]
 fn annealing_speculation_never_worse_than_natural_plus_checks() {
     let (ns, mn) = run_anneal_sim(
-        &AnnealConfig { policy: DispatchPolicy::NonSpeculative, ..Default::default() },
+        &AnnealConfig {
+            policy: DispatchPolicy::NonSpeculative,
+            ..Default::default()
+        },
         BLOCKS,
         GAP,
         WORKERS,
@@ -92,11 +101,35 @@ fn all_dispatch_policies_complete_every_app() {
         DispatchPolicy::Balanced,
         DispatchPolicy::BalancedTaskCount,
     ] {
-        let (f, _) = run_filter_sim(&FilterConfig { policy, ..Default::default() }, 24, GAP, 4);
+        let (f, _) = run_filter_sim(
+            &FilterConfig {
+                policy,
+                ..Default::default()
+            },
+            24,
+            GAP,
+            4,
+        );
         assert_eq!(f.blocks.len(), 24, "{policy:?} filter");
-        let (k, _) = run_kmeans_sim(&KMeansConfig { policy, ..Default::default() }, 24, GAP, 4);
+        let (k, _) = run_kmeans_sim(
+            &KMeansConfig {
+                policy,
+                ..Default::default()
+            },
+            24,
+            GAP,
+            4,
+        );
         assert_eq!(k.blocks.len(), 24, "{policy:?} kmeans");
-        let (a, _) = run_anneal_sim(&AnnealConfig { policy, ..Default::default() }, 24, GAP, 4);
+        let (a, _) = run_anneal_sim(
+            &AnnealConfig {
+                policy,
+                ..Default::default()
+            },
+            24,
+            GAP,
+            4,
+        );
         assert_eq!(a.blocks.len(), 24, "{policy:?} annealing");
     }
 }
@@ -108,7 +141,10 @@ fn committed_values_within_declared_tolerance() {
     let (sp, _) = run_filter_sim(&cfg, 24, GAP, 4);
     if sp.committed_version.is_some() {
         let (ns, _) = run_filter_sim(
-            &FilterConfig { policy: DispatchPolicy::NonSpeculative, ..cfg.clone() },
+            &FilterConfig {
+                policy: DispatchPolicy::NonSpeculative,
+                ..cfg.clone()
+            },
             24,
             GAP,
             4,
@@ -121,7 +157,10 @@ fn committed_values_within_declared_tolerance() {
             .sum::<f64>()
             .sqrt();
         let den: f64 = ns.coefficients.iter().map(|b| b * b).sum::<f64>().sqrt();
-        assert!(num / den <= cfg.tolerance.margin + 1e-9, "filter tolerance violated");
+        assert!(
+            num / den <= cfg.tolerance.margin + 1e-9,
+            "filter tolerance violated"
+        );
     }
 
     // Annealing: committed objective within tolerance of the final one.
@@ -129,12 +168,18 @@ fn committed_values_within_declared_tolerance() {
     let (asp, _) = run_anneal_sim(&acfg, 24, GAP, 4);
     if asp.committed_version.is_some() {
         let (ans, _) = run_anneal_sim(
-            &AnnealConfig { policy: DispatchPolicy::NonSpeculative, ..acfg.clone() },
+            &AnnealConfig {
+                policy: DispatchPolicy::NonSpeculative,
+                ..acfg.clone()
+            },
             24,
             GAP,
             4,
         );
         let rel = (asp.solution.cost - ans.solution.cost).max(0.0) / ans.solution.cost;
-        assert!(rel <= acfg.tolerance.margin + 1e-9, "annealing tolerance violated: {rel}");
+        assert!(
+            rel <= acfg.tolerance.margin + 1e-9,
+            "annealing tolerance violated: {rel}"
+        );
     }
 }

@@ -19,10 +19,21 @@ fn speculation_beats_non_speculative_on_stationary_text() {
     // The headline effect: latency and completion both improve.
     let data = tvs_workloads::generate_paper_sized(FileKind::Text, SEED);
     let x86 = x86_smp(16);
-    let base = run(&data, &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative), &x86);
-    for policy in [DispatchPolicy::Balanced, DispatchPolicy::Aggressive, DispatchPolicy::Conservative] {
+    let base = run(
+        &data,
+        &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative),
+        &x86,
+    );
+    for policy in [
+        DispatchPolicy::Balanced,
+        DispatchPolicy::Aggressive,
+        DispatchPolicy::Conservative,
+    ] {
         let out = run(&data, &HuffmanConfig::disk_x86(policy), &x86);
-        assert_eq!(out.metrics.rollbacks, 0, "{policy:?}: text must not roll back");
+        assert_eq!(
+            out.metrics.rollbacks, 0,
+            "{policy:?}: text must not roll back"
+        );
         let lat_gain = 1.0 - out.mean_latency() / base.mean_latency();
         let time_gain = 1.0 - out.completion_time() as f64 / base.completion_time() as f64;
         assert!(lat_gain > 0.25, "{policy:?}: latency gain {lat_gain}");
@@ -37,10 +48,25 @@ fn balanced_is_resilient_to_rollbacks_aggressive_is_not() {
     // when no rollbacks occur".
     let data = tvs_workloads::generate_paper_sized(FileKind::Pdf, SEED);
     let x86 = x86_smp(16);
-    let base = run(&data, &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative), &x86);
-    let balanced = run(&data, &HuffmanConfig::disk_x86(DispatchPolicy::Balanced), &x86);
-    let aggressive = run(&data, &HuffmanConfig::disk_x86(DispatchPolicy::Aggressive), &x86);
-    assert!(balanced.metrics.rollbacks > 0, "PDF must roll back under the baseline step");
+    let base = run(
+        &data,
+        &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative),
+        &x86,
+    );
+    let balanced = run(
+        &data,
+        &HuffmanConfig::disk_x86(DispatchPolicy::Balanced),
+        &x86,
+    );
+    let aggressive = run(
+        &data,
+        &HuffmanConfig::disk_x86(DispatchPolicy::Aggressive),
+        &x86,
+    );
+    assert!(
+        balanced.metrics.rollbacks > 0,
+        "PDF must roll back under the baseline step"
+    );
     assert!(
         balanced.mean_latency() < base.mean_latency(),
         "balanced stays ahead of non-spec despite rollbacks"
@@ -59,13 +85,31 @@ fn conservative_degenerates_to_non_spec_on_cell() {
     // little speculation is done overall" on the deep-prefetch Cell.
     let data = tvs_workloads::generate_paper_sized(FileKind::Text, SEED);
     let cell = cell_be(16);
-    let base = run(&data, &HuffmanConfig::disk_cell(DispatchPolicy::NonSpeculative), &cell);
-    let cons = run(&data, &HuffmanConfig::disk_cell(DispatchPolicy::Conservative), &cell);
-    let bal = run(&data, &HuffmanConfig::disk_cell(DispatchPolicy::Balanced), &cell);
+    let base = run(
+        &data,
+        &HuffmanConfig::disk_cell(DispatchPolicy::NonSpeculative),
+        &cell,
+    );
+    let cons = run(
+        &data,
+        &HuffmanConfig::disk_cell(DispatchPolicy::Conservative),
+        &cell,
+    );
+    let bal = run(
+        &data,
+        &HuffmanConfig::disk_cell(DispatchPolicy::Balanced),
+        &cell,
+    );
     let cons_gain = 1.0 - cons.mean_latency() / base.mean_latency();
     let bal_gain = 1.0 - bal.mean_latency() / base.mean_latency();
-    assert!(cons_gain < 0.05, "conservative must barely speculate on Cell: gain {cons_gain}");
-    assert!(bal_gain > 0.15, "balanced must stay effective on Cell: gain {bal_gain}");
+    assert!(
+        cons_gain < 0.05,
+        "conservative must barely speculate on Cell: gain {cons_gain}"
+    );
+    assert!(
+        bal_gain > 0.15,
+        "balanced must stay effective on Cell: gain {bal_gain}"
+    );
 }
 
 #[test]
@@ -82,7 +126,10 @@ fn step_size_threshold_for_bmp_is_eight() {
     let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
     cfg.schedule = SpeculationSchedule::with_step(8);
     let at_threshold = run(&data, &cfg, &x86);
-    assert_eq!(at_threshold.metrics.rollbacks, 0, "BMP step 8 is the paper's threshold");
+    assert_eq!(
+        at_threshold.metrics.rollbacks, 0,
+        "BMP step 8 is the paper's threshold"
+    );
     // The latency drop at the threshold is significant.
     cfg.schedule = SpeculationSchedule::with_step(4);
     let below = run(&data, &cfg, &x86);
@@ -108,7 +155,10 @@ fn step_size_threshold_for_pdf_is_sixteen() {
     let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
     cfg.schedule = SpeculationSchedule::with_step(16);
     let out = run(&data, &cfg, &x86);
-    assert_eq!(out.metrics.rollbacks, 0, "PDF step 16 is the paper's threshold");
+    assert_eq!(
+        out.metrics.rollbacks, 0,
+        "PDF step 16 is the paper's threshold"
+    );
 }
 
 #[test]
@@ -123,7 +173,10 @@ fn larger_steps_hurt_text_latency() {
         run(&data, &cfg, &x86).mean_latency()
     };
     let (small, large) = (lat_at(2), lat_at(32));
-    assert!(large > small * 1.1, "step 32 ({large}) must lag step 2 ({small})");
+    assert!(
+        large > small * 1.1,
+        "step 32 ({large}) must lag step 2 ({small})"
+    );
 }
 
 #[test]
@@ -142,7 +195,10 @@ fn check_overhead_is_low_without_rollbacks() {
     assert_eq!(o.metrics.rollbacks, 0);
     assert_eq!(f.metrics.rollbacks, 0);
     let diff = (f.mean_latency() - o.mean_latency()).abs() / o.mean_latency();
-    assert!(diff < 0.05, "full vs optimistic differ by {diff} — checks should be cheap");
+    assert!(
+        diff < 0.05,
+        "full vs optimistic differ by {diff} — checks should be cheap"
+    );
 }
 
 #[test]
@@ -151,12 +207,19 @@ fn optimistic_pays_dearly_for_rollbacks() {
     // re-started" in the optimistic case.
     let data = tvs_workloads::generate_paper_sized(FileKind::Pdf, SEED);
     let x86 = x86_smp(16);
-    let base = run(&data, &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative), &x86);
+    let base = run(
+        &data,
+        &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative),
+        &x86,
+    );
     let mut optimistic = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
     optimistic.verification = VerificationPolicy::Optimistic;
     optimistic.schedule = SpeculationSchedule::with_step(1);
     let o = run(&data, &optimistic, &x86);
-    assert!(o.metrics.rollbacks > 0, "optimistic on PDF must fail its single check");
+    assert!(
+        o.metrics.rollbacks > 0,
+        "optimistic on PDF must fail its single check"
+    );
     assert!(
         o.mean_latency() > base.mean_latency() * 0.95,
         "optimistic-with-rollback ends up near non-spec: {} vs {}",
@@ -203,10 +266,19 @@ fn tolerance_trades_compression_for_speed() {
     let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
     cfg.tolerance = Tolerance::percent(5.0);
     let tolerant = run(&data, &cfg, &x86);
-    let base = run(&data, &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative), &x86);
+    let base = run(
+        &data,
+        &HuffmanConfig::disk_x86(DispatchPolicy::NonSpeculative),
+        &x86,
+    );
     assert!(tolerant.result.committed_version.is_some());
-    let excess =
-        tolerant.result.compressed_bits as f64 / base.result.compressed_bits as f64 - 1.0;
-    assert!(excess > 0.0, "a tolerant commit should cost some compression");
-    assert!(excess <= 0.05 + 1e-9, "but stay within the declared margin: {excess}");
+    let excess = tolerant.result.compressed_bits as f64 / base.result.compressed_bits as f64 - 1.0;
+    assert!(
+        excess > 0.0,
+        "a tolerant commit should cost some compression"
+    );
+    assert!(
+        excess <= 0.05 + 1e-9,
+        "but stay within the declared margin: {excess}"
+    );
 }

@@ -2,12 +2,12 @@
 //! rollbacks strike, the committed output is always correct and every
 //! block is finalised exactly once.
 
-use proptest::prelude::*;
 use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
 use tvs_huffman::{decode_exact, serial_encode, CodeTable};
 use tvs_iosim::{Custom, Disk, Uniform};
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::runner::{run_huffman_sim, RunOutcome};
+use tvs_rng::cases;
 use tvs_sre::{x86_smp, DispatchPolicy};
 
 fn decode_and_check(out: &RunOutcome, input: &[u8]) {
@@ -34,7 +34,12 @@ fn adversarial_data(n: usize) -> Vec<u8> {
         .collect()
 }
 
-fn small_cfg(policy: DispatchPolicy, step: u64, verify: VerificationPolicy, tol: f64) -> HuffmanConfig {
+fn small_cfg(
+    policy: DispatchPolicy,
+    step: u64,
+    verify: VerificationPolicy,
+    tol: f64,
+) -> HuffmanConfig {
     HuffmanConfig {
         block_bytes: 1024,
         reduce_ratio: 4,
@@ -51,7 +56,12 @@ fn small_cfg(policy: DispatchPolicy, step: u64, verify: VerificationPolicy, tol:
 #[test]
 fn forced_rollbacks_still_produce_correct_output() {
     let data = adversarial_data(128 * 1024);
-    let cfg = small_cfg(DispatchPolicy::Aggressive, 1, VerificationPolicy::Full, 0.01);
+    let cfg = small_cfg(
+        DispatchPolicy::Aggressive,
+        1,
+        VerificationPolicy::Full,
+        0.01,
+    );
     let out = run_huffman_sim(&data, &cfg, &x86_smp(8), &Disk::default());
     assert!(out.metrics.rollbacks > 0, "adversarial data must roll back");
     decode_and_check(&out, &data);
@@ -62,16 +72,27 @@ fn zero_tolerance_rejects_and_recomputes_optimally() {
     let data = adversarial_data(64 * 1024);
     let cfg = small_cfg(DispatchPolicy::Balanced, 1, VerificationPolicy::Full, 0.0);
     let out = run_huffman_sim(&data, &cfg, &x86_smp(8), &Disk::default());
-    assert_eq!(out.result.committed_version, None, "zero tolerance cannot commit drifted trees");
+    assert_eq!(
+        out.result.committed_version, None,
+        "zero tolerance cannot commit drifted trees"
+    );
     decode_and_check(&out, &data);
     let serial = serial_encode(&data).unwrap();
-    assert_eq!(out.result.compressed_bits, serial.bit_len, "natural path must be optimal");
+    assert_eq!(
+        out.result.compressed_bits, serial.bit_len,
+        "natural path must be optimal"
+    );
 }
 
 #[test]
 fn infinite_tolerance_always_commits_first_prediction() {
     let data = adversarial_data(64 * 1024);
-    let cfg = small_cfg(DispatchPolicy::Balanced, 1, VerificationPolicy::Full, f64::INFINITY);
+    let cfg = small_cfg(
+        DispatchPolicy::Balanced,
+        1,
+        VerificationPolicy::Full,
+        f64::INFINITY,
+    );
     let out = run_huffman_sim(&data, &cfg, &x86_smp(8), &Disk::default());
     assert_eq!(out.metrics.rollbacks, 0);
     assert_eq!(out.result.committed_version, Some(1));
@@ -85,7 +106,12 @@ fn infinite_tolerance_always_commits_first_prediction() {
 #[test]
 fn wasted_work_is_accounted_not_leaked() {
     let data = adversarial_data(128 * 1024);
-    let cfg = small_cfg(DispatchPolicy::Aggressive, 1, VerificationPolicy::Full, 0.005);
+    let cfg = small_cfg(
+        DispatchPolicy::Aggressive,
+        1,
+        VerificationPolicy::Full,
+        0.005,
+    );
     let out = run_huffman_sim(&data, &cfg, &x86_smp(8), &Disk::default());
     assert!(out.metrics.rollbacks > 0);
     assert!(
@@ -108,7 +134,12 @@ fn stalled_arrivals_mid_stream_are_tolerated() {
         .map(|i| if i < 32 { i * 10 } else { 500_000 + i * 10 })
         .collect();
     let data = adversarial_data(n_blocks * 1024);
-    let cfg = small_cfg(DispatchPolicy::Balanced, 1, VerificationPolicy::baseline(), 0.01);
+    let cfg = small_cfg(
+        DispatchPolicy::Balanced,
+        1,
+        VerificationPolicy::baseline(),
+        0.01,
+    );
     let out = run_huffman_sim(&data, &cfg, &x86_smp(4), &Custom(schedule));
     decode_and_check(&out, &data);
     assert!(out.completion_time() >= 500_000);
@@ -117,32 +148,54 @@ fn stalled_arrivals_mid_stream_are_tolerated() {
 #[test]
 fn all_blocks_arriving_at_once_work() {
     let data = adversarial_data(64 * 1024);
-    let cfg = small_cfg(DispatchPolicy::Aggressive, 0, VerificationPolicy::Full, 0.01);
-    let out = run_huffman_sim(&data, &cfg, &x86_smp(8), &Uniform { gap_us: 0, start_us: 0 });
+    let cfg = small_cfg(
+        DispatchPolicy::Aggressive,
+        0,
+        VerificationPolicy::Full,
+        0.01,
+    );
+    let out = run_huffman_sim(
+        &data,
+        &cfg,
+        &x86_smp(8),
+        &Uniform {
+            gap_us: 0,
+            start_us: 0,
+        },
+    );
     decode_and_check(&out, &data);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The safety invariant under arbitrary content, policy, frequency and
-    /// tolerance: the committed stream always decodes to the input.
-    #[test]
-    fn prop_committed_output_always_decodes(
-        seed in 0u64..1000,
-        regime_a in 0u8..4,
-        regime_b in 0u8..4,
-        policy_ix in 0usize..3,
-        step in 0u64..6,
-        verify_ix in 0usize..3,
-        tol in prop_oneof![Just(0.0), Just(0.005), Just(0.01), Just(0.05), Just(1.0)],
-    ) {
+/// The safety invariant under arbitrary content, policy, frequency and
+/// tolerance: the committed stream always decodes to the input. Hand-rolled
+/// seeded cases (the offline build has no proptest).
+#[test]
+fn prop_committed_output_always_decodes() {
+    cases(0x5AFE, 24, |rng, case| {
+        let seed = rng.random_range(0..1000u64);
+        let regime_a = rng.random_range(0..4u8);
+        let regime_b = rng.random_range(0..4u8);
+        let policy = [
+            DispatchPolicy::Balanced,
+            DispatchPolicy::Aggressive,
+            DispatchPolicy::Conservative,
+        ][rng.random_range(0..3usize)];
+        let step = rng.random_range(0..6u64);
+        let verify = [
+            VerificationPolicy::baseline(),
+            VerificationPolicy::Optimistic,
+            VerificationPolicy::Full,
+        ][rng.random_range(0..3usize)];
+        let tol = [0.0, 0.005, 0.01, 0.05, 1.0][rng.random_range(0..5usize)];
         // Two-regime synthetic input: arbitrary drift severity.
         let n = 48 * 1024;
         let data: Vec<u8> = (0..n)
             .map(|i| {
                 let r = if i < n / 2 { regime_a } else { regime_b };
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33;
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33;
                 match r {
                     0 => b'a' + (x % 8) as u8,
                     1 => 128 + (x % 64) as u8,
@@ -151,46 +204,49 @@ proptest! {
                 }
             })
             .collect();
-        let policy = [DispatchPolicy::Balanced, DispatchPolicy::Aggressive, DispatchPolicy::Conservative][policy_ix];
-        let verify = [VerificationPolicy::baseline(), VerificationPolicy::Optimistic, VerificationPolicy::Full][verify_ix];
         let cfg = small_cfg(policy, step, verify, tol);
         let out = run_huffman_sim(&data, &cfg, &x86_smp(8), &Disk::default());
         // Safety: decodes to input...
         let (bytes, bits, lengths) = out.result.output.as_ref().expect("collected");
         let table = CodeTable::from_lengths(lengths);
         let decoded = decode_exact(bytes, 0, *bits, data.len(), &table).expect("decodes");
-        prop_assert_eq!(decoded, data.clone());
+        assert_eq!(decoded, data, "case {case}");
         // ...every block exactly once...
-        prop_assert_eq!(out.result.blocks.len(), n / 1024);
+        assert_eq!(out.result.blocks.len(), n / 1024, "case {case}");
         // ...and accounting is conservative.
-        prop_assert!(out.metrics.wasted_us <= out.metrics.busy_us);
+        assert!(out.metrics.wasted_us <= out.metrics.busy_us, "case {case}");
         // If nothing was committed, the output must be optimal (natural path).
         if out.result.committed_version.is_none() {
             let serial = serial_encode(&data).unwrap();
-            prop_assert_eq!(out.result.compressed_bits, serial.bit_len);
+            assert_eq!(out.result.compressed_bits, serial.bit_len, "case {case}");
         }
-    }
+    });
+}
 
-    /// Arbitrary (monotone) arrival schedules never deadlock the pipeline.
-    #[test]
-    fn prop_arbitrary_schedules_complete(
-        gaps in proptest::collection::vec(0u64..5_000, 32),
-        step in 0u64..4,
-    ) {
-        let schedule: Vec<u64> = gaps
-            .iter()
-            .scan(0u64, |acc, &g| {
+/// Arbitrary (monotone) arrival schedules never deadlock the pipeline.
+#[test]
+fn prop_arbitrary_schedules_complete() {
+    cases(0x5C4ED, 24, |rng, case| {
+        let step = rng.random_range(0..4u64);
+        let schedule: Vec<u64> = (0..32)
+            .map(|_| rng.random_range(0..5_000u64))
+            .scan(0u64, |acc, g| {
                 *acc += g;
                 Some(*acc)
             })
             .collect();
         let data = adversarial_data(32 * 1024);
-        let cfg = small_cfg(DispatchPolicy::Balanced, step, VerificationPolicy::Full, 0.01);
+        let cfg = small_cfg(
+            DispatchPolicy::Balanced,
+            step,
+            VerificationPolicy::Full,
+            0.01,
+        );
         let out = run_huffman_sim(&data, &cfg, &x86_smp(4), &Custom(schedule));
-        prop_assert_eq!(out.result.blocks.len(), 32);
+        assert_eq!(out.result.blocks.len(), 32, "case {case}");
         let (bytes, bits, lengths) = out.result.output.as_ref().expect("collected");
         let table = CodeTable::from_lengths(lengths);
         let decoded = decode_exact(bytes, 0, *bits, data.len(), &table).expect("decodes");
-        prop_assert_eq!(decoded, data);
-    }
+        assert_eq!(decoded, data, "case {case}");
+    });
 }

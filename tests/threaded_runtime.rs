@@ -34,7 +34,10 @@ fn threaded_non_spec_matches_serial() {
         &data,
         &small_cfg(DispatchPolicy::NonSpeculative),
         4,
-        &Uniform { gap_us: 0, start_us: 0 },
+        &Uniform {
+            gap_us: 0,
+            start_us: 0,
+        },
         1,
     );
     check_output(&data, &out.result);
@@ -49,7 +52,10 @@ fn threaded_speculative_commits_and_decodes() {
         &data,
         &small_cfg(DispatchPolicy::Balanced),
         4,
-        &Uniform { gap_us: 50, start_us: 0 },
+        &Uniform {
+            gap_us: 50,
+            start_us: 0,
+        },
         1,
     );
     check_output(&data, &out.result);
@@ -65,8 +71,16 @@ fn threaded_rollbacks_are_safe() {
     let mut cfg = small_cfg(DispatchPolicy::Aggressive);
     cfg.verification = tvs_core::VerificationPolicy::Full;
     cfg.schedule = tvs_core::SpeculationSchedule::with_step(1);
-    let out =
-        run_huffman_threaded(&data, &cfg, 8, &Uniform { gap_us: 20, start_us: 0 }, 1);
+    let out = run_huffman_threaded(
+        &data,
+        &cfg,
+        8,
+        &Uniform {
+            gap_us: 20,
+            start_us: 0,
+        },
+        1,
+    );
     check_output(&data, &out.result);
     assert_eq!(out.result.blocks.len(), 128);
 }
@@ -81,13 +95,20 @@ fn threaded_repeated_runs_converge_to_same_content() {
             &data,
             &small_cfg(DispatchPolicy::NonSpeculative),
             4,
-            &Uniform { gap_us: 0, start_us: 0 },
+            &Uniform {
+                gap_us: 0,
+                start_us: 0,
+            },
             1,
         );
         check_output(&data, &out.result);
         sizes.insert(out.result.compressed_bits);
     }
-    assert_eq!(sizes.len(), 1, "non-speculative content must be identical across runs");
+    assert_eq!(
+        sizes.len(),
+        1,
+        "non-speculative content must be identical across runs"
+    );
 }
 
 #[test]
@@ -98,7 +119,10 @@ fn worker_counts_from_one_to_sixteen() {
             &data,
             &small_cfg(DispatchPolicy::Balanced),
             workers,
-            &Uniform { gap_us: 0, start_us: 0 },
+            &Uniform {
+                gap_us: 0,
+                start_us: 0,
+            },
             1,
         );
         check_output(&data, &out.result);
@@ -118,8 +142,14 @@ fn raw_executor_api_with_custom_feeder() {
         .enumerate()
         .map(|(i, c)| (i, Arc::<[u8]>::from(c)))
         .collect();
-    let (wl, metrics) =
-        run_threaded(wl, &ThreadedConfig { workers: 4, policy: cfg.policy }, blocks);
+    let (wl, metrics) = run_threaded(
+        wl,
+        &ThreadedConfig {
+            workers: 4,
+            policy: cfg.policy,
+        },
+        blocks,
+    );
     let result = wl.result();
     check_output(&data, &result);
     assert!(metrics.tasks_delivered > 0);
