@@ -5,11 +5,16 @@
 //! Run with `cargo bench --bench figures`; numbers land in
 //! `results/figures_bench.csv`.
 
+//!
+//! Set `TVS_EMIT_TRACE=1` to additionally write one traced aggressive
+//! run's event log to `results/figures_trace.json` (Perfetto) and
+//! `results/figures_trace_events.csv`.
+
 use tvs_bench::microbench::{bench_with, black_box, Measurement, Opts};
-use tvs_bench::results_dir;
+use tvs_bench::{results_dir, write_trace};
 use tvs_iosim::Disk;
 use tvs_pipelines::config::HuffmanConfig;
-use tvs_pipelines::runner::run_huffman_sim;
+use tvs_pipelines::runner::{run_huffman_sim, run_huffman_sim_events};
 use tvs_sre::{cell_be, x86_smp, DispatchPolicy};
 use tvs_workloads::FileKind;
 
@@ -35,4 +40,13 @@ fn main() {
     ));
     tvs_bench::microbench::write_csv(&results_dir().join("figures_bench.csv"), &rows)
         .expect("write csv");
+
+    if std::env::var_os("TVS_EMIT_TRACE").is_some() {
+        let cfg = HuffmanConfig::disk_x86(DispatchPolicy::Aggressive);
+        let (_, log) = run_huffman_sim_events(&data, &cfg, &x86, &Disk::default());
+        let (json, csv) =
+            write_trace(&log, &results_dir(), "figures_trace").expect("write trace files");
+        println!("traced run -> {}", json.display());
+        println!("traced run -> {}", csv.display());
+    }
 }

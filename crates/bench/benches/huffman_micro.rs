@@ -4,6 +4,11 @@
 //!
 //! Run with `cargo bench --bench huffman_micro`; numbers land in
 //! `results/huffman_micro.csv`.
+//!
+//! Set `TVS_EMIT_TRACE=1` to additionally write one traced pipeline run's
+//! event log to `results/huffman_micro_trace.json` (Perfetto) and
+//! `results/huffman_micro_trace_events.csv` — the substrate numbers next
+//! to the schedule that exercises them.
 
 use tvs_bench::microbench::{bench, bench_with, black_box, Measurement, Opts};
 use tvs_bench::results_dir;
@@ -178,4 +183,23 @@ fn main() {
     bench_workload_generation(&mut rows);
     tvs_bench::microbench::write_csv(&results_dir().join("huffman_micro.csv"), &rows)
         .expect("write csv");
+
+    if std::env::var_os("TVS_EMIT_TRACE").is_some() {
+        let data = tvs_workloads::generate(FileKind::Text, 256 * 1024, 99);
+        let mut cfg =
+            tvs_pipelines::config::HuffmanConfig::disk_x86(tvs_sre::DispatchPolicy::Aggressive);
+        // Step 0 predicts from the first block so the small input still
+        // exercises the full speculation lifecycle.
+        cfg.schedule = tvs_core::SpeculationSchedule::with_step(0);
+        let (_, log) = tvs_pipelines::runner::run_huffman_sim_events(
+            &data,
+            &cfg,
+            &tvs_sre::x86_smp(8),
+            &tvs_iosim::Disk::default(),
+        );
+        let (json, csv) = tvs_bench::write_trace(&log, &results_dir(), "huffman_micro_trace")
+            .expect("write trace files");
+        println!("traced run -> {}", json.display());
+        println!("traced run -> {}", csv.display());
+    }
 }

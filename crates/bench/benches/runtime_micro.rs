@@ -16,7 +16,7 @@ use tvs_sre::exec::threaded::ThreadedConfig;
 use tvs_sre::exec::{baseline, threaded};
 use tvs_sre::task::{payload, TaskSpec};
 use tvs_sre::workload::{Completion, InputBlock, SchedCtx, Workload};
-use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, Scheduler};
+use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, Scheduler, Tracer};
 
 /// One task per input block; each body spins for `spin` wall time
 /// (zero = short body, dominated by runtime overhead).
@@ -130,6 +130,9 @@ fn bench_sim_executor(rows: &mut Vec<tvs_bench::microbench::Measurement>) {
 #[derive(Clone, Copy, PartialEq)]
 enum Exec {
     WorkStealing,
+    /// Work-stealing with the event tracer enabled — the tracing-overhead
+    /// comparison cells.
+    WorkStealingTraced,
     Baseline,
 }
 
@@ -137,6 +140,7 @@ impl Exec {
     fn label(self) -> &'static str {
         match self {
             Exec::WorkStealing => "work_stealing",
+            Exec::WorkStealingTraced => "work_stealing_traced",
             Exec::Baseline => "baseline",
         }
     }
@@ -152,12 +156,25 @@ fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -
         .map(|_| {
             let inputs: Vec<(usize, Arc<[u8]>)> =
                 (0..n).map(|i| (i, Arc::from(vec![0u8; 16]))).collect();
+            // The tracer lives outside the timed region: the cell measures
+            // what a run pays for emission, not for draining afterwards.
+            let tracer = match exec {
+                Exec::WorkStealingTraced => Tracer::enabled(workers),
+                _ => Tracer::disabled(),
+            };
             let t = Instant::now();
             let (w, m) = match exec {
                 Exec::WorkStealing => threaded::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
+                Exec::WorkStealingTraced => threaded::run_traced(
+                    PerBlock { n, seen: 0, spin },
+                    &cfg,
+                    inputs,
+                    tracer.clone(),
+                ),
                 Exec::Baseline => baseline::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
             };
             let el = t.elapsed().as_secs_f64();
+            drop(tracer.drain());
             assert_eq!(w.seen, n);
             assert_eq!(m.tasks_delivered as usize, n);
             el
@@ -210,6 +227,45 @@ fn bench_executor_throughput() -> Vec<Cell> {
     cells
 }
 
+/// Tracing-overhead cells: work-stealing with the tracer on vs off, on
+/// ~100 µs bodies (the coarse-grain regime the tracer is budgeted for —
+/// the ISSUE's ≤5 % envelope) and on short bodies (the worst case, for
+/// the job log only).
+fn bench_tracing_overhead(cells: &mut Vec<Cell>) {
+    const REPS: usize = 5;
+    for (body, n, spin) in [
+        ("short", 1000usize, Duration::ZERO),
+        ("long", 64, Duration::from_micros(100)),
+    ] {
+        let mut medians = [0.0f64; 2];
+        for (i, exec) in [Exec::WorkStealing, Exec::WorkStealingTraced]
+            .into_iter()
+            .enumerate()
+        {
+            let median_s = run_once(exec, 4, n, spin, REPS);
+            medians[i] = median_s;
+            println!(
+                "{:<22} {:<6} workers=4   {:>9.3} ms  {:>12.0} tasks/s",
+                exec.label(),
+                body,
+                median_s * 1e3,
+                n as f64 / median_s,
+            );
+            cells.push(Cell {
+                exec,
+                body,
+                workers: 4,
+                tasks: n,
+                median_s,
+            });
+        }
+        println!(
+            "tracing overhead, {body} tasks @ 4 workers: {:.2}x",
+            medians[1] / medians[0]
+        );
+    }
+}
+
 fn throughput_csv(cells: &[Cell], cores: usize) -> String {
     let mut out = String::from("executor,body,workers,cores,tasks,median_ms,tasks_per_sec\n");
     for c in cells {
@@ -242,7 +298,9 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("== executor throughput (tasks/sec, median of 5 runs, {cores} cores) ==");
-    let cells = bench_executor_throughput();
+    let mut cells = bench_executor_throughput();
+    println!("== tracing overhead ==");
+    bench_tracing_overhead(&mut cells);
     std::fs::create_dir_all(&dir).expect("results dir");
     let path = dir.join("runtime_micro_throughput.csv");
     std::fs::write(&path, throughput_csv(&cells, cores)).expect("write csv");

@@ -1,0 +1,97 @@
+//! `tvs-report` — speculation-lifecycle analysis CLI.
+//!
+//! Runs the Huffman pipeline on the deterministic discrete-event executor
+//! with event tracing enabled, once per dispatch policy, and prints the
+//! speculation-health summary the paper's tuning discussion asks for:
+//! wasted-work ratio, rollback-cascade-depth histogram, and check-task
+//! latency percentiles. The aggressive run's full event log is written to
+//! `results/huffman_trace.json` (Chrome trace-event / Perfetto JSON —
+//! load it at `ui.perfetto.dev`) and `results/huffman_trace_events.csv`.
+//!
+//! Run with `cargo run --release -p tvs-bench --bin tvs-report`.
+
+use tvs_bench::{results_dir, write_trace};
+use tvs_core::SpeculationSchedule;
+use tvs_iosim::Disk;
+use tvs_pipelines::config::HuffmanConfig;
+use tvs_pipelines::runner::run_huffman_sim_events;
+use tvs_sre::{x86_smp, DispatchPolicy};
+use tvs_trace::TraceLog;
+use tvs_workloads::FileKind;
+
+const WORKERS: usize = 8;
+const BYTES: usize = 256 * 1024;
+
+fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64) {
+    let h = log.health();
+    println!(
+        "{:<13} {:>7} {:>6} {:>6} {:>7} {:>9} {:>7.1} {:>9}",
+        policy.label(),
+        h.events,
+        h.predictor_fires,
+        h.versions_opened,
+        h.commits,
+        h.rollbacks,
+        100.0 * h.waste_ratio(),
+        makespan,
+    );
+    if h.dropped > 0 {
+        println!("    ! {} events dropped (ring overflow)", h.dropped);
+    }
+    if h.rollbacks > 0 {
+        let hist: Vec<String> = h
+            .cascade_hist
+            .iter()
+            .map(|(depth, n)| format!("depth {depth} x{n}"))
+            .collect();
+        println!(
+            "    rollback cascades: {} (deepest {}, {} ready tasks deleted, {} bound cancelled)",
+            hist.join(", "),
+            h.max_cascade,
+            h.cascade_total,
+            h.cancelled_ready,
+        );
+    }
+    let lat = h.check_latency;
+    if lat.count > 0 {
+        println!(
+            "    check latency us: p50={} p90={} p99={} max={} (n={})",
+            lat.p50, lat.p90, lat.p99, lat.max, lat.count
+        );
+    }
+}
+
+fn main() {
+    // A two-phase stream (text, then PDF) whose symbol distribution shifts
+    // mid-run: the step-0 prediction from the first block misfits the tail,
+    // so tolerance checks fail and the report shows real rollbacks next to
+    // the all-commits text phase.
+    let mut data = tvs_workloads::generate(FileKind::Text, BYTES / 2, 2011);
+    data.extend(tvs_workloads::generate(FileKind::Pdf, BYTES / 2, 2011));
+    let platform = x86_smp(WORKERS);
+    println!(
+        "== tvs-report: huffman sim, text+pdf {} KiB, {WORKERS} workers, disk arrivals ==",
+        BYTES / 1024
+    );
+    println!(
+        "{:<13} {:>7} {:>6} {:>6} {:>7} {:>9} {:>7} {:>9}",
+        "policy", "events", "fires", "opens", "commits", "rollbacks", "waste%", "makespan"
+    );
+    let mut keep = None;
+    for policy in DispatchPolicy::ALL {
+        let mut cfg = HuffmanConfig::disk_x86(policy);
+        // Step 0 predicts from the very first block, so even this small
+        // input exercises the full speculation lifecycle.
+        cfg.schedule = SpeculationSchedule::with_step(0);
+        let (out, log) = run_huffman_sim_events(&data, &cfg, &platform, &Disk::default());
+        print_policy(policy, &log, out.metrics.makespan);
+        if policy.label() == "aggressive" {
+            keep = Some(log);
+        }
+    }
+    let log = keep.expect("aggressive run present");
+    let (json, csv) =
+        write_trace(&log, &results_dir(), "huffman_trace").expect("write trace files");
+    println!("  -> {}", json.display());
+    println!("  -> {}", csv.display());
+}

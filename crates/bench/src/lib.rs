@@ -13,4 +13,4 @@ pub mod microbench;
 pub mod output;
 
 pub use figures::*;
-pub use output::{emit, results_dir};
+pub use output::{emit, results_dir, write_trace};

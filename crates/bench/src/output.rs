@@ -2,6 +2,7 @@
 
 use std::path::{Path, PathBuf};
 use tvs_pipelines::report::Figure;
+use tvs_trace::TraceLog;
 
 /// Directory figure CSVs are written to (`results/` under the workspace
 /// root, overridable with `TVS_RESULTS_DIR`).
@@ -38,6 +39,19 @@ pub fn emit(figures: &[Figure], dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Write one drained speculation event log under `dir` in both export
+/// formats: `<stem>.json` is Chrome trace-event / Perfetto JSON (load it
+/// at `ui.perfetto.dev` or `chrome://tracing`), `<stem>_events.csv` is
+/// the flat per-event dump. Returns `(json_path, csv_path)`.
+pub fn write_trace(log: &TraceLog, dir: &Path, stem: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let json = dir.join(format!("{stem}.json"));
+    std::fs::write(&json, log.to_perfetto_json())?;
+    let csv = dir.join(format!("{stem}_events.csv"));
+    std::fs::write(&csv, log.to_event_csv())?;
+    Ok((json, csv))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +70,37 @@ mod tests {
         emit(&figs, &dir).unwrap();
         let content = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
         assert!(content.starts_with("x,a"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_trace_emits_both_formats() {
+        use tvs_trace::{EventKind, Tracer};
+        let tracer = Tracer::enabled(1);
+        tracer.emit(
+            0,
+            EventKind::TaskStart {
+                id: 1,
+                name: "t",
+                version: None,
+            },
+        );
+        tracer.emit(
+            0,
+            EventKind::TaskEnd {
+                id: 1,
+                name: "t",
+                version: None,
+                discarded: false,
+            },
+        );
+        let log = tracer.drain().unwrap();
+        let dir = std::env::temp_dir().join(format!("tvs-trace-test-{}", std::process::id()));
+        let (json, csv) = write_trace(&log, &dir, "t").unwrap();
+        let j = std::fs::read_to_string(&json).unwrap();
+        assert!(j.contains("traceEvents"), "perfetto envelope present");
+        let c = std::fs::read_to_string(&csv).unwrap();
+        assert!(c.starts_with("seq,"), "event csv header present");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,6 +16,7 @@ use crate::frequency::{SpeculationSchedule, VerificationPolicy};
 use crate::validate::CheckResult;
 use crate::version::{VersionState, VersionTracker};
 use tvs_sre::SpecVersion;
+use tvs_trace::{EventKind, Tracer};
 
 /// What the hosting workload must do next.
 #[derive(Debug, PartialEq, Eq)]
@@ -111,6 +112,7 @@ pub struct SpeculationManager<T> {
     final_seen: bool,
     stats: ManagerStats,
     rollback_hook: Option<Box<dyn FnMut(SpecVersion) + Send>>,
+    tracer: Tracer,
 }
 
 impl<T> std::fmt::Debug for SpeculationManager<T> {
@@ -136,7 +138,18 @@ impl<T> SpeculationManager<T> {
             final_seen: false,
             stats: ManagerStats::default(),
             rollback_hook: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Route speculation-lifecycle events (predictor fires, version opens,
+    /// check verdicts, commits) into `tracer`'s control ring. The manager
+    /// always runs under its host's routing lock, so the ring stays
+    /// single-writer. Rollback events are *not* emitted here — the SRE
+    /// scheduler emits them when the host executes [`Action::Rollback`],
+    /// with the observed cascade depth attached.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Register a user-defined rollback routine, invoked with each aborted
@@ -208,6 +221,8 @@ impl<T> SpeculationManager<T> {
                     let version = self.tracker.allocate(basis);
                     self.phase = Phase::Pending { version };
                     self.stats.predictions += 1;
+                    self.tracer
+                        .emit_control(EventKind::PredictorFire { version, basis });
                     out.push(Action::StartPrediction { version });
                 }
             }
@@ -236,6 +251,10 @@ impl<T> SpeculationManager<T> {
                     return false;
                 }
                 let installed_at = self.tracker.basis_of(version).expect("allocated");
+                self.tracer.emit_control(EventKind::VersionOpen {
+                    version,
+                    basis: installed_at,
+                });
                 self.phase = Phase::Active {
                     version,
                     value,
@@ -268,15 +287,27 @@ impl<T> SpeculationManager<T> {
         }
         if result.valid {
             self.stats.checks_passed += 1;
+            self.tracer.emit_control(EventKind::CheckPass {
+                version,
+                margin: result.delta,
+            });
             return out;
         }
         self.stats.checks_failed += 1;
+        self.tracer.emit_control(EventKind::CheckFail {
+            version,
+            margin: result.delta,
+        });
         self.emit_rollback(version, &mut out);
         match candidate {
             Some((value, candidate_basis)) => {
                 let v2 = self.tracker.allocate(candidate_basis);
                 assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
                 self.stats.predictions += 1;
+                self.tracer.emit_control(EventKind::VersionOpen {
+                    version: v2,
+                    basis: candidate_basis,
+                });
                 self.phase = Phase::Active {
                     version: v2,
                     value,
@@ -328,12 +359,21 @@ impl<T> SpeculationManager<T> {
             Phase::FinalChecking { version: v, .. } if v == version => {
                 if result.valid {
                     self.tracker.commit(version);
+                    self.tracer.emit_control(EventKind::CheckPass {
+                        version,
+                        margin: result.delta,
+                    });
+                    self.tracer.emit_control(EventKind::Commit { version });
                     self.phase = Phase::Done {
                         committed: Some(version),
                     };
                     out.push(Action::Commit { version });
                 } else {
                     self.stats.checks_failed += 1;
+                    self.tracer.emit_control(EventKind::CheckFail {
+                        version,
+                        margin: result.delta,
+                    });
                     self.emit_rollback(version, &mut out);
                     out.push(Action::RecomputeNaturally);
                 }
@@ -478,6 +518,33 @@ mod tests {
         assert!(acts.is_empty());
         assert_eq!(m.stats().stale_results, 1);
         assert_eq!(m.active().unwrap().0, 2);
+    }
+
+    #[test]
+    fn lifecycle_events_reach_the_tracer() {
+        let tracer = Tracer::enabled(1);
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_tracer(tracer.clone());
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        m.on_basis(2);
+        // Failed check with a candidate: fail + reopen under v2.
+        m.on_check_result(1, CheckResult::fail(0.09), Some(("v2", 2)));
+        m.on_basis(3);
+        m.on_check_result(2, CheckResult::pass(0.01), None);
+        m.on_final();
+        m.on_final_check_result(2, CheckResult::pass(0.002));
+        let log = tracer.drain().expect("enabled tracer drains");
+        assert_eq!(log.count("predictor-fire"), 1);
+        assert_eq!(log.count("version-open"), 2, "install + promote");
+        assert_eq!(log.count("check-pass"), 2, "intermediate + final");
+        assert_eq!(log.count("check-fail"), 1);
+        assert_eq!(log.count("commit"), 1);
+        assert_eq!(
+            log.count("rollback"),
+            0,
+            "rollback events belong to the scheduler, not the manager"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 use tvs_sre::SpecVersion;
+use tvs_trace::{EventKind, Tracer};
 
 /// An entry that knows how to reverse itself.
 pub trait Undo {
@@ -30,6 +31,7 @@ pub struct UndoLog<E: Undo> {
     journal: HashMap<SpecVersion, Vec<E>>,
     committed: u64,
     undone: u64,
+    tracer: Tracer,
 }
 
 impl<E: Undo> Default for UndoLog<E> {
@@ -38,6 +40,7 @@ impl<E: Undo> Default for UndoLog<E> {
             journal: HashMap::new(),
             committed: 0,
             undone: 0,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -46,6 +49,12 @@ impl<E: Undo> UndoLog<E> {
     /// An empty journal.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Emit an undo-replay event to `tracer`'s control ring whenever an
+    /// abort actually replays journal entries.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Record the reversal for an effect just applied under `version`.
@@ -71,6 +80,12 @@ impl<E: Undo> UndoLog<E> {
             e.undo();
         }
         self.undone += n as u64;
+        if n > 0 {
+            self.tracer.emit_control(EventKind::UndoReplay {
+                version,
+                entries: n as u64,
+            });
+        }
         n
     }
 

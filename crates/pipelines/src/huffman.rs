@@ -218,6 +218,14 @@ impl HuffmanWorkload {
         }
     }
 
+    /// Route the speculation manager's lifecycle events (predictor fires,
+    /// version opens, check verdicts, commits) into `tracer`. Pass the same
+    /// tracer to the executor's `run_traced` so scheduler- and worker-side
+    /// events land in the same log.
+    pub fn set_tracer(&mut self, tracer: tvs_sre::Tracer) {
+        self.mgr.set_tracer(tracer);
+    }
+
     /// Extract the result after the run finished.
     pub fn result(&self) -> PipelineResult {
         assert!(self.is_finished(), "result() before the run finished");

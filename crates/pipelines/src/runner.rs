@@ -5,9 +5,9 @@ use crate::cost::HuffmanCost;
 use crate::huffman::{HuffmanWorkload, PipelineResult};
 use std::sync::Arc;
 use tvs_iosim::ArrivalModel;
-use tvs_sre::exec::sim::{run as sim_run, SimConfig};
-use tvs_sre::exec::threaded::{run as threaded_run, ThreadedConfig};
-use tvs_sre::{InputBlock, Platform, RunMetrics, TaskTrace};
+use tvs_sre::exec::sim::{run as sim_run, run_traced as sim_run_traced, SimConfig};
+use tvs_sre::exec::threaded::{run_traced as threaded_run_traced, ThreadedConfig};
+use tvs_sre::{InputBlock, Platform, RunMetrics, TaskTrace, TraceLog, Tracer};
 
 /// Everything a figure needs from one run.
 #[derive(Debug, Clone)]
@@ -96,6 +96,38 @@ pub fn run_huffman_sim_traced(
     )
 }
 
+/// Like [`run_huffman_sim`], additionally recording the full
+/// speculation-lifecycle event log (dispatches, task spans, predictor
+/// fires, check verdicts, rollbacks with cascade depth, commits) in
+/// deterministic virtual time. The log's label is set to the policy name.
+pub fn run_huffman_sim_events(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+) -> (RunOutcome, TraceLog) {
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let tracer = Tracer::enabled(platform.workers);
+    tracer.set_label(cfg.policy.label());
+    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    wl.set_tracer(tracer.clone());
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace: false,
+    };
+    let rep = sim_run_traced(wl, &sim, &HuffmanCost, blocks, tracer.clone());
+    let log = tracer.drain().expect("enabled tracer drains");
+    (
+        RunOutcome {
+            result: rep.workload.result(),
+            metrics: rep.metrics,
+            arrivals: times,
+        },
+        log,
+    )
+}
+
 /// Run the Huffman pipeline on real threads, pacing arrivals per the model
 /// compressed by `time_scale` (so slow-I/O scenarios finish quickly in
 /// tests).
@@ -106,9 +138,37 @@ pub fn run_huffman_threaded(
     arrival: &dyn ArrivalModel,
     time_scale: u64,
 ) -> RunOutcome {
+    threaded_impl(data, cfg, workers, arrival, time_scale, Tracer::disabled())
+}
+
+/// Like [`run_huffman_threaded`], additionally recording the full
+/// speculation-lifecycle event log in wall-clock time.
+pub fn run_huffman_threaded_events(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+) -> (RunOutcome, TraceLog) {
+    let tracer = Tracer::enabled(workers);
+    tracer.set_label(cfg.policy.label());
+    let outcome = threaded_impl(data, cfg, workers, arrival, time_scale, tracer.clone());
+    let log = tracer.drain().expect("enabled tracer drains");
+    (outcome, log)
+}
+
+fn threaded_impl(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+    tracer: Tracer,
+) -> RunOutcome {
     let n = data.len().div_ceil(cfg.block_bytes);
     let times = arrival.schedule(n, cfg.block_bytes);
-    let wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    wl.set_tracer(tracer.clone());
     let tcfg = ThreadedConfig {
         workers,
         policy: cfg.policy,
@@ -134,7 +194,7 @@ pub fn run_huffman_threaded(
         }
         (i, d)
     });
-    let (wl, metrics) = threaded_run(wl, &tcfg, iter);
+    let (wl, metrics) = threaded_run_traced(wl, &tcfg, iter, tracer);
     RunOutcome {
         result: wl.result(),
         metrics,
@@ -208,6 +268,60 @@ mod tests {
         assert!(trace.iter().any(|t| t.name == "count"));
         assert!(trace.iter().any(|t| t.name == "encode"));
         assert!(trace.iter().any(|t| t.name == "tree"));
+    }
+
+    #[test]
+    fn sim_event_log_covers_the_speculation_lifecycle() {
+        let d = data();
+        let arrival = Uniform {
+            gap_us: 2,
+            start_us: 0,
+        };
+        let mut c = cfg(DispatchPolicy::Aggressive);
+        // Step 0: predict from the very first block, so this small input
+        // exercises the full speculation lifecycle.
+        c.schedule = tvs_core::SpeculationSchedule::with_step(0);
+        let (out, log) = run_huffman_sim_events(&d, &c, &x86_smp(8), &arrival);
+        assert_eq!(log.label, "aggressive");
+        assert_eq!(log.workers, 8);
+        let h = log.health();
+        assert!(h.predictor_fires > 0, "aggressive policy predicts");
+        assert!(h.versions_opened > 0);
+        assert!(
+            h.commits + h.rollbacks > 0,
+            "every run ends in a commit or rollback"
+        );
+        assert_eq!(
+            log.count("rollback") as u64,
+            out.metrics.rollbacks,
+            "trace rollbacks match RunMetrics"
+        );
+        // The traced run must not perturb results: rerun untraced.
+        let plain = run_huffman_sim(&d, &c, &x86_smp(8), &arrival);
+        assert_eq!(plain.metrics, out.metrics);
+        assert_eq!(plain.latencies(), out.latencies());
+    }
+
+    #[test]
+    fn threaded_event_log_records_task_spans() {
+        let d = data();
+        let arrival = Uniform {
+            gap_us: 1,
+            start_us: 0,
+        };
+        let (out, log) =
+            run_huffman_threaded_events(&d, &cfg(DispatchPolicy::Balanced), 4, &arrival, 1000);
+        assert_eq!(log.count("task-end"), log.count("task-start"));
+        assert_eq!(
+            log.count("task-end") as u64,
+            out.metrics.tasks_delivered + out.metrics.tasks_discarded,
+            "every executed task leaves a span"
+        );
+        assert_eq!(
+            log.count("rollback") as u64,
+            out.metrics.rollbacks,
+            "trace rollbacks match RunMetrics"
+        );
     }
 
     #[test]

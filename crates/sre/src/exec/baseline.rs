@@ -16,6 +16,7 @@ use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
 use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use tvs_trace::{EventKind, Tracer};
 
 pub use super::threaded::ThreadedConfig;
 
@@ -76,10 +77,30 @@ where
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
+    run_traced(workload, cfg, inputs, Tracer::disabled())
+}
+
+/// [`run`], recording speculation-lifecycle events into `tracer`.
+///
+/// The baseline has no lanes or steals: each worker pops straight off the
+/// central queue, so its dispatch event carries the worker index as the
+/// "lane" and the task-end `discarded` flag is exact (the completion
+/// outcome is decided in-thread under the global lock).
+pub fn run_traced<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+) -> (W, RunMetrics)
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
     assert!(cfg.workers > 0, "need at least one worker");
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
-            sched: Scheduler::new(cfg.policy),
+            sched: Scheduler::with_tracer(cfg.policy, tracer.clone()),
             workload,
             input_done: false,
             delivered: 0,
@@ -140,12 +161,33 @@ where
     // Worker threads: dispatch, execution and completion routing all take
     // the same global lock.
     let workers: Vec<_> = (0..cfg.workers)
-        .map(|_| {
+        .map(|me| {
             let shared = Arc::clone(&shared);
+            let tracer = tracer.clone();
             std::thread::spawn(move || loop {
                 let mut inner = shared.inner.lock().expect("lock poisoned");
                 if let Some(work) = inner.sched.dispatch() {
                     drop(inner);
+                    if tracer.is_enabled() {
+                        tracer.emit(
+                            me,
+                            EventKind::Dispatch {
+                                id: work.id,
+                                name: work.name,
+                                class: work.class.trace_tag(),
+                                version: work.version,
+                                lane: me as u32,
+                            },
+                        );
+                        tracer.emit(
+                            me,
+                            EventKind::TaskStart {
+                                id: work.id,
+                                name: work.name,
+                                version: work.version,
+                            },
+                        );
+                    }
                     let started = shared.now();
                     let output = (work.run)(&work.ctx);
                     let finished = shared.now();
@@ -153,7 +195,19 @@ where
                     let busy = finished.saturating_sub(started);
                     inner.busy_us += busy;
                     inner.sched.charge(work.class, busy);
-                    match inner.sched.complete(work.id) {
+                    let outcome = inner.sched.complete(work.id);
+                    if tracer.is_enabled() {
+                        tracer.emit(
+                            me,
+                            EventKind::TaskEnd {
+                                id: work.id,
+                                name: work.name,
+                                version: work.version,
+                                discarded: outcome == CompletionOutcome::Discard,
+                            },
+                        );
+                    }
+                    match outcome {
                         CompletionOutcome::Discard => {
                             inner.discarded += 1;
                             inner.wasted_us += busy;
@@ -223,7 +277,9 @@ where
         wasted_us: inner.wasted_us,
         rollbacks: st.rollbacks,
         workers: cfg.workers,
-        lane_dispatches: Vec::new(),
+        // Explicit per-worker zeros, not an empty vec: see the
+        // `RunMetrics::lane_dispatches` field docs.
+        lane_dispatches: vec![0; cfg.workers],
         steals: 0,
     };
     (inner.workload, metrics)
@@ -281,7 +337,40 @@ mod tests {
         );
         assert_eq!(w.total, expect);
         assert_eq!(m.tasks_delivered, 32);
-        assert!(m.lane_dispatches.is_empty(), "baseline has no lanes");
+        assert_eq!(
+            m.lane_dispatches,
+            vec![0; 4],
+            "baseline reports explicit per-worker zeros, not an empty vec"
+        );
+        assert_eq!(m.lane_imbalance(), 0.0);
         assert_eq!(m.steals, 0);
+    }
+
+    #[test]
+    fn baseline_traced_run_records_exact_lifecycle() {
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..8).map(|i| (i, vec![i as u8; 32].into())).collect();
+        let cfg = ThreadedConfig {
+            workers: 2,
+            policy: DispatchPolicy::NonSpeculative,
+        };
+        let tracer = Tracer::enabled(2);
+        let (w, m) = run_traced(
+            Summer {
+                n: 8,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+            tracer.clone(),
+        );
+        assert_eq!(w.seen, 8);
+        assert_eq!(m.tasks_delivered, 8);
+        let log = tracer.drain().expect("enabled tracer drains");
+        assert_eq!(log.count("dispatch"), 8);
+        assert_eq!(log.count("task-start"), 8);
+        assert_eq!(log.count("task-end"), 8);
+        assert_eq!(log.count("steal"), 0, "baseline never steals");
     }
 }

@@ -17,6 +17,7 @@ use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -67,10 +68,29 @@ impl SchedCtx for SimCtx<'_> {
 /// `tvs-iosim` models). Panics with a diagnostic if the workload deadlocks
 /// (events exhausted before [`Workload::is_finished`]).
 pub fn run<W: Workload>(
+    workload: W,
+    cfg: &SimConfig,
+    cost: &dyn CostModel,
+    inputs: Vec<InputBlock>,
+) -> SimReport<W> {
+    run_traced(workload, cfg, cost, inputs, Tracer::disabled())
+}
+
+/// [`run`], recording speculation-lifecycle events into `tracer`.
+///
+/// The tracer's ambient virtual clock follows the event heap, so every
+/// emitted event — including scheduler rollback/cancel events fired from
+/// inside workload callbacks — is stamped with deterministic virtual time.
+/// Task start/end events are stamped with the exact simulated interval the
+/// task occupied its worker. Pass [`Tracer::disabled`] (or call [`run`]) for
+/// a zero-overhead no-op sink; the resulting [`RunMetrics`] are identical
+/// either way.
+pub fn run_traced<W: Workload>(
     mut workload: W,
     cfg: &SimConfig,
     cost: &dyn CostModel,
     inputs: Vec<InputBlock>,
+    tracer: Tracer,
 ) -> SimReport<W> {
     assert!(
         cfg.platform.workers > 0,
@@ -81,7 +101,7 @@ pub fn run<W: Workload>(
         "inputs must be sorted by arrival time"
     );
 
-    let mut sched = Scheduler::new(cfg.policy);
+    let mut sched = Scheduler::with_tracer(cfg.policy, tracer.clone());
     let mut workers: Vec<WorkerState> = (0..cfg.platform.workers)
         .map(|_| WorkerState {
             pipeline_end: 0,
@@ -111,6 +131,7 @@ pub fn run<W: Workload>(
     let mut finished_at: Option<Time> = None;
     let mut last_event_time: Time = 0;
 
+    tracer.set_virtual_now(0);
     {
         let mut ctx = SimCtx {
             sched: &mut sched,
@@ -128,10 +149,12 @@ pub fn run<W: Workload>(
         &mut heap,
         &mut heap_seq,
         &mut metrics.lane_dispatches,
+        &tracer,
     );
 
     while let Some(Reverse((t, _seq, aux, slot))) = heap.pop() {
         last_event_time = t;
+        tracer.set_virtual_now(t);
         match slot {
             EvSlot::Arrival => {
                 let block = match input_map.entry(aux) {
@@ -160,6 +183,27 @@ pub fn run<W: Workload>(
                 metrics.busy_us += busy;
                 let outcome = sched.complete(work.id);
                 let discarded = outcome == CompletionOutcome::Discard;
+                if tracer.is_enabled() {
+                    tracer.emit_at(
+                        worker,
+                        start,
+                        EventKind::TaskStart {
+                            id: work.id,
+                            name: work.name,
+                            version: work.version,
+                        },
+                    );
+                    tracer.emit_at(
+                        worker,
+                        end,
+                        EventKind::TaskEnd {
+                            id: work.id,
+                            name: work.name,
+                            version: work.version,
+                            discarded,
+                        },
+                    );
+                }
                 if cfg.trace {
                     trace.push(TaskTrace {
                         id: work.id,
@@ -210,6 +254,7 @@ pub fn run<W: Workload>(
             &mut heap,
             &mut heap_seq,
             &mut metrics.lane_dispatches,
+            &tracer,
         );
     }
 
@@ -258,6 +303,7 @@ fn dispatch_all(
     heap: &mut BinaryHeap<Reverse<(Time, u64, usize, EvSlot)>>,
     heap_seq: &mut u64,
     lane_dispatches: &mut [u64],
+    tracer: &Tracer,
 ) {
     loop {
         if !sched.has_dispatchable() {
@@ -291,6 +337,19 @@ fn dispatch_all(
         let c = cfg.platform.task_cost_us(cost, work.name, work.bytes);
         sched.charge(work.class, c);
         lane_dispatches[wi] += 1;
+        if tracer.is_enabled() {
+            tracer.emit_at(
+                wi,
+                now,
+                EventKind::Dispatch {
+                    id: work.id,
+                    name: work.name,
+                    class: work.class.trace_tag(),
+                    version: work.version,
+                    lane: wi as u32,
+                },
+            );
+        }
         let w = &mut workers[wi];
         let start = w.pipeline_end.max(now);
         let end = start + c.max(1);
@@ -555,6 +614,58 @@ mod tests {
             vec!["a", "deep", "b"],
             "without prefetch, depth wins"
         );
+    }
+
+    #[test]
+    fn traced_run_records_lifecycle_in_virtual_time() {
+        let w = PerBlock {
+            n: 3,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(1),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
+        let inputs = vec![block(0, 0, 10), block(1, 0, 10), block(2, 0, 10)];
+        let tracer = Tracer::enabled(1);
+        let rep = run_traced(w, &cfg, &FixedCost(9), inputs, tracer.clone());
+        assert_eq!(rep.metrics.makespan, 30);
+        let log = tracer.drain().expect("enabled tracer drains");
+        assert_eq!(log.timebase, tvs_trace::Timebase::Virtual);
+        assert_eq!(log.count("dispatch"), 3);
+        assert_eq!(log.count("task-start"), 3);
+        assert_eq!(log.count("task-end"), 3);
+        // Task intervals are the exact simulated occupancy: 0-10, 10-20,
+        // 20-30 on the single worker.
+        let ends: Vec<u64> = log
+            .events
+            .iter()
+            .filter(|e| e.kind.label() == "task-end")
+            .map(|e| e.virt_us)
+            .collect();
+        assert_eq!(ends, vec![10, 20, 30]);
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree_on_metrics() {
+        let mk = || PerBlock {
+            n: 8,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(2),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: true,
+        };
+        let inputs: Vec<InputBlock> = (0..8).map(|i| block(i, (i as u64) * 2, 32)).collect();
+        let plain = run(mk(), &cfg, &FixedCost(5), inputs.clone());
+        let traced = run_traced(mk(), &cfg, &FixedCost(5), inputs, Tracer::enabled(2));
+        assert_eq!(plain.metrics, traced.metrics);
+        assert_eq!(plain.trace, traced.trace);
     }
 
     #[test]

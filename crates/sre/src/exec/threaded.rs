@@ -52,6 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a threaded run.
 #[derive(Clone, Debug)]
@@ -103,10 +104,14 @@ struct Fabric {
     steals: AtomicU64,
     done: AtomicBool,
     start: Instant,
+    /// Lifecycle event sink. Dispatch events go to the control ring (the
+    /// pump always runs under the commit lock, so that ring stays
+    /// single-writer); worker-side events go to each worker's own ring.
+    tracer: Tracer,
 }
 
 impl Fabric {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, tracer: Tracer) -> Self {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(workers);
@@ -129,6 +134,7 @@ impl Fabric {
             steals: AtomicU64::new(0),
             done: AtomicBool::new(false),
             start: Instant::now(),
+            tracer,
         }
     }
 
@@ -157,6 +163,15 @@ impl Fabric {
             self.normal_bound.fetch_add(1, Ordering::SeqCst);
         }
         self.lane_dispatches[lane].fetch_add(1, Ordering::Relaxed);
+        if self.tracer.is_enabled() {
+            self.tracer.emit_control(EventKind::Dispatch {
+                id: work.id,
+                name: work.name,
+                class: work.class.trace_tag(),
+                version: work.version,
+                lane: lane as u32,
+            });
+        }
         // `in_lanes` rises before the entry is visible so a racing parker's
         // re-check errs towards staying awake, never towards sleeping on
         // available work.
@@ -168,18 +183,19 @@ impl Fabric {
     }
 
     /// Take work for worker `me`: own lane front first (FCFS within the
-    /// lane), then steal from the back of the other lanes.
-    fn grab(&self, me: usize) -> Option<(Ready, bool)> {
+    /// lane), then steal from the back of the other lanes. The second
+    /// element is the victim lane when the task was stolen.
+    fn grab(&self, me: usize) -> Option<(Ready, Option<usize>)> {
         if let Some(r) = self.lanes[me].lock().expect("lane poisoned").pop_front() {
             self.on_take(&r);
-            return Some((r, false));
+            return Some((r, None));
         }
         let n = self.lanes.len();
         for off in 1..n {
             let victim = (me + off) % n;
             if let Some(r) = self.lanes[victim].lock().expect("lane poisoned").pop_back() {
                 self.on_take(&r);
-                return Some((r, true));
+                return Some((r, Some(victim)));
             }
         }
         None
@@ -321,10 +337,35 @@ where
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
+    run_traced(workload, cfg, inputs, Tracer::disabled())
+}
+
+/// [`run`], recording speculation-lifecycle events into `tracer`.
+///
+/// Dispatch, predictor/check/commit and rollback events are emitted on the
+/// control ring (their emitters hold the commit lock, keeping that ring
+/// single-writer); steal, task-start/end and park/unpark events land on the
+/// emitting worker's own ring. Timestamps are wall-clock µs from the
+/// tracer's epoch. A task-end's `discarded` flag reflects the abort flag at
+/// completion time — a task whose version is rolled back *after* it
+/// finishes but before the router routes it is counted as wasted in
+/// [`RunMetrics`] but not flagged in the trace (the simulator's virtual
+/// trace is exact; this executor's is a per-task approximation).
+pub fn run_traced<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+) -> (W, RunMetrics)
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
     assert!(cfg.workers > 0, "need at least one worker");
-    let fabric = Arc::new(Fabric::new(cfg.workers));
+    let fabric = Arc::new(Fabric::new(cfg.workers, tracer.clone()));
     let commit = Arc::new(Mutex::new(Inner {
-        sched: Scheduler::new(cfg.policy),
+        sched: Scheduler::with_tracer(cfg.policy, tracer),
         workload,
         input_done: false,
         delivered: 0,
@@ -370,10 +411,19 @@ where
                     let mut spins = 0u32;
                     loop {
                         match fabric.grab(me) {
-                            Some((ready, stolen)) => {
+                            Some((ready, stolen_from)) => {
                                 spins = 0;
-                                if stolen {
+                                if let Some(victim) = stolen_from {
                                     fabric.steals.fetch_add(1, Ordering::Relaxed);
+                                    if fabric.tracer.is_enabled() {
+                                        fabric.tracer.emit(
+                                            me,
+                                            EventKind::Steal {
+                                                id: ready.work.id,
+                                                victim: victim as u32,
+                                            },
+                                        );
+                                    }
                                 }
                                 // Wake chain: if backlog remains beyond the
                                 // awake set, ramp up one more worker.
@@ -402,9 +452,31 @@ where
                                     }
                                     continue;
                                 }
+                                let traced = fabric.tracer.is_enabled();
+                                if traced {
+                                    fabric.tracer.emit(
+                                        me,
+                                        EventKind::TaskStart {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: work.version,
+                                        },
+                                    );
+                                }
                                 let started = fabric.now();
                                 let output = (work.run)(&work.ctx);
                                 let finished = fabric.now();
+                                if traced {
+                                    fabric.tracer.emit(
+                                        me,
+                                        EventKind::TaskEnd {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: work.version,
+                                            discarded: work.ctx.aborted(),
+                                        },
+                                    );
+                                }
                                 let report = Finished {
                                     id: work.id,
                                     name: work.name,
@@ -456,7 +528,14 @@ where
                                 if fabric.in_lanes.load(Ordering::SeqCst) == 0
                                     && !fabric.done.load(Ordering::SeqCst)
                                 {
+                                    let traced = fabric.tracer.is_enabled();
+                                    if traced {
+                                        fabric.tracer.emit(me, EventKind::Park);
+                                    }
                                     std::thread::park_timeout(Duration::from_millis(100));
+                                    if traced {
+                                        fabric.tracer.emit(me, EventKind::Unpark);
+                                    }
                                 }
                                 p.parked.store(false, Ordering::SeqCst);
                                 fabric.parked_count.fetch_sub(1, Ordering::SeqCst);
@@ -712,6 +791,45 @@ mod tests {
             32,
             "every task went through a lane"
         );
+    }
+
+    #[test]
+    fn traced_run_records_dispatch_and_task_events() {
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..16).map(|i| (i, vec![i as u8; 64].into())).collect();
+        let cfg = ThreadedConfig {
+            workers: 3,
+            policy: DispatchPolicy::NonSpeculative,
+        };
+        let tracer = Tracer::enabled(3);
+        let (w, m) = run_traced(
+            Summer {
+                n: 16,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+            tracer.clone(),
+        );
+        assert_eq!(w.seen, 16);
+        assert_eq!(m.tasks_delivered, 16);
+        let log = tracer.drain().expect("enabled tracer drains");
+        assert_eq!(log.timebase, tvs_trace::Timebase::Wall);
+        assert_eq!(log.count("dispatch"), 16, "one dispatch per task");
+        assert_eq!(log.count("task-start"), 16);
+        assert_eq!(log.count("task-end"), 16);
+        assert_eq!(
+            log.count("steal") as u64,
+            m.steals,
+            "steal events mirror the metrics counter"
+        );
+        // Dispatches are pump-side events and live on the control ring.
+        assert!(log
+            .events
+            .iter()
+            .filter(|e| e.kind.label() == "dispatch")
+            .all(|e| e.worker as usize == log.workers));
     }
 
     #[test]

@@ -55,4 +55,5 @@ pub use platform::{cell_be, x86_smp, CostModel, FixedCost, Platform};
 pub use policy::DispatchPolicy;
 pub use sched::Scheduler;
 pub use task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Time};
+pub use tvs_trace::{TraceLog, Tracer};
 pub use workload::{Completion, InputBlock, SchedCtx, Workload};

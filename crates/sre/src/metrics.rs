@@ -25,7 +25,11 @@ pub struct TaskTrace {
 }
 
 /// Aggregate metrics of one run.
-#[derive(Debug, Clone, Default)]
+///
+/// Implements `PartialEq`/`Eq` so tests can assert that two runs (e.g. a
+/// tracing-enabled and a tracing-disabled simulation) produced identical
+/// metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Completion time of the whole run, µs.
     pub makespan: Time,
@@ -45,8 +49,13 @@ pub struct RunMetrics {
     pub workers: usize,
     /// Tasks routed into each worker's ready lane by the dispatcher
     /// (threaded executor) or bound to each simulated worker (simulator).
-    /// Empty for executors without per-worker lanes (the single-lock
-    /// baseline).
+    ///
+    /// **Semantics:** always `workers` entries long. Executors without
+    /// per-worker lanes (the single-lock baseline) report explicit zeros —
+    /// never an empty vec — so downstream consumers can index per worker
+    /// without special-casing the executor. An all-zero vector means "this
+    /// executor routed nothing through lanes", and [`Self::lane_imbalance`]
+    /// returns 0.0 for it.
     pub lane_dispatches: Vec<u64>,
     /// Tasks a worker executed after stealing them from another worker's
     /// lane. Always zero for the simulator and the single-lock baseline.
@@ -100,6 +109,10 @@ impl RunMetrics {
 /// Render a trace as CSV (`id,name,worker,version,tag,start,end,discarded`),
 /// one row per executed task — loadable into any plotting tool for Gantt
 /// views of a run.
+///
+/// The `name` field is RFC-4180 quoted when it contains a comma, quote or
+/// newline, so rows always parse back via [`trace_from_csv`] regardless of
+/// what task names an application chooses.
 pub fn trace_to_csv(trace: &[TaskTrace]) -> String {
     let mut out = String::from(
         "id,name,worker,version,tag,start,end,discarded
@@ -111,7 +124,7 @@ pub fn trace_to_csv(trace: &[TaskTrace]) -> String {
             out,
             "{},{},{},{},{},{},{},{}",
             t.id,
-            t.name,
+            tvs_trace::csv::csv_escape(t.name),
             t.worker,
             t.version.map(|v| v.to_string()).unwrap_or_default(),
             t.tag,
@@ -121,6 +134,59 @@ pub fn trace_to_csv(trace: &[TaskTrace]) -> String {
         );
     }
     out
+}
+
+/// One parsed row of [`trace_to_csv`] output. Identical to [`TaskTrace`]
+/// except that `name` is owned (the CSV cannot yield `&'static str`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Task id.
+    pub id: TaskId,
+    /// Task kind name.
+    pub name: String,
+    /// Worker that ran it.
+    pub worker: usize,
+    /// Speculation version, if any.
+    pub version: Option<SpecVersion>,
+    /// Application tag.
+    pub tag: u64,
+    /// Start time, µs.
+    pub start: Time,
+    /// End time, µs.
+    pub end: Time,
+    /// Whether the output was discarded.
+    pub discarded: bool,
+}
+
+/// Parse [`trace_to_csv`] output back into rows. Returns `None` on a
+/// malformed header, row shape, quoting or field value.
+pub fn trace_from_csv(csv: &str) -> Option<Vec<TraceRow>> {
+    let mut lines = csv.lines();
+    if lines.next()? != "id,name,worker,version,tag,start,end,discarded" {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        let f = tvs_trace::csv::csv_split(line)?;
+        if f.len() != 8 {
+            return None;
+        }
+        rows.push(TraceRow {
+            id: f[0].parse().ok()?,
+            name: f[1].clone(),
+            worker: f[2].parse().ok()?,
+            version: if f[3].is_empty() {
+                None
+            } else {
+                Some(f[3].parse().ok()?)
+            },
+            tag: f[4].parse().ok()?,
+            start: f[5].parse().ok()?,
+            end: f[6].parse().ok()?,
+            discarded: f[7].parse().ok()?,
+        });
+    }
+    Some(rows)
 }
 
 /// Per-worker busy fraction over `[0, makespan]`, computed from a trace.
@@ -221,6 +287,33 @@ mod tests {
         assert_eq!(lines[0], "id,name,worker,version,tag,start,end,discarded");
         assert_eq!(lines[1], "0,count,0,,0,0,10,false");
         assert_eq!(lines[2], "0,encode,1,,0,5,25,true");
+    }
+
+    #[test]
+    fn csv_round_trip_with_awkward_names() {
+        let trace = vec![
+            TaskTrace {
+                id: 3,
+                name: "count, \"quoted\"",
+                worker: 1,
+                version: Some(7),
+                tag: 42,
+                start: 5,
+                end: 25,
+                discarded: true,
+            },
+            tr("encode", 0, 0, 10, false),
+        ];
+        let csv = trace_to_csv(&trace);
+        let rows = trace_from_csv(&csv).expect("round-trip parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "count, \"quoted\"");
+        assert_eq!(rows[0].version, Some(7));
+        assert_eq!(rows[0].tag, 42);
+        assert!(rows[0].discarded);
+        assert_eq!(rows[1].name, "encode");
+        assert_eq!(rows[1].version, None);
+        assert!(trace_from_csv("bogus\n1,2").is_none());
     }
 
     #[test]

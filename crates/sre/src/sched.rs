@@ -15,6 +15,7 @@ use crate::task::{SpecVersion, TaskClass, TaskCtx, TaskFn, TaskId, TaskSpec};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use tvs_trace::{EventKind, Tracer};
 
 /// A task handed to an executor for execution.
 pub struct Dispatched {
@@ -77,11 +78,19 @@ pub struct Scheduler {
     next_id: TaskId,
     stats: SchedStats,
     loads: LaneLoads,
+    tracer: Tracer,
 }
 
 impl Scheduler {
-    /// A scheduler dispatching under `policy`.
+    /// A scheduler dispatching under `policy`, with tracing disabled.
     pub fn new(policy: DispatchPolicy) -> Self {
+        Self::with_tracer(policy, Tracer::disabled())
+    }
+
+    /// A scheduler that records rollback and ready-cancellation lifecycle
+    /// events (on the tracer's control ring). The executors pass their run
+    /// tracer in; `Tracer::disabled()` makes every emit a no-op branch.
+    pub fn with_tracer(policy: DispatchPolicy, tracer: Tracer) -> Self {
         Scheduler {
             policy,
             queue: ReadyQueue::new(),
@@ -91,6 +100,7 @@ impl Scheduler {
             next_id: 1,
             stats: SchedStats::default(),
             loads: LaneLoads::default(),
+            tracer,
         }
     }
 
@@ -188,10 +198,15 @@ impl Scheduler {
     /// it counts as a ready deletion — the paper's "ready tasks must be
     /// deleted" — not as discarded work.
     pub fn cancel_bound(&mut self, id: TaskId) {
-        self.running
+        let r = self
+            .running
             .remove(&id)
             .expect("cancel_bound() called for a task that is not running");
         self.stats.deleted_ready += 1;
+        self.tracer.emit_control(EventKind::CancelReady {
+            id,
+            version: r.version.unwrap_or(0),
+        });
     }
 
     /// Whether any task could be dispatched right now.
@@ -271,6 +286,10 @@ impl Scheduler {
                 TaskCtx::signal_abort(&r.abort);
             }
         }
+        self.tracer.emit_control(EventKind::Rollback {
+            version,
+            cascade_depth: victims.len() as u64,
+        });
         victims.len()
     }
 
@@ -391,6 +410,34 @@ mod tests {
         let d = s.dispatch().unwrap();
         assert_eq!(d.name, "check");
         assert_eq!(s.complete(d.id), CompletionOutcome::Deliver);
+    }
+
+    #[test]
+    fn rollback_and_cancel_bound_emit_trace_events() {
+        use tvs_trace::{EventKind, Tracer};
+        let tracer = Tracer::enabled(1);
+        let mut s = Scheduler::with_tracer(DispatchPolicy::Aggressive, tracer.clone());
+        s.spawn(spec_task("bound", 5)).unwrap();
+        s.spawn(spec_task("queued", 5)).unwrap();
+        let d = s.dispatch().unwrap(); // "bound": dispatched into a lane
+        s.abort_version(5); // deletes "queued" from the ready queue
+        s.cancel_bound(d.id); // lane re-validation kills "bound"
+        let log = tracer.drain().unwrap();
+        assert!(log.events.iter().any(|e| e.kind
+            == EventKind::Rollback {
+                version: 5,
+                cascade_depth: 1
+            }));
+        assert!(log.events.iter().any(|e| e.kind
+            == EventKind::CancelReady {
+                id: d.id,
+                version: 5
+            }));
+        // Idempotent re-abort emits nothing new.
+        let before = s.stats().rollbacks;
+        s.abort_version(5);
+        assert_eq!(s.stats().rollbacks, before);
+        assert_eq!(tracer.drain().unwrap().events.len(), 0);
     }
 
     #[test]

@@ -41,6 +41,17 @@ impl TaskClass {
     pub fn is_control(self) -> bool {
         matches!(self, TaskClass::Predictor | TaskClass::Check)
     }
+
+    /// The class as `tvs-trace`'s dependency-free mirror enum (that crate
+    /// sits below this one, so it cannot import `TaskClass` itself).
+    pub fn trace_tag(self) -> tvs_trace::ClassTag {
+        match self {
+            TaskClass::Regular => tvs_trace::ClassTag::Regular,
+            TaskClass::Speculative => tvs_trace::ClassTag::Speculative,
+            TaskClass::Predictor => tvs_trace::ClassTag::Predictor,
+            TaskClass::Check => tvs_trace::ClassTag::Check,
+        }
+    }
 }
 
 /// The type-erased output of a task.

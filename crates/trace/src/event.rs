@@ -1,0 +1,303 @@
+//! Typed lifecycle events and the drained [`TraceLog`].
+//!
+//! This crate sits below `tvs-sre` and `tvs-core` (both depend on it), so
+//! it speaks in primitives: task ids are `u64`, speculation versions `u32`,
+//! times µs as `u64`, and the scheduling class is mirrored here as
+//! [`ClassTag`] rather than importing `tvs_sre::TaskClass`.
+
+/// Scheduling class of a task, mirrored from the runtime's `TaskClass`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassTag {
+    /// Non-speculative application task (the natural path).
+    Regular,
+    /// Speculative application task (discarded on rollback).
+    Speculative,
+    /// Predictor control task.
+    Predictor,
+    /// Check control task.
+    Check,
+}
+
+impl ClassTag {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClassTag::Regular => "regular",
+            ClassTag::Speculative => "speculative",
+            ClassTag::Predictor => "predictor",
+            ClassTag::Check => "check",
+        }
+    }
+}
+
+/// One speculation-lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A task was bound to a worker lane (or simulated worker) by the
+    /// dispatcher.
+    Dispatch {
+        /// Task id.
+        id: u64,
+        /// Task kind name.
+        name: &'static str,
+        /// Scheduling class.
+        class: ClassTag,
+        /// Speculation version, if any.
+        version: Option<u32>,
+        /// Lane (worker index) the task was bound to.
+        lane: u32,
+    },
+    /// A worker took a task from another worker's lane.
+    Steal {
+        /// Task id.
+        id: u64,
+        /// Lane the task was stolen from.
+        victim: u32,
+    },
+    /// The worker ran out of work and parked.
+    Park,
+    /// The worker resumed after a park.
+    Unpark,
+    /// A task body started executing.
+    TaskStart {
+        /// Task id.
+        id: u64,
+        /// Task kind name.
+        name: &'static str,
+        /// Speculation version, if any.
+        version: Option<u32>,
+    },
+    /// A task body finished executing.
+    TaskEnd {
+        /// Task id.
+        id: u64,
+        /// Task kind name.
+        name: &'static str,
+        /// Speculation version, if any.
+        version: Option<u32>,
+        /// Whether the output was (or will be) discarded because the
+        /// version was aborted — wasted work.
+        discarded: bool,
+    },
+    /// A lane-bound task was cancelled by rollback before it ever ran
+    /// (counted as a ready deletion, like queue victims).
+    CancelReady {
+        /// Task id.
+        id: u64,
+        /// The rolled-back version that killed it.
+        version: u32,
+    },
+    /// The speculation manager requested a predictor task.
+    PredictorFire {
+        /// Version the prediction will carry.
+        version: u32,
+        /// Basis event count the prediction starts from.
+        basis: u64,
+    },
+    /// A speculative value was installed: the version is now live and
+    /// driving speculative tasks.
+    VersionOpen {
+        /// The activated version.
+        version: u32,
+        /// Basis event count the value was built from.
+        basis: u64,
+    },
+    /// An intermediate or final check passed.
+    CheckPass {
+        /// The version under test.
+        version: u32,
+        /// Measured relative error (within the tolerance margin).
+        margin: f64,
+    },
+    /// An intermediate or final check failed (triggers rollback).
+    CheckFail {
+        /// The version under test.
+        version: u32,
+        /// Measured relative error (outside the tolerance margin).
+        margin: f64,
+    },
+    /// The version validated against the final value: buffered results
+    /// are released.
+    Commit {
+        /// The committed version.
+        version: u32,
+    },
+    /// The version was rolled back in the scheduler.
+    Rollback {
+        /// The aborted version.
+        version: u32,
+        /// Ready tasks deleted from the central queue by this abort — the
+        /// rollback's cascade depth.
+        cascade_depth: u64,
+    },
+    /// An [`UndoLog`](https://docs.rs/tvs-core) replayed journalled
+    /// side effects for an aborted version.
+    UndoReplay {
+        /// The aborted version.
+        version: u32,
+        /// Journal entries replayed (LIFO).
+        entries: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable kebab-case label used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Steal { .. } => "steal",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+            EventKind::TaskStart { .. } => "task-start",
+            EventKind::TaskEnd { .. } => "task-end",
+            EventKind::CancelReady { .. } => "cancel-ready",
+            EventKind::PredictorFire { .. } => "predictor-fire",
+            EventKind::VersionOpen { .. } => "version-open",
+            EventKind::CheckPass { .. } => "check-pass",
+            EventKind::CheckFail { .. } => "check-fail",
+            EventKind::Commit { .. } => "commit",
+            EventKind::Rollback { .. } => "rollback",
+            EventKind::UndoReplay { .. } => "undo-replay",
+        }
+    }
+
+    /// The speculation version this event concerns, if any.
+    pub fn version(&self) -> Option<u32> {
+        match *self {
+            EventKind::Dispatch { version, .. }
+            | EventKind::TaskStart { version, .. }
+            | EventKind::TaskEnd { version, .. } => version,
+            EventKind::CancelReady { version, .. }
+            | EventKind::PredictorFire { version, .. }
+            | EventKind::VersionOpen { version, .. }
+            | EventKind::CheckPass { version, .. }
+            | EventKind::CheckFail { version, .. }
+            | EventKind::Commit { version }
+            | EventKind::Rollback { version, .. }
+            | EventKind::UndoReplay { version, .. } => Some(version),
+            EventKind::Steal { .. } | EventKind::Park | EventKind::Unpark => None,
+        }
+    }
+}
+
+/// Which clock a drained log is meaningful in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timebase {
+    /// Wall-clock µs since the tracer was created (threaded executors).
+    Wall,
+    /// Virtual µs of simulated time (discrete-event executor).
+    Virtual,
+}
+
+/// One stamped event as drained from a ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global emission sequence number (total order across rings).
+    pub seq: u64,
+    /// Ring index: `0..workers` are worker tracks, `workers` is the
+    /// control track (scheduler / speculation manager / dispatch pump).
+    pub worker: u32,
+    /// Wall-clock stamp, µs since the tracer was created.
+    pub wall_us: u64,
+    /// Virtual-time stamp, µs (zero unless the simulator fed the clock).
+    pub virt_us: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The stamp in the log's timebase.
+    pub fn ts(&self, tb: Timebase) -> u64 {
+        match tb {
+            Timebase::Wall => self.wall_us,
+            Timebase::Virtual => self.virt_us,
+        }
+    }
+}
+
+/// A drained, time-ordered event log — the input to every exporter.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// Worker-track count (the log additionally has one control track,
+    /// index `workers`).
+    pub workers: usize,
+    /// Which clock stamped this run.
+    pub timebase: Timebase,
+    /// Events sorted by `(ts in timebase, seq)`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (oldest-first overwrite).
+    pub dropped: u64,
+    /// Free-form run label (e.g. the dispatch policy), shown in exports.
+    pub label: String,
+}
+
+impl TraceLog {
+    /// The control-track index (`workers`).
+    pub fn control_track(&self) -> u32 {
+        self.workers as u32
+    }
+
+    /// Events of one kind label (convenience for tests and reports).
+    pub fn count(&self, label: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind.label() == label)
+            .count()
+    }
+
+    /// Last timestamp in the log's timebase (0 when empty).
+    pub fn span_us(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.ts(self.timebase))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            EventKind::Rollback {
+                version: 1,
+                cascade_depth: 3
+            }
+            .label(),
+            "rollback"
+        );
+        assert_eq!(EventKind::Park.label(), "park");
+        assert_eq!(ClassTag::Speculative.label(), "speculative");
+    }
+
+    #[test]
+    fn version_extraction() {
+        assert_eq!(EventKind::Commit { version: 7 }.version(), Some(7));
+        assert_eq!(
+            EventKind::TaskStart {
+                id: 1,
+                name: "t",
+                version: None
+            }
+            .version(),
+            None
+        );
+        assert_eq!(EventKind::Steal { id: 1, victim: 0 }.version(), None);
+    }
+
+    #[test]
+    fn timebase_selects_stamp() {
+        let e = TraceEvent {
+            seq: 0,
+            worker: 0,
+            wall_us: 5,
+            virt_us: 9,
+            kind: EventKind::Park,
+        };
+        assert_eq!(e.ts(Timebase::Wall), 5);
+        assert_eq!(e.ts(Timebase::Virtual), 9);
+    }
+}

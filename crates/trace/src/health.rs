@@ -1,0 +1,400 @@
+//! Derived speculation-health aggregates.
+//!
+//! Answers the paper's tuning questions from one drained [`TraceLog`]:
+//! how much work was wasted (and *when* — a waste spike right after a
+//! rollback is normal, a flat high ratio means the policy over-speculates),
+//! how deep rollback cascades ran, and how long checks take from dispatch
+//! to completion.
+
+use crate::event::{ClassTag, EventKind, TraceLog};
+use std::collections::HashMap;
+
+/// Percentiles of a latency population, µs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Stats from an unsorted sample population.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        // Nearest-rank percentiles: the smallest sample with at least p of
+        // the population at or below it.
+        let pct = |p: f64| -> u64 {
+            let rank = (p * samples.len() as f64).ceil() as usize;
+            samples[rank.max(1).min(samples.len()) - 1]
+        };
+        LatencyStats {
+            count: samples.len() as u64,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One bucket of the wasted-work timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WasteBucket {
+    /// Bucket start, µs (log timebase).
+    pub start_us: u64,
+    /// Bucket end (exclusive), µs.
+    pub end_us: u64,
+    /// Busy µs of tasks *finishing* in this bucket.
+    pub busy_us: u64,
+    /// Portion of `busy_us` spent on later-discarded tasks.
+    pub wasted_us: u64,
+}
+
+impl WasteBucket {
+    /// Wasted fraction of this bucket's busy time (0 when idle).
+    pub fn ratio(&self) -> f64 {
+        if self.busy_us == 0 {
+            0.0
+        } else {
+            self.wasted_us as f64 / self.busy_us as f64
+        }
+    }
+}
+
+/// Aggregated speculation health of one run.
+#[derive(Debug, Clone, Default)]
+pub struct SpecHealth {
+    /// Events analysed.
+    pub events: usize,
+    /// Events lost to ring overflow (aggregates below undercount if > 0).
+    pub dropped: u64,
+    /// Speculative versions opened (installed or promoted).
+    pub versions_opened: u64,
+    /// Versions committed.
+    pub commits: u64,
+    /// Versions rolled back.
+    pub rollbacks: u64,
+    /// Predictor tasks requested.
+    pub predictor_fires: u64,
+    /// Intermediate/final checks that passed.
+    pub checks_passed: u64,
+    /// Intermediate/final checks that failed.
+    pub checks_failed: u64,
+    /// Lane-bound tasks cancelled by rollback before running.
+    pub cancelled_ready: u64,
+    /// Undo-journal replays observed.
+    pub undo_replays: u64,
+    /// Tasks stolen across lanes.
+    pub steals: u64,
+    /// Sum of rollback cascade depths (ready tasks deleted from the
+    /// central queue).
+    pub cascade_total: u64,
+    /// Deepest single cascade.
+    pub max_cascade: u64,
+    /// Rollback-cascade-depth histogram: `(depth, rollbacks)` ascending.
+    pub cascade_hist: Vec<(u64, u64)>,
+    /// Total busy µs across all traced tasks.
+    pub busy_us: u64,
+    /// Busy µs of tasks that ended discarded (wasted work).
+    pub wasted_us: u64,
+    /// Wasted-work ratio over time.
+    pub waste_timeline: Vec<WasteBucket>,
+    /// Dispatch-to-completion latency of check-class tasks.
+    pub check_latency: LatencyStats,
+}
+
+impl SpecHealth {
+    /// Overall wasted fraction of busy time.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.busy_us == 0 {
+            0.0
+        } else {
+            self.wasted_us as f64 / self.busy_us as f64
+        }
+    }
+}
+
+/// Number of buckets in the waste timeline.
+const TIMELINE_BUCKETS: u64 = 20;
+
+impl TraceLog {
+    /// Compute speculation-health aggregates from this log.
+    ///
+    /// Task durations come from paired task-start/end events; each task is
+    /// attributed to the timeline bucket its *end* falls in. Check latency
+    /// is measured dispatch → task-end (queueing included — that is the
+    /// latency the speculation loop actually sees).
+    pub fn health(&self) -> SpecHealth {
+        let tb = self.timebase;
+        let mut h = SpecHealth {
+            events: self.events.len(),
+            dropped: self.dropped,
+            ..Default::default()
+        };
+
+        let span = self.span_us().max(1);
+        let bucket_w = span.div_ceil(TIMELINE_BUCKETS).max(1);
+        let n_buckets = span.div_ceil(bucket_w);
+        let mut timeline: Vec<WasteBucket> = (0..n_buckets)
+            .map(|i| WasteBucket {
+                start_us: i * bucket_w,
+                end_us: (i + 1) * bucket_w,
+                ..Default::default()
+            })
+            .collect();
+
+        let mut starts: HashMap<u64, u64> = HashMap::new();
+        let mut dispatches: HashMap<u64, (ClassTag, u64)> = HashMap::new();
+        let mut check_lat: Vec<u64> = Vec::new();
+        let mut cascade_counts: HashMap<u64, u64> = HashMap::new();
+
+        for e in &self.events {
+            let ts = e.ts(tb);
+            match &e.kind {
+                EventKind::Dispatch { id, class, .. } => {
+                    dispatches.insert(*id, (*class, ts));
+                }
+                EventKind::TaskStart { id, .. } => {
+                    starts.insert(*id, ts);
+                }
+                EventKind::TaskEnd { id, discarded, .. } => {
+                    let start = starts.remove(id).unwrap_or(ts);
+                    let dur = ts.saturating_sub(start);
+                    h.busy_us += dur;
+                    if *discarded {
+                        h.wasted_us += dur;
+                    }
+                    let bi = ((ts.saturating_sub(1)) / bucket_w).min(n_buckets - 1) as usize;
+                    timeline[bi].busy_us += dur;
+                    if *discarded {
+                        timeline[bi].wasted_us += dur;
+                    }
+                    if let Some((class, disp_ts)) = dispatches.remove(id) {
+                        if class == ClassTag::Check {
+                            check_lat.push(ts.saturating_sub(disp_ts));
+                        }
+                    }
+                }
+                EventKind::Steal { .. } => h.steals += 1,
+                EventKind::CancelReady { .. } => h.cancelled_ready += 1,
+                EventKind::PredictorFire { .. } => h.predictor_fires += 1,
+                EventKind::VersionOpen { .. } => h.versions_opened += 1,
+                EventKind::CheckPass { .. } => h.checks_passed += 1,
+                EventKind::CheckFail { .. } => h.checks_failed += 1,
+                EventKind::Commit { .. } => h.commits += 1,
+                EventKind::Rollback { cascade_depth, .. } => {
+                    h.rollbacks += 1;
+                    h.cascade_total += cascade_depth;
+                    h.max_cascade = h.max_cascade.max(*cascade_depth);
+                    *cascade_counts.entry(*cascade_depth).or_default() += 1;
+                }
+                EventKind::UndoReplay { .. } => h.undo_replays += 1,
+                EventKind::Park | EventKind::Unpark => {}
+            }
+        }
+
+        let mut hist: Vec<(u64, u64)> = cascade_counts.into_iter().collect();
+        hist.sort_unstable();
+        h.cascade_hist = hist;
+        h.waste_timeline = timeline;
+        h.check_latency = LatencyStats::from_samples(check_lat);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Timebase, TraceEvent};
+
+    fn ev(seq: u64, ts: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            worker: 0,
+            wall_us: ts,
+            virt_us: ts,
+            kind,
+        }
+    }
+
+    fn task(seq: u64, id: u64, start: u64, end: u64, discarded: bool) -> Vec<TraceEvent> {
+        vec![
+            ev(
+                seq,
+                start,
+                EventKind::TaskStart {
+                    id,
+                    name: "t",
+                    version: None,
+                },
+            ),
+            ev(
+                seq + 1,
+                end,
+                EventKind::TaskEnd {
+                    id,
+                    name: "t",
+                    version: None,
+                    discarded,
+                },
+            ),
+        ]
+    }
+
+    fn mk(events: Vec<TraceEvent>) -> TraceLog {
+        TraceLog {
+            workers: 1,
+            timebase: Timebase::Virtual,
+            events,
+            dropped: 0,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let s = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn waste_accounting_and_timeline() {
+        let mut events = task(0, 1, 0, 100, false);
+        events.extend(task(2, 2, 0, 50, true));
+        let h = mk(events).health();
+        assert_eq!(h.busy_us, 150);
+        assert_eq!(h.wasted_us, 50);
+        assert!((h.waste_ratio() - 50.0 / 150.0).abs() < 1e-12);
+        let timeline_busy: u64 = h.waste_timeline.iter().map(|b| b.busy_us).sum();
+        let timeline_waste: u64 = h.waste_timeline.iter().map(|b| b.wasted_us).sum();
+        assert_eq!(timeline_busy, 150, "every task lands in some bucket");
+        assert_eq!(timeline_waste, 50);
+    }
+
+    #[test]
+    fn cascade_histogram() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                EventKind::Rollback {
+                    version: 1,
+                    cascade_depth: 3,
+                },
+            ),
+            ev(
+                1,
+                2,
+                EventKind::Rollback {
+                    version: 2,
+                    cascade_depth: 0,
+                },
+            ),
+            ev(
+                2,
+                3,
+                EventKind::Rollback {
+                    version: 3,
+                    cascade_depth: 3,
+                },
+            ),
+        ];
+        let h = mk(events).health();
+        assert_eq!(h.rollbacks, 3);
+        assert_eq!(h.cascade_total, 6);
+        assert_eq!(h.max_cascade, 3);
+        assert_eq!(h.cascade_hist, vec![(0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn check_latency_measured_from_dispatch() {
+        let mut events = vec![ev(
+            0,
+            10,
+            EventKind::Dispatch {
+                id: 5,
+                name: "check",
+                class: ClassTag::Check,
+                version: None,
+                lane: 0,
+            },
+        )];
+        events.extend(task(1, 5, 30, 40, false));
+        let h = mk(events).health();
+        assert_eq!(h.check_latency.count, 1);
+        assert_eq!(h.check_latency.max, 30, "dispatch(10) -> end(40)");
+    }
+
+    #[test]
+    fn lifecycle_counters() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                EventKind::PredictorFire {
+                    version: 1,
+                    basis: 1,
+                },
+            ),
+            ev(
+                1,
+                2,
+                EventKind::VersionOpen {
+                    version: 1,
+                    basis: 1,
+                },
+            ),
+            ev(
+                2,
+                3,
+                EventKind::CheckPass {
+                    version: 1,
+                    margin: 0.0,
+                },
+            ),
+            ev(
+                3,
+                4,
+                EventKind::CheckFail {
+                    version: 1,
+                    margin: 0.2,
+                },
+            ),
+            ev(4, 5, EventKind::Commit { version: 1 }),
+            ev(5, 6, EventKind::Steal { id: 1, victim: 0 }),
+            ev(6, 7, EventKind::CancelReady { id: 2, version: 1 }),
+            ev(
+                7,
+                8,
+                EventKind::UndoReplay {
+                    version: 1,
+                    entries: 2,
+                },
+            ),
+        ];
+        let h = mk(events).health();
+        assert_eq!(h.predictor_fires, 1);
+        assert_eq!(h.versions_opened, 1);
+        assert_eq!(h.checks_passed, 1);
+        assert_eq!(h.checks_failed, 1);
+        assert_eq!(h.commits, 1);
+        assert_eq!(h.steals, 1);
+        assert_eq!(h.cancelled_ready, 1);
+        assert_eq!(h.undo_replays, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-executor speculation-lifecycle invariants: whatever executor ran
+//! the pipeline, the drained event log must agree with the run's
+//! [`RunMetrics`], every opened version must resolve exactly once, and
+//! enabling tracing must not change the run's results.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use tvs_iosim::Uniform;
+use tvs_pipelines::config::HuffmanConfig;
+use tvs_pipelines::huffman::HuffmanWorkload;
+use tvs_pipelines::runner::{run_huffman_sim, run_huffman_sim_events, run_huffman_threaded_events};
+use tvs_sre::exec::baseline;
+use tvs_sre::exec::threaded::ThreadedConfig;
+use tvs_sre::{x86_smp, DispatchPolicy, RunMetrics, TraceLog, Tracer};
+use tvs_trace::EventKind;
+use tvs_workloads::FileKind;
+
+/// Text then PDF: the symbol-distribution shift makes step-0 predictions
+/// fail the tolerance check partway through, so runs exercise rollback,
+/// cascade deletion and discarded work — not just the happy path.
+fn data() -> Vec<u8> {
+    let mut d = tvs_workloads::generate(FileKind::Text, 32 * 1024, 7);
+    d.extend(tvs_workloads::generate(FileKind::Pdf, 32 * 1024, 7));
+    d
+}
+
+/// Step 0 predicts from the very first block, so the small test input
+/// still runs the full speculation lifecycle.
+fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
+    let mut c = HuffmanConfig::disk_x86(policy);
+    c.schedule = tvs_core::SpeculationSchedule::with_step(0);
+    c
+}
+
+fn arrival() -> Uniform {
+    Uniform {
+        gap_us: 2,
+        start_us: 0,
+    }
+}
+
+/// The lifecycle invariants every executor must uphold:
+///
+/// 1. Each version opens at most once, and every opened version resolves
+///    in *exactly one* commit or rollback. (A rollback without a prior
+///    open is legal — a prediction can be killed before installation
+///    claims a version-open event — but a commit is not.)
+/// 2. Trace rollbacks match `metrics.rollbacks`.
+/// 3. Cascade depths account for the scheduler's ready-queue deletions:
+///    `sum(cascade_depth) + count(cancel-ready) == tasks_deleted_ready`.
+fn assert_lifecycle(log: &TraceLog, metrics: &RunMetrics) {
+    assert_eq!(log.dropped, 0, "rings must not overflow in tests");
+    let mut opened: HashMap<u32, u64> = HashMap::new();
+    let mut committed: HashMap<u32, u64> = HashMap::new();
+    let mut rolled: HashMap<u32, u64> = HashMap::new();
+    let mut cascade_sum = 0u64;
+    let mut cancels = 0u64;
+    for e in &log.events {
+        match &e.kind {
+            EventKind::VersionOpen { version, .. } => *opened.entry(*version).or_default() += 1,
+            EventKind::Commit { version } => *committed.entry(*version).or_default() += 1,
+            EventKind::Rollback {
+                version,
+                cascade_depth,
+            } => {
+                *rolled.entry(*version).or_default() += 1;
+                cascade_sum += cascade_depth;
+            }
+            EventKind::CancelReady { .. } => cancels += 1,
+            _ => {}
+        }
+    }
+    for (v, n) in &opened {
+        assert_eq!(*n, 1, "version {v} opened more than once");
+        let c = committed.get(v).copied().unwrap_or(0);
+        let r = rolled.get(v).copied().unwrap_or(0);
+        assert_eq!(
+            c + r,
+            1,
+            "version {v} must resolve exactly once (commits {c}, rollbacks {r})"
+        );
+    }
+    for v in committed.keys() {
+        assert!(
+            opened.contains_key(v),
+            "version {v} committed but never opened"
+        );
+    }
+    for (v, n) in &rolled {
+        assert_eq!(*n, 1, "version {v} rolled back more than once");
+    }
+    assert_eq!(
+        rolled.values().sum::<u64>(),
+        metrics.rollbacks,
+        "trace rollbacks match RunMetrics"
+    );
+    assert_eq!(
+        cascade_sum + cancels,
+        metrics.tasks_deleted_ready,
+        "cascade depths + bound cancellations account for deleted-ready tasks"
+    );
+}
+
+#[test]
+fn sim_upholds_lifecycle_invariants_for_every_policy() {
+    let d = data();
+    for policy in DispatchPolicy::ALL {
+        let (out, log) = run_huffman_sim_events(&d, &cfg(policy), &x86_smp(8), &arrival());
+        assert_lifecycle(&log, &out.metrics);
+        if policy.speculates() {
+            assert!(
+                log.health().versions_opened > 0,
+                "{}: speculation must actually run",
+                policy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_sim_results() {
+    // The deterministic executor must produce byte-identical metrics and
+    // latencies whether or not an event log is being recorded.
+    let d = data();
+    for policy in DispatchPolicy::ALL {
+        let c = cfg(policy);
+        let plain = run_huffman_sim(&d, &c, &x86_smp(8), &arrival());
+        let (traced, _) = run_huffman_sim_events(&d, &c, &x86_smp(8), &arrival());
+        assert_eq!(plain.metrics, traced.metrics, "{}", policy.label());
+        assert_eq!(plain.latencies(), traced.latencies(), "{}", policy.label());
+    }
+}
+
+#[test]
+fn threaded_upholds_lifecycle_invariants() {
+    let d = data();
+    let (out, log) =
+        run_huffman_threaded_events(&d, &cfg(DispatchPolicy::Aggressive), 4, &arrival(), 1000);
+    assert_lifecycle(&log, &out.metrics);
+    assert_eq!(log.count("task-end"), log.count("task-start"));
+    assert_eq!(
+        log.count("task-end") as u64,
+        out.metrics.tasks_delivered + out.metrics.tasks_discarded,
+        "every executed task leaves a span"
+    );
+}
+
+#[test]
+fn baseline_upholds_lifecycle_invariants() {
+    let d = data();
+    let c = cfg(DispatchPolicy::Aggressive);
+    let tracer = Tracer::enabled(4);
+    let mut wl = HuffmanWorkload::new(c.clone(), d.len());
+    wl.set_tracer(tracer.clone());
+    let blocks: Vec<(usize, Arc<[u8]>)> = d
+        .chunks(c.block_bytes)
+        .enumerate()
+        .map(|(i, chunk)| (i, Arc::<[u8]>::from(chunk)))
+        .collect();
+    let tcfg = ThreadedConfig {
+        workers: 4,
+        policy: c.policy,
+    };
+    let (_, metrics) = baseline::run_traced(wl, &tcfg, blocks, tracer.clone());
+    let log = tracer.drain().expect("enabled tracer drains");
+    assert_lifecycle(&log, &metrics);
+    assert_eq!(
+        log.count("task-end") as u64,
+        metrics.tasks_delivered + metrics.tasks_discarded,
+        "every executed task leaves a span"
+    );
+    assert_eq!(
+        log.count("steal"),
+        0,
+        "the baseline has no lanes to steal from"
+    );
+}
