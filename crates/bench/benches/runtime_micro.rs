@@ -148,10 +148,7 @@ impl Exec {
 
 /// Median wall-clock seconds over `reps` full runs of `n` tasks.
 fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -> f64 {
-    let cfg = ThreadedConfig {
-        workers,
-        policy: DispatchPolicy::NonSpeculative,
-    };
+    let cfg = ThreadedConfig::new(workers, DispatchPolicy::NonSpeculative);
     let mut secs: Vec<f64> = (0..reps)
         .map(|_| {
             let inputs: Vec<(usize, Arc<[u8]>)> =

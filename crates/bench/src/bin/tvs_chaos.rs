@@ -1,0 +1,194 @@
+//! `tvs-chaos` — the CI fault-injection gauntlet.
+//!
+//! For every seed in a fixed matrix, build the standard chaos fault plan
+//! (injected task panics, stalls, delayed/duplicated completions,
+//! corrupted predicted values) and run the Huffman pipeline under it on
+//! both the deterministic simulator and the real thread pool. Each run
+//! must hold the **chaos invariant**: it either completes with output
+//! that decodes byte-identically to the input (the fault-free result) or
+//! fails with a structured [`RunError`] — never a process crash, never
+//! silently wrong bytes. Simulated runs must additionally reproduce
+//! exactly when re-run with the same seed.
+//!
+//! A final adversarial run — continuously drifting input on which every
+//! prediction mispredicts — must trip the speculation circuit breaker
+//! (a `breaker-trip` trace event) and still complete via conservative
+//! dispatch. Its event log is written to
+//! `results/chaos_breaker_trace.json` / `_events.csv` as the CI artifact.
+//!
+//! Run with `cargo run --release -p tvs-bench --bin tvs-chaos`.
+//! Exits non-zero if any invariant is violated.
+
+use tvs_bench::{results_dir, write_trace};
+use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_huffman::{decode_exact, CodeTable};
+use tvs_iosim::Uniform;
+use tvs_pipelines::config::HuffmanConfig;
+use tvs_pipelines::runner::{
+    run_huffman_sim_chaos, run_huffman_sim_events, run_huffman_threaded_chaos, RunOutcome,
+};
+use tvs_sre::exec::sim::SimChaos;
+use tvs_sre::exec::threaded::ThreadedConfig;
+use tvs_sre::{x86_smp, DispatchPolicy, FaultInjector, FaultPlan, RunError, TraceLog};
+use tvs_workloads::FileKind;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+const WORKERS: usize = 4;
+
+fn cfg() -> HuffmanConfig {
+    HuffmanConfig {
+        collect_output: true,
+        ..HuffmanConfig::disk_x86(DispatchPolicy::Balanced)
+    }
+}
+
+/// The chaos invariant for one completed-or-failed run. Returns a short
+/// status cell for the table, or `Err(reason)` on a violation.
+fn check_invariant(
+    res: Result<(RunOutcome, TraceLog), RunError>,
+    data: &[u8],
+) -> Result<String, String> {
+    match res {
+        Ok((out, log)) => {
+            let Some((bytes, bits, lengths)) = out.result.output.as_ref() else {
+                return Err("run completed without collected output".into());
+            };
+            let table = CodeTable::from_lengths(lengths);
+            match decode_exact(bytes, 0, *bits, data.len(), &table) {
+                Ok(back) if back == data => Ok(format!(
+                    "ok ({} faults, {} rollbacks)",
+                    out.metrics.faults,
+                    log.health().rollbacks
+                )),
+                Ok(_) => Err("output decodes to WRONG bytes".into()),
+                Err(e) => Err(format!("output does not decode: {e}")),
+            }
+        }
+        // A structured failure is an allowed outcome — the invariant only
+        // forbids crashes and silent corruption.
+        Err(e) => Ok(format!("structured error: {e}")),
+    }
+}
+
+fn main() {
+    // Injected panics are caught and recovered by the executors; without
+    // this hook each one still prints a message (plus a backtrace under
+    // RUST_BACKTRACE=1, which CI sets), burying the report. Unexpected
+    // panics keep a one-line diagnostic and fail the process as usual.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string panic>");
+        if !msg.contains("injected") {
+            eprintln!("panic: {msg} ({:?})", info.location());
+        }
+    }));
+    let data = tvs_workloads::generate(FileKind::Text, 64 * 1024, 2011);
+    let arrival = Uniform {
+        gap_us: 2,
+        start_us: 0,
+    };
+    let c = cfg();
+    let mut violations = 0u32;
+
+    println!("== tvs-chaos: {} seeds, FaultPlan::chaos ==", SEEDS.len());
+    println!("{:<6} {:<40} {:<40}", "seed", "sim", "threaded");
+    for seed in SEEDS {
+        // A fresh injector per run: draw counters are run state, and the
+        // determinism check below depends on starting from zero.
+        let sim_run = |seed: u64| {
+            let chaos = SimChaos {
+                faults: FaultInjector::new(FaultPlan::chaos(seed)),
+                ..SimChaos::default()
+            };
+            run_huffman_sim_chaos(&data, &c, &x86_smp(8), &arrival, &chaos)
+        };
+        let first = sim_run(seed);
+        let repeat_differs = match (&first, &sim_run(seed)) {
+            (Ok((a, _)), Ok((b, _))) => a.metrics != b.metrics,
+            (Err(a), Err(b)) => a != b,
+            _ => true,
+        };
+        let sim_cell = match check_invariant(first, &data) {
+            Ok(s) if repeat_differs => {
+                violations += 1;
+                format!("VIOLATION: nondeterministic replay ({s})")
+            }
+            Ok(s) => s,
+            Err(e) => {
+                violations += 1;
+                format!("VIOLATION: {e}")
+            }
+        };
+
+        let mut tcfg = ThreadedConfig::new(WORKERS, c.policy);
+        tcfg.faults = FaultInjector::new(FaultPlan::chaos(seed));
+        let thr = run_huffman_threaded_chaos(&data, &c, &tcfg, &arrival, 1000);
+        let thr_cell = match check_invariant(thr, &data) {
+            Ok(s) => s,
+            Err(e) => {
+                violations += 1;
+                format!("VIOLATION: {e}")
+            }
+        };
+        println!("{seed:<6} {sim_cell:<40} {thr_cell:<40}");
+    }
+
+    // Adversarial misprediction: drifting input, zero tolerance, tight
+    // breaker window. The breaker must trip and the run must still finish.
+    let mut bc = cfg();
+    bc.block_bytes = 1024;
+    bc.reduce_ratio = 4;
+    bc.offset_fanout = 4;
+    bc.policy = DispatchPolicy::Aggressive;
+    bc.schedule = SpeculationSchedule::with_step(1);
+    bc.verification = VerificationPolicy::Full;
+    bc.tolerance = Tolerance { margin: 0.0 };
+    bc.breaker = Some(BreakerConfig {
+        window: 4,
+        min_samples: 2,
+        trip_ratio: 0.5,
+        cooldown: 1_000,
+        probe_successes: 1,
+    });
+    let adversarial: Vec<u8> = (0..32 * 1024usize)
+        .map(|i| ((i / 1024) * 7 + i % 13) as u8)
+        .collect();
+    let slow = Uniform {
+        gap_us: 100,
+        start_us: 0,
+    };
+    let (out, log) = run_huffman_sim_events(&adversarial, &bc, &x86_smp(8), &slow);
+    let trips = log.count("breaker-trip");
+    let decoded = check_invariant(Ok((out, log.clone())), &adversarial);
+    println!(
+        "breaker: {trips} trip(s), {} probe(s), {} recover(s) — {}",
+        log.count("breaker-probe"),
+        log.count("breaker-recover"),
+        decoded.as_deref().unwrap_or("(violation)"),
+    );
+    if trips == 0 {
+        println!("VIOLATION: 100% misprediction did not trip the breaker");
+        violations += 1;
+    }
+    if decoded.is_err() {
+        violations += 1;
+    }
+    let dir = results_dir();
+    match write_trace(&log, &dir, "chaos_breaker_trace") {
+        Ok((json, csv)) => println!("breaker trace -> {} and {}", json.display(), csv.display()),
+        Err(e) => {
+            println!("VIOLATION: could not write breaker trace artifact: {e}");
+            violations += 1;
+        }
+    }
+
+    if violations > 0 {
+        println!("\n{violations} chaos invariant violation(s)");
+        std::process::exit(1);
+    }
+    println!("\nall chaos invariants held");
+}

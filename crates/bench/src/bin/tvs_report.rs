@@ -11,11 +11,12 @@
 //! Run with `cargo run --release -p tvs-bench --bin tvs-report`.
 
 use tvs_bench::{results_dir, write_trace};
-use tvs_core::SpeculationSchedule;
-use tvs_iosim::Disk;
+use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_iosim::{Disk, Uniform};
 use tvs_pipelines::config::HuffmanConfig;
-use tvs_pipelines::runner::run_huffman_sim_events;
-use tvs_sre::{x86_smp, DispatchPolicy};
+use tvs_pipelines::runner::{run_huffman_sim_chaos, run_huffman_sim_events};
+use tvs_sre::exec::sim::SimChaos;
+use tvs_sre::{x86_smp, DispatchPolicy, FaultInjector, FaultPlan};
 use tvs_trace::TraceLog;
 use tvs_workloads::FileKind;
 
@@ -59,6 +60,18 @@ fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64) {
             lat.p50, lat.p90, lat.p99, lat.max, lat.count
         );
     }
+    if h.faults + h.watchdog_cancels > 0 {
+        println!(
+            "    faults: {} task fault(s), {} watchdog cancel(s), {} undo replay(s)",
+            h.faults, h.watchdog_cancels, h.undo_replays
+        );
+    }
+    if h.breaker_trips + h.breaker_probes + h.breaker_recoveries > 0 {
+        println!(
+            "    breaker: {} trip(s), {} probe(s), {} recovery(ies)",
+            h.breaker_trips, h.breaker_probes, h.breaker_recoveries
+        );
+    }
 }
 
 fn main() {
@@ -94,4 +107,52 @@ fn main() {
         write_trace(&log, &results_dir(), "huffman_trace").expect("write trace files");
     println!("  -> {}", json.display());
     println!("  -> {}", csv.display());
+
+    // Failure-model appendix: the same pipeline under the standard
+    // injected-fault plan (caught panics, stalls, delayed/duplicated
+    // completions, corrupted predictions), then an adversarial run whose
+    // every prediction mispredicts, tripping the speculation circuit
+    // breaker into conservative dispatch. Injected panics are recovered
+    // by the executor; the hook keeps their messages out of the report.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string panic>");
+        if !msg.contains("injected") {
+            eprintln!("panic: {msg} ({:?})", info.location());
+        }
+    }));
+    println!("\n== chaos: aggressive under FaultPlan::chaos(2011) ==");
+    let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Aggressive);
+    cfg.schedule = SpeculationSchedule::with_step(0);
+    let chaos = SimChaos {
+        faults: FaultInjector::new(FaultPlan::chaos(2011)),
+        ..SimChaos::default()
+    };
+    match run_huffman_sim_chaos(&data, &cfg, &platform, &Disk::default(), &chaos) {
+        Ok((out, log)) => print_policy(DispatchPolicy::Aggressive, &log, out.metrics.makespan),
+        Err(e) => println!("    structured failure: {e}"),
+    }
+
+    println!("== degradation: 100% misprediction with the circuit breaker ==");
+    let mut bc = HuffmanConfig::disk_x86(DispatchPolicy::Aggressive);
+    bc.block_bytes = 1024;
+    bc.reduce_ratio = 4;
+    bc.offset_fanout = 4;
+    bc.schedule = SpeculationSchedule::with_step(1);
+    bc.verification = VerificationPolicy::Full;
+    bc.tolerance = Tolerance { margin: 0.0 };
+    bc.breaker = Some(BreakerConfig::default());
+    let drifting: Vec<u8> = (0..32 * 1024usize)
+        .map(|i| ((i / 1024) * 7 + i % 13) as u8)
+        .collect();
+    let slow = Uniform {
+        gap_us: 100,
+        start_us: 0,
+    };
+    let (out, log) = run_huffman_sim_events(&drifting, &bc, &platform, &slow);
+    print_policy(DispatchPolicy::Aggressive, &log, out.metrics.makespan);
 }

@@ -53,10 +53,7 @@ fn median_secs(reps: usize, mut run: impl FnMut() -> f64) -> f64 {
 fn work_stealing_beats_single_lock_on_short_tasks() {
     const N: usize = 2000;
     const WORKERS: usize = 8;
-    let cfg = ThreadedConfig {
-        workers: WORKERS,
-        policy: DispatchPolicy::NonSpeculative,
-    };
+    let cfg = ThreadedConfig::new(WORKERS, DispatchPolicy::NonSpeculative);
     let inputs =
         || -> Vec<(usize, Arc<[u8]>)> { (0..N).map(|i| (i, vec![0u8; 16].into())).collect() };
 

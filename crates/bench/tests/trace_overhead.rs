@@ -53,10 +53,7 @@ impl Workload for PerBlock {
 /// the budget covers emission, not post-run export.
 fn median_secs(n: usize, traced: bool, reps: usize) -> f64 {
     const SPIN: Duration = Duration::from_micros(100);
-    let cfg = ThreadedConfig {
-        workers: 4,
-        policy: DispatchPolicy::NonSpeculative,
-    };
+    let cfg = ThreadedConfig::new(4, DispatchPolicy::NonSpeculative);
     let mut secs: Vec<f64> = (0..reps)
         .map(|_| {
             let inputs: Vec<(usize, Arc<[u8]>)> =

@@ -1,0 +1,357 @@
+//! The speculation circuit breaker: graceful degradation under sustained
+//! misprediction or machine faults.
+//!
+//! Tolerant value speculation pays for itself only while predictions
+//! mostly commit. When the input drifts faster than the predictor can
+//! track — or when fault injection keeps killing speculative tasks — every
+//! version rolls back, and the run wastes workers re-deriving state it
+//! then throws away. The breaker watches a sliding window of speculation
+//! outcomes (commits and check passes vs rollbacks and faults) and, when
+//! the window degrades past a threshold, **trips**: new predictions are
+//! held back and the workload falls back to conservative, natural-path
+//! execution. After a cooldown it **half-opens**, letting a single probe
+//! prediction through; enough consecutive probe successes close it again.
+//!
+//! The state machine is the classic one:
+//!
+//! ```text
+//!            failures/window ≥ trip_ratio
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                       │ cooldown basis events
+//!     │  probe_successes consecutive          ▼
+//!     └──────────────────────────────────  HalfOpen ──▶ Open (probe fails)
+//! ```
+//!
+//! The breaker is deliberately clock-free: it advances on *basis events*
+//! (completions of the speculation source), the same beat the
+//! [`crate::SpeculationManager`] runs on, so it behaves identically under
+//! the discrete-event simulator and the threaded executors.
+
+use tvs_sre::SpecVersion;
+
+/// Breaker tuning. The defaults favour quick reaction on the short
+/// streams the test pipelines run: a window of 8 outcomes, tripping at
+/// half failed, cooling down for 8 basis events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window length, in speculation outcomes.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Failure fraction of the window at which the breaker trips.
+    pub trip_ratio: f64,
+    /// Basis events the breaker stays open before half-opening.
+    pub cooldown: u64,
+    /// Consecutive half-open successes needed to close.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            cooldown: 8,
+            probe_successes: 1,
+        }
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Speculation flows normally; outcomes are being recorded.
+    Closed,
+    /// Speculation suppressed; waiting out the cooldown.
+    Open,
+    /// One probe prediction allowed through to test recovery.
+    HalfOpen,
+}
+
+/// What a recorded outcome did to the breaker — the caller (the
+/// speculation manager) turns these into trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// The breaker opened. Fields mirror
+    /// `tvs_trace::EventKind::BreakerTrip`.
+    Tripped {
+        /// Failures (rollbacks + faults) in the window at trip time.
+        failures: u64,
+        /// Successes (commits + check passes) in the window at trip time.
+        commits: u64,
+    },
+    /// The breaker closed after enough probe successes.
+    Recovered {
+        /// Consecutive probe successes that closed it.
+        successes: u64,
+    },
+}
+
+/// Windowed rollback/commit/fault tracker gating new speculation.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Ring of recent outcomes, `true` = failure.
+    window: std::collections::VecDeque<bool>,
+    /// Basis at which the breaker last opened.
+    opened_at: u64,
+    /// The probe prediction in flight, when half-open.
+    probe: Option<SpecVersion>,
+    /// Consecutive successes while half-open.
+    streak: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.window >= 1, "breaker window must be non-empty");
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: std::collections::VecDeque::with_capacity(cfg.window),
+            opened_at: 0,
+            probe: None,
+            streak: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (transitions happen in [`Self::allows`] and the
+    /// `record_*` methods).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Failures currently in the window.
+    fn failures(&self) -> u64 {
+        self.window.iter().filter(|&&f| f).count() as u64
+    }
+
+    /// Successes currently in the window.
+    fn successes(&self) -> u64 {
+        self.window.iter().filter(|&&f| !f).count() as u64
+    }
+
+    fn push_outcome(&mut self, failure: bool) {
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(failure);
+    }
+
+    /// May a new prediction start at this basis event? Open→HalfOpen
+    /// transition happens here once the cooldown elapses. In `HalfOpen`,
+    /// a prediction is allowed only while no probe is already in flight.
+    pub fn allows(&mut self, basis: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if basis.saturating_sub(self.opened_at) >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe = None;
+                    self.streak = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => self.probe.is_none(),
+        }
+    }
+
+    /// A prediction started while half-open: remember it as the probe.
+    /// Returns `true` if this prediction is a probe (caller emits the
+    /// `breaker-probe` trace event).
+    pub fn note_prediction(&mut self, version: SpecVersion) -> bool {
+        if self.state == BreakerState::HalfOpen {
+            self.probe = Some(version);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A speculation success: an intermediate check passed or a version
+    /// committed.
+    pub fn record_success(&mut self) -> Option<BreakerTransition> {
+        self.push_outcome(false);
+        if self.state == BreakerState::HalfOpen {
+            self.probe = None;
+            self.streak += 1;
+            if self.streak >= self.cfg.probe_successes.max(1) {
+                self.state = BreakerState::Closed;
+                self.window.clear();
+                return Some(BreakerTransition::Recovered {
+                    successes: self.streak as u64,
+                });
+            }
+        }
+        None
+    }
+
+    /// A speculation failure: a rollback, or an executor-reported fault
+    /// ([`crate::SpeculationManager::record_fault`]). `basis` restarts the
+    /// cooldown when the failure (re-)opens the breaker.
+    pub fn record_failure(&mut self, basis: u64) -> Option<BreakerTransition> {
+        self.push_outcome(true);
+        match self.state {
+            BreakerState::Closed => {
+                let failures = self.failures();
+                let total = self.window.len();
+                if total >= self.cfg.min_samples.max(1)
+                    && failures as f64 >= self.cfg.trip_ratio * total as f64
+                {
+                    self.state = BreakerState::Open;
+                    self.opened_at = basis;
+                    self.trips += 1;
+                    return Some(BreakerTransition::Tripped {
+                        failures,
+                        commits: self.successes(),
+                    });
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                // The probe (or a straggling older version) failed: back to
+                // open, restarting the cooldown.
+                self.state = BreakerState::Open;
+                self.opened_at = basis;
+                self.probe = None;
+                self.streak = 0;
+                self.trips += 1;
+                Some(BreakerTransition::Tripped {
+                    failures: self.failures(),
+                    commits: self.successes(),
+                })
+            }
+            // Stragglers failing while already open change nothing.
+            BreakerState::Open => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_closed_below_the_trip_ratio() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        // One failure per three successes — 25% of the window, below the
+        // default 50% trip ratio — must never trip.
+        for basis in 0..24u64 {
+            if basis % 4 == 0 {
+                assert!(b.record_failure(basis).is_none());
+            } else {
+                assert!(b.record_success().is_none());
+            }
+            assert_eq!(b.state(), BreakerState::Closed);
+            assert!(b.allows(basis));
+        }
+    }
+
+    #[test]
+    fn trips_after_windowed_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            trip_ratio: 0.75,
+            cooldown: 5,
+            probe_successes: 1,
+        });
+        assert!(b.record_failure(1).is_none(), "below min_samples");
+        assert!(b.record_success().is_none());
+        assert!(b.record_failure(2).is_none());
+        let t = b.record_failure(3).expect("3/4 failed ≥ 0.75");
+        assert_eq!(
+            t,
+            BreakerTransition::Tripped {
+                failures: 3,
+                commits: 1
+            }
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows(4), "still cooling down");
+        assert!(!b.allows(7));
+        assert!(b.allows(8), "cooldown elapsed → half-open probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_probe_success_recovers() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 2,
+            probe_successes: 2,
+        });
+        b.record_failure(1);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(3));
+        assert!(b.note_prediction(7), "half-open prediction is a probe");
+        assert!(!b.allows(3), "one probe at a time");
+        assert!(b.record_success().is_none(), "needs 2 successes");
+        assert!(b.allows(4), "probe resolved; next probe may start");
+        b.note_prediction(8);
+        let r = b.record_success().expect("second success closes");
+        assert_eq!(r, BreakerTransition::Recovered { successes: 2 });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(5));
+        assert!(!b.note_prediction(9), "closed predictions are not probes");
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 10,
+            probe_successes: 1,
+        });
+        b.record_failure(1);
+        b.record_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(12));
+        b.note_prediction(3);
+        let t = b.record_failure(13).expect("probe failure re-trips");
+        assert!(matches!(t, BreakerTransition::Tripped { .. }));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allows(14), "cooldown restarted at basis 13");
+        assert!(b.allows(23));
+    }
+
+    #[test]
+    fn recovery_clears_the_window() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 1,
+            probe_successes: 1,
+        });
+        b.record_failure(1);
+        b.record_failure(2);
+        assert!(b.allows(3));
+        b.note_prediction(5);
+        assert!(matches!(
+            b.record_success(),
+            Some(BreakerTransition::Recovered { .. })
+        ));
+        // Old failures must not linger: one fresh failure alone cannot trip.
+        assert!(b.record_failure(4).is_none());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

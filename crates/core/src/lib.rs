@@ -31,7 +31,10 @@
 //!   scheduler, plus user-defined rollback hooks;
 //! * [`undo`] — the extension the paper proposes for tasks with reversible
 //!   side effects: per-version undo journals and journalled cells, driven
-//!   from the manager's rollback hook.
+//!   from the manager's rollback hook;
+//! * [`breaker`] — graceful degradation: a circuit breaker over the
+//!   windowed rollback/commit ratio and executor fault rate that trips
+//!   speculation back to conservative dispatch and probes for recovery.
 //!
 //! The mechanisms these actions rely on (version-tagged tasks, abort flags,
 //! control-class priorities) live in the substrate crate `tvs-sre`.
@@ -64,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod buffer;
 pub mod frequency;
 pub mod interface;
@@ -72,6 +76,7 @@ pub mod undo;
 pub mod validate;
 pub mod version;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use buffer::WaitBuffer;
 pub use frequency::{SpeculationSchedule, VerificationPolicy};
 pub use interface::{SpeculationBuilder, SpeculationPlan};

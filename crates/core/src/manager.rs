@@ -12,6 +12,7 @@
 //! compare within tolerance) runs inside the predictor and check *tasks*;
 //! their outcomes are fed back in.
 
+use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 use crate::frequency::{SpeculationSchedule, VerificationPolicy};
 use crate::validate::CheckResult;
 use crate::version::{VersionState, VersionTracker};
@@ -82,6 +83,14 @@ pub struct ManagerStats {
     pub rollbacks: u64,
     /// Stale verdicts ignored (their version was already gone).
     pub stale_results: u64,
+    /// Executor-initiated aborts absorbed via
+    /// [`SpeculationManager::on_external_abort`] (panicked or
+    /// watchdog-cancelled speculative tasks).
+    pub external_aborts: u64,
+    /// Executor faults reported via [`SpeculationManager::record_fault`].
+    pub faults: u64,
+    /// Circuit-breaker trips (speculation suspended).
+    pub breaker_trips: u64,
 }
 
 #[derive(Debug)]
@@ -113,6 +122,7 @@ pub struct SpeculationManager<T> {
     stats: ManagerStats,
     rollback_hook: Option<Box<dyn FnMut(SpecVersion) + Send>>,
     tracer: Tracer,
+    breaker: Option<CircuitBreaker>,
 }
 
 impl<T> std::fmt::Debug for SpeculationManager<T> {
@@ -139,7 +149,21 @@ impl<T> SpeculationManager<T> {
             stats: ManagerStats::default(),
             rollback_hook: None,
             tracer: Tracer::disabled(),
+            breaker: None,
         }
+    }
+
+    /// Enable the speculation circuit breaker: sustained rollbacks or
+    /// executor faults trip it, suppressing new predictions (conservative
+    /// dispatch) until a cooldown and a successful probe. Trip, probe and
+    /// recover events flow to the tracer's control ring.
+    pub fn set_breaker(&mut self, cfg: BreakerConfig) {
+        self.breaker = Some(CircuitBreaker::new(cfg));
+    }
+
+    /// The breaker's state, if one is configured.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(CircuitBreaker::state)
     }
 
     /// Route speculation-lifecycle events (predictor fires, version opens,
@@ -206,6 +230,37 @@ impl<T> SpeculationManager<T> {
             hook(version);
         }
         out.push(Action::Rollback { version });
+        self.breaker_failure();
+    }
+
+    fn breaker_failure(&mut self) {
+        let basis = self.last_basis;
+        if let Some(b) = &mut self.breaker {
+            if let Some(BreakerTransition::Tripped { failures, commits }) = b.record_failure(basis)
+            {
+                self.stats.breaker_trips += 1;
+                self.tracer
+                    .emit_control(EventKind::BreakerTrip { failures, commits });
+            }
+        }
+    }
+
+    fn breaker_success(&mut self) {
+        if let Some(b) = &mut self.breaker {
+            if let Some(BreakerTransition::Recovered { successes }) = b.record_success() {
+                self.tracer
+                    .emit_control(EventKind::BreakerRecover { successes });
+            }
+        }
+    }
+
+    /// An executor caught a fault (panicked task body, watchdog cancel)
+    /// somewhere in this manager's pipeline. Counts toward the breaker's
+    /// failure window — repeated machine faults degrade speculation to the
+    /// natural path just like repeated mispredictions do.
+    pub fn record_fault(&mut self) {
+        self.stats.faults += 1;
+        self.breaker_failure();
     }
 
     /// A basis event completed (the `basis`-th, 1-based). Returns the
@@ -217,12 +272,22 @@ impl<T> SpeculationManager<T> {
         let mut out = Vec::new();
         match &self.phase {
             Phase::Idle { restart } => {
-                if self.schedule.should_start(basis, *restart) {
+                let breaker_allows = match &mut self.breaker {
+                    Some(b) => b.allows(basis),
+                    None => true,
+                };
+                if breaker_allows && self.schedule.should_start(basis, *restart) {
                     let version = self.tracker.allocate(basis);
                     self.phase = Phase::Pending { version };
                     self.stats.predictions += 1;
                     self.tracer
                         .emit_control(EventKind::PredictorFire { version, basis });
+                    if let Some(b) = &mut self.breaker {
+                        if b.note_prediction(version) {
+                            self.tracer
+                                .emit_control(EventKind::BreakerProbe { version });
+                        }
+                    }
                     out.push(Action::StartPrediction { version });
                 }
             }
@@ -291,6 +356,7 @@ impl<T> SpeculationManager<T> {
                 version,
                 margin: result.delta,
             });
+            self.breaker_success();
             return out;
         }
         self.stats.checks_failed += 1;
@@ -301,22 +367,76 @@ impl<T> SpeculationManager<T> {
         self.emit_rollback(version, &mut out);
         match candidate {
             Some((value, candidate_basis)) => {
-                let v2 = self.tracker.allocate(candidate_basis);
-                assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
-                self.stats.predictions += 1;
-                self.tracer.emit_control(EventKind::VersionOpen {
-                    version: v2,
-                    basis: candidate_basis,
-                });
-                self.phase = Phase::Active {
-                    version: v2,
-                    value,
-                    installed_at: candidate_basis,
+                // A tripped breaker suppresses candidate promotion the same
+                // way it suppresses fresh predictions: mispredicting runs
+                // fall back to conservative dispatch instead of chaining
+                // doomed versions, until a cooldown and probe recover.
+                let breaker_allows = match &mut self.breaker {
+                    Some(b) => b.allows(candidate_basis),
+                    None => true,
                 };
-                out.push(Action::PromoteCandidate { version: v2 });
+                if breaker_allows {
+                    let v2 = self.tracker.allocate(candidate_basis);
+                    assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
+                    self.stats.predictions += 1;
+                    self.tracer.emit_control(EventKind::VersionOpen {
+                        version: v2,
+                        basis: candidate_basis,
+                    });
+                    if let Some(b) = &mut self.breaker {
+                        if b.note_prediction(v2) {
+                            self.tracer
+                                .emit_control(EventKind::BreakerProbe { version: v2 });
+                        }
+                    }
+                    self.phase = Phase::Active {
+                        version: v2,
+                        value,
+                        installed_at: candidate_basis,
+                    };
+                    out.push(Action::PromoteCandidate { version: v2 });
+                } else {
+                    self.phase = Phase::Idle { restart: true };
+                }
             }
             None => {
                 self.phase = Phase::Idle { restart: true };
+            }
+        }
+        out
+    }
+
+    /// The executor killed `version` from outside the check path — a
+    /// speculative task body panicked or the watchdog cancelled it, and
+    /// the executor already aborted the version in the scheduler. Brings
+    /// the manager's phase in line and reuses the rollback funnel (undo
+    /// hooks, stats, breaker, [`Action::Rollback`] — scheduler aborts are
+    /// idempotent, so the host re-executing the abort is harmless).
+    ///
+    /// Counts as a fault *and* a rollback for the breaker window.
+    pub fn on_external_abort(&mut self, version: SpecVersion) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.stats.external_aborts += 1;
+        match &self.phase {
+            Phase::Pending { version: v } if *v == version => {
+                self.emit_rollback(version, &mut out);
+                self.phase = Phase::Idle { restart: true };
+            }
+            Phase::Active { version: v, .. } if *v == version => {
+                self.emit_rollback(version, &mut out);
+                self.phase = Phase::Idle { restart: true };
+            }
+            Phase::FinalChecking { version: v, .. } if *v == version => {
+                // The decisive comparison can never pass a dead version:
+                // go natural immediately.
+                self.emit_rollback(version, &mut out);
+                self.phase = Phase::Done { committed: None };
+                out.push(Action::RecomputeNaturally);
+            }
+            _ => {
+                // The version was already gone (e.g. its check failed in
+                // the same batch); nothing to roll back twice.
+                self.stats.stale_results += 1;
             }
         }
         out
@@ -367,6 +487,7 @@ impl<T> SpeculationManager<T> {
                     self.phase = Phase::Done {
                         committed: Some(version),
                     };
+                    self.breaker_success();
                     out.push(Action::Commit { version });
                 } else {
                     self.stats.checks_failed += 1;
@@ -562,6 +683,147 @@ mod tests {
         m.on_basis(2);
         m.on_check_result(1, CheckResult::fail(0.5), None);
         assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    fn breaker_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 3,
+            probe_successes: 1,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_on_sustained_rollbacks_and_recovers_via_probe() {
+        let tracer = Tracer::enabled(1);
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_tracer(tracer.clone());
+        m.set_breaker(breaker_cfg());
+        assert_eq!(m.breaker_state(), Some(BreakerState::Closed));
+
+        // Two failed speculations in a row: second rollback trips.
+        assert_eq!(m.on_basis(1), vec![Action::StartPrediction { version: 1 }]);
+        m.install_prediction(1, "v1");
+        assert_eq!(m.on_basis(2), vec![Action::SpawnCheck { version: 1 }]);
+        m.on_check_result(1, CheckResult::fail(0.9), None);
+        assert_eq!(m.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(m.on_basis(3), vec![Action::StartPrediction { version: 2 }]);
+        m.install_prediction(2, "v2");
+        assert_eq!(m.on_basis(4), vec![Action::SpawnCheck { version: 2 }]);
+        m.on_check_result(2, CheckResult::fail(0.9), None);
+        assert_eq!(m.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(m.stats().breaker_trips, 1);
+
+        // Open: predictions suppressed despite the pending restart.
+        assert!(m.on_basis(5).is_empty());
+        assert!(m.on_basis(6).is_empty());
+
+        // Cooldown over: half-open lets one probe through.
+        assert_eq!(m.on_basis(7), vec![Action::StartPrediction { version: 3 }]);
+        assert_eq!(m.breaker_state(), Some(BreakerState::HalfOpen));
+        m.install_prediction(3, "v3");
+        assert_eq!(m.on_basis(8), vec![Action::SpawnCheck { version: 3 }]);
+        m.on_check_result(3, CheckResult::pass(0.01), None);
+        assert_eq!(m.breaker_state(), Some(BreakerState::Closed));
+
+        let log = tracer.drain().expect("enabled tracer drains");
+        assert_eq!(log.count("breaker-trip"), 1);
+        assert_eq!(log.count("breaker-probe"), 1);
+        assert_eq!(log.count("breaker-recover"), 1);
+    }
+
+    #[test]
+    fn tripped_breaker_suppresses_candidate_promotion() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_breaker(breaker_cfg());
+
+        // First failure promotes its candidate: breaker still closed.
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        m.on_basis(2);
+        let acts = m.on_check_result(1, CheckResult::fail(0.9), Some(("c1", 2)));
+        assert_eq!(
+            acts,
+            vec![
+                Action::Rollback { version: 1 },
+                Action::PromoteCandidate { version: 2 }
+            ]
+        );
+
+        // Second failure trips; the fresh candidate must NOT be promoted —
+        // the run degrades to the natural path instead of chaining doomed
+        // versions.
+        m.on_basis(3);
+        let acts = m.on_check_result(2, CheckResult::fail(0.9), Some(("c2", 3)));
+        assert_eq!(acts, vec![Action::Rollback { version: 2 }]);
+        assert_eq!(m.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(m.active(), None);
+        assert_eq!(m.stats().breaker_trips, 1);
+
+        // After the cooldown the restart flag lets a probe prediction out.
+        assert!(m.on_basis(4).is_empty());
+        assert!(m.on_basis(5).is_empty());
+        assert_eq!(m.on_basis(6), vec![Action::StartPrediction { version: 3 }]);
+        assert_eq!(m.breaker_state(), Some(BreakerState::HalfOpen));
+    }
+
+    #[test]
+    fn external_abort_rolls_back_the_active_version() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        assert_eq!(
+            m.on_external_abort(1),
+            vec![Action::Rollback { version: 1 }]
+        );
+        assert_eq!(m.active(), None);
+        assert_eq!(m.version_state(1), Some(VersionState::Aborted));
+        let s = m.stats();
+        assert_eq!(s.external_aborts, 1);
+        assert_eq!(s.rollbacks, 1);
+        // The restart flag is set: speculation resumes on the next basis.
+        assert_eq!(m.on_basis(2), vec![Action::StartPrediction { version: 2 }]);
+        // A second report for the same dead version is stale.
+        assert!(m.on_external_abort(1).is_empty());
+        assert_eq!(m.stats().stale_results, 1);
+    }
+
+    #[test]
+    fn external_abort_during_final_check_recomputes() {
+        let mut m = mgr(1, VerificationPolicy::Optimistic);
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        assert_eq!(m.on_final(), vec![Action::SpawnFinalCheck { version: 1 }]);
+        assert_eq!(
+            m.on_external_abort(1),
+            vec![Action::Rollback { version: 1 }, Action::RecomputeNaturally]
+        );
+        assert!(m.is_done());
+        assert_eq!(m.committed(), None);
+        // The straggling final verdict is stale, not a second decision.
+        assert!(m
+            .on_final_check_result(1, CheckResult::pass(0.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn executor_faults_alone_can_trip_the_breaker() {
+        let tracer = Tracer::enabled(1);
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_tracer(tracer.clone());
+        m.set_breaker(breaker_cfg());
+        m.record_fault();
+        assert_eq!(m.breaker_state(), Some(BreakerState::Closed));
+        m.record_fault();
+        assert_eq!(m.breaker_state(), Some(BreakerState::Open));
+        let s = m.stats();
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.rollbacks, 0, "faults trip without any rollback");
+        let log = tracer.drain().expect("drains");
+        assert_eq!(log.count("breaker-trip"), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! packages the common case of speculatively-overwritten state.
 
 use std::collections::HashMap;
-use tvs_sre::SpecVersion;
+use tvs_sre::{FaultInjector, FaultKind, FaultSite, SpecVersion};
 use tvs_trace::{EventKind, Tracer};
 
 /// An entry that knows how to reverse itself.
@@ -32,6 +32,7 @@ pub struct UndoLog<E: Undo> {
     committed: u64,
     undone: u64,
     tracer: Tracer,
+    faults: FaultInjector,
 }
 
 impl<E: Undo> Default for UndoLog<E> {
@@ -41,6 +42,7 @@ impl<E: Undo> Default for UndoLog<E> {
             committed: 0,
             undone: 0,
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -55,6 +57,14 @@ impl<E: Undo> UndoLog<E> {
     /// abort actually replays journal entries.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Inject faults at the `UndoJournal` site: a drawn `Stall` delays the
+    /// replay of an abort (modelling slow reversal I/O), which chaos tests
+    /// use to widen the window in which a second abort can land mid-
+    /// rollback. Correctness must not depend on replay being fast.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Record the reversal for an effect just applied under `version`.
@@ -74,6 +84,9 @@ impl<E: Undo> UndoLog<E> {
     /// later effects are reversed first, as nested state changes require.
     /// Returns the number of entries undone.
     pub fn abort(&mut self, version: SpecVersion) -> usize {
+        if let Some(FaultKind::Stall { us }) = self.faults.draw(FaultSite::UndoJournal) {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
         let entries = self.journal.remove(&version).unwrap_or_default();
         let n = entries.len();
         for e in entries.into_iter().rev() {
@@ -215,6 +228,24 @@ mod tests {
         assert_eq!(*hits.borrow(), vec![2, 2]);
         log.commit(1);
         assert_eq!(*hits.borrow(), vec![2, 2], "committed entries never run");
+    }
+
+    #[test]
+    fn stalled_replay_still_reverses_correctly() {
+        use tvs_sre::FaultPlan;
+        let mut log: UndoLog<Box<dyn FnOnce()>> = UndoLog::new();
+        log.set_fault_injector(FaultInjector::new(FaultPlan::new(5).with_rule(
+            FaultSite::UndoJournal,
+            FaultKind::Stall { us: 500 },
+            1.0,
+        )));
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let order = Rc::clone(&order);
+            log.record(1, Box::new(move || order.borrow_mut().push(i)));
+        }
+        assert_eq!(log.abort(1), 3, "stall delays, never drops, the replay");
+        assert_eq!(*order.borrow(), vec![2, 1, 0]);
     }
 
     #[test]

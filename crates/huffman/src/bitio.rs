@@ -91,16 +91,28 @@ impl<'a> BitReader<'a> {
 
     /// Start reading at an absolute bit offset (used when decoding a block
     /// out of a concatenated stream).
+    ///
+    /// # Panics
+    /// Panics if the requested bit range exceeds `data` (including when
+    /// `bit_offset + bit_len` overflows a `u64`). Use
+    /// [`Self::try_at_offset`] for untrusted offsets.
     pub fn at_offset(data: &'a [u8], bit_offset: u64, bit_len: u64) -> Self {
-        assert!(
-            bit_offset + bit_len <= data.len() as u64 * 8,
-            "offset+len exceeds data"
-        );
-        BitReader {
+        Self::try_at_offset(data, bit_offset, bit_len).expect("offset+len exceeds data")
+    }
+
+    /// Fallible [`Self::at_offset`]: `None` when the requested range lies
+    /// outside `data` or `bit_offset + bit_len` overflows. Offsets and
+    /// lengths parsed out of untrusted headers must come through here.
+    pub fn try_at_offset(data: &'a [u8], bit_offset: u64, bit_len: u64) -> Option<Self> {
+        let end = bit_offset.checked_add(bit_len)?;
+        if end > data.len() as u64 * 8 {
+            return None;
+        }
+        Some(BitReader {
             data,
             pos: bit_offset,
-            end: bit_offset + bit_len,
-        }
+            end,
+        })
     }
 
     /// Bits still available.

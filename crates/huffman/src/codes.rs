@@ -38,12 +38,14 @@ impl CodeTable {
 
         let mut code = [0u64; ALPHABET];
         let mut len = [0u8; ALPHABET];
-        let mut next: u64 = 0;
+        // u128 accumulator: on a Kraft-tight table whose deepest code is 64
+        // bits, the increment past the last code reaches exactly 2^64.
+        let mut next: u128 = 0;
         let mut prev_len: u8 = 0;
         for &s in &order {
             let l = lengths.len(s);
             next <<= l - prev_len;
-            code[s as usize] = next;
+            code[s as usize] = next as u64;
             len[s as usize] = l;
             next += 1;
             prev_len = l;

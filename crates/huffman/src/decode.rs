@@ -16,6 +16,10 @@ pub enum DecodeError {
     Truncated,
     /// A prefix was read that corresponds to no code in the table.
     InvalidCode,
+    /// The requested bit range lies outside the buffer (or its end
+    /// overflows a `u64`) — a malformed offset/length pair, not data
+    /// corruption inside the stream.
+    OutOfBounds,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -23,6 +27,7 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "bitstream truncated mid-code"),
             DecodeError::InvalidCode => write!(f, "invalid code in bitstream"),
+            DecodeError::OutOfBounds => write!(f, "bit range outside the buffer"),
         }
     }
 }
@@ -58,13 +63,16 @@ impl Decoder {
         }
         let mut first_code = [0u64; 65];
         let mut first_index = [0u32; 65];
-        let mut code = 0u64;
+        // u128 accumulator: a Kraft-tight table with depth-64 codes pushes
+        // the running code to exactly 2^64, which overflows u64 on the
+        // final iteration (reachable from untrusted containers).
+        let mut code = 0u128;
         let mut index = 0u32;
         for l in 1..=64usize {
             code <<= 1;
-            first_code[l] = code;
+            first_code[l] = code as u64;
             first_index[l] = index;
-            code += count[l] as u64;
+            code += count[l] as u128;
             index += count[l];
         }
         Decoder {
@@ -84,8 +92,10 @@ impl Decoder {
                 Some(b) => code = (code << 1) | b as u64,
                 None => return Err(DecodeError::Truncated),
             }
-            let c = self.count[l] as u64;
-            if c > 0 && code < self.first_code[l] + c {
+            // u128 compare: `first_code + count` reaches 2^64 at depth 64
+            // on Kraft-tight tables, overflowing u64.
+            let c = self.count[l] as u128;
+            if c > 0 && (code as u128) < self.first_code[l] as u128 + c {
                 if code < self.first_code[l] {
                     return Err(DecodeError::InvalidCode);
                 }
@@ -115,7 +125,9 @@ impl Decoder {
 }
 
 /// Decode `n_symbols` symbols from `data` starting at `bit_offset`, reading
-/// at most `bit_len` bits, using (a decoder derived from) `table`.
+/// at most `bit_len` bits, using (a decoder derived from) `table`. A bit
+/// range outside `data` — malformed header values included — is a
+/// [`DecodeError::OutOfBounds`], never a panic.
 pub fn decode_exact(
     data: &[u8],
     bit_offset: u64,
@@ -124,7 +136,8 @@ pub fn decode_exact(
     table: &CodeTable,
 ) -> Result<Vec<u8>, DecodeError> {
     let dec = Decoder::new(table);
-    let mut r = BitReader::at_offset(data, bit_offset, bit_len);
+    let mut r =
+        BitReader::try_at_offset(data, bit_offset, bit_len).ok_or(DecodeError::OutOfBounds)?;
     dec.decode_n(&mut r, n_symbols)
 }
 

@@ -191,6 +191,80 @@ fn prop_container_round_trip_and_total() {
     });
 }
 
+/// Fully random buffers — not corrupted-but-once-valid containers —
+/// through the container parser: every outcome is a structured
+/// `ContainerError` or a decode, never a panic. Half the cases get the
+/// real magic spliced in so parsing proceeds past the first check.
+#[test]
+fn prop_unpack_total_on_random_bytes() {
+    cases(0x4F0B, 256, |rng, i| {
+        let mut buf = bytes(rng, 0..1024);
+        if i % 2 == 0 && buf.len() >= 5 {
+            buf[..5].copy_from_slice(tvs_huffman::container::MAGIC);
+        }
+        if let Ok(back) = tvs_huffman::unpack(&buf) {
+            assert!(back.len() as u64 <= buf.len() as u64 * 8);
+        }
+        let _ = tvs_huffman::container::parse(&buf);
+    });
+}
+
+/// Bit ranges outside the buffer — including offset/length pairs whose
+/// sum overflows a `u64` — are `DecodeError::OutOfBounds`, not a panic.
+#[test]
+fn prop_wild_bit_ranges_are_out_of_bounds() {
+    use tvs_huffman::decode::DecodeError;
+    cases(0x4F0C, 64, |rng, _| {
+        let data = bytes(rng, 1..256);
+        let table = CodeTable::build(&Histogram::from_bytes(&data)).unwrap();
+        let total = data.len() as u64 * 8;
+        // Overflowing sums.
+        assert_eq!(
+            decode_exact(&data, u64::MAX, u64::MAX, 1, &table),
+            Err(DecodeError::OutOfBounds)
+        );
+        assert_eq!(
+            decode_exact(&data, u64::MAX, 1, 1, &table),
+            Err(DecodeError::OutOfBounds)
+        );
+        // In-range sum but past the end of the buffer.
+        let off = rng.random_range(0..=total);
+        assert_eq!(
+            decode_exact(&data, off, total - off + 1, 1, &table),
+            Err(DecodeError::OutOfBounds)
+        );
+    });
+}
+
+/// A Kraft-tight table whose deepest codes are 64 bits long (one symbol
+/// at every length 1..=63 plus two at 64) round-trips through encode,
+/// decode, and the container — the canonical-code accumulators reach
+/// exactly 2^64 on such tables and must not overflow.
+#[test]
+fn kraft_tight_depth_64_table_round_trips() {
+    let mut lens = [0u8; 256];
+    for (i, l) in lens.iter_mut().enumerate().take(63) {
+        *l = i as u8 + 1;
+    }
+    lens[63] = 64;
+    lens[64] = 64;
+    let lengths = CodeLengths::from_lengths(lens).expect("lengths are exactly Kraft-tight");
+    let table = CodeTable::from_lengths(&lengths);
+
+    // The deepest codes really are 64 bits, and the last one is all ones.
+    assert_eq!(table.len(63), 64);
+    assert_eq!(table.len(64), 64);
+    assert_eq!(table.code(64), u64::MAX);
+
+    let data = [0u8, 63, 64, 62, 0];
+    let enc = encode_block(&data, &table).unwrap();
+    let back = decode_exact(&enc.bytes, 0, enc.bit_len, data.len(), &table).unwrap();
+    assert_eq!(back, data);
+
+    let packed = tvs_huffman::container::pack(&lengths, &enc.bytes, enc.bit_len, data.len());
+    assert_eq!(tvs_huffman::unpack(&packed).unwrap(), data);
+}
+
 /// Canonical decode after a canonical re-encode of the *lengths only*
 /// (the container's premise): lengths fully determine the code.
 #[test]

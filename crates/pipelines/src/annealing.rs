@@ -295,7 +295,7 @@ impl AnnealWorkload {
             sol.order.len() * 2,
             self.epoch,
             move |_: &TaskCtx| {
-                let (next, rng2) = anneal_epoch(sol, t, moves, rng);
+                let (next, rng2) = anneal_epoch(sol.clone(), t, moves, rng);
                 payload((Arc::new(next), rng2))
             },
         ));
@@ -348,7 +348,7 @@ impl AnnealWorkload {
                         64,
                         version,
                         version as u64,
-                        move |_| payload(sol),
+                        move |_| payload(sol.clone()),
                     ));
                 }
                 Action::SpawnCheck { version } => {

@@ -1,6 +1,6 @@
 //! Huffman pipeline configuration.
 
-use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
 use tvs_sre::DispatchPolicy;
 
 /// How speculative trees cover byte values the prefix histogram has not
@@ -44,6 +44,10 @@ pub struct HuffmanConfig {
     pub predictor: PredictorKind,
     /// Keep the assembled output bitstream for correctness checking.
     pub collect_output: bool,
+    /// Speculation circuit breaker: sustained rollbacks or executor
+    /// faults trip the run back to conservative dispatch (`None` = never
+    /// degrade, the paper's baseline behaviour).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl HuffmanConfig {
@@ -59,6 +63,7 @@ impl HuffmanConfig {
             tolerance: Tolerance::percent(1.0),
             predictor: PredictorKind::default(),
             collect_output: false,
+            breaker: None,
         }
     }
 

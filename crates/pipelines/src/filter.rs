@@ -283,7 +283,7 @@ impl FilterWorkload {
                         self.cfg.taps * 8,
                         version,
                         version as u64,
-                        move |_| payload(h),
+                        move |_| payload(h.clone()),
                     ));
                 }
                 Action::SpawnCheck { version } => {

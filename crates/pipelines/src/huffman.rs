@@ -28,7 +28,10 @@ use std::sync::Arc;
 use tvs_core::{Action, CheckResult, ManagerStats, SpecVersion, SpeculationManager, WaitBuffer};
 use tvs_huffman::{relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, Histogram};
 use tvs_sre::task::{expect_payload, payload};
-use tvs_sre::{Completion, InputBlock, SchedCtx, TaskSpec, Time, Workload};
+use tvs_sre::{
+    Completion, FaultInjector, FaultKind, FaultNotice, FaultSite, InputBlock, SchedCtx, TaskSpec,
+    Time, Workload,
+};
 
 /// The speculated value: a Huffman code (lengths + canonical table) built
 /// from a histogram snapshot at a given basis point.
@@ -183,6 +186,7 @@ pub struct HuffmanWorkload {
     blocks_done: usize,
     outputs: Vec<Option<EncodedBlock>>,
     committed_tree: Option<Arc<SpecTree>>,
+    faults: FaultInjector,
 }
 
 impl HuffmanWorkload {
@@ -192,7 +196,10 @@ impl HuffmanWorkload {
         let n_blocks = cfg.n_blocks(data_len);
         let n_groups = cfg.n_groups(data_len);
         // Instantiate the engine through the paper's four-point interface.
-        let mgr = cfg.speculation_plan().manager();
+        let mut mgr = cfg.speculation_plan().manager();
+        if let Some(b) = cfg.breaker {
+            mgr.set_breaker(b);
+        }
         HuffmanWorkload {
             n_blocks,
             n_groups,
@@ -214,6 +221,7 @@ impl HuffmanWorkload {
             blocks_done: 0,
             outputs: vec![None; n_blocks],
             committed_tree: None,
+            faults: FaultInjector::disabled(),
             cfg,
         }
     }
@@ -224,6 +232,15 @@ impl HuffmanWorkload {
     /// events land in the same log.
     pub fn set_tracer(&mut self, tracer: tvs_sre::Tracer) {
         self.mgr.set_tracer(tracer);
+    }
+
+    /// Arm the workload-level fault sites. Currently that is
+    /// [`FaultSite::PredictedValue`]: a drawn `CorruptValue` scrambles the
+    /// predicted tree between the predictor's output and its install, so
+    /// the tolerance checks must catch the damage. Pass the same injector
+    /// as the executor's so draws share one budget and log.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// Extract the result after the run finished.
@@ -306,7 +323,7 @@ impl HuffmanWorkload {
         let bytes = group.len() * 1024 + if prev.is_some() { 2048 } else { 0 };
         self.reduce_inflight = true;
         ctx.spawn(TaskSpec::regular("reduce", 1, bytes, g as u64, move |_| {
-            let mut h = prev.map(|p| (*p).clone()).unwrap_or_default();
+            let mut h = prev.as_ref().map(|p| (**p).clone()).unwrap_or_default();
             for part in &group {
                 h.merge(part);
             }
@@ -557,6 +574,27 @@ fn data_len_of(data: &[Option<Arc<[u8]>>], idx: usize) -> usize {
     data[idx].as_ref().map(|d| d.len()).unwrap_or(0)
 }
 
+/// Scramble a predicted tree for [`FaultSite::PredictedValue`] injection.
+/// The multiset of code lengths is preserved — Kraft's inequality still
+/// holds and every symbol that had a code keeps one, so downstream encode
+/// tasks never fail outright — but the lengths are reassigned in *reverse*
+/// across the coded symbols: the most frequent symbols inherit the longest
+/// codes. Validation, not encodability, has to reject the value.
+fn corrupt_tree(tree: &SpecTree) -> SpecTree {
+    let mut len = *tree.lengths.lengths();
+    let coded: Vec<usize> = (0..len.len()).filter(|&i| len[i] > 0).collect();
+    for k in 0..coded.len() / 2 {
+        len.swap(coded[k], coded[coded.len() - 1 - k]);
+    }
+    let lengths = CodeLengths::from_lengths(len).expect("permuted lengths preserve Kraft");
+    let table = CodeTable::from_lengths(&lengths);
+    SpecTree {
+        lengths,
+        table,
+        basis: tree.basis,
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum PathSel {
     Spec,
@@ -629,7 +667,15 @@ impl Workload for HuffmanWorkload {
             }
             "predict" => {
                 let version = done.version.expect("predictor carries its version");
-                let tree = expect_payload::<Arc<SpecTree>>(done.output, "Arc<SpecTree>");
+                let mut tree = expect_payload::<Arc<SpecTree>>(done.output, "Arc<SpecTree>");
+                // Chaos: the predicted edge value may be corrupted between
+                // the predictor's output and its install. The scrambled
+                // tree is still a valid prefix code over the same symbols,
+                // so the run proceeds and the tolerance checks must catch
+                // the cost blow-up.
+                if let Some(FaultKind::CorruptValue) = self.faults.draw(FaultSite::PredictedValue) {
+                    tree = Arc::new(corrupt_tree(&tree));
+                }
                 if self.mgr.install_prediction(version, tree) {
                     let (_, tree) = self.mgr.active().expect("just installed");
                     self.spec_path = Some(Path {
@@ -708,6 +754,18 @@ impl Workload for HuffmanWorkload {
         }
     }
 
+    fn on_fault(&mut self, ctx: &mut dyn SchedCtx, fault: FaultNotice) {
+        // Executor-recovered faults (caught panics, watchdog cancels) feed
+        // the breaker's failure window; a faulted *speculative* task also
+        // kills its version, so bring the manager's phase in line and let
+        // the regular rollback actions clear the path and wait buffer.
+        self.mgr.record_fault();
+        if let Some(v) = fault.version {
+            let actions = self.mgr.on_external_abort(v);
+            self.handle_actions(ctx, actions);
+        }
+    }
+
     fn is_finished(&self) -> bool {
         self.blocks_done == self.n_blocks
     }
@@ -743,6 +801,7 @@ mod tests {
             tolerance: Tolerance::percent(1.0),
             predictor: Default::default(),
             collect_output: true,
+            breaker: None,
         }
     }
 
@@ -862,6 +921,85 @@ mod tests {
             res.compressed_bits, serial.bit_len,
             "natural path is optimal"
         );
+    }
+
+    #[test]
+    fn breaker_trips_on_sustained_misprediction_and_run_completes() {
+        // Zero tolerance + drifting data = 100 % misprediction: every
+        // check fails and every promoted candidate is equally doomed. The
+        // breaker must trip (degrading the run to conservative dispatch)
+        // and the natural path must still deliver a decodable stream.
+        let mut cfg = small_cfg(DispatchPolicy::Aggressive);
+        cfg.tolerance = Tolerance { margin: 0.0 };
+        cfg.breaker = Some(tvs_core::BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 1_000, // longer than the run: stays tripped
+            probe_successes: 1,
+        });
+        // Continuously drifting input: every block shifts the byte
+        // distribution, so any tree predicted from a prefix is already
+        // wrong by the time a check compares it (margin 0).
+        let data: Vec<u8> = (0..32 * 1024usize)
+            .map(|i| ((i / 1024) * 7 + i % 13) as u8)
+            .collect();
+        // Slow arrivals: checks resolve while their version is active,
+        // instead of going stale behind an early-finished reduce chain.
+        let wl = HuffmanWorkload::new(cfg.clone(), data.len());
+        let sim = SimConfig {
+            platform: x86_smp(4),
+            policy: cfg.policy,
+            trace: false,
+        };
+        let inputs = blocks_of(&data, cfg.block_bytes, 100);
+        let rep = run(wl, &sim, &HuffmanCost, inputs);
+        let (res, m) = (rep.workload.result(), rep.metrics);
+        assert!(m.rollbacks >= 2, "zero tolerance must roll back: {m:?}");
+        let s = res.spec_stats.unwrap();
+        assert!(
+            s.breaker_trips >= 1,
+            "sustained misprediction must trip the breaker: {s:?}"
+        );
+        assert_eq!(
+            res.committed_version, None,
+            "tripped run must fall back to the natural path"
+        );
+        decode_output(&res, &data);
+        let serial = tvs_huffman::serial_encode(&data).unwrap();
+        assert_eq!(
+            res.compressed_bits, serial.bit_len,
+            "natural path is optimal"
+        );
+    }
+
+    #[test]
+    fn corrupted_prediction_is_caught_by_validation() {
+        // Corrupt every predicted tree: stationary data that would commit
+        // cleanly must now roll back (validation catches the scrambled
+        // value) yet still finish with a decodable stream.
+        let data = stationary_data(64 * 1024);
+        let cfg = small_cfg(DispatchPolicy::Balanced);
+        let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+        wl.set_fault_injector(FaultInjector::new(tvs_sre::FaultPlan::new(11).with_rule(
+            FaultSite::PredictedValue,
+            FaultKind::CorruptValue,
+            1.0,
+        )));
+        let sim = SimConfig {
+            platform: x86_smp(4),
+            policy: cfg.policy,
+            trace: false,
+        };
+        let inputs = blocks_of(&data, cfg.block_bytes, 5);
+        let rep = run(wl, &sim, &HuffmanCost, inputs);
+        let res = rep.workload.result();
+        let s = res.spec_stats.unwrap();
+        assert!(
+            s.checks_failed > 0 || res.committed_version.is_none(),
+            "validation must reject corrupted trees: {s:?}"
+        );
+        decode_output(&res, &data);
     }
 
     #[test]

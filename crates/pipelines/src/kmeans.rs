@@ -344,7 +344,7 @@ impl KMeansWorkload {
                         c.len() * 8,
                         version,
                         version as u64,
-                        move |_| payload(c),
+                        move |_| payload(c.clone()),
                     ));
                 }
                 Action::SpawnCheck { version } => {

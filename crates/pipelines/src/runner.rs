@@ -5,9 +5,11 @@ use crate::cost::HuffmanCost;
 use crate::huffman::{HuffmanWorkload, PipelineResult};
 use std::sync::Arc;
 use tvs_iosim::ArrivalModel;
-use tvs_sre::exec::sim::{run as sim_run, run_traced as sim_run_traced, SimConfig};
-use tvs_sre::exec::threaded::{run_traced as threaded_run_traced, ThreadedConfig};
-use tvs_sre::{InputBlock, Platform, RunMetrics, TaskTrace, TraceLog, Tracer};
+use tvs_sre::exec::sim::{
+    run as sim_run, run_traced as sim_run_traced, try_run_chaos, SimChaos, SimConfig,
+};
+use tvs_sre::exec::threaded::{try_run_traced as threaded_try_run_traced, ThreadedConfig};
+use tvs_sre::{InputBlock, Platform, RunError, RunMetrics, TaskTrace, TraceLog, Tracer};
 
 /// Everything a figure needs from one run.
 #[derive(Debug, Clone)]
@@ -128,6 +130,44 @@ pub fn run_huffman_sim_events(
     )
 }
 
+/// Run the Huffman pipeline on the simulator under a chaos plan: the
+/// fault-injection rules, retry policy and virtual watchdog in `chaos`,
+/// with the full speculation-lifecycle event log (including `task-fault`,
+/// `watchdog-cancel` and breaker events) captured in virtual time. The
+/// workload's own fault site ([`tvs_sre::FaultSite::PredictedValue`]) is
+/// armed with the same injector, so all draws share one budget and log.
+/// Returns a structured [`RunError`] when bounded retries cannot save the
+/// run — never a panic.
+pub fn run_huffman_sim_chaos(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+    chaos: &SimChaos,
+) -> Result<(RunOutcome, TraceLog), RunError> {
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let tracer = Tracer::enabled(platform.workers);
+    tracer.set_label(cfg.policy.label());
+    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    wl.set_tracer(tracer.clone());
+    wl.set_fault_injector(chaos.faults.clone());
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace: false,
+    };
+    let rep = try_run_chaos(wl, &sim, &HuffmanCost, blocks, tracer.clone(), chaos)?;
+    let log = tracer.drain().expect("enabled tracer drains");
+    Ok((
+        RunOutcome {
+            result: rep.workload.result(),
+            metrics: rep.metrics,
+            arrivals: times,
+        },
+        log,
+    ))
+}
+
 /// Run the Huffman pipeline on real threads, pacing arrivals per the model
 /// compressed by `time_scale` (so slow-I/O scenarios finish quickly in
 /// tests).
@@ -157,6 +197,26 @@ pub fn run_huffman_threaded_events(
     (outcome, log)
 }
 
+/// Run the Huffman pipeline on real threads under a caller-built
+/// [`ThreadedConfig`] — its `faults`, `retry` and `watchdog` fields are the
+/// chaos knobs — capturing the full event log in wall-clock time. The
+/// workload's predicted-value fault site is armed with the executor's
+/// injector. Returns a structured [`RunError`] when bounded retries cannot
+/// save the run — never a panic.
+pub fn run_huffman_threaded_chaos(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    tcfg: &ThreadedConfig,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+) -> Result<(RunOutcome, TraceLog), RunError> {
+    let tracer = Tracer::enabled(tcfg.workers);
+    tracer.set_label(cfg.policy.label());
+    let outcome = try_threaded_impl(data, cfg, tcfg, arrival, time_scale, tracer.clone())?;
+    let log = tracer.drain().expect("enabled tracer drains");
+    Ok((outcome, log))
+}
+
 fn threaded_impl(
     data: &[u8],
     cfg: &HuffmanConfig,
@@ -165,14 +225,24 @@ fn threaded_impl(
     time_scale: u64,
     tracer: Tracer,
 ) -> RunOutcome {
+    let tcfg = ThreadedConfig::new(workers, cfg.policy);
+    try_threaded_impl(data, cfg, &tcfg, arrival, time_scale, tracer)
+        .unwrap_or_else(|e| panic!("threaded run failed: {e}"))
+}
+
+fn try_threaded_impl(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    tcfg: &ThreadedConfig,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+    tracer: Tracer,
+) -> Result<RunOutcome, RunError> {
     let n = data.len().div_ceil(cfg.block_bytes);
     let times = arrival.schedule(n, cfg.block_bytes);
     let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
     wl.set_tracer(tracer.clone());
-    let tcfg = ThreadedConfig {
-        workers,
-        policy: cfg.policy,
-    };
+    wl.set_fault_injector(tcfg.faults.clone());
 
     // The feeder consumes a paced iterator; build owned blocks up front.
     let owned: Vec<(usize, Arc<[u8]>)> = data
@@ -194,12 +264,12 @@ fn threaded_impl(
         }
         (i, d)
     });
-    let (wl, metrics) = threaded_run_traced(wl, &tcfg, iter, tracer);
-    RunOutcome {
+    let (wl, metrics) = threaded_try_run_traced(wl, tcfg, iter, tracer)?;
+    Ok(RunOutcome {
         result: wl.result(),
         metrics,
         arrivals: times,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -322,6 +392,100 @@ mod tests {
             out.metrics.rollbacks,
             "trace rollbacks match RunMetrics"
         );
+    }
+
+    fn decode_outcome(out: &RunOutcome, expected: &[u8]) {
+        let (bytes, bits, lengths) = out.result.output.as_ref().expect("collected");
+        let table = tvs_huffman::CodeTable::from_lengths(lengths);
+        let back = tvs_huffman::decode_exact(bytes, 0, *bits, expected.len(), &table)
+            .expect("stream decodes");
+        assert_eq!(back, expected, "output must decode to the input");
+    }
+
+    #[test]
+    fn sim_chaos_is_deterministic_and_output_decodes() {
+        use tvs_sre::{FaultInjector, FaultPlan};
+        let d = data();
+        let arrival = Uniform {
+            gap_us: 2,
+            start_us: 0,
+        };
+        let c = cfg(DispatchPolicy::Balanced);
+        // A fresh injector per run: draw counters are part of run state.
+        let run = |seed: u64| {
+            let chaos = SimChaos {
+                faults: FaultInjector::new(FaultPlan::chaos(seed)),
+                ..SimChaos::default()
+            };
+            run_huffman_sim_chaos(&d, &c, &x86_smp(8), &arrival, &chaos)
+                .expect("the chaos preset recovers through retry + rollback")
+        };
+        let (a, la) = run(42);
+        let (b, lb) = run(42);
+        assert_eq!(a.metrics, b.metrics, "chaos runs must be reproducible");
+        assert_eq!(a.latencies(), b.latencies());
+        assert_eq!(la.count("task-fault"), lb.count("task-fault"));
+        decode_outcome(&a, &d);
+        decode_outcome(&b, &d);
+    }
+
+    #[test]
+    fn threaded_chaos_run_completes_with_correct_output() {
+        use tvs_sre::{FaultInjector, FaultPlan};
+        let d = data();
+        let arrival = Uniform {
+            gap_us: 1,
+            start_us: 0,
+        };
+        let c = cfg(DispatchPolicy::Balanced);
+        let mut tcfg = ThreadedConfig::new(4, c.policy);
+        tcfg.faults = FaultInjector::new(FaultPlan::chaos(7));
+        let (out, log) = run_huffman_threaded_chaos(&d, &c, &tcfg, &arrival, 1000)
+            .expect("the chaos preset recovers through retry + rollback");
+        decode_outcome(&out, &d);
+        assert_eq!(
+            log.count("task-fault") as u64,
+            out.metrics.faults,
+            "every caught fault leaves a trace event"
+        );
+    }
+
+    #[test]
+    fn breaker_trip_is_visible_in_the_event_log() {
+        // The acceptance scenario: adversarial input on which every
+        // prediction mispredicts. The breaker must demonstrably trip (a
+        // `breaker-trip` trace event) and the run must still complete.
+        let mut c = cfg(DispatchPolicy::Aggressive);
+        c.block_bytes = 1024;
+        c.reduce_ratio = 4;
+        c.offset_fanout = 4;
+        c.schedule = tvs_core::SpeculationSchedule::with_step(1);
+        c.verification = tvs_core::VerificationPolicy::Full;
+        c.tolerance = tvs_core::Tolerance { margin: 0.0 };
+        c.breaker = Some(tvs_core::BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 1_000,
+            probe_successes: 1,
+        });
+        // Continuously drifting input: every block shifts the byte
+        // distribution, so every prediction is stale on arrival. Slow
+        // arrivals keep checks resolving while their version is active.
+        let d: Vec<u8> = (0..32 * 1024usize)
+            .map(|i| ((i / 1024) * 7 + i % 13) as u8)
+            .collect();
+        let arrival = Uniform {
+            gap_us: 100,
+            start_us: 0,
+        };
+        let (out, log) = run_huffman_sim_events(&d, &c, &x86_smp(8), &arrival);
+        assert!(
+            log.count("breaker-trip") >= 1,
+            "100% misprediction must trip the breaker"
+        );
+        assert_eq!(out.result.committed_version, None);
+        decode_outcome(&out, &d);
     }
 
     #[test]

@@ -7,15 +7,29 @@
 //! work-stealing executor in [`super::threaded`] buys, and (b) as a third
 //! cross-validation target in the executor-equivalence property tests.
 //!
+//! Fault handling matches [`super::threaded`]: task bodies run under
+//! `catch_unwind`, speculative faults are routed through the rollback path
+//! ([`crate::sched::Scheduler::fault`] → [`Workload::on_fault`] → version
+//! abort), non-speculative faults retry in place with bounded backoff and
+//! fail the run with a structured [`RunError`] when exhausted, and
+//! poisoned locks are recovered. The fault injector is consulted at the
+//! task-body, completion and feeder sites (`DelayCompletion` has no
+//! meaning here — completions are routed in-thread — and is ignored).
+//! There is no watchdog: the baseline exists for lock-contention
+//! comparisons, not for chaos runs.
+//!
 //! New code should use [`super::threaded::run`]; this module is not
 //! re-exported at the crate root.
 
+use crate::fault::{self, RunError};
 use crate::metrics::RunMetrics;
-use crate::sched::{CompletionOutcome, Scheduler};
-use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
-use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
+use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
+use crate::task::{Payload, SpecVersion, TaskId, TaskSpec, Time};
+use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use tvs_faults::{FaultInjector, FaultKind, FaultSite};
 use tvs_trace::{EventKind, Tracer};
 
 pub use super::threaded::ThreadedConfig;
@@ -29,12 +43,17 @@ struct Inner<W> {
     busy_us: Time,
     wasted_us: Time,
     finished_at: Option<Time>,
+    /// Set when a non-speculative task exhausted its retries.
+    failed: Option<RunError>,
 }
 
 struct Shared<W> {
     inner: Mutex<Inner<W>>,
     cv: Condvar,
     start: Instant,
+    faults: FaultInjector,
+    fault_count: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl<W> Shared<W> {
@@ -61,37 +80,91 @@ impl SchedCtx for LockedCtx<'_> {
 }
 
 fn run_complete<W: Workload>(inner: &mut Inner<W>, now: Time) -> bool {
-    let done = inner.workload.is_finished() && inner.input_done && inner.sched.is_idle();
+    let done = inner.failed.is_some()
+        || (inner.workload.is_finished() && inner.input_done && inner.sched.is_idle());
     if done && inner.finished_at.is_none() {
         inner.finished_at = Some(now);
     }
     done
 }
 
+/// One body attempt: act out any fault injected at the task-body site,
+/// then run the body under `catch_unwind`.
+fn run_attempt(faults: &FaultInjector, work: &mut Dispatched) -> std::thread::Result<Payload> {
+    let mut boom = false;
+    match faults.draw(FaultSite::TaskBody) {
+        Some(FaultKind::PanicTask) => boom = true,
+        Some(FaultKind::Stall { us }) => fault::stall_wall(us, &work.ctx),
+        _ => {}
+    }
+    let run = &mut work.run;
+    let ctx = &work.ctx;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if boom {
+            panic!("injected task-body fault");
+        }
+        (run)(ctx)
+    }))
+}
+
 /// Run `workload` on `cfg.workers` real threads with the single-lock
 /// dispatch path. Semantics are identical to [`super::threaded::run`]; only
-/// the synchronisation strategy differs.
+/// the synchronisation strategy differs. Panics on a failed run; use
+/// [`try_run`] for the fallible form.
 pub fn run<W, I>(workload: W, cfg: &ThreadedConfig, inputs: I) -> (W, RunMetrics)
 where
     W: Workload + Send + 'static,
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
-    run_traced(workload, cfg, inputs, Tracer::disabled())
+    try_run(workload, cfg, inputs).unwrap_or_else(|e| panic!("baseline run failed: {e}"))
 }
 
-/// [`run`], recording speculation-lifecycle events into `tracer`.
-///
-/// The baseline has no lanes or steals: each worker pops straight off the
-/// central queue, so its dispatch event carries the worker index as the
-/// "lane" and the task-end `discarded` flag is exact (the completion
-/// outcome is decided in-thread under the global lock).
+/// [`run`] returning a structured [`RunError`] instead of panicking when
+/// the run cannot complete.
+pub fn try_run<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+) -> Result<(W, RunMetrics), RunError>
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    try_run_traced(workload, cfg, inputs, Tracer::disabled())
+}
+
+/// [`run`], recording speculation-lifecycle events into `tracer`. Panics
+/// on a failed run; use [`try_run_traced`] for the fallible form.
 pub fn run_traced<W, I>(
     workload: W,
     cfg: &ThreadedConfig,
     inputs: I,
     tracer: Tracer,
 ) -> (W, RunMetrics)
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    try_run_traced(workload, cfg, inputs, tracer)
+        .unwrap_or_else(|e| panic!("baseline run failed: {e}"))
+}
+
+/// The full entry point: single-lock execution with tracing and structured
+/// failure.
+///
+/// The baseline has no lanes or steals: each worker pops straight off the
+/// central queue, so its dispatch event carries the worker index as the
+/// "lane" and the task-end `discarded` flag is exact (the completion
+/// outcome is decided in-thread under the global lock).
+pub fn try_run_traced<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+) -> Result<(W, RunMetrics), RunError>
 where
     W: Workload + Send + 'static,
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
@@ -108,13 +181,17 @@ where
             busy_us: 0,
             wasted_us: 0,
             finished_at: None,
+            failed: None,
         }),
         cv: Condvar::new(),
         start: Instant::now(),
+        faults: cfg.faults.clone(),
+        fault_count: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
     });
 
     {
-        let mut inner = shared.inner.lock().expect("lock poisoned");
+        let mut inner = fault::lock_recover(&shared.inner);
         let now = shared.now();
         let Inner {
             sched, workload, ..
@@ -127,8 +204,15 @@ where
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
             for (index, data) in inputs {
+                if let Some(FaultKind::Stall { us }) = shared.faults.draw(FaultSite::Feeder) {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
                 let now = shared.now();
-                let mut inner = shared.inner.lock().expect("lock poisoned");
+                let mut inner = fault::lock_recover(&shared.inner);
+                // A failing run stops consuming input.
+                if inner.failed.is_some() {
+                    break;
+                }
                 let Inner {
                     sched, workload, ..
                 } = &mut *inner;
@@ -144,7 +228,7 @@ where
                 shared.cv.notify_all();
             }
             let now = shared.now();
-            let mut inner = shared.inner.lock().expect("lock poisoned");
+            let mut inner = fault::lock_recover(&shared.inner);
             let Inner {
                 sched,
                 workload,
@@ -159,14 +243,15 @@ where
     };
 
     // Worker threads: dispatch, execution and completion routing all take
-    // the same global lock.
+    // the same global lock; only the body itself runs outside it.
+    let retry = cfg.retry;
     let workers: Vec<_> = (0..cfg.workers)
         .map(|me| {
             let shared = Arc::clone(&shared);
             let tracer = tracer.clone();
             std::thread::spawn(move || loop {
-                let mut inner = shared.inner.lock().expect("lock poisoned");
-                if let Some(work) = inner.sched.dispatch() {
+                let mut inner = fault::lock_recover(&shared.inner);
+                if let Some(mut work) = inner.sched.dispatch() {
                     drop(inner);
                     if tracer.is_enabled() {
                         tracer.emit(
@@ -189,13 +274,96 @@ where
                         );
                     }
                     let started = shared.now();
-                    let output = (work.run)(&work.ctx);
+                    // Panic-isolated body: catch, report, retry in place
+                    // (non-speculative only) with bounded backoff.
+                    let mut attempt = 0u32;
+                    let outcome = loop {
+                        match run_attempt(&shared.faults, &mut work) {
+                            Ok(out) => break Ok(out),
+                            Err(_) => {
+                                shared.fault_count.fetch_add(1, Ordering::Relaxed);
+                                if tracer.is_enabled() {
+                                    tracer.emit(
+                                        me,
+                                        EventKind::TaskFault {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: work.version,
+                                            attempt,
+                                        },
+                                    );
+                                }
+                                if work.version.is_some()
+                                    || attempt + 1 >= retry.max_attempts.max(1)
+                                {
+                                    break Err(attempt);
+                                }
+                                attempt += 1;
+                                shared.retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(
+                                    retry.backoff_us(attempt),
+                                ));
+                            }
+                        }
+                    };
                     let finished = shared.now();
-                    let mut inner = shared.inner.lock().expect("lock poisoned");
                     let busy = finished.saturating_sub(started);
+                    let mut inner = fault::lock_recover(&shared.inner);
                     inner.busy_us += busy;
                     inner.sched.charge(work.class, busy);
-                    let outcome = inner.sched.complete(work.id);
+                    let output = match outcome {
+                        Ok(output) => output,
+                        Err(attempt) => {
+                            // Reuse the misspeculation path (see the module
+                            // docs): reclaim, notify, abort or fail.
+                            inner.wasted_us += busy;
+                            if let Some(vers) = inner.sched.fault(work.id) {
+                                let Inner {
+                                    sched, workload, ..
+                                } = &mut *inner;
+                                let mut ctx = LockedCtx {
+                                    sched,
+                                    now: finished,
+                                };
+                                workload.on_fault(
+                                    &mut ctx,
+                                    FaultNotice {
+                                        id: work.id,
+                                        name: work.name,
+                                        version: vers,
+                                        attempt,
+                                    },
+                                );
+                                match vers {
+                                    Some(v) => {
+                                        ctx.abort_version(v);
+                                    }
+                                    None => {
+                                        inner.failed.get_or_insert(RunError::TaskFailed {
+                                            name: work.name,
+                                            id: work.id,
+                                            attempts: attempt + 1,
+                                        });
+                                    }
+                                }
+                            }
+                            let done = run_complete(&mut inner, finished);
+                            drop(inner);
+                            shared.cv.notify_all();
+                            if done {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    let duplicate = matches!(
+                        shared.faults.draw(FaultSite::Completion),
+                        Some(FaultKind::DuplicateCompletion)
+                    );
+                    let outcome = inner.sched.try_complete(work.id);
+                    if duplicate {
+                        let _ = inner.sched.try_complete(work.id);
+                    }
                     if tracer.is_enabled() {
                         tracer.emit(
                             me,
@@ -203,16 +371,17 @@ where
                                 id: work.id,
                                 name: work.name,
                                 version: work.version,
-                                discarded: outcome == CompletionOutcome::Discard,
+                                discarded: outcome == Some(CompletionOutcome::Discard),
                             },
                         );
                     }
                     match outcome {
-                        CompletionOutcome::Discard => {
+                        None => {}
+                        Some(CompletionOutcome::Discard) => {
                             inner.discarded += 1;
                             inner.wasted_us += busy;
                         }
-                        CompletionOutcome::Deliver => {
+                        Some(CompletionOutcome::Deliver) => {
                             inner.delivered += 1;
                             let Inner {
                                 sched, workload, ..
@@ -251,20 +420,31 @@ where
                     let _ = shared
                         .cv
                         .wait_timeout(inner, Duration::from_millis(5))
-                        .expect("lock poisoned");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             })
         })
         .collect();
 
-    feeder.join().expect("feeder thread panicked");
+    let mut lost: Option<&'static str> = None;
+    if feeder.join().is_err() {
+        lost = Some("feeder");
+    }
     for w in workers {
-        w.join().expect("worker thread panicked");
+        if w.join().is_err() {
+            lost = lost.or(Some("worker"));
+        }
     }
 
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("threads gone, shared state uniquely owned"));
-    let inner = shared.inner.into_inner().expect("lock poisoned");
+    let inner = fault::into_inner_recover(shared.inner);
+    if let Some(e) = inner.failed {
+        return Err(e);
+    }
+    if let Some(what) = lost {
+        return Err(RunError::WorkerLost { what });
+    }
     let st = inner.sched.stats().clone();
     let metrics = RunMetrics {
         makespan: inner
@@ -281,8 +461,12 @@ where
         // `RunMetrics::lane_dispatches` field docs.
         lane_dispatches: vec![0; cfg.workers],
         steals: 0,
+        faults: shared.fault_count.load(Ordering::Relaxed),
+        task_retries: shared.retries.load(Ordering::Relaxed),
+        watchdog_cancels: 0,
+        duplicate_completions: st.duplicate_completions,
     };
-    (inner.workload, metrics)
+    Ok((inner.workload, metrics))
 }
 
 #[cfg(test)]
@@ -290,6 +474,7 @@ mod tests {
     use super::*;
     use crate::policy::DispatchPolicy;
     use crate::task::payload;
+    use std::sync::atomic::AtomicU32;
 
     struct Summer {
         n: usize,
@@ -322,10 +507,7 @@ mod tests {
         let blocks: Vec<(usize, Arc<[u8]>)> =
             (0..32).map(|i| (i, vec![i as u8; 100].into())).collect();
         let expect: u64 = (0..32u64).map(|i| i * 100).sum();
-        let cfg = ThreadedConfig {
-            workers: 4,
-            policy: DispatchPolicy::NonSpeculative,
-        };
+        let cfg = ThreadedConfig::new(4, DispatchPolicy::NonSpeculative);
         let (w, m) = run(
             Summer {
                 n: 32,
@@ -350,10 +532,7 @@ mod tests {
     fn baseline_traced_run_records_exact_lifecycle() {
         let blocks: Vec<(usize, Arc<[u8]>)> =
             (0..8).map(|i| (i, vec![i as u8; 32].into())).collect();
-        let cfg = ThreadedConfig {
-            workers: 2,
-            policy: DispatchPolicy::NonSpeculative,
-        };
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
         let tracer = Tracer::enabled(2);
         let (w, m) = run_traced(
             Summer {
@@ -372,5 +551,63 @@ mod tests {
         assert_eq!(log.count("task-start"), 8);
         assert_eq!(log.count("task-end"), 8);
         assert_eq!(log.count("steal"), 0, "baseline never steals");
+    }
+
+    #[test]
+    fn baseline_retries_panicking_regular_task() {
+        struct Flaky {
+            done: bool,
+        }
+        impl Workload for Flaky {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                let tries = AtomicU32::new(0);
+                ctx.spawn(TaskSpec::regular("flaky", 0, 0, 0, move |_| {
+                    if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("first attempt fails");
+                    }
+                    payload(())
+                }));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {
+                self.done = true;
+            }
+            fn is_finished(&self) -> bool {
+                self.done
+            }
+        }
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
+        let (w, m) = try_run(
+            Flaky { done: false },
+            &cfg,
+            Vec::<(usize, Arc<[u8]>)>::new(),
+        )
+        .expect("one retry recovers");
+        assert!(w.done);
+        assert_eq!(m.faults, 1);
+        assert_eq!(m.task_retries, 1);
+        assert_eq!(m.tasks_delivered, 1);
+    }
+
+    #[test]
+    fn baseline_fails_structured_when_retries_exhaust() {
+        struct AlwaysPanics;
+        impl Workload for AlwaysPanics {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                ctx.spawn(TaskSpec::regular("doomed", 0, 0, 0, |_| -> Payload {
+                    panic!("never succeeds")
+                }));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {}
+            fn is_finished(&self) -> bool {
+                false
+            }
+        }
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
+        let Err(err) = try_run(AlwaysPanics, &cfg, Vec::<(usize, Arc<[u8]>)>::new()) else {
+            panic!("exhausted retries must fail the run");
+        };
+        assert!(matches!(err, RunError::TaskFailed { name: "doomed", .. }));
     }
 }

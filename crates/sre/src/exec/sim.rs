@@ -7,16 +7,39 @@
 //! runs and lets one laptop model the paper's 16-worker Opteron box, the
 //! Cell blade (with multiple-buffering prefetch queues and DMA costs) and
 //! arbitrarily slow I/O without owning any of them.
+//!
+//! Fault handling matches the threaded executors ([`super::threaded`]),
+//! re-interpreted in virtual time via [`SimChaos`]:
+//!
+//! * task bodies run under `catch_unwind`; a panicking speculative body is
+//!   routed through [`crate::sched::Scheduler::fault`] →
+//!   [`Workload::on_fault`] → version abort, a panicking non-speculative
+//!   body is retried up to [`crate::RetryPolicy::max_attempts`] (retries
+//!   are instantaneous in virtual time — backoff is a wall-clock concept)
+//!   and then fails the run with a structured [`RunError`];
+//! * an injected `Stall` inflates the task's virtual cost; an injected
+//!   `PanicTask` panics the first body attempt; delayed completions are
+//!   re-delivered at a later virtual instant; duplicated completions are
+//!   delivered twice and absorbed by the scheduler;
+//! * the watchdog fires at exactly `start + deadline_us` of virtual time
+//!   for any task whose (possibly stall-inflated) cost exceeds the
+//!   deadline, signalling its abort flag and aborting its version.
+//!
+//! Because every draw of the fault plan happens at a deterministic point
+//! of the event order, a chaos simulation is as replayable as a clean one:
+//! same plan, same seed, same schedule — bit-identical faults.
 
+use crate::fault::{RetryPolicy, RunError, WatchdogConfig};
 use crate::metrics::{RunMetrics, SimReport, TaskTrace};
 use crate::platform::{CostModel, Platform};
 use crate::policy::DispatchPolicy;
 use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
-use crate::task::{SpecVersion, TaskId, TaskSpec, Time};
-use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
+use crate::task::{Payload, SpecVersion, TaskCtx, TaskId, TaskSpec, Time};
+use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tvs_faults::{FaultInjector, FaultKind, FaultSite};
 use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a simulation run.
@@ -30,15 +53,57 @@ pub struct SimConfig {
     pub trace: bool,
 }
 
+/// Fault-handling options of a simulated run — kept out of [`SimConfig`]
+/// so the dozens of existing construction sites stay untouched; [`run`]
+/// and [`run_traced`] use the default (no injection, default retry, no
+/// watchdog).
+#[derive(Clone, Debug, Default)]
+pub struct SimChaos {
+    /// Retry policy for panicked non-speculative tasks. Retries are
+    /// instantaneous in virtual time.
+    pub retry: RetryPolicy,
+    /// Virtual-time watchdog; fires at exactly `start + deadline_us` for
+    /// tasks whose virtual cost exceeds the deadline.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Fault injection plan (disabled by default).
+    pub faults: FaultInjector,
+}
+
 struct Assigned {
     work: Dispatched,
     start: Time,
     end: Time,
+    /// An injected `PanicTask` drawn at dispatch: the first body attempt
+    /// panics (transient — retries run clean).
+    inject_panic: bool,
 }
 
 struct WorkerState {
     pipeline_end: Time,
     assigned: VecDeque<Assigned>,
+}
+
+/// A completion held back by an injected `DelayCompletion`, re-delivered
+/// at a later virtual instant.
+struct Delayed {
+    id: TaskId,
+    name: &'static str,
+    version: Option<SpecVersion>,
+    tag: u64,
+    start: Time,
+    end: Time,
+    output: Payload,
+}
+
+/// Mutable chaos bookkeeping threaded through the event loop.
+struct ChaosState<'a> {
+    opts: &'a SimChaos,
+    /// Watchdog events in flight: key → (worker, task id).
+    watch: HashMap<usize, (usize, TaskId)>,
+    /// Delayed completions in flight: key → payload.
+    delayed: HashMap<usize, Delayed>,
+    /// Fresh keys for the two maps above.
+    next_key: usize,
 }
 
 struct SimCtx<'a> {
@@ -66,7 +131,8 @@ impl SchedCtx for SimCtx<'_> {
 ///
 /// `inputs` must be sorted by arrival time (as produced by the
 /// `tvs-iosim` models). Panics with a diagnostic if the workload deadlocks
-/// (events exhausted before [`Workload::is_finished`]).
+/// (events exhausted before [`Workload::is_finished`]) or if the run fails
+/// (see [`try_run_chaos`] for the fallible form).
 pub fn run<W: Workload>(
     workload: W,
     cfg: &SimConfig,
@@ -86,12 +152,30 @@ pub fn run<W: Workload>(
 /// a zero-overhead no-op sink; the resulting [`RunMetrics`] are identical
 /// either way.
 pub fn run_traced<W: Workload>(
-    mut workload: W,
+    workload: W,
     cfg: &SimConfig,
     cost: &dyn CostModel,
     inputs: Vec<InputBlock>,
     tracer: Tracer,
 ) -> SimReport<W> {
+    try_run_chaos(workload, cfg, cost, inputs, tracer, &SimChaos::default())
+        .unwrap_or_else(|e| panic!("simulated run failed: {e}"))
+}
+
+/// The full entry point: simulation with tracing, fault injection and
+/// structured failure. A non-speculative task panicking on every attempt
+/// its retry policy allows returns `Err`; everything else — injected
+/// panics, stalls, delayed and duplicated completions, watchdog cancels of
+/// speculative tasks — recovers through the rollback machinery and
+/// completes the run.
+pub fn try_run_chaos<W: Workload>(
+    mut workload: W,
+    cfg: &SimConfig,
+    cost: &dyn CostModel,
+    inputs: Vec<InputBlock>,
+    tracer: Tracer,
+    chaos: &SimChaos,
+) -> Result<SimReport<W>, RunError> {
     assert!(
         cfg.platform.workers > 0,
         "platform must have at least one worker"
@@ -108,6 +192,12 @@ pub fn run_traced<W: Workload>(
             assigned: VecDeque::new(),
         })
         .collect();
+    let mut chaos_state = ChaosState {
+        opts: chaos,
+        watch: HashMap::new(),
+        delayed: HashMap::new(),
+        next_key: 0,
+    };
 
     // Event queue ordered by (time, push sequence) for determinism.
     let mut heap: BinaryHeap<Reverse<(Time, u64, usize, EvSlot)>> = BinaryHeap::new();
@@ -150,6 +240,7 @@ pub fn run_traced<W: Workload>(
         &mut heap_seq,
         &mut metrics.lane_dispatches,
         &tracer,
+        &mut chaos_state,
     );
 
     while let Some(Reverse((t, _seq, aux, slot))) = heap.pop() {
@@ -157,6 +248,13 @@ pub fn run_traced<W: Workload>(
         tracer.set_virtual_now(t);
         match slot {
             EvSlot::Arrival => {
+                // An injected feeder stall pushes the arrival to a later
+                // virtual instant.
+                if let Some(FaultKind::Stall { us }) = chaos.faults.draw(FaultSite::Feeder) {
+                    heap.push(Reverse((t + us.max(1), heap_seq, aux, EvSlot::Arrival)));
+                    heap_seq += 1;
+                    continue;
+                }
                 let block = match input_map.entry(aux) {
                     Entry::Occupied(e) => e.remove(),
                     Entry::Vacant(_) => unreachable!("arrival {aux} delivered twice"),
@@ -174,15 +272,19 @@ pub fn run_traced<W: Workload>(
             }
             EvSlot::Done => {
                 let worker = aux;
-                let Assigned { work, start, end } = workers[worker]
+                let Assigned {
+                    mut work,
+                    start,
+                    end,
+                    inject_panic,
+                } = workers[worker]
                     .assigned
                     .pop_front()
                     .expect("Done event for an empty worker queue");
                 debug_assert_eq!(end, t);
                 let busy = end - start;
                 metrics.busy_us += busy;
-                let outcome = sched.complete(work.id);
-                let discarded = outcome == CompletionOutcome::Discard;
+                let pre_aborted = work.version.map(|v| sched.is_aborted(v)).unwrap_or(false);
                 if tracer.is_enabled() {
                     tracer.emit_at(
                         worker,
@@ -193,52 +295,266 @@ pub fn run_traced<W: Workload>(
                             version: work.version,
                         },
                     );
-                    tracer.emit_at(
-                        worker,
-                        end,
-                        EventKind::TaskEnd {
+                }
+                if pre_aborted {
+                    // Outputs of discarded tasks are never materialised
+                    // ("deleted with their content"): skip the body.
+                    let _ = sched.try_complete(work.id);
+                    if tracer.is_enabled() {
+                        tracer.emit_at(
+                            worker,
+                            end,
+                            EventKind::TaskEnd {
+                                id: work.id,
+                                name: work.name,
+                                version: work.version,
+                                discarded: true,
+                            },
+                        );
+                    }
+                    if cfg.trace {
+                        trace.push(TaskTrace {
                             id: work.id,
                             name: work.name,
-                            version: work.version,
-                            discarded,
-                        },
-                    );
-                }
-                if cfg.trace {
-                    trace.push(TaskTrace {
-                        id: work.id,
-                        name: work.name,
-                        worker,
-                        version: work.version,
-                        tag: work.tag,
-                        start,
-                        end,
-                        discarded,
-                    });
-                }
-                if discarded {
-                    metrics.wasted_us += busy;
-                } else {
-                    // Run the body now; outputs of discarded tasks are
-                    // never materialised ("deleted with their content").
-                    let output = (work.run)(&work.ctx);
-                    let mut ctx = SimCtx {
-                        sched: &mut sched,
-                        platform: &cfg.platform,
-                        now: t,
-                    };
-                    workload.on_complete(
-                        &mut ctx,
-                        Completion {
-                            id: work.id,
-                            name: work.name,
+                            worker,
                             version: work.version,
                             tag: work.tag,
-                            started: start,
-                            finished: end,
-                            output,
-                        },
-                    );
+                            start,
+                            end,
+                            discarded: true,
+                        });
+                    }
+                    metrics.wasted_us += busy;
+                } else {
+                    // Panic-isolated body execution. Retries are
+                    // instantaneous in virtual time.
+                    let mut attempt = 0u32;
+                    let mut boom = inject_panic;
+                    let outcome = loop {
+                        let run = &mut work.run;
+                        let ctx = &work.ctx;
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if boom {
+                                panic!("injected task-body fault");
+                            }
+                            (run)(ctx)
+                        }));
+                        boom = false;
+                        match r {
+                            Ok(out) => break Some(out),
+                            Err(_) => {
+                                metrics.faults += 1;
+                                if tracer.is_enabled() {
+                                    tracer.emit_at(
+                                        worker,
+                                        end,
+                                        EventKind::TaskFault {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: work.version,
+                                            attempt,
+                                        },
+                                    );
+                                }
+                                if work.version.is_some()
+                                    || attempt + 1 >= chaos.retry.max_attempts.max(1)
+                                {
+                                    break None;
+                                }
+                                attempt += 1;
+                                metrics.task_retries += 1;
+                            }
+                        }
+                    };
+                    match outcome {
+                        None => {
+                            // Faulted: reuse the misspeculation path.
+                            if cfg.trace {
+                                trace.push(TaskTrace {
+                                    id: work.id,
+                                    name: work.name,
+                                    worker,
+                                    version: work.version,
+                                    tag: work.tag,
+                                    start,
+                                    end,
+                                    discarded: true,
+                                });
+                            }
+                            metrics.wasted_us += busy;
+                            if let Some(vers) = sched.fault(work.id) {
+                                let mut ctx = SimCtx {
+                                    sched: &mut sched,
+                                    platform: &cfg.platform,
+                                    now: t,
+                                };
+                                workload.on_fault(
+                                    &mut ctx,
+                                    FaultNotice {
+                                        id: work.id,
+                                        name: work.name,
+                                        version: vers,
+                                        attempt,
+                                    },
+                                );
+                                match vers {
+                                    Some(v) => {
+                                        sched.abort_version(v);
+                                    }
+                                    None => {
+                                        return Err(RunError::TaskFailed {
+                                            name: work.name,
+                                            id: work.id,
+                                            attempts: attempt + 1,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        Some(output) => {
+                            if tracer.is_enabled() {
+                                tracer.emit_at(
+                                    worker,
+                                    end,
+                                    EventKind::TaskEnd {
+                                        id: work.id,
+                                        name: work.name,
+                                        version: work.version,
+                                        discarded: false,
+                                    },
+                                );
+                            }
+                            if cfg.trace {
+                                trace.push(TaskTrace {
+                                    id: work.id,
+                                    name: work.name,
+                                    worker,
+                                    version: work.version,
+                                    tag: work.tag,
+                                    start,
+                                    end,
+                                    discarded: false,
+                                });
+                            }
+                            let mut echo = false;
+                            match chaos.faults.draw(FaultSite::Completion) {
+                                Some(FaultKind::DelayCompletion { us }) => {
+                                    // Hold the completion back: the task
+                                    // stays in flight until the delayed
+                                    // delivery, which decides discard vs
+                                    // deliver against the abort state then.
+                                    let key = chaos_state.next_key;
+                                    chaos_state.next_key += 1;
+                                    chaos_state.delayed.insert(
+                                        key,
+                                        Delayed {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: work.version,
+                                            tag: work.tag,
+                                            start,
+                                            end,
+                                            output,
+                                        },
+                                    );
+                                    heap.push(Reverse((
+                                        t + us.max(1),
+                                        heap_seq,
+                                        key,
+                                        EvSlot::DelayedDone,
+                                    )));
+                                    heap_seq += 1;
+                                }
+                                other => {
+                                    if matches!(other, Some(FaultKind::DuplicateCompletion)) {
+                                        echo = true;
+                                    }
+                                    let first = sched.try_complete(work.id);
+                                    debug_assert_eq!(
+                                        first,
+                                        Some(CompletionOutcome::Deliver),
+                                        "un-aborted completion delivers"
+                                    );
+                                    if echo {
+                                        let _ = sched.try_complete(work.id);
+                                    }
+                                    let mut ctx = SimCtx {
+                                        sched: &mut sched,
+                                        platform: &cfg.platform,
+                                        now: t,
+                                    };
+                                    workload.on_complete(
+                                        &mut ctx,
+                                        Completion {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: work.version,
+                                            tag: work.tag,
+                                            started: start,
+                                            finished: end,
+                                            output,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            EvSlot::DelayedDone => {
+                let d = chaos_state
+                    .delayed
+                    .remove(&aux)
+                    .expect("delayed completion recorded");
+                let busy = d.end - d.start;
+                match sched.try_complete(d.id) {
+                    None => {}
+                    Some(CompletionOutcome::Discard) => {
+                        // The version died while the completion was held
+                        // back; its already-produced output is dropped.
+                        metrics.wasted_us += busy;
+                    }
+                    Some(CompletionOutcome::Deliver) => {
+                        let mut ctx = SimCtx {
+                            sched: &mut sched,
+                            platform: &cfg.platform,
+                            now: t,
+                        };
+                        workload.on_complete(
+                            &mut ctx,
+                            Completion {
+                                id: d.id,
+                                name: d.name,
+                                version: d.version,
+                                tag: d.tag,
+                                started: d.start,
+                                finished: d.end,
+                                output: d.output,
+                            },
+                        );
+                    }
+                }
+            }
+            EvSlot::Watchdog => {
+                if let Some((wi, id)) = chaos_state.watch.remove(&aux) {
+                    if let Some(a) = workers[wi].assigned.iter().find(|a| a.work.id == id) {
+                        TaskCtx::signal_abort(&a.work.ctx.abort_flag());
+                        metrics.watchdog_cancels += 1;
+                        if tracer.is_enabled() {
+                            tracer.emit_at(
+                                wi,
+                                t,
+                                EventKind::WatchdogCancel {
+                                    id,
+                                    version: a.work.version,
+                                    ran_us: t.saturating_sub(a.start),
+                                },
+                            );
+                        }
+                        if let Some(v) = a.work.version {
+                            sched.abort_version(v);
+                        }
+                    }
                 }
             }
         }
@@ -255,6 +571,7 @@ pub fn run_traced<W: Workload>(
             &mut heap_seq,
             &mut metrics.lane_dispatches,
             &tracer,
+            &mut chaos_state,
         );
     }
 
@@ -275,12 +592,13 @@ pub fn run_traced<W: Workload>(
     metrics.tasks_discarded = st.discarded;
     metrics.tasks_deleted_ready = st.deleted_ready;
     metrics.rollbacks = st.rollbacks;
+    metrics.duplicate_completions = st.duplicate_completions;
 
-    SimReport {
+    Ok(SimReport {
         workload,
         metrics,
         trace,
-    }
+    })
 }
 
 /// Event discriminant kept `Copy + Ord` for the heap.
@@ -288,6 +606,8 @@ pub fn run_traced<W: Workload>(
 enum EvSlot {
     Arrival,
     Done,
+    DelayedDone,
+    Watchdog,
 }
 
 /// Fill worker prefetch queues with dispatchable tasks, scheduling their
@@ -304,6 +624,7 @@ fn dispatch_all(
     heap_seq: &mut u64,
     lane_dispatches: &mut [u64],
     tracer: &Tracer,
+    chaos: &mut ChaosState<'_>,
 ) {
     loop {
         if !sched.has_dispatchable() {
@@ -334,7 +655,13 @@ fn dispatch_all(
         let Some(work) = sched.dispatch_with(normal_pending_elsewhere) else {
             return;
         };
-        let c = cfg.platform.task_cost_us(cost, work.name, work.bytes);
+        let mut c = cfg.platform.task_cost_us(cost, work.name, work.bytes);
+        let mut inject_panic = false;
+        match chaos.opts.faults.draw(FaultSite::TaskBody) {
+            Some(FaultKind::PanicTask) => inject_panic = true,
+            Some(FaultKind::Stall { us }) => c += us,
+            _ => {}
+        }
         sched.charge(work.class, c);
         lane_dispatches[wi] += 1;
         if tracer.is_enabled() {
@@ -353,8 +680,29 @@ fn dispatch_all(
         let w = &mut workers[wi];
         let start = w.pipeline_end.max(now);
         let end = start + c.max(1);
+        if let Some(wd) = chaos.opts.watchdog {
+            // The cancel instant is known at dispatch: the task's virtual
+            // occupancy exceeds the deadline iff the watchdog fires.
+            if c.max(1) > wd.deadline_us {
+                let key = chaos.next_key;
+                chaos.next_key += 1;
+                chaos.watch.insert(key, (wi, work.id));
+                heap.push(Reverse((
+                    start + wd.deadline_us,
+                    *heap_seq,
+                    key,
+                    EvSlot::Watchdog,
+                )));
+                *heap_seq += 1;
+            }
+        }
         w.pipeline_end = end;
-        w.assigned.push_back(Assigned { work, start, end });
+        w.assigned.push_back(Assigned {
+            work,
+            start,
+            end,
+            inject_panic,
+        });
         heap.push(Reverse((end, *heap_seq, wi, EvSlot::Done)));
         *heap_seq += 1;
     }
@@ -365,6 +713,7 @@ mod tests {
     use super::*;
     use crate::platform::{x86_smp, FixedCost};
     use crate::task::{payload, TaskSpec};
+    use tvs_faults::FaultPlan;
 
     fn block(i: usize, t: Time, len: usize) -> InputBlock {
         InputBlock {
@@ -707,5 +1056,177 @@ mod tests {
             "makespan {} should not wait for the straggler",
             rep.metrics.makespan
         );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_recover() {
+        // Same plan seed twice: identical metrics, identical workload
+        // results, and the faults actually fired.
+        let mk = || PerBlock {
+            n: 12,
+            seen: 0,
+            completions: vec![],
+        };
+        let cfg = SimConfig {
+            platform: x86_smp(2),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: true,
+        };
+        let plan = || {
+            FaultPlan::new(77)
+                .with_rule(FaultSite::TaskBody, FaultKind::PanicTask, 0.3)
+                .with_rule(FaultSite::TaskBody, FaultKind::Stall { us: 40 }, 0.3)
+                .with_rule(FaultSite::Completion, FaultKind::DuplicateCompletion, 0.3)
+                .with_rule(
+                    FaultSite::Completion,
+                    FaultKind::DelayCompletion { us: 25 },
+                    0.3,
+                )
+                .with_rule(FaultSite::Feeder, FaultKind::Stall { us: 15 }, 0.3)
+        };
+        let chaos = || SimChaos {
+            faults: FaultInjector::new(plan()),
+            ..Default::default()
+        };
+        let inputs: Vec<InputBlock> = (0..12).map(|i| block(i, (i as u64) * 2, 16)).collect();
+        let a = try_run_chaos(
+            mk(),
+            &cfg,
+            &FixedCost(5),
+            inputs.clone(),
+            Tracer::disabled(),
+            &chaos(),
+        )
+        .expect("chaos run recovers");
+        let b = try_run_chaos(
+            mk(),
+            &cfg,
+            &FixedCost(5),
+            inputs,
+            Tracer::disabled(),
+            &chaos(),
+        )
+        .expect("chaos run recovers");
+        assert_eq!(a.metrics, b.metrics, "chaos is replayable");
+        assert_eq!(a.workload.seen, 12);
+        assert_eq!(b.workload.seen, 12);
+        assert!(
+            a.metrics.faults > 0 || a.metrics.duplicate_completions > 0,
+            "the plan fired something: {:?}",
+            a.metrics
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_simulated_run() {
+        struct AlwaysPanics {
+            done: bool,
+        }
+        impl Workload for AlwaysPanics {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                ctx.spawn(TaskSpec::regular("doomed", 0, 0, 0, |_| -> Payload {
+                    panic!("never succeeds")
+                }));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {
+                self.done = true;
+            }
+            fn is_finished(&self) -> bool {
+                self.done
+            }
+        }
+        let cfg = SimConfig {
+            platform: x86_smp(1),
+            policy: DispatchPolicy::NonSpeculative,
+            trace: false,
+        };
+        let Err(err) = try_run_chaos(
+            AlwaysPanics { done: false },
+            &cfg,
+            &FixedCost(3),
+            vec![],
+            Tracer::disabled(),
+            &SimChaos::default(),
+        ) else {
+            panic!("exhausted retries must fail the run");
+        };
+        assert!(matches!(
+            err,
+            RunError::TaskFailed {
+                name: "doomed",
+                attempts: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn virtual_watchdog_cancels_overlong_speculative_tasks() {
+        // A speculative task whose virtual cost exceeds the deadline: the
+        // watchdog fires at exactly start + deadline, aborts the version,
+        // and the Done event discards the body un-run.
+        struct SpecOnly {
+            fault_free: bool,
+        }
+        impl Workload for SpecOnly {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                ctx.spawn(TaskSpec::speculative("slow-spec", 0, 1 << 12, 9, 0, |_| {
+                    payload(())
+                }));
+                ctx.spawn(TaskSpec::regular("quick", 0, 0, 0, |_| payload(())));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, done: Completion) {
+                if done.name == "quick" {
+                    self.fault_free = true;
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.fault_free
+            }
+        }
+        struct NameCost;
+        impl CostModel for NameCost {
+            fn cost_us(&self, name: &str, _bytes: usize) -> Time {
+                if name == "slow-spec" {
+                    10_000
+                } else {
+                    5
+                }
+            }
+        }
+        let cfg = SimConfig {
+            platform: x86_smp(2),
+            policy: DispatchPolicy::Aggressive,
+            trace: true,
+        };
+        let chaos = SimChaos {
+            watchdog: Some(WatchdogConfig {
+                deadline_us: 1_000,
+                poll_us: 100,
+            }),
+            ..Default::default()
+        };
+        let tracer = Tracer::enabled(2);
+        let rep = try_run_chaos(
+            SpecOnly { fault_free: false },
+            &cfg,
+            &NameCost,
+            vec![],
+            tracer.clone(),
+            &chaos,
+        )
+        .expect("watchdog recovers the run");
+        assert_eq!(rep.metrics.watchdog_cancels, 1);
+        assert_eq!(rep.metrics.rollbacks, 1);
+        assert_eq!(rep.metrics.tasks_discarded, 1);
+        let log = tracer.drain().unwrap();
+        let cancel = log
+            .events
+            .iter()
+            .find(|e| e.kind.label() == "watchdog-cancel")
+            .expect("watchdog-cancel traced");
+        assert_eq!(cancel.virt_us, 1_000, "fires at exactly start + deadline");
     }
 }

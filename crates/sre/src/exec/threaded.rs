@@ -36,22 +36,42 @@
 //!   results over a bounded MPSC channel; a single router thread drains it,
 //!   charges lanes, runs `Workload::on_complete` and re-pumps — so workload
 //!   routing code never blocks a worker.
+//! * **Panic-isolated task bodies.** Every body runs under `catch_unwind`.
+//!   A panicking *speculative* task is treated exactly like a detected
+//!   misspeculation: its slot is reclaimed ([`Scheduler::fault`]), the
+//!   workload is notified ([`Workload::on_fault`]) so its speculation
+//!   manager can replay undo journals, and the version is aborted through
+//!   the regular rollback path. A panicking *non-speculative* task is
+//!   retried in place with bounded exponential backoff
+//!   ([`crate::RetryPolicy`]); only when retries are exhausted does the
+//!   run end — with a structured [`RunError`] from [`try_run`], never a
+//!   process abort. Poisoned locks are recovered, not propagated: one
+//!   caught panic must not wedge the runtime.
+//! * **Fault injection & watchdog.** A [`FaultInjector`]
+//!   (deterministically seeded, see `tvs-faults`) is consulted at the
+//!   task-body, completion and feeder sites, so chaos runs can exercise
+//!   the recovery paths on purpose; an optional watchdog thread cancels
+//!   tasks that exceed a deadline (signalling their abort flag and, for
+//!   speculative tasks, aborting their version so the speculation layer
+//!   restarts the work).
 //!
 //! The figure benches use the deterministic simulator instead; this
 //! executor exists to run the system end-to-end on real threads and to
 //! cross-validate outputs: both executors (and the baseline) run the *same*
 //! `Workload` implementations.
 
+use crate::fault::{self, RetryPolicy, RunError, WatchdogConfig};
 use crate::metrics::RunMetrics;
 use crate::policy::DispatchPolicy;
 use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
-use crate::task::{Payload, SpecVersion, TaskClass, TaskId, TaskSpec, Time};
-use crate::workload::{Completion, InputBlock, SchedCtx, Workload};
+use crate::task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Time};
+use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+use tvs_faults::{FaultInjector, FaultKind, FaultSite};
 use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a threaded run.
@@ -61,6 +81,26 @@ pub struct ThreadedConfig {
     pub workers: usize,
     /// Dispatch policy.
     pub policy: DispatchPolicy,
+    /// Retry policy for panicked non-speculative tasks.
+    pub retry: RetryPolicy,
+    /// Watchdog over long-running tasks; `None` disables it.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Fault injection plan (disabled by default; see `tvs-faults`).
+    pub faults: FaultInjector,
+}
+
+impl ThreadedConfig {
+    /// A config with default fault handling: bounded retry, no watchdog,
+    /// no fault injection.
+    pub fn new(workers: usize, policy: DispatchPolicy) -> Self {
+        ThreadedConfig {
+            workers,
+            policy,
+            retry: RetryPolicy::default(),
+            watchdog: None,
+            faults: FaultInjector::disabled(),
+        }
+    }
 }
 
 /// A dispatched task parked in a worker lane, stamped with the abort epoch
@@ -73,6 +113,17 @@ struct Ready {
 struct Parker {
     handle: OnceLock<std::thread::Thread>,
     parked: AtomicBool,
+}
+
+/// What the watchdog sees of the task a worker is currently running.
+struct WatchSlot {
+    id: TaskId,
+    version: Option<SpecVersion>,
+    flag: Arc<AtomicBool>,
+    started: Time,
+    /// Set once the watchdog has cancelled this occupancy, so one stuck
+    /// task is cancelled exactly once.
+    flagged: bool,
 }
 
 /// Lock-free-ish fabric shared by workers: ready lanes, parkers and the
@@ -104,6 +155,18 @@ struct Fabric {
     steals: AtomicU64,
     done: AtomicBool,
     start: Instant,
+    /// Fault injection handle (disabled handle = one branch per site).
+    faults: FaultInjector,
+    /// Per-worker slot describing the currently-running task, for the
+    /// watchdog. Only maintained when the watchdog is configured.
+    watch: Vec<Mutex<Option<WatchSlot>>>,
+    watchdog_enabled: bool,
+    /// Caught body panics (one per failed attempt).
+    fault_count: AtomicU64,
+    /// Retry attempts spent on panicked non-speculative bodies.
+    retries: AtomicU64,
+    /// Tasks cancelled by the watchdog.
+    watchdog_cancels: AtomicU64,
     /// Lifecycle event sink. Dispatch events go to the control ring (the
     /// pump always runs under the commit lock, so that ring stays
     /// single-writer); worker-side events go to each worker's own ring.
@@ -111,7 +174,7 @@ struct Fabric {
 }
 
 impl Fabric {
-    fn new(workers: usize, tracer: Tracer) -> Self {
+    fn new(workers: usize, tracer: Tracer, faults: FaultInjector, watchdog_enabled: bool) -> Self {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(workers);
@@ -134,6 +197,12 @@ impl Fabric {
             steals: AtomicU64::new(0),
             done: AtomicBool::new(false),
             start: Instant::now(),
+            faults,
+            watch: (0..workers).map(|_| Mutex::new(None)).collect(),
+            watchdog_enabled,
+            fault_count: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            watchdog_cancels: AtomicU64::new(0),
             tracer,
         }
     }
@@ -176,24 +245,21 @@ impl Fabric {
         // re-check errs towards staying awake, never towards sleeping on
         // available work.
         self.in_lanes.fetch_add(1, Ordering::SeqCst);
-        self.lanes[lane]
-            .lock()
-            .expect("lane poisoned")
-            .push_back(Ready { work, epoch });
+        fault::lock_recover(&self.lanes[lane]).push_back(Ready { work, epoch });
     }
 
     /// Take work for worker `me`: own lane front first (FCFS within the
     /// lane), then steal from the back of the other lanes. The second
     /// element is the victim lane when the task was stolen.
     fn grab(&self, me: usize) -> Option<(Ready, Option<usize>)> {
-        if let Some(r) = self.lanes[me].lock().expect("lane poisoned").pop_front() {
+        if let Some(r) = fault::lock_recover(&self.lanes[me]).pop_front() {
             self.on_take(&r);
             return Some((r, None));
         }
         let n = self.lanes.len();
         for off in 1..n {
             let victim = (me + off) % n;
-            if let Some(r) = self.lanes[victim].lock().expect("lane poisoned").pop_back() {
+            if let Some(r) = fault::lock_recover(&self.lanes[victim]).pop_back() {
                 self.on_take(&r);
                 return Some((r, Some(victim)));
             }
@@ -259,10 +325,24 @@ struct Inner<W> {
     busy_us: Time,
     wasted_us: Time,
     finished_at: Option<Time>,
+    /// Set when a non-speculative task exhausted its retries: the run is
+    /// failing with this error. Shutdown proceeds through the normal done
+    /// path so every thread still joins.
+    failed: Option<RunError>,
 }
 
-/// A worker's report to the router. `ran == false` means the task was
-/// cancelled by lane re-validation and never executed.
+/// How a worker's occupancy of a task ended.
+enum BodyResult {
+    /// The body ran to completion and produced an output.
+    Ran(Payload),
+    /// Lane re-validation cancelled the task before it ran.
+    Cancelled,
+    /// Every body attempt panicked (`attempt` = retries spent; 0 for
+    /// speculative tasks, which are never retried).
+    Faulted { attempt: u32 },
+}
+
+/// A worker's report to the router.
 struct Finished {
     id: TaskId,
     name: &'static str,
@@ -271,8 +351,7 @@ struct Finished {
     tag: u64,
     started: Time,
     finished: Time,
-    ran: bool,
-    output: Option<Payload>,
+    body: BodyResult,
 }
 
 /// `SchedCtx` handed to workload callbacks: spawns go straight to the
@@ -318,11 +397,31 @@ fn pump<W>(fabric: &Fabric, inner: &mut Inner<W>) -> bool {
 }
 
 fn run_complete<W: Workload>(inner: &mut Inner<W>, now: Time) -> bool {
-    let done = inner.workload.is_finished() && inner.input_done && inner.sched.is_idle();
+    let done = inner.failed.is_some()
+        || (inner.workload.is_finished() && inner.input_done && inner.sched.is_idle());
     if done && inner.finished_at.is_none() {
         inner.finished_at = Some(now);
     }
     done
+}
+
+/// One body attempt: act out any fault injected at the task-body site,
+/// then run the body under `catch_unwind`.
+fn run_attempt(fabric: &Fabric, work: &mut Dispatched) -> std::thread::Result<Payload> {
+    let mut boom = false;
+    match fabric.faults.draw(FaultSite::TaskBody) {
+        Some(FaultKind::PanicTask) => boom = true,
+        Some(FaultKind::Stall { us }) => fault::stall_wall(us, &work.ctx),
+        _ => {}
+    }
+    let run = &mut work.run;
+    let ctx = &work.ctx;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if boom {
+            panic!("injected task-body fault");
+        }
+        (run)(ctx)
+    }))
 }
 
 /// Run `workload` on `cfg.workers` real threads, feeding it the blocks
@@ -330,27 +429,35 @@ fn run_complete<W: Workload>(inner: &mut Inner<W>, now: Time) -> bool {
 /// may block to pace arrivals, e.g. [`tvs-iosim`'s paced
 /// iterator](https://docs.rs/tvs-iosim)).
 ///
-/// Returns the finished workload and the run metrics.
+/// Returns the finished workload and the run metrics. Panics if the run
+/// fails (a non-speculative task panicking on every retry, or a runtime
+/// thread dying); use [`try_run`] to receive the [`RunError`] instead.
 pub fn run<W, I>(workload: W, cfg: &ThreadedConfig, inputs: I) -> (W, RunMetrics)
 where
     W: Workload + Send + 'static,
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
-    run_traced(workload, cfg, inputs, Tracer::disabled())
+    try_run(workload, cfg, inputs).unwrap_or_else(|e| panic!("threaded run failed: {e}"))
 }
 
-/// [`run`], recording speculation-lifecycle events into `tracer`.
-///
-/// Dispatch, predictor/check/commit and rollback events are emitted on the
-/// control ring (their emitters hold the commit lock, keeping that ring
-/// single-writer); steal, task-start/end and park/unpark events land on the
-/// emitting worker's own ring. Timestamps are wall-clock µs from the
-/// tracer's epoch. A task-end's `discarded` flag reflects the abort flag at
-/// completion time — a task whose version is rolled back *after* it
-/// finishes but before the router routes it is counted as wasted in
-/// [`RunMetrics`] but not flagged in the trace (the simulator's virtual
-/// trace is exact; this executor's is a per-task approximation).
+/// [`run`] returning a structured [`RunError`] instead of panicking when
+/// the run cannot complete.
+pub fn try_run<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+) -> Result<(W, RunMetrics), RunError>
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    try_run_traced(workload, cfg, inputs, Tracer::disabled())
+}
+
+/// [`run`], recording speculation-lifecycle events into `tracer`. Panics
+/// on a failed run; use [`try_run_traced`] for the fallible form.
 pub fn run_traced<W, I>(
     workload: W,
     cfg: &ThreadedConfig,
@@ -362,8 +469,41 @@ where
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
+    try_run_traced(workload, cfg, inputs, tracer)
+        .unwrap_or_else(|e| panic!("threaded run failed: {e}"))
+}
+
+/// The full entry point: threaded execution with tracing and structured
+/// failure.
+///
+/// Dispatch, predictor/check/commit and rollback events are emitted on the
+/// control ring (their emitters hold the commit lock, keeping that ring
+/// single-writer); steal, task-start/end, task-fault and park/unpark
+/// events land on the emitting worker's own ring. Timestamps are
+/// wall-clock µs from the tracer's epoch. A task-end's `discarded` flag
+/// reflects the abort flag at completion time — a task whose version is
+/// rolled back *after* it finishes but before the router routes it is
+/// counted as wasted in [`RunMetrics`] but not flagged in the trace (the
+/// simulator's virtual trace is exact; this executor's is a per-task
+/// approximation).
+pub fn try_run_traced<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+) -> Result<(W, RunMetrics), RunError>
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
     assert!(cfg.workers > 0, "need at least one worker");
-    let fabric = Arc::new(Fabric::new(cfg.workers, tracer.clone()));
+    let fabric = Arc::new(Fabric::new(
+        cfg.workers,
+        tracer.clone(),
+        cfg.faults.clone(),
+        cfg.watchdog.is_some(),
+    ));
     let commit = Arc::new(Mutex::new(Inner {
         sched: Scheduler::with_tracer(cfg.policy, tracer),
         workload,
@@ -373,10 +513,11 @@ where
         busy_us: 0,
         wasted_us: 0,
         finished_at: None,
+        failed: None,
     }));
 
     {
-        let mut guard = commit.lock().expect("commit lock poisoned");
+        let mut guard = fault::lock_recover(&commit);
         let inner = &mut *guard;
         let now = fabric.now();
         let Inner {
@@ -399,6 +540,7 @@ where
     // never *waited on* here — an idle worker may `try_lock` it to refill
     // its own lanes (work conservation), but gives up instantly if the
     // feeder or router holds it.
+    let retry = cfg.retry;
     let workers: Vec<_> = (0..cfg.workers)
         .map(|me| {
             let fabric = Arc::clone(&fabric);
@@ -428,7 +570,7 @@ where
                                 // Wake chain: if backlog remains beyond the
                                 // awake set, ramp up one more worker.
                                 fabric.wake_for_work();
-                                let work = ready.work;
+                                let mut work = ready.work;
                                 // Epoch-checked re-validation: only a task
                                 // bound before some rollback can be stale,
                                 // and only a flagged one is actually dead.
@@ -444,8 +586,7 @@ where
                                         tag: work.tag,
                                         started: now,
                                         finished: now,
-                                        ran: false,
-                                        output: None,
+                                        body: BodyResult::Cancelled,
                                     };
                                     if tx.send(cancelled).is_err() {
                                         return;
@@ -464,18 +605,67 @@ where
                                     );
                                 }
                                 let started = fabric.now();
-                                let output = (work.run)(&work.ctx);
+                                if fabric.watchdog_enabled {
+                                    *fault::lock_recover(&fabric.watch[me]) = Some(WatchSlot {
+                                        id: work.id,
+                                        version: work.version,
+                                        flag: work.ctx.abort_flag(),
+                                        started,
+                                        flagged: false,
+                                    });
+                                }
+                                // Panic-isolated body execution: catch,
+                                // report, and — for non-speculative tasks —
+                                // retry in place with bounded backoff.
+                                // Speculative faults never retry: aborting
+                                // the version is cheaper and the
+                                // speculation layer restarts the work.
+                                let mut attempt = 0u32;
+                                let body = loop {
+                                    match run_attempt(&fabric, &mut work) {
+                                        Ok(out) => break BodyResult::Ran(out),
+                                        Err(_) => {
+                                            fabric.fault_count.fetch_add(1, Ordering::Relaxed);
+                                            if traced {
+                                                fabric.tracer.emit(
+                                                    me,
+                                                    EventKind::TaskFault {
+                                                        id: work.id,
+                                                        name: work.name,
+                                                        version: work.version,
+                                                        attempt,
+                                                    },
+                                                );
+                                            }
+                                            if work.version.is_some()
+                                                || attempt + 1 >= retry.max_attempts.max(1)
+                                            {
+                                                break BodyResult::Faulted { attempt };
+                                            }
+                                            attempt += 1;
+                                            fabric.retries.fetch_add(1, Ordering::Relaxed);
+                                            std::thread::sleep(Duration::from_micros(
+                                                retry.backoff_us(attempt),
+                                            ));
+                                        }
+                                    }
+                                };
+                                if fabric.watchdog_enabled {
+                                    *fault::lock_recover(&fabric.watch[me]) = None;
+                                }
                                 let finished = fabric.now();
                                 if traced {
-                                    fabric.tracer.emit(
-                                        me,
-                                        EventKind::TaskEnd {
-                                            id: work.id,
-                                            name: work.name,
-                                            version: work.version,
-                                            discarded: work.ctx.aborted(),
-                                        },
-                                    );
+                                    if let BodyResult::Ran(_) = body {
+                                        fabric.tracer.emit(
+                                            me,
+                                            EventKind::TaskEnd {
+                                                id: work.id,
+                                                name: work.name,
+                                                version: work.version,
+                                                discarded: work.ctx.aborted(),
+                                            },
+                                        );
+                                    }
                                 }
                                 let report = Finished {
                                     id: work.id,
@@ -485,8 +675,7 @@ where
                                     tag: work.tag,
                                     started,
                                     finished,
-                                    ran: true,
-                                    output: Some(output),
+                                    body,
                                 };
                                 if tx.send(report).is_err() {
                                     return;
@@ -558,8 +747,16 @@ where
             .name("tvs-feeder".into())
             .spawn(move || {
                 for (index, data) in inputs {
+                    // A failing run stops consuming input: the router has
+                    // already initiated shutdown.
+                    if fabric.done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Some(FaultKind::Stall { us }) = fabric.faults.draw(FaultSite::Feeder) {
+                        std::thread::sleep(Duration::from_micros(us));
+                    }
                     let now = fabric.now();
-                    let mut guard = commit.lock().expect("commit lock poisoned");
+                    let mut guard = fault::lock_recover(&commit);
                     let inner = &mut *guard;
                     let Inner {
                         sched, workload, ..
@@ -583,7 +780,7 @@ where
                     }
                 }
                 let now = fabric.now();
-                let mut guard = commit.lock().expect("commit lock poisoned");
+                let mut guard = fault::lock_recover(&commit);
                 let inner = &mut *guard;
                 let Inner {
                     sched, workload, ..
@@ -622,8 +819,13 @@ where
                 // short-task storm this amortises the lock/pump/wake cost
                 // across the whole backlog instead of paying it per task.
                 let mut batch: Vec<Finished> = Vec::with_capacity(64);
+                // Completions held back by an injected DelayCompletion;
+                // re-queued at the top of the next iteration, after
+                // whatever else arrived — the reordering is the fault.
+                let mut delayed: Vec<Finished> = Vec::new();
                 let mut idle = 0u32;
                 loop {
+                    batch.append(&mut delayed);
                     while batch.len() < 256 {
                         match rx.try_recv() {
                             Ok(f) => batch.push(f),
@@ -645,42 +847,118 @@ where
                         }
                     }
                     idle = 0;
-                    let mut guard = commit.lock().expect("commit lock poisoned");
+                    let mut guard = fault::lock_recover(&commit);
                     let inner = &mut *guard;
                     for f in batch.drain(..) {
-                        if !f.ran {
-                            inner.sched.cancel_bound(f.id);
-                            continue;
-                        }
-                        let busy = f.finished.saturating_sub(f.started);
-                        inner.busy_us += busy;
-                        inner.sched.charge(f.class, busy);
-                        match inner.sched.complete(f.id) {
-                            CompletionOutcome::Discard => {
-                                inner.discarded += 1;
-                                inner.wasted_us += busy;
+                        let Finished {
+                            id,
+                            name,
+                            class,
+                            version,
+                            tag,
+                            started,
+                            finished,
+                            body,
+                        } = f;
+                        match body {
+                            BodyResult::Cancelled => {
+                                inner.sched.cancel_bound(id);
                             }
-                            CompletionOutcome::Deliver => {
-                                inner.delivered += 1;
-                                let Inner {
-                                    sched, workload, ..
-                                } = inner;
-                                workload.on_complete(
-                                    &mut WsCtx {
+                            BodyResult::Faulted { attempt } => {
+                                // Reuse the misspeculation path: reclaim the
+                                // slot, tell the workload (so its speculation
+                                // manager replays undo journals), then abort
+                                // the version through the regular rollback.
+                                let busy = finished.saturating_sub(started);
+                                inner.busy_us += busy;
+                                inner.wasted_us += busy;
+                                inner.sched.charge(class, busy);
+                                if let Some(vers) = inner.sched.fault(id) {
+                                    let Inner {
+                                        sched, workload, ..
+                                    } = inner;
+                                    let mut ctx = WsCtx {
                                         sched,
                                         abort_epoch: &fabric.abort_epoch,
-                                        now: f.finished,
-                                    },
-                                    Completion {
-                                        id: f.id,
-                                        name: f.name,
-                                        version: f.version,
-                                        tag: f.tag,
-                                        started: f.started,
-                                        finished: f.finished,
-                                        output: f.output.expect("ran tasks carry output"),
-                                    },
-                                );
+                                        now: finished,
+                                    };
+                                    workload.on_fault(
+                                        &mut ctx,
+                                        FaultNotice {
+                                            id,
+                                            name,
+                                            version: vers,
+                                            attempt,
+                                        },
+                                    );
+                                    match vers {
+                                        Some(v) => ctx.abort_version(v),
+                                        None => {
+                                            inner.failed.get_or_insert(RunError::TaskFailed {
+                                                name,
+                                                id,
+                                                attempts: attempt + 1,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            BodyResult::Ran(output) => {
+                                let mut echo = false;
+                                match fabric.faults.draw(FaultSite::Completion) {
+                                    Some(FaultKind::DelayCompletion { .. }) => {
+                                        delayed.push(Finished {
+                                            id,
+                                            name,
+                                            class,
+                                            version,
+                                            tag,
+                                            started,
+                                            finished,
+                                            body: BodyResult::Ran(output),
+                                        });
+                                        continue;
+                                    }
+                                    Some(FaultKind::DuplicateCompletion) => echo = true,
+                                    _ => {}
+                                }
+                                let busy = finished.saturating_sub(started);
+                                inner.busy_us += busy;
+                                inner.sched.charge(class, busy);
+                                match inner.sched.try_complete(id) {
+                                    None => {}
+                                    Some(CompletionOutcome::Discard) => {
+                                        inner.discarded += 1;
+                                        inner.wasted_us += busy;
+                                    }
+                                    Some(CompletionOutcome::Deliver) => {
+                                        inner.delivered += 1;
+                                        let Inner {
+                                            sched, workload, ..
+                                        } = inner;
+                                        workload.on_complete(
+                                            &mut WsCtx {
+                                                sched,
+                                                abort_epoch: &fabric.abort_epoch,
+                                                now: finished,
+                                            },
+                                            Completion {
+                                                id,
+                                                name,
+                                                version,
+                                                tag,
+                                                started,
+                                                finished,
+                                                output,
+                                            },
+                                        );
+                                    }
+                                }
+                                if echo {
+                                    // Deliver the completion twice; the
+                                    // scheduler absorbs the second copy.
+                                    let _ = inner.sched.try_complete(id);
+                                }
                             }
                         }
                     }
@@ -700,18 +978,89 @@ where
             .expect("failed to spawn router thread")
     };
 
-    feeder.join().expect("feeder thread panicked");
-    for w in workers {
-        w.join().expect("worker thread panicked");
+    // Watchdog thread: polls the per-worker slots and cancels any task
+    // that has been running past the deadline — signal its abort flag
+    // (abort-aware bodies and injected stalls return early) and, for
+    // speculative tasks, abort the version so the speculation layer
+    // restarts the work on the natural path.
+    let watchdog = cfg.watchdog.map(|wd| {
+        let fabric = Arc::clone(&fabric);
+        let commit = Arc::clone(&commit);
+        std::thread::Builder::new()
+            .name("tvs-watchdog".into())
+            .spawn(move || {
+                while !fabric.done.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(wd.poll_us.max(100)));
+                    let now = fabric.now();
+                    for slot in &fabric.watch {
+                        let mut g = fault::lock_recover(slot);
+                        let Some(s) = g.as_mut() else { continue };
+                        if s.flagged || now.saturating_sub(s.started) < wd.deadline_us {
+                            continue;
+                        }
+                        s.flagged = true;
+                        TaskCtx::signal_abort(&s.flag);
+                        fabric.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+                        if fabric.tracer.is_enabled() {
+                            fabric.tracer.emit_control(EventKind::WatchdogCancel {
+                                id: s.id,
+                                version: s.version,
+                                ran_us: now.saturating_sub(s.started),
+                            });
+                        }
+                        let version = s.version;
+                        drop(g);
+                        if let Some(v) = version {
+                            let mut guard = fault::lock_recover(&commit);
+                            let Inner { sched, .. } = &mut *guard;
+                            let mut ctx = WsCtx {
+                                sched,
+                                abort_epoch: &fabric.abort_epoch,
+                                now,
+                            };
+                            ctx.abort_version(v);
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn watchdog thread")
+    });
+
+    // Joins: a runtime thread dying outside a task body is a runtime bug,
+    // but it is still reported as a RunError value, not a process abort.
+    let mut lost: Option<&'static str> = None;
+    if feeder.join().is_err() {
+        lost = Some("feeder");
     }
-    router.join().expect("router thread panicked");
+    for w in workers {
+        if w.join().is_err() {
+            lost = lost.or(Some("worker"));
+        }
+    }
+    if router.join().is_err() {
+        lost = lost.or(Some("router"));
+    }
+    // Belt-and-braces: the router sets `done` on every exit path, but the
+    // watchdog must terminate even if the router was lost.
+    fabric.done.store(true, Ordering::SeqCst);
+    if let Some(wd) = watchdog {
+        if wd.join().is_err() {
+            lost = lost.or(Some("watchdog"));
+        }
+    }
 
     let fabric =
         Arc::try_unwrap(fabric).unwrap_or_else(|_| panic!("threads gone, fabric uniquely owned"));
-    let inner = Arc::try_unwrap(commit)
-        .unwrap_or_else(|_| panic!("threads gone, commit state uniquely owned"))
-        .into_inner()
-        .expect("commit lock poisoned");
+    let inner = fault::into_inner_recover(
+        Arc::try_unwrap(commit)
+            .unwrap_or_else(|_| panic!("threads gone, commit state uniquely owned")),
+    );
+    if let Some(e) = inner.failed {
+        return Err(e);
+    }
+    if let Some(what) = lost {
+        return Err(RunError::WorkerLost { what });
+    }
     let st = inner.sched.stats().clone();
     let metrics = RunMetrics {
         makespan: inner.finished_at.unwrap_or_else(|| fabric.now()),
@@ -728,14 +1077,20 @@ where
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
         steals: fabric.steals.load(Ordering::Relaxed),
+        faults: fabric.fault_count.load(Ordering::Relaxed),
+        task_retries: fabric.retries.load(Ordering::Relaxed),
+        watchdog_cancels: fabric.watchdog_cancels.load(Ordering::Relaxed),
+        duplicate_completions: st.duplicate_completions,
     };
-    (inner.workload, metrics)
+    Ok((inner.workload, metrics))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::task::payload;
+    use std::sync::atomic::AtomicU32;
+    use tvs_faults::FaultPlan;
 
     struct Summer {
         n: usize,
@@ -768,10 +1123,7 @@ mod tests {
         let blocks: Vec<(usize, Arc<[u8]>)> =
             (0..32).map(|i| (i, vec![i as u8; 100].into())).collect();
         let expect: u64 = (0..32u64).map(|i| i * 100).sum();
-        let cfg = ThreadedConfig {
-            workers: 4,
-            policy: DispatchPolicy::NonSpeculative,
-        };
+        let cfg = ThreadedConfig::new(4, DispatchPolicy::NonSpeculative);
         let (w, m) = run(
             Summer {
                 n: 32,
@@ -791,16 +1143,15 @@ mod tests {
             32,
             "every task went through a lane"
         );
+        assert_eq!(m.faults, 0);
+        assert_eq!(m.duplicate_completions, 0);
     }
 
     #[test]
     fn traced_run_records_dispatch_and_task_events() {
         let blocks: Vec<(usize, Arc<[u8]>)> =
             (0..16).map(|i| (i, vec![i as u8; 64].into())).collect();
-        let cfg = ThreadedConfig {
-            workers: 3,
-            policy: DispatchPolicy::NonSpeculative,
-        };
+        let cfg = ThreadedConfig::new(3, DispatchPolicy::NonSpeculative);
         let tracer = Tracer::enabled(3);
         let (w, m) = run_traced(
             Summer {
@@ -842,10 +1193,7 @@ mod tests {
                 true
             }
         }
-        let cfg = ThreadedConfig {
-            workers: 2,
-            policy: DispatchPolicy::NonSpeculative,
-        };
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
         let (_w, m) = run(Nothing, &cfg, Vec::<(usize, Arc<[u8]>)>::new());
         assert_eq!(m.tasks_delivered, 0);
     }
@@ -875,10 +1223,7 @@ mod tests {
             }
         }
         let inputs: Vec<(usize, Arc<[u8]>)> = vec![(0, vec![0u8; 4].into())];
-        let cfg = ThreadedConfig {
-            workers: 3,
-            policy: DispatchPolicy::NonSpeculative,
-        };
+        let cfg = ThreadedConfig::new(3, DispatchPolicy::NonSpeculative);
         let (w, m) = run(TwoStage { stage2_done: false }, &cfg, inputs);
         assert!(w.stage2_done);
         assert_eq!(m.tasks_delivered, 2);
@@ -919,10 +1264,7 @@ mod tests {
                 self.normal_done
             }
         }
-        let cfg = ThreadedConfig {
-            workers: 2,
-            policy: DispatchPolicy::Aggressive,
-        };
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::Aggressive);
         let (w, m) = run(
             SpecAbort {
                 normal_done: false,
@@ -980,10 +1322,7 @@ mod tests {
                 self.normal_done
             }
         }
-        let cfg = ThreadedConfig {
-            workers: 2,
-            policy: DispatchPolicy::Balanced,
-        };
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::Balanced);
         let (w, m) = run(
             AbortFirst {
                 normal_done: false,
@@ -997,5 +1336,214 @@ mod tests {
         assert_eq!(m.tasks_delivered, 1);
         assert_eq!(m.tasks_deleted_ready + m.tasks_discarded, 8);
         assert_eq!(m.rollbacks, 1);
+    }
+
+    /// A workload whose single regular task panics `fail_times` times
+    /// before succeeding.
+    struct Flaky {
+        fail_times: u32,
+        done: bool,
+        faults_seen: u32,
+    }
+
+    impl Workload for Flaky {
+        fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+            let fail_times = self.fail_times;
+            let tries = AtomicU32::new(0);
+            ctx.spawn(TaskSpec::regular("flaky", 0, 0, 0, move |_| {
+                let t = tries.fetch_add(1, Ordering::SeqCst);
+                if t < fail_times {
+                    panic!("flaky attempt {t}");
+                }
+                payload(t)
+            }));
+        }
+        fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+        fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {
+            self.done = true;
+        }
+        fn on_fault(&mut self, _: &mut dyn SchedCtx, _: FaultNotice) {
+            self.faults_seen += 1;
+        }
+        fn is_finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn panicking_regular_task_is_retried_and_delivered() {
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
+        let (w, m) = try_run(
+            Flaky {
+                fail_times: 2,
+                done: false,
+                faults_seen: 0,
+            },
+            &cfg,
+            Vec::<(usize, Arc<[u8]>)>::new(),
+        )
+        .expect("retries recover the run");
+        assert!(w.done);
+        assert_eq!(w.faults_seen, 0, "recovered faults never reach on_fault");
+        assert_eq!(m.tasks_delivered, 1);
+        assert_eq!(m.faults, 2, "both panicked attempts were caught");
+        assert_eq!(m.task_retries, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_run_with_a_structured_error() {
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
+        let Err(err) = try_run(
+            Flaky {
+                fail_times: u32::MAX,
+                done: false,
+                faults_seen: 0,
+            },
+            &cfg,
+            Vec::<(usize, Arc<[u8]>)>::new(),
+        ) else {
+            panic!("a task that always panics must fail the run");
+        };
+        match err {
+            RunError::TaskFailed { name, attempts, .. } => {
+                assert_eq!(name, "flaky");
+                assert_eq!(attempts, RetryPolicy::default().max_attempts);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn panicking_speculative_task_aborts_its_version() {
+        // A speculative task that panics must be routed through the
+        // rollback path: on_fault fires, the version is aborted, and the
+        // run still completes via the normal task.
+        struct SpecPanic {
+            normal_done: bool,
+            fault: Option<FaultNotice>,
+        }
+        impl Workload for SpecPanic {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                ctx.spawn(TaskSpec::speculative("boom", 0, 0, 7, 0, |_| -> Payload {
+                    panic!("speculative failure")
+                }));
+                ctx.spawn(TaskSpec::regular("normal", 0, 0, 0, |_| payload(())));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, done: Completion) {
+                if done.name == "normal" {
+                    self.normal_done = true;
+                }
+            }
+            fn on_fault(&mut self, _: &mut dyn SchedCtx, fault: FaultNotice) {
+                self.fault = Some(fault);
+            }
+            fn is_finished(&self) -> bool {
+                self.normal_done
+            }
+        }
+        let cfg = ThreadedConfig::new(2, DispatchPolicy::Aggressive);
+        let (w, m) = try_run(
+            SpecPanic {
+                normal_done: false,
+                fault: None,
+            },
+            &cfg,
+            Vec::<(usize, Arc<[u8]>)>::new(),
+        )
+        .expect("speculative faults never fail the run");
+        assert!(w.normal_done);
+        let f = w.fault.expect("on_fault fired");
+        assert_eq!(f.name, "boom");
+        assert_eq!(f.version, Some(7));
+        assert_eq!(f.attempt, 0, "speculative tasks are not retried");
+        assert_eq!(m.faults, 1);
+        assert_eq!(m.task_retries, 0);
+        assert_eq!(m.rollbacks, 1, "the faulted version was aborted");
+        assert_eq!(m.tasks_delivered, 1, "only the normal task delivered");
+    }
+
+    #[test]
+    fn injected_panics_and_duplicates_recover_deterministically() {
+        // Chaos smoke: inject panics at the task-body site and duplicated
+        // completions at the router, and require byte-identical results.
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..24).map(|i| (i, vec![i as u8; 50].into())).collect();
+        let expect: u64 = (0..24u64).map(|i| i * 50).sum();
+        let plan = FaultPlan::new(99)
+            .with_rule(FaultSite::TaskBody, FaultKind::PanicTask, 0.2)
+            .with_rule(FaultSite::Completion, FaultKind::DuplicateCompletion, 0.2)
+            .with_rule(
+                FaultSite::Completion,
+                FaultKind::DelayCompletion { us: 100 },
+                0.2,
+            )
+            .with_max_faults(16);
+        let mut cfg = ThreadedConfig::new(3, DispatchPolicy::NonSpeculative);
+        cfg.faults = FaultInjector::new(plan);
+        let (w, m) = try_run(
+            Summer {
+                n: 24,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+        )
+        .expect("injected faults are recoverable");
+        assert_eq!(w.total, expect, "output identical to the fault-free run");
+        assert_eq!(m.tasks_delivered, 24);
+        assert!(
+            cfg.faults.injected() > 0,
+            "the plan actually injected something"
+        );
+        assert_eq!(
+            m.duplicate_completions,
+            cfg.faults
+                .log()
+                .iter()
+                .filter(|f| f.kind == FaultKind::DuplicateCompletion)
+                .count() as u64,
+            "every injected echo was absorbed"
+        );
+    }
+
+    #[test]
+    fn watchdog_cancels_a_stuck_speculative_task() {
+        // A speculative task that never checks its abort flag fast enough
+        // on its own: the watchdog signals the flag (unsticking the
+        // abort-aware busy wait) and aborts the version.
+        struct Stuck;
+        impl Workload for Stuck {
+            fn on_start(&mut self, ctx: &mut dyn SchedCtx) {
+                ctx.spawn(TaskSpec::speculative("stuck", 0, 0, 3, 0, |ctx| {
+                    let t0 = std::time::Instant::now();
+                    while !ctx.aborted() && t0.elapsed() < Duration::from_secs(5) {
+                        std::thread::yield_now();
+                    }
+                    payload(())
+                }));
+            }
+            fn on_input(&mut self, _: &mut dyn SchedCtx, _: InputBlock) {}
+            fn on_complete(&mut self, _: &mut dyn SchedCtx, _: Completion) {}
+            fn is_finished(&self) -> bool {
+                true
+            }
+        }
+        let mut cfg = ThreadedConfig::new(2, DispatchPolicy::Aggressive);
+        cfg.watchdog = Some(WatchdogConfig {
+            deadline_us: 20_000,
+            poll_us: 2_000,
+        });
+        let t0 = Instant::now();
+        let (_w, m) = try_run(Stuck, &cfg, Vec::<(usize, Arc<[u8]>)>::new())
+            .expect("watchdog recovers the run");
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "watchdog unstuck the task well before its 5s cap"
+        );
+        assert_eq!(m.watchdog_cancels, 1);
+        assert_eq!(m.rollbacks, 1, "the stuck version was aborted");
+        assert_eq!(m.tasks_discarded, 1, "its late output was discarded");
     }
 }

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod fault;
 pub mod mapreduce;
 pub mod metrics;
 pub mod platform;
@@ -49,11 +50,13 @@ pub mod sched;
 pub mod task;
 pub mod workload;
 
+pub use fault::{into_inner_recover, lock_recover, RetryPolicy, RunError, WatchdogConfig};
 pub use mapreduce::{MapReduce, Summary};
 pub use metrics::{RunMetrics, TaskTrace};
 pub use platform::{cell_be, x86_smp, CostModel, FixedCost, Platform};
 pub use policy::DispatchPolicy;
 pub use sched::Scheduler;
 pub use task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Time};
+pub use tvs_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use tvs_trace::{TraceLog, Tracer};
-pub use workload::{Completion, InputBlock, SchedCtx, Workload};
+pub use workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};

@@ -149,8 +149,8 @@ impl<T: Summary> MapReduce<T> {
             g as u64,
             move |_| {
                 let mut acc = T::default();
-                if let Some(p) = prev {
-                    acc.merge(&p);
+                if let Some(p) = &prev {
+                    acc.merge(p);
                 }
                 for part in &group {
                     acc.merge(part);

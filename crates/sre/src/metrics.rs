@@ -60,6 +60,16 @@ pub struct RunMetrics {
     /// Tasks a worker executed after stealing them from another worker's
     /// lane. Always zero for the simulator and the single-lock baseline.
     pub steals: u64,
+    /// Task bodies that panicked and were caught by the executor
+    /// (speculative fault → version abort; non-speculative → retried).
+    pub faults: u64,
+    /// Retry attempts spent re-running panicked non-speculative bodies.
+    pub task_retries: u64,
+    /// Tasks cancelled by the watchdog for exceeding their deadline.
+    pub watchdog_cancels: u64,
+    /// Duplicate completion deliveries the scheduler absorbed (only
+    /// non-zero under fault injection).
+    pub duplicate_completions: u64,
 }
 
 impl RunMetrics {

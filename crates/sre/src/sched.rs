@@ -61,6 +61,12 @@ pub struct SchedStats {
     pub discarded: u64,
     /// Tasks delivered.
     pub delivered: u64,
+    /// Tasks whose body panicked (caught by the executor) or that the
+    /// watchdog cancelled; their slot was reclaimed via [`Scheduler::fault`].
+    pub faulted: u64,
+    /// Duplicate completion deliveries tolerated (injected echoes that
+    /// [`Scheduler::try_complete`] absorbed).
+    pub duplicate_completions: u64,
 }
 
 struct Running {
@@ -250,21 +256,46 @@ impl Scheduler {
     /// Report a dispatched task as finished. The executor then either
     /// delivers the output to the workload or drops it.
     pub fn complete(&mut self, id: TaskId) -> CompletionOutcome {
-        let r = self
-            .running
-            .remove(&id)
-            .expect("complete() called for a task that is not running");
+        self.try_complete(id)
+            .expect("complete() called for a task that is not running")
+    }
+
+    /// Duplicate-tolerant [`Self::complete`]: returns `None` (and counts a
+    /// tolerated duplicate) when `id` is not in flight — the task already
+    /// completed or faulted, so this delivery is an echo. Fault-injection
+    /// chaos runs duplicate completions on purpose; executors route every
+    /// completion through here so the echo is absorbed instead of
+    /// panicking.
+    pub fn try_complete(&mut self, id: TaskId) -> Option<CompletionOutcome> {
+        let r = match self.running.remove(&id) {
+            Some(r) => r,
+            None => {
+                self.stats.duplicate_completions += 1;
+                return None;
+            }
+        };
         let aborted = r
             .version
             .map(|v| self.aborted.contains(&v))
             .unwrap_or(false);
-        if aborted {
+        Some(if aborted {
             self.stats.discarded += 1;
             CompletionOutcome::Discard
         } else {
             self.stats.delivered += 1;
             CompletionOutcome::Deliver
-        }
+        })
+    }
+
+    /// Reclaim the slot of a running task whose body panicked (caught by
+    /// the executor) or that the watchdog cancelled. Returns the task's
+    /// version so the caller can route it through the rollback path; no
+    /// output is delivered or discarded. Idempotent against races with
+    /// completion: an unknown id returns `None` without counting.
+    pub fn fault(&mut self, id: TaskId) -> Option<Option<SpecVersion>> {
+        let r = self.running.remove(&id)?;
+        self.stats.faulted += 1;
+        Some(r.version)
     }
 
     /// Roll back a speculation version: delete its ready tasks, flag its
@@ -397,6 +428,32 @@ mod tests {
     fn completing_unknown_task_panics() {
         let mut s = Scheduler::new(DispatchPolicy::Balanced);
         let _ = s.complete(99);
+    }
+
+    #[test]
+    fn fault_reclaims_slot_and_reports_version() {
+        let mut s = Scheduler::new(DispatchPolicy::Aggressive);
+        let id = s.spawn(spec_task("enc", 4)).unwrap();
+        let _d = s.dispatch().unwrap();
+        assert_eq!(s.fault(id), Some(Some(4)));
+        assert_eq!(s.stats().faulted, 1);
+        assert!(s.is_idle(), "faulted slot was reclaimed");
+        // A second fault (or a racing completion echo) is absorbed.
+        assert_eq!(s.fault(id), None);
+        assert_eq!(s.stats().faulted, 1);
+        assert_eq!(s.try_complete(id), None);
+        assert_eq!(s.stats().duplicate_completions, 1);
+    }
+
+    #[test]
+    fn try_complete_absorbs_duplicate_deliveries() {
+        let mut s = Scheduler::new(DispatchPolicy::Balanced);
+        let id = s.spawn(reg("a", 0)).unwrap();
+        let _d = s.dispatch().unwrap();
+        assert_eq!(s.try_complete(id), Some(CompletionOutcome::Deliver));
+        assert_eq!(s.try_complete(id), None, "echo is absorbed");
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().duplicate_completions, 1);
     }
 
     #[test]

@@ -93,7 +93,12 @@ impl TaskCtx {
 
 /// The body of a task: consumes nothing but its captured inputs (tasks are
 /// side-effect free), may poll `ctx.aborted()`, and returns its output.
-pub type TaskFn = Box<dyn FnOnce(&TaskCtx) -> Payload + Send>;
+///
+/// `FnMut`, not `FnOnce`: a body that panics is caught by the executor and
+/// — for non-speculative tasks — retried in place with bounded backoff, so
+/// the same closure must be callable again. Bodies stay side-effect free,
+/// so re-running one is always safe.
+pub type TaskFn = Box<dyn FnMut(&TaskCtx) -> Payload + Send>;
 
 /// Everything the scheduler needs to know to run a task.
 pub struct TaskSpec {
@@ -137,7 +142,7 @@ impl TaskSpec {
         depth: u32,
         bytes: usize,
         tag: u64,
-        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+        run: impl FnMut(&TaskCtx) -> Payload + Send + 'static,
     ) -> Self {
         TaskSpec {
             name,
@@ -157,7 +162,7 @@ impl TaskSpec {
         bytes: usize,
         version: SpecVersion,
         tag: u64,
-        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+        run: impl FnMut(&TaskCtx) -> Payload + Send + 'static,
     ) -> Self {
         TaskSpec {
             name,
@@ -176,7 +181,7 @@ impl TaskSpec {
         bytes: usize,
         version: SpecVersion,
         tag: u64,
-        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+        run: impl FnMut(&TaskCtx) -> Payload + Send + 'static,
     ) -> Self {
         TaskSpec {
             name,
@@ -197,7 +202,7 @@ impl TaskSpec {
         name: &'static str,
         bytes: usize,
         tag: u64,
-        run: impl FnOnce(&TaskCtx) -> Payload + Send + 'static,
+        run: impl FnMut(&TaskCtx) -> Payload + Send + 'static,
     ) -> Self {
         TaskSpec {
             name,
@@ -286,9 +291,28 @@ mod tests {
 
     #[test]
     fn task_bodies_run_and_see_ctx() {
-        let spec = TaskSpec::regular("t", 0, 0, 0, |ctx| payload(ctx.aborted()));
+        let mut spec = TaskSpec::regular("t", 0, 0, 0, |ctx| payload(ctx.aborted()));
         let ctx = TaskCtx::new();
         let out = (spec.run)(&ctx);
         assert!(!expect_payload::<bool>(out, "bool"));
+    }
+
+    #[test]
+    fn task_bodies_are_re_runnable_after_a_panicked_attempt() {
+        // The executors retry panicked non-speculative bodies; FnMut makes
+        // that legal. A counter capture shows the same closure runs twice.
+        let mut calls = 0u32;
+        let mut spec = TaskSpec::regular("flaky", 0, 0, 0, move |_| {
+            calls += 1;
+            if calls == 1 {
+                panic!("first attempt fails");
+            }
+            payload(calls)
+        });
+        let ctx = TaskCtx::new();
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (spec.run)(&ctx)));
+        assert!(first.is_err());
+        let second = (spec.run)(&ctx);
+        assert_eq!(expect_payload::<u32>(second, "u32"), 2);
     }
 }

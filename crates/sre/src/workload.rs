@@ -54,6 +54,23 @@ impl std::fmt::Debug for Completion {
     }
 }
 
+/// Notice of a fault an executor recovered from: a task body panicked
+/// (caught by `catch_unwind`) or the watchdog cancelled a stuck task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultNotice {
+    /// Id of the faulted task.
+    pub id: TaskId,
+    /// Task kind name.
+    pub name: &'static str,
+    /// The task's speculation version, if any. The executor aborts the
+    /// version through the regular rollback path right after this
+    /// callback, so the workload only needs to update its own records
+    /// (e.g. tell its speculation manager the version is dead).
+    pub version: Option<SpecVersion>,
+    /// Retry attempts already spent (0 on the first fault).
+    pub attempt: u32,
+}
+
 /// Capabilities a workload has inside its callbacks.
 pub trait SchedCtx {
     /// Current time, µs (virtual in the simulator, wall-derived otherwise).
@@ -87,6 +104,17 @@ pub trait Workload {
 
     /// A task completed and its output was *delivered* (not discarded).
     fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion);
+
+    /// A task faulted (panicked or was watchdog-cancelled) and its slot
+    /// was reclaimed without an output. If the task carried a version the
+    /// executor aborts it immediately after this callback; workloads that
+    /// track version state (a speculation manager, wait buffers) should
+    /// clear it here. Non-speculative faults only reach this callback
+    /// once in-place retries are exhausted and the run is about to fail.
+    /// Default: ignore.
+    fn on_fault(&mut self, ctx: &mut dyn SchedCtx, fault: FaultNotice) {
+        let _ = (ctx, fault);
+    }
 
     /// `true` once the application's result is complete; the executor stops
     /// when this holds and no tasks remain.
@@ -171,7 +199,7 @@ mod tests {
             );
         }
         w.on_input_done(&mut ctx);
-        while let Some(d) = ctx.sched.dispatch() {
+        while let Some(mut d) = ctx.sched.dispatch() {
             let out = (d.run)(&d.ctx);
             ctx.sched.complete(d.id);
             ctx.now += 1;

@@ -417,10 +417,7 @@ fn prop_cross_executor_outputs_identical() {
             assert_eq!(got, reference, "case {case}: sim@{workers} diverged");
 
             // Threaded (work-stealing) and baseline executors.
-            let tcfg = ThreadedConfig {
-                workers,
-                policy: DispatchPolicy::NonSpeculative,
-            };
+            let tcfg = ThreadedConfig::new(workers, DispatchPolicy::NonSpeculative);
             let blocks: Vec<(usize, Arc<[u8]>)> = data.iter().cloned().enumerate().collect();
             let (w, m) = run_threaded(TwoStage::new(n_blocks), &tcfg, blocks.clone());
             assert_eq!(
@@ -485,10 +482,7 @@ fn prop_threaded_abort_never_leaks() {
     }
     for workers in [1usize, 2, 4] {
         for _ in 0..8 {
-            let cfg = ThreadedConfig {
-                workers,
-                policy: DispatchPolicy::Balanced,
-            };
+            let cfg = ThreadedConfig::new(workers, DispatchPolicy::Balanced);
             let (w, m) = run_threaded(
                 SpecLeak {
                     normal_done: false,

@@ -81,7 +81,9 @@ impl TraceLog {
     /// where `aux`/`aux2` carry the event-specific payload — `lane` for
     /// dispatch, `victim` for steal, `discarded` for task-end, `basis` for
     /// predictor-fire/version-open, `margin` for checks, `cascade_depth`
-    /// for rollback, `entries` for undo-replay. Names are RFC-4180 quoted.
+    /// for rollback, `entries` for undo-replay, `attempt` for task-fault,
+    /// `ran_us` for watchdog-cancel, `failures`/`commits` for breaker-trip
+    /// and `successes` for breaker-recover. Names are RFC-4180 quoted.
     pub fn to_event_csv(&self) -> String {
         let mut out = String::from(EVENT_CSV_HEADER);
         out.push('\n');
@@ -182,6 +184,55 @@ impl TraceLog {
                     String::new(),
                     version.to_string(),
                     entries.to_string(),
+                    String::new(),
+                ),
+                EventKind::TaskFault {
+                    id,
+                    name,
+                    version,
+                    attempt,
+                } => (
+                    id.to_string(),
+                    csv_escape(name),
+                    String::new(),
+                    fmt_version(*version),
+                    attempt.to_string(),
+                    String::new(),
+                ),
+                EventKind::WatchdogCancel {
+                    id,
+                    version,
+                    ran_us,
+                } => (
+                    id.to_string(),
+                    String::new(),
+                    String::new(),
+                    fmt_version(*version),
+                    ran_us.to_string(),
+                    String::new(),
+                ),
+                EventKind::BreakerTrip { failures, commits } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    failures.to_string(),
+                    commits.to_string(),
+                ),
+                EventKind::BreakerProbe { version } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    version.to_string(),
+                    String::new(),
+                    String::new(),
+                ),
+                EventKind::BreakerRecover { successes } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    successes.to_string(),
                     String::new(),
                 ),
             };

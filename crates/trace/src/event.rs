@@ -138,6 +138,46 @@ pub enum EventKind {
         /// Journal entries replayed (LIFO).
         entries: u64,
     },
+    /// A task body panicked; the panic was caught by the executor and
+    /// converted into a fault (speculative versions are aborted through
+    /// the regular rollback path, non-speculative tasks are retried).
+    TaskFault {
+        /// Task id.
+        id: u64,
+        /// Task kind name.
+        name: &'static str,
+        /// Speculation version, if any.
+        version: Option<u32>,
+        /// Retry attempts already spent on this task (0 on first fault).
+        attempt: u32,
+    },
+    /// The watchdog cancelled a task that exceeded its deadline.
+    WatchdogCancel {
+        /// Task id.
+        id: u64,
+        /// Speculation version, if any.
+        version: Option<u32>,
+        /// How long the task had been running when cancelled, µs.
+        ran_us: u64,
+    },
+    /// The speculation circuit breaker opened: new predictions are held
+    /// back while the rollback/fault window stays degraded.
+    BreakerTrip {
+        /// Rollbacks + faults observed in the trip window.
+        failures: u64,
+        /// Commits observed in the trip window.
+        commits: u64,
+    },
+    /// The breaker half-opened and let one probe prediction through.
+    BreakerProbe {
+        /// Version carried by the probe prediction.
+        version: u32,
+    },
+    /// A probe committed: the breaker closed and speculation resumed.
+    BreakerRecover {
+        /// Consecutive probe successes that closed the breaker.
+        successes: u64,
+    },
 }
 
 impl EventKind {
@@ -158,6 +198,11 @@ impl EventKind {
             EventKind::Commit { .. } => "commit",
             EventKind::Rollback { .. } => "rollback",
             EventKind::UndoReplay { .. } => "undo-replay",
+            EventKind::TaskFault { .. } => "task-fault",
+            EventKind::WatchdogCancel { .. } => "watchdog-cancel",
+            EventKind::BreakerTrip { .. } => "breaker-trip",
+            EventKind::BreakerProbe { .. } => "breaker-probe",
+            EventKind::BreakerRecover { .. } => "breaker-recover",
         }
     }
 
@@ -166,7 +211,9 @@ impl EventKind {
         match *self {
             EventKind::Dispatch { version, .. }
             | EventKind::TaskStart { version, .. }
-            | EventKind::TaskEnd { version, .. } => version,
+            | EventKind::TaskEnd { version, .. }
+            | EventKind::TaskFault { version, .. }
+            | EventKind::WatchdogCancel { version, .. } => version,
             EventKind::CancelReady { version, .. }
             | EventKind::PredictorFire { version, .. }
             | EventKind::VersionOpen { version, .. }
@@ -174,8 +221,13 @@ impl EventKind {
             | EventKind::CheckFail { version, .. }
             | EventKind::Commit { version }
             | EventKind::Rollback { version, .. }
-            | EventKind::UndoReplay { version, .. } => Some(version),
-            EventKind::Steal { .. } | EventKind::Park | EventKind::Unpark => None,
+            | EventKind::UndoReplay { version, .. }
+            | EventKind::BreakerProbe { version } => Some(version),
+            EventKind::Steal { .. }
+            | EventKind::Park
+            | EventKind::Unpark
+            | EventKind::BreakerTrip { .. }
+            | EventKind::BreakerRecover { .. } => None,
         }
     }
 }

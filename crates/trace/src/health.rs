@@ -96,6 +96,16 @@ pub struct SpecHealth {
     pub undo_replays: u64,
     /// Tasks stolen across lanes.
     pub steals: u64,
+    /// Task bodies that panicked and were caught by an executor.
+    pub faults: u64,
+    /// Tasks cancelled by the watchdog for exceeding their deadline.
+    pub watchdog_cancels: u64,
+    /// Circuit-breaker trips (speculation suspended).
+    pub breaker_trips: u64,
+    /// Half-open probe predictions let through by the breaker.
+    pub breaker_probes: u64,
+    /// Breaker recoveries (speculation resumed after a probe committed).
+    pub breaker_recoveries: u64,
     /// Sum of rollback cascade depths (ready tasks deleted from the
     /// central queue).
     pub cascade_total: u64,
@@ -199,6 +209,11 @@ impl TraceLog {
                     *cascade_counts.entry(*cascade_depth).or_default() += 1;
                 }
                 EventKind::UndoReplay { .. } => h.undo_replays += 1,
+                EventKind::TaskFault { .. } => h.faults += 1,
+                EventKind::WatchdogCancel { .. } => h.watchdog_cancels += 1,
+                EventKind::BreakerTrip { .. } => h.breaker_trips += 1,
+                EventKind::BreakerProbe { .. } => h.breaker_probes += 1,
+                EventKind::BreakerRecover { .. } => h.breaker_recoveries += 1,
                 EventKind::Park | EventKind::Unpark => {}
             }
         }

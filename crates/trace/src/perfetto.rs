@@ -182,6 +182,51 @@ impl TraceLog {
                         r#"{{"name":"undo-replay","cat":"rollback","ph":"n","id":{version},"ts":{ts},"pid":1,"tid":{tid},"args":{{"entries":{entries}}}}}"#
                     ));
                 }
+                EventKind::TaskFault {
+                    id,
+                    name,
+                    version,
+                    attempt,
+                } => {
+                    rows.push(format!(
+                        r#"{{"name":"fault {}","cat":"fault","ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":{{"id":{},"version":{},"attempt":{}}}}}"#,
+                        json_escape(name),
+                        ts,
+                        tid,
+                        id,
+                        opt_version(*version),
+                        attempt
+                    ));
+                }
+                EventKind::WatchdogCancel {
+                    id,
+                    version,
+                    ran_us,
+                } => {
+                    rows.push(format!(
+                        r#"{{"name":"watchdog-cancel","cat":"fault","ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":{{"id":{},"version":{},"ran_us":{}}}}}"#,
+                        ts,
+                        tid,
+                        id,
+                        opt_version(*version),
+                        ran_us
+                    ));
+                }
+                EventKind::BreakerTrip { failures, commits } => {
+                    rows.push(format!(
+                        r#"{{"name":"breaker-trip","cat":"breaker","ph":"i","s":"p","ts":{ts},"pid":1,"tid":{tid},"args":{{"failures":{failures},"commits":{commits}}}}}"#
+                    ));
+                }
+                EventKind::BreakerProbe { version } => {
+                    rows.push(format!(
+                        r#"{{"name":"breaker-probe","cat":"breaker","ph":"i","s":"t","ts":{ts},"pid":1,"tid":{tid},"args":{{"version":{version}}}}}"#
+                    ));
+                }
+                EventKind::BreakerRecover { successes } => {
+                    rows.push(format!(
+                        r#"{{"name":"breaker-recover","cat":"breaker","ph":"i","s":"p","ts":{ts},"pid":1,"tid":{tid},"args":{{"successes":{successes}}}}}"#
+                    ));
+                }
             }
         }
 

@@ -3,8 +3,15 @@
 use crate::event::{EventKind, Timebase, TraceEvent, TraceLog};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Lock `m`, recovering the guard if a panicking thread poisoned it — a
+/// ring or label is plain data, never left in a torn state, so the
+/// poison flag carries no information worth dying over.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default per-ring capacity (events). 64 Ki events ≈ 3 MiB per worker —
 /// enough for several seconds of coarse-grain task flow before the ring
@@ -95,7 +102,7 @@ impl Tracer {
     /// Set the run label carried into exports (e.g. the dispatch policy).
     pub fn set_label(&self, label: &str) {
         if let Some(b) = &self.inner {
-            *b.label.lock().expect("label lock poisoned") = label.to_string();
+            *lock_recover(&b.label) = label.to_string();
         }
     }
 
@@ -163,7 +170,7 @@ impl Tracer {
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut dropped = 0u64;
         for r in &b.rings {
-            let mut buf = r.buf.lock().expect("ring poisoned");
+            let mut buf = lock_recover(&r.buf);
             events.extend(buf.drain(..));
             dropped += r.dropped.load(Ordering::Relaxed);
         }
@@ -178,7 +185,7 @@ impl Tracer {
             timebase,
             events,
             dropped,
-            label: b.label.lock().expect("label lock poisoned").clone(),
+            label: lock_recover(&b.label).clone(),
         })
     }
 }
@@ -195,7 +202,7 @@ impl Buffers {
             kind,
         };
         let ring = &self.rings[worker];
-        let mut buf = ring.buf.lock().expect("ring poisoned");
+        let mut buf = lock_recover(&ring.buf);
         if buf.len() >= self.cap {
             buf.pop_front();
             ring.dropped.fetch_add(1, Ordering::Relaxed);

@@ -33,10 +33,7 @@ fn compress(data: &[u8]) -> Vec<u8> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let tcfg = ThreadedConfig {
-        workers,
-        policy: cfg.policy,
-    };
+    let tcfg = ThreadedConfig::new(workers, cfg.policy);
     let (workload, metrics) = run_threaded(workload, &tcfg, blocks);
     let mut result = workload.result();
     let (stream, bit_len, lengths) = result.output.take().expect("collected");

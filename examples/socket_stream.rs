@@ -44,10 +44,7 @@ fn main() {
     });
 
     let started = std::time::Instant::now();
-    let tcfg = ThreadedConfig {
-        workers: 8,
-        policy: cfg.policy,
-    };
+    let tcfg = ThreadedConfig::new(8, cfg.policy);
     let (workload, metrics) = run_threaded(workload, &tcfg, rx);
     reader.join().expect("reader");
     server.join().expect("server").expect("server io");

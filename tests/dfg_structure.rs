@@ -32,6 +32,7 @@ fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
         tolerance: Tolerance::percent(1.0),
         predictor: Default::default(),
         collect_output: false,
+        breaker: None,
     }
 }
 

@@ -50,6 +50,7 @@ fn small_cfg(
         tolerance: Tolerance { margin: tol },
         predictor: Default::default(),
         collect_output: true,
+        breaker: None,
     }
 }
 

@@ -142,14 +142,7 @@ fn raw_executor_api_with_custom_feeder() {
         .enumerate()
         .map(|(i, c)| (i, Arc::<[u8]>::from(c)))
         .collect();
-    let (wl, metrics) = run_threaded(
-        wl,
-        &ThreadedConfig {
-            workers: 4,
-            policy: cfg.policy,
-        },
-        blocks,
-    );
+    let (wl, metrics) = run_threaded(wl, &ThreadedConfig::new(4, cfg.policy), blocks);
     let result = wl.result();
     check_output(&data, &result);
     assert!(metrics.tasks_delivered > 0);

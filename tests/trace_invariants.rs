@@ -157,10 +157,7 @@ fn baseline_upholds_lifecycle_invariants() {
         .enumerate()
         .map(|(i, chunk)| (i, Arc::<[u8]>::from(chunk)))
         .collect();
-    let tcfg = ThreadedConfig {
-        workers: 4,
-        policy: c.policy,
-    };
+    let tcfg = ThreadedConfig::new(4, c.policy);
     let (_, metrics) = baseline::run_traced(wl, &tcfg, blocks, tracer.clone());
     let log = tracer.drain().expect("enabled tracer drains");
     assert_lifecycle(&log, &metrics);
