@@ -1,0 +1,354 @@
+//! Generation-indexed arena allocation for the speculation hot path.
+//!
+//! The speculation manager's per-block state — speculative version records,
+//! undo-journal entry lists, wait-buffer slots — is small, short-lived and
+//! allocated at block rate. Heap-allocating it per block puts `malloc` on
+//! the paper's critical path; the structures here recycle storage instead,
+//! so that in steady state (after the first few blocks warm the pools) the
+//! speculation manager performs **zero** per-block heap allocation.
+//!
+//! Two building blocks:
+//!
+//! * [`Arena<T>`] — a slab of slots addressed by [`Handle`]s that carry a
+//!   **generation** counter. Freeing a slot bumps its generation, so a
+//!   stale handle kept across a recycle can never alias the new occupant
+//!   (the classic ABA hazard of index-based allocation);
+//! * [`ScratchPool<T>`] — a recycler for `Vec<T>` scratch buffers (journal
+//!   entry lists, wait-buffer slot lists): buffers are returned cleared but
+//!   with their capacity intact.
+//!
+//! Both count the heap allocations they could not avoid ([`AllocStats`]),
+//! which is what `tvs-bench` reports as `allocs_per_block` — the ISSUE's
+//! steady-state target is 0.
+
+/// A generation-tagged reference to an [`Arena`] slot.
+///
+/// Handles are `Copy` and intentionally easy to store in maps and journals;
+/// the generation makes a handle held across `free`+`alloc` of the same
+/// slot resolve to `None` instead of the new occupant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Handle {
+    index: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// Slot index (stable for the life of the allocation).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Generation the slot had when this handle was issued.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+}
+
+/// Heap-allocation counters for an arena or pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations that had to touch the heap (new slot / new buffer).
+    pub heap_allocs: u64,
+    /// Allocations served by recycling a previously freed slot or buffer.
+    pub reuses: u64,
+}
+
+impl AllocStats {
+    /// Sum of both counters — total allocation requests served.
+    pub fn total(&self) -> u64 {
+        self.heap_allocs + self.reuses
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A generation-indexed slab allocator.
+///
+/// Slots freed with [`Arena::free`] go on a free list and are reused by the
+/// next [`Arena::alloc`]; the slot's generation is bumped on free so stale
+/// handles die rather than dangle.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    stats: AllocStats,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("live", &self.len())
+            .field("slots", &self.slots.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// An empty arena with room for `cap` live values before any slot
+    /// allocation touches the heap.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Store `val`, returning a handle to it.
+    pub fn alloc(&mut self, val: T) -> Handle {
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.val.is_none(), "free slot holds a value");
+            slot.val = Some(val);
+            self.stats.reuses += 1;
+            Handle {
+                index,
+                gen: slot.gen,
+            }
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("arena slot count fits u32");
+            self.slots.push(Slot {
+                gen: 0,
+                val: Some(val),
+            });
+            self.stats.heap_allocs += 1;
+            Handle { index, gen: 0 }
+        }
+    }
+
+    /// The value behind `h`, or `None` if it was freed (or the slot was
+    /// since recycled — the generation check).
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        let slot = self.slots.get(h.index as usize)?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.val.as_ref()
+    }
+
+    /// Mutable access to the value behind `h`; `None` on stale handles.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.val.as_mut()
+    }
+
+    /// Free the slot behind `h`, returning its value. Stale or
+    /// already-freed handles return `None` and change nothing.
+    pub fn free(&mut self, h: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        // Bump the generation on free: any surviving copy of `h` is now
+        // permanently stale, even after this slot is reused.
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.index);
+        Some(val)
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` when no value is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocation counters since construction (or the last
+    /// [`Arena::reset_stats`]).
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Zero the allocation counters (used by benches to measure the warm
+    /// steady state separately from pool warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = AllocStats::default();
+    }
+}
+
+/// A recycler for `Vec<T>` scratch buffers.
+///
+/// [`ScratchPool::take`] hands out an empty vector — recycled with its old
+/// capacity when one is pooled, freshly allocated (and counted) otherwise.
+/// [`ScratchPool::put`] clears a vector and shelves it for reuse.
+pub struct ScratchPool<T> {
+    spare: Vec<Vec<T>>,
+    stats: AllocStats,
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for ScratchPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("idle", &self.spare.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            spare: Vec::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// An empty vector, recycled if possible.
+    pub fn take(&mut self) -> Vec<T> {
+        match self.spare.pop() {
+            Some(v) => {
+                debug_assert!(v.is_empty());
+                self.stats.reuses += 1;
+                v
+            }
+            None => {
+                self.stats.heap_allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a vector to the pool; its elements are dropped, its capacity
+    /// kept.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        v.clear();
+        self.spare.push(v);
+    }
+
+    /// Buffers currently shelved.
+    pub fn idle(&self) -> usize {
+        self.spare.len()
+    }
+
+    /// Allocation counters since construction (or the last
+    /// [`ScratchPool::reset_stats`]).
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Zero the allocation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = AllocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_free_round_trip() {
+        let mut a = Arena::new();
+        let h1 = a.alloc("one");
+        let h2 = a.alloc("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h1), Some(&"one"));
+        assert_eq!(a.get(h2), Some(&"two"));
+        *a.get_mut(h1).unwrap() = "uno";
+        assert_eq!(a.free(h1), Some("uno"));
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn double_free_is_a_no_op() {
+        let mut a = Arena::new();
+        let h = a.alloc(1u32);
+        assert_eq!(a.free(h), Some(1));
+        assert_eq!(a.free(h), None);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn generation_reuse_aba_regression() {
+        // The ABA scenario: free a slot, let a new allocation reuse it, and
+        // make sure the *stale* handle neither reads nor frees the new
+        // occupant. This is exactly the bug class a bare index would have.
+        let mut a = Arena::new();
+        let stale = a.alloc("old");
+        assert_eq!(a.free(stale), Some("old"));
+        let fresh = a.alloc("new");
+        assert_eq!(fresh.index(), stale.index(), "slot is reused");
+        assert_ne!(fresh.generation(), stale.generation());
+        assert_eq!(a.get(stale), None, "stale read must miss");
+        assert_eq!(a.get_mut(stale), None);
+        assert_eq!(a.free(stale), None, "stale free must be rejected");
+        assert_eq!(a.get(fresh), Some(&"new"), "fresh handle unaffected");
+        // And across many recycles of the same slot:
+        let mut prev = fresh;
+        for i in 0..100u32 {
+            assert_eq!(a.free(prev), Some("new"));
+            let h = a.alloc("new");
+            assert_eq!(h.index(), prev.index());
+            assert_eq!(a.get(prev), None, "round {i}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn steady_state_allocs_reach_zero() {
+        let mut a = Arena::new();
+        // Warm-up: first allocations must touch the heap.
+        let hs: Vec<Handle> = (0..8).map(|i| a.alloc(i)).collect();
+        assert_eq!(a.stats().heap_allocs, 8);
+        for h in hs {
+            a.free(h);
+        }
+        a.reset_stats();
+        // Steady state: churn at the same high-water mark is all reuse.
+        for round in 0..50 {
+            let hs: Vec<Handle> = (0..8).map(|i| a.alloc(i)).collect();
+            for h in hs {
+                a.free(h);
+            }
+            assert_eq!(a.stats().heap_allocs, 0, "round {round}");
+        }
+        assert_eq!(a.stats().reuses, 50 * 8);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_capacity() {
+        let mut p: ScratchPool<u64> = ScratchPool::new();
+        let mut v = p.take();
+        assert_eq!(p.stats().heap_allocs, 1);
+        v.extend(0..1000);
+        let cap = v.capacity();
+        p.put(v);
+        let v2 = p.take();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap, "capacity survives the pool");
+        assert_eq!(p.stats().reuses, 1);
+    }
+}

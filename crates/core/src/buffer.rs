@@ -6,15 +6,24 @@
 //! partitioned by speculation version and ordered by an application slot
 //! key (block index for the Huffman encoder), until the version is either
 //! committed (outputs released, in order) or aborted (outputs reclaimed).
+//!
+//! Storage is a small linear map of `version → Vec<(slot, value)>` with the
+//! per-version vectors recycled through a [`ScratchPool`]: at any moment
+//! only a handful of versions are live, appends are push-onto-Vec, and the
+//! slot ordering the committer needs is established by one sort at commit
+//! time instead of a B-tree node allocation per buffered output.
 
-use std::collections::BTreeMap;
-use std::collections::HashMap;
+use crate::arena::{AllocStats, ScratchPool};
 use tvs_sre::SpecVersion;
 
 /// Buffered speculative outputs awaiting validation.
 #[derive(Debug)]
 pub struct WaitBuffer<V> {
-    by_version: HashMap<SpecVersion, BTreeMap<u64, V>>,
+    /// Live versions and their buffered `(slot, value)` pairs. Linear — the
+    /// speculation pipeline keeps at most a couple of versions in flight.
+    by_version: Vec<(SpecVersion, Vec<(u64, V)>)>,
+    /// Recycled per-version vectors (capacity survives commit/abort).
+    pool: ScratchPool<(u64, V)>,
     /// Total values ever buffered (metrics).
     buffered: u64,
     /// Total values discarded by aborts (metrics).
@@ -24,7 +33,8 @@ pub struct WaitBuffer<V> {
 impl<V> Default for WaitBuffer<V> {
     fn default() -> Self {
         WaitBuffer {
-            by_version: HashMap::new(),
+            by_version: Vec::new(),
+            pool: ScratchPool::new(),
             buffered: 0,
             discarded: 0,
         }
@@ -37,63 +47,107 @@ impl<V> WaitBuffer<V> {
         Self::default()
     }
 
+    fn entry(&self, version: SpecVersion) -> Option<&Vec<(u64, V)>> {
+        self.by_version
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, vals)| vals)
+    }
+
     /// Buffer `value` produced under `version` for slot `slot` (e.g. block
     /// index). A later value for the same (version, slot) replaces the
     /// earlier one and returns the old value.
     pub fn push(&mut self, version: SpecVersion, slot: u64, value: V) -> Option<V> {
         self.buffered += 1;
-        self.by_version
-            .entry(version)
-            .or_default()
-            .insert(slot, value)
+        let idx = match self.by_version.iter().position(|(v, _)| *v == version) {
+            Some(i) => i,
+            None => {
+                let vals = self.pool.take();
+                self.by_version.push((version, vals));
+                self.by_version.len() - 1
+            }
+        };
+        let vals = &mut self.by_version[idx].1;
+        if let Some(existing) = vals.iter_mut().find(|(s, _)| *s == slot) {
+            return Some(std::mem::replace(&mut existing.1, value));
+        }
+        vals.push((slot, value));
+        None
+    }
+
+    /// Release all outputs of a committed version into `out`, ordered by
+    /// slot, recycling the internal storage. The zero-allocation twin of
+    /// [`Self::commit`].
+    pub fn commit_into(&mut self, version: SpecVersion, out: &mut Vec<(u64, V)>) {
+        if let Some(i) = self.by_version.iter().position(|(v, _)| *v == version) {
+            let (_, mut vals) = self.by_version.swap_remove(i);
+            // Slots are unique (push replaces in place), so unstable is fine.
+            vals.sort_unstable_by_key(|&(slot, _)| slot);
+            out.append(&mut vals);
+            self.pool.put(vals);
+        }
     }
 
     /// Release all outputs of a committed version, ordered by slot.
     pub fn commit(&mut self, version: SpecVersion) -> Vec<(u64, V)> {
-        self.by_version
-            .remove(&version)
-            .map(|m| m.into_iter().collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.commit_into(version, &mut out);
+        out
     }
 
     /// Reclaim (drop) all outputs of an aborted version; returns how many
     /// were discarded.
     pub fn abort(&mut self, version: SpecVersion) -> usize {
-        let n = self
-            .by_version
-            .remove(&version)
-            .map(|m| m.len())
-            .unwrap_or(0);
-        self.discarded += n as u64;
-        n
+        match self.by_version.iter().position(|(v, _)| *v == version) {
+            Some(i) => {
+                let (_, vals) = self.by_version.swap_remove(i);
+                let n = vals.len();
+                self.discarded += n as u64;
+                self.pool.put(vals);
+                n
+            }
+            None => 0,
+        }
     }
 
     /// Number of values currently held for `version`.
     pub fn len_of(&self, version: SpecVersion) -> usize {
-        self.by_version.get(&version).map(|m| m.len()).unwrap_or(0)
+        self.entry(version).map(|vals| vals.len()).unwrap_or(0)
     }
 
     /// Slots currently buffered for `version`, ascending.
     pub fn slots_of(&self, version: SpecVersion) -> Vec<u64> {
-        self.by_version
-            .get(&version)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+        let mut slots: Vec<u64> = self
+            .entry(version)
+            .map(|vals| vals.iter().map(|&(s, _)| s).collect())
+            .unwrap_or_default();
+        slots.sort_unstable();
+        slots
     }
 
     /// Total values currently held across versions.
     pub fn len(&self) -> usize {
-        self.by_version.values().map(|m| m.len()).sum()
+        self.by_version.iter().map(|(_, vals)| vals.len()).sum()
     }
 
     /// Whether the buffer is entirely empty.
     pub fn is_empty(&self) -> bool {
-        self.by_version.values().all(|m| m.is_empty())
+        self.by_version.iter().all(|(_, vals)| vals.is_empty())
     }
 
     /// `(ever_buffered, ever_discarded)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.buffered, self.discarded)
+    }
+
+    /// Heap-allocation counters of the internal vector pool.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.pool.stats()
+    }
+
+    /// Zero the internal pool's allocation counters (bench warm-up).
+    pub fn reset_alloc_stats(&mut self) {
+        self.pool.reset_stats();
     }
 }
 
@@ -159,5 +213,38 @@ mod tests {
         assert_eq!(b.slots_of(4), vec![1, 8]);
         assert_eq!(b.slots_of(5), Vec::<u64>::new());
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn commit_into_appends_and_recycles_storage() {
+        let mut b = WaitBuffer::new();
+        b.push(1, 2, "b");
+        b.push(1, 0, "a");
+        let mut out = vec![(u64::MAX, "sentinel")];
+        b.commit_into(1, &mut out);
+        assert_eq!(out, vec![(u64::MAX, "sentinel"), (0, "a"), (2, "b")]);
+        // The freed vector is pooled: the next version reuses it.
+        b.push(2, 0, "c");
+        assert_eq!(b.alloc_stats().reuses, 1);
+    }
+
+    #[test]
+    fn steady_state_buffering_allocates_nothing() {
+        let mut b = WaitBuffer::new();
+        // Warm-up: one committed and one aborted version seed the pool.
+        b.push(1, 0, 0u32);
+        b.push(2, 0, 0u32);
+        b.commit(1);
+        b.abort(2);
+        b.reset_alloc_stats();
+        let mut out = Vec::with_capacity(4);
+        for v in 3..100u32 {
+            b.push(v, 1, v);
+            b.push(v, 0, v);
+            out.clear();
+            b.commit_into(v, &mut out);
+            assert_eq!(out.len(), 2);
+        }
+        assert_eq!(b.alloc_stats().heap_allocs, 0);
     }
 }

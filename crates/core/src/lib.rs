@@ -34,7 +34,9 @@
 //!   from the manager's rollback hook;
 //! * [`breaker`] — graceful degradation: a circuit breaker over the
 //!   windowed rollback/commit ratio and executor fault rate that trips
-//!   speculation back to conservative dispatch and probes for recovery.
+//!   speculation back to conservative dispatch and probes for recovery;
+//! * [`arena`] — generation-indexed slot/buffer recycling that keeps the
+//!   per-block speculation bookkeeping off the heap in steady state.
 //!
 //! The mechanisms these actions rely on (version-tagged tasks, abort flags,
 //! control-class priorities) live in the substrate crate `tvs-sre`.
@@ -67,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod breaker;
 pub mod buffer;
 pub mod frequency;
@@ -76,6 +79,7 @@ pub mod undo;
 pub mod validate;
 pub mod version;
 
+pub use arena::{AllocStats, Arena, Handle, ScratchPool};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use buffer::WaitBuffer;
 pub use frequency::{SpeculationSchedule, VerificationPolicy};

@@ -266,10 +266,18 @@ impl<T> SpeculationManager<T> {
     /// A basis event completed (the `basis`-th, 1-based). Returns the
     /// actions to take.
     pub fn on_basis(&mut self, basis: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_basis_into(basis, &mut out);
+        out
+    }
+
+    /// [`Self::on_basis`], appending actions to a caller-provided scratch
+    /// vector instead of allocating one — the per-block hot-path variant
+    /// (workloads keep one scratch `Vec<Action>` for the whole run).
+    pub fn on_basis_into(&mut self, basis: u64, out: &mut Vec<Action>) {
         assert!(!self.final_seen, "basis events after the final value");
         assert!(basis >= self.last_basis, "basis events must be monotone");
         self.last_basis = basis;
-        let mut out = Vec::new();
         match &self.phase {
             Phase::Idle { restart } => {
                 let breaker_allows = match &mut self.breaker {
@@ -303,7 +311,6 @@ impl<T> SpeculationManager<T> {
             }
             Phase::Pending { .. } | Phase::FinalChecking { .. } | Phase::Done { .. } => {}
         }
-        out
     }
 
     /// A predictor task delivered its value. Returns `false` when the
@@ -344,11 +351,23 @@ impl<T> SpeculationManager<T> {
         candidate: Option<(T, u64)>,
     ) -> Vec<Action> {
         let mut out = Vec::new();
+        self.on_check_result_into(version, result, candidate, &mut out);
+        out
+    }
+
+    /// [`Self::on_check_result`] into a caller-provided scratch vector.
+    pub fn on_check_result_into(
+        &mut self,
+        version: SpecVersion,
+        result: CheckResult,
+        candidate: Option<(T, u64)>,
+        out: &mut Vec<Action>,
+    ) {
         let is_current_active =
             matches!(&self.phase, Phase::Active { version: v, .. } if *v == version);
         if !is_current_active {
             self.stats.stale_results += 1;
-            return out;
+            return;
         }
         if result.valid {
             self.stats.checks_passed += 1;
@@ -357,14 +376,14 @@ impl<T> SpeculationManager<T> {
                 margin: result.delta,
             });
             self.breaker_success();
-            return out;
+            return;
         }
         self.stats.checks_failed += 1;
         self.tracer.emit_control(EventKind::CheckFail {
             version,
             margin: result.delta,
         });
-        self.emit_rollback(version, &mut out);
+        self.emit_rollback(version, out);
         match candidate {
             Some((value, candidate_basis)) => {
                 // A tripped breaker suppresses candidate promotion the same
@@ -403,7 +422,6 @@ impl<T> SpeculationManager<T> {
                 self.phase = Phase::Idle { restart: true };
             }
         }
-        out
     }
 
     /// The executor killed `version` from outside the check path — a
@@ -416,20 +434,26 @@ impl<T> SpeculationManager<T> {
     /// Counts as a fault *and* a rollback for the breaker window.
     pub fn on_external_abort(&mut self, version: SpecVersion) -> Vec<Action> {
         let mut out = Vec::new();
+        self.on_external_abort_into(version, &mut out);
+        out
+    }
+
+    /// [`Self::on_external_abort`] into a caller-provided scratch vector.
+    pub fn on_external_abort_into(&mut self, version: SpecVersion, out: &mut Vec<Action>) {
         self.stats.external_aborts += 1;
         match &self.phase {
             Phase::Pending { version: v } if *v == version => {
-                self.emit_rollback(version, &mut out);
+                self.emit_rollback(version, out);
                 self.phase = Phase::Idle { restart: true };
             }
             Phase::Active { version: v, .. } if *v == version => {
-                self.emit_rollback(version, &mut out);
+                self.emit_rollback(version, out);
                 self.phase = Phase::Idle { restart: true };
             }
             Phase::FinalChecking { version: v, .. } if *v == version => {
                 // The decisive comparison can never pass a dead version:
                 // go natural immediately.
-                self.emit_rollback(version, &mut out);
+                self.emit_rollback(version, out);
                 self.phase = Phase::Done { committed: None };
                 out.push(Action::RecomputeNaturally);
             }
@@ -439,15 +463,20 @@ impl<T> SpeculationManager<T> {
                 self.stats.stale_results += 1;
             }
         }
-        out
     }
 
     /// The true final value became available. Returns either the final
     /// check to spawn or the decision to recompute naturally.
     pub fn on_final(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_final_into(&mut out);
+        out
+    }
+
+    /// [`Self::on_final`] into a caller-provided scratch vector.
+    pub fn on_final_into(&mut self, out: &mut Vec<Action>) {
         assert!(!self.final_seen, "on_final called twice");
         self.final_seen = true;
-        let mut out = Vec::new();
         match std::mem::replace(&mut self.phase, Phase::Done { committed: None }) {
             Phase::Active { version, value, .. } => {
                 self.phase = Phase::FinalChecking { version, value };
@@ -455,7 +484,7 @@ impl<T> SpeculationManager<T> {
             }
             Phase::Pending { version } => {
                 // The predictor never finished: kill it and go natural.
-                self.emit_rollback(version, &mut out);
+                self.emit_rollback(version, out);
                 out.push(Action::RecomputeNaturally);
             }
             Phase::Idle { .. } => {
@@ -465,7 +494,6 @@ impl<T> SpeculationManager<T> {
                 unreachable!("final value delivered in a terminal phase")
             }
         }
-        out
     }
 
     /// The final check reported: commit or recompute.
@@ -475,6 +503,18 @@ impl<T> SpeculationManager<T> {
         result: CheckResult,
     ) -> Vec<Action> {
         let mut out = Vec::new();
+        self.on_final_check_result_into(version, result, &mut out);
+        out
+    }
+
+    /// [`Self::on_final_check_result`] into a caller-provided scratch
+    /// vector.
+    pub fn on_final_check_result_into(
+        &mut self,
+        version: SpecVersion,
+        result: CheckResult,
+        out: &mut Vec<Action>,
+    ) {
         match std::mem::replace(&mut self.phase, Phase::Done { committed: None }) {
             Phase::FinalChecking { version: v, .. } if v == version => {
                 if result.valid {
@@ -495,7 +535,7 @@ impl<T> SpeculationManager<T> {
                         version,
                         margin: result.delta,
                     });
-                    self.emit_rollback(version, &mut out);
+                    self.emit_rollback(version, out);
                     out.push(Action::RecomputeNaturally);
                 }
             }
@@ -504,7 +544,6 @@ impl<T> SpeculationManager<T> {
                 self.stats.stale_results += 1;
             }
         }
-        out
     }
 }
 

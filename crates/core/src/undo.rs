@@ -10,7 +10,7 @@
 //! journal (effects stand), abort replays it backwards. [`JournaledCell`]
 //! packages the common case of speculatively-overwritten state.
 
-use std::collections::HashMap;
+use crate::arena::{AllocStats, ScratchPool};
 use tvs_sre::{FaultInjector, FaultKind, FaultSite, SpecVersion};
 use tvs_trace::{EventKind, Tracer};
 
@@ -27,8 +27,14 @@ impl<F: FnOnce()> Undo for F {
 }
 
 /// A per-version journal of reversible effects.
+///
+/// Journals live in a small linear `version → Vec<E>` map whose entry
+/// vectors are recycled through a [`ScratchPool`]: once the pool is warm,
+/// recording, committing and aborting versions touches the heap only when
+/// a journal outgrows every capacity seen before.
 pub struct UndoLog<E: Undo> {
-    journal: HashMap<SpecVersion, Vec<E>>,
+    journal: Vec<(SpecVersion, Vec<E>)>,
+    pool: ScratchPool<E>,
     committed: u64,
     undone: u64,
     tracer: Tracer,
@@ -38,7 +44,8 @@ pub struct UndoLog<E: Undo> {
 impl<E: Undo> Default for UndoLog<E> {
     fn default() -> Self {
         UndoLog {
-            journal: HashMap::new(),
+            journal: Vec::new(),
+            pool: ScratchPool::new(),
             committed: 0,
             undone: 0,
             tracer: Tracer::disabled(),
@@ -69,13 +76,33 @@ impl<E: Undo> UndoLog<E> {
 
     /// Record the reversal for an effect just applied under `version`.
     pub fn record(&mut self, version: SpecVersion, entry: E) {
-        self.journal.entry(version).or_default().push(entry);
+        match self.journal.iter_mut().find(|(v, _)| *v == version) {
+            Some((_, entries)) => entries.push(entry),
+            None => {
+                let mut entries = self.pool.take();
+                entries.push(entry);
+                self.journal.push((version, entries));
+            }
+        }
+    }
+
+    /// Detach `version`'s journal, if any.
+    fn remove(&mut self, version: SpecVersion) -> Option<Vec<E>> {
+        let i = self.journal.iter().position(|(v, _)| *v == version)?;
+        Some(self.journal.swap_remove(i).1)
     }
 
     /// Commit `version`: its effects stand; the journal is discarded.
     /// Returns the number of entries released.
     pub fn commit(&mut self, version: SpecVersion) -> usize {
-        let n = self.journal.remove(&version).map(|v| v.len()).unwrap_or(0);
+        let n = match self.remove(version) {
+            Some(entries) => {
+                let n = entries.len();
+                self.pool.put(entries); // drops the reversals unrun
+                n
+            }
+            None => 0,
+        };
         self.committed += n as u64;
         n
     }
@@ -87,11 +114,12 @@ impl<E: Undo> UndoLog<E> {
         if let Some(FaultKind::Stall { us }) = self.faults.draw(FaultSite::UndoJournal) {
             std::thread::sleep(std::time::Duration::from_micros(us));
         }
-        let entries = self.journal.remove(&version).unwrap_or_default();
+        let mut entries = self.remove(version).unwrap_or_default();
         let n = entries.len();
-        for e in entries.into_iter().rev() {
+        for e in entries.drain(..).rev() {
             e.undo();
         }
+        self.pool.put(entries);
         self.undone += n as u64;
         if n > 0 {
             self.tracer.emit_control(EventKind::UndoReplay {
@@ -104,12 +132,26 @@ impl<E: Undo> UndoLog<E> {
 
     /// Entries currently journalled for `version`.
     pub fn len_of(&self, version: SpecVersion) -> usize {
-        self.journal.get(&version).map(|v| v.len()).unwrap_or(0)
+        self.journal
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, entries)| entries.len())
+            .unwrap_or(0)
     }
 
     /// `(committed, undone)` lifetime counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.committed, self.undone)
+    }
+
+    /// Heap-allocation counters of the internal journal pool.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.pool.stats()
+    }
+
+    /// Zero the internal pool's allocation counters (bench warm-up).
+    pub fn reset_alloc_stats(&mut self) {
+        self.pool.reset_stats();
     }
 }
 

@@ -5,7 +5,6 @@
 //! that version (the SRE deletes/flags them wholesale on rollback), and the
 //! wait buffer partitions speculative outputs by it.
 
-use std::collections::HashMap;
 use tvs_sre::SpecVersion;
 
 /// Lifecycle state of one speculation version.
@@ -22,12 +21,17 @@ pub enum VersionState {
 }
 
 /// Allocates versions and tracks their states with checked transitions.
+///
+/// Versions are dense (1, 2, 3, …), so records live in a flat slab indexed
+/// by `version - 1` rather than a hash map: state lookups are a bounds
+/// check plus an array read, and allocation is an amortized-constant `Vec`
+/// push — no per-version hashing or rehash spikes on the speculation hot
+/// path. Terminal states stay queryable for the run's lifetime, which the
+/// rollback bookkeeping relies on.
 #[derive(Debug, Default)]
 pub struct VersionTracker {
-    next: SpecVersion,
-    states: HashMap<SpecVersion, VersionState>,
-    /// Basis event count at which each version was predicted.
-    basis: HashMap<SpecVersion, u64>,
+    /// Slab of `(state, basis)` records; version `v` lives at `v - 1`.
+    records: Vec<(VersionState, u64)>,
 }
 
 impl VersionTracker {
@@ -35,20 +39,19 @@ impl VersionTracker {
     /// serve as a sentinel in application code).
     pub fn new() -> Self {
         VersionTracker {
-            next: 1,
-            states: HashMap::new(),
-            basis: HashMap::new(),
+            records: Vec::new(),
         }
+    }
+
+    fn slot(&self, v: SpecVersion) -> Option<usize> {
+        (v >= 1 && (v as usize) <= self.records.len()).then(|| v as usize - 1)
     }
 
     /// Allocate a fresh `Pending` version, recording the basis event count
     /// its prediction is based on.
     pub fn allocate(&mut self, basis: u64) -> SpecVersion {
-        let v = self.next;
-        self.next += 1;
-        self.states.insert(v, VersionState::Pending);
-        self.basis.insert(v, basis);
-        v
+        self.records.push((VersionState::Pending, basis));
+        self.records.len() as SpecVersion
     }
 
     /// Mark a pending version active (its predicted value was installed).
@@ -56,20 +59,21 @@ impl VersionTracker {
     /// Returns `false` (no-op) if the version was aborted in the meantime —
     /// the predictor lost the race against a rollback.
     pub fn activate(&mut self, v: SpecVersion) -> bool {
-        match self.states.get_mut(&v) {
+        let state = self.slot(v).map(|i| &mut self.records[i].0);
+        match state {
             Some(s @ VersionState::Pending) => {
                 *s = VersionState::Active;
                 true
             }
             Some(VersionState::Aborted) => false,
-            other => panic!("activate({v}): invalid state {other:?}"),
+            other => panic!("activate({v}): invalid state {:?}", other.map(|s| *s)),
         }
     }
 
     /// Abort a pending or active version. Idempotent. Panics when aborting
     /// a committed version — commits are final.
     pub fn abort(&mut self, v: SpecVersion) {
-        match self.states.get_mut(&v) {
+        match self.slot(v).map(|i| &mut self.records[i].0) {
             Some(s @ (VersionState::Pending | VersionState::Active)) => *s = VersionState::Aborted,
             Some(VersionState::Aborted) => {}
             Some(VersionState::Committed) => panic!("abort({v}): version already committed"),
@@ -79,30 +83,31 @@ impl VersionTracker {
 
     /// Commit an active version. Panics unless currently active.
     pub fn commit(&mut self, v: SpecVersion) {
-        match self.states.get_mut(&v) {
+        let state = self.slot(v).map(|i| &mut self.records[i].0);
+        match state {
             Some(s @ VersionState::Active) => *s = VersionState::Committed,
-            other => panic!("commit({v}): invalid state {other:?}"),
+            other => panic!("commit({v}): invalid state {:?}", other.map(|s| *s)),
         }
     }
 
     /// Current state, if the version exists.
     pub fn state(&self, v: SpecVersion) -> Option<VersionState> {
-        self.states.get(&v).copied()
+        self.slot(v).map(|i| self.records[i].0)
     }
 
     /// Basis event count the version was predicted from.
     pub fn basis_of(&self, v: SpecVersion) -> Option<u64> {
-        self.basis.get(&v).copied()
+        self.slot(v).map(|i| self.records[i].1)
     }
 
     /// Number of versions ever allocated.
     pub fn allocated(&self) -> u64 {
-        (self.next - 1) as u64
+        self.records.len() as u64
     }
 
     /// Count of versions currently in the given state.
     pub fn count_in(&self, state: VersionState) -> usize {
-        self.states.values().filter(|&&s| s == state).count()
+        self.records.iter().filter(|&&(s, _)| s == state).count()
     }
 }
 

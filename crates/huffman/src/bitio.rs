@@ -1,11 +1,22 @@
 //! MSB-first bit-level I/O used by the block encoder and decoder.
+//!
+//! The writer stages bits in a 64-bit accumulator and spills whole
+//! big-endian words into the byte buffer, so the per-symbol encode cost is
+//! one shift/or plus an occasional 8-byte `extend_from_slice` — no
+//! per-bit or per-byte loop on the hot path. The reader mirrors this with
+//! byte-wise extraction in [`BitReader::read_bits`].
 
 /// Writes variable-length codes into a growing byte buffer, MSB first.
+///
+/// Bits are staged in a 64-bit accumulator (`acc`, top `acc_bits` bits
+/// valid) and flushed to `buf` a whole word at a time.
 #[derive(Clone, Debug, Default)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits already written into the final, partial byte (0..=7).
-    partial_bits: u8,
+    /// Staging word; the high `acc_bits` bits are valid, the rest zero.
+    acc: u64,
+    /// Valid bits in `acc` (0..=63 — a full word is flushed immediately).
+    acc_bits: u8,
 }
 
 impl BitWriter {
@@ -17,51 +28,100 @@ impl BitWriter {
     /// An empty writer with capacity for roughly `bits` bits.
     pub fn with_capacity_bits(bits: usize) -> Self {
         BitWriter {
-            buf: Vec::with_capacity(bits / 8 + 1),
-            partial_bits: 0,
+            buf: Vec::with_capacity(bits / 8 + 8),
+            acc: 0,
+            acc_bits: 0,
         }
+    }
+
+    /// An empty writer backed by a recycled byte buffer: `buf` is cleared
+    /// but its capacity is kept, so steady-state encoding allocates nothing.
+    pub fn from_recycled(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            buf,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    /// Grow the backing buffer to hold at least `bits` more bits.
+    pub fn reserve_bits(&mut self, bits: usize) {
+        self.buf.reserve(bits / 8 + 8);
     }
 
     /// Append the low `len` bits of `code`, most significant of those first.
     ///
     /// `len` must be at most 64. `len == 0` is a no-op.
+    #[inline]
     pub fn push(&mut self, code: u64, len: u8) {
         debug_assert!(len <= 64);
         debug_assert!(len == 64 || code < (1u64 << len) || len == 0);
-        let mut remaining = len;
-        while remaining > 0 {
-            if self.partial_bits == 0 {
-                self.buf.push(0);
+        if len == 0 {
+            return;
+        }
+        // Clear any garbage above the low `len` bits (shift is 0..=63 here).
+        let code = code & (u64::MAX >> (64 - len));
+        let free = 64 - self.acc_bits; // 1..=64
+        if len <= free {
+            // The whole code fits: place its MSB right under the valid bits.
+            self.acc |= code << (free - len);
+            self.acc_bits += len;
+            if self.acc_bits == 64 {
+                self.buf.extend_from_slice(&self.acc.to_be_bytes());
+                self.acc = 0;
+                self.acc_bits = 0;
             }
-            let free = 8 - self.partial_bits;
-            let take = free.min(remaining);
-            // Bits of `code` positions [remaining-take, remaining) go to the
-            // current byte positions [free-take, free).
-            let chunk = ((code >> (remaining - take)) & ((1u64 << take) - 1)) as u8;
-            let last = self.buf.last_mut().expect("pushed above");
-            *last |= chunk << (free - take);
-            self.partial_bits = (self.partial_bits + take) % 8;
-            remaining -= take;
+        } else {
+            // Top `free` bits complete the word; the rest starts a new one.
+            self.acc |= code >> (len - free);
+            self.buf.extend_from_slice(&self.acc.to_be_bytes());
+            let rem = len - free; // 1..=63
+            self.acc = code << (64 - rem);
+            self.acc_bits = rem;
+        }
+    }
+
+    /// True when the bit cursor sits on a byte boundary.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.acc_bits.is_multiple_of(8)
+    }
+
+    /// Append whole bytes verbatim. Only valid on a byte boundary
+    /// ([`Self::is_byte_aligned`]); use [`Self::push`] otherwise.
+    pub fn extend_bytes(&mut self, bytes: &[u8]) {
+        debug_assert!(self.is_byte_aligned(), "extend_bytes needs alignment");
+        self.flush_acc();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Spill the accumulator's complete bytes into `buf`, leaving at most
+    /// 7 valid bits staged.
+    fn flush_acc(&mut self) {
+        let whole = (self.acc_bits / 8) as usize;
+        if whole > 0 {
+            self.buf.extend_from_slice(&self.acc.to_be_bytes()[..whole]);
+            self.acc <<= 8 * whole;
+            self.acc_bits -= 8 * whole as u8;
         }
     }
 
     /// Total number of bits written so far.
     pub fn bit_len(&self) -> u64 {
-        if self.partial_bits == 0 {
-            self.buf.len() as u64 * 8
-        } else {
-            (self.buf.len() as u64 - 1) * 8 + self.partial_bits as u64
-        }
+        self.buf.len() as u64 * 8 + self.acc_bits as u64
     }
 
     /// Finish and return the backing bytes; unused trailing bits are zero.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        self.finish().0
     }
 
-    /// Borrow the bytes written so far (final byte may be partial).
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+    /// Finish, returning the backing bytes and the exact bit length.
+    pub fn finish(mut self) -> (Vec<u8>, u64) {
+        let bits = self.bit_len();
+        let tail = (self.acc_bits as usize).div_ceil(8);
+        self.buf.extend_from_slice(&self.acc.to_be_bytes()[..tail]);
+        (self.buf, bits)
     }
 }
 
@@ -121,6 +181,7 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read a single bit; `None` at end of stream.
+    #[inline]
     pub fn read_bit(&mut self) -> Option<u8> {
         if self.pos >= self.end {
             return None;
@@ -139,8 +200,15 @@ impl<'a> BitReader<'a> {
             return None;
         }
         let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit().expect("remaining checked") as u64;
+        let mut need = n;
+        while need > 0 {
+            let byte = self.data[(self.pos / 8) as usize];
+            let avail = 8 - (self.pos % 8) as u8;
+            let take = avail.min(need);
+            let chunk = (byte >> (avail - take)) & (((1u16 << take) - 1) as u8);
+            v = (v << take) | chunk as u64;
+            self.pos += take as u64;
+            need -= take;
         }
         Some(v)
     }
@@ -191,6 +259,23 @@ mod tests {
         w.push(v, 64);
         assert_eq!(w.bit_len(), 64);
         assert_eq!(w.into_bytes(), v.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn word_boundary_crossing_codes() {
+        // Codes that straddle the 64-bit accumulator boundary must come
+        // back bit-exact — this is the split branch of `push`.
+        let mut w = BitWriter::new();
+        w.push(0x7FFF_FFFF_FFFF_FFFF, 63);
+        w.push(0b1010_1010_1010, 12); // 63+12 crosses the word
+        w.push(0x1FF, 9);
+        let total = w.bit_len();
+        assert_eq!(total, 84);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, total);
+        assert_eq!(r.read_bits(63), Some(0x7FFF_FFFF_FFFF_FFFF));
+        assert_eq!(r.read_bits(12), Some(0b1010_1010_1010));
+        assert_eq!(r.read_bits(9), Some(0x1FF));
     }
 
     #[test]
@@ -252,6 +337,38 @@ mod tests {
         assert_eq!(w.bit_len(), 8);
         w.push(0b1, 1);
         assert_eq!(w.bit_len(), 9);
-        assert_eq!(w.as_bytes().len(), 2);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 9);
+        assert_eq!(bytes.len(), 2, "9 bits pad to two bytes");
+    }
+
+    #[test]
+    fn extend_bytes_matches_pushed_bytes() {
+        let payload: Vec<u8> = (0u8..=255).collect();
+        let mut a = BitWriter::new();
+        a.push(0xAB, 8);
+        a.extend_bytes(&payload);
+        let mut b = BitWriter::new();
+        b.push(0xAB, 8);
+        for &x in &payload {
+            b.push(x as u64, 8);
+        }
+        assert_eq!(a.bit_len(), b.bit_len());
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn recycled_buffer_keeps_capacity_and_starts_empty() {
+        let mut w = BitWriter::with_capacity_bits(1024);
+        w.push(0xFFFF, 16);
+        let (bytes, _) = w.finish();
+        let cap = bytes.capacity();
+        let mut w2 = BitWriter::from_recycled(bytes);
+        assert_eq!(w2.bit_len(), 0);
+        w2.push(0b101, 3);
+        let (bytes2, bits2) = w2.finish();
+        assert_eq!(bits2, 3);
+        assert_eq!(bytes2, vec![0b1010_0000]);
+        assert!(bytes2.capacity() >= cap.min(1), "capacity retained");
     }
 }

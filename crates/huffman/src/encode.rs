@@ -4,7 +4,7 @@ use crate::bitio::BitWriter;
 use crate::codes::CodeTable;
 
 /// The encoded form of one input block.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EncodedBlock {
     /// Encoded bits, MSB-first, zero-padded to a byte boundary.
     pub bytes: Vec<u8>,
@@ -21,20 +21,41 @@ pub struct EncodedBlock {
 /// never saw that byte. The caller (the speculation engine) treats it as an
 /// immediately failed speculation for that block.
 pub fn encode_block(block: &[u8], table: &CodeTable) -> Option<EncodedBlock> {
-    let mut w = BitWriter::with_capacity_bits(block.len() * 8);
+    let mut out = EncodedBlock {
+        bytes: Vec::with_capacity(block.len() + 8),
+        ..EncodedBlock::default()
+    };
+    encode_block_into(block, table, &mut out).then_some(out)
+}
+
+/// Encode `block` with `table` into a caller-provided [`EncodedBlock`],
+/// reusing its byte buffer's capacity (zero allocation once warm).
+///
+/// Returns `false` — leaving `out` empty — if some byte of `block` has no
+/// code in `table` (the failed-speculation case of [`encode_block`]).
+pub fn encode_block_into(block: &[u8], table: &CodeTable, out: &mut EncodedBlock) -> bool {
+    let mut w = BitWriter::from_recycled(std::mem::take(&mut out.bytes));
+    w.reserve_bits(block.len() * 8);
     for &b in block {
         let len = table.len(b);
         if len == 0 {
-            return None;
+            let mut bytes = w.into_bytes();
+            bytes.clear();
+            *out = EncodedBlock {
+                bytes,
+                ..EncodedBlock::default()
+            };
+            return false;
         }
         w.push(table.code(b), len);
     }
-    let bit_len = w.bit_len();
-    Some(EncodedBlock {
-        bytes: w.into_bytes(),
+    let (bytes, bit_len) = w.finish();
+    *out = EncodedBlock {
+        bytes,
         bit_len,
         src_len: block.len(),
-    })
+    };
+    true
 }
 
 /// Concatenate encoded blocks into one contiguous bitstream.
@@ -52,17 +73,27 @@ pub fn concat_blocks<'a, I: IntoIterator<Item = &'a EncodedBlock>>(blocks: I) ->
 }
 
 /// Append one encoded block to a bit writer, bit-exact.
+///
+/// When the writer sits on a byte boundary the block's whole bytes are
+/// memcpy'd; otherwise they stream through the writer's 64-bit accumulator
+/// a word at a time.
 pub fn append_block(w: &mut BitWriter, b: &EncodedBlock) {
-    let mut remaining = b.bit_len;
-    let mut idx = 0usize;
-    while remaining >= 8 {
-        w.push(b.bytes[idx] as u64, 8);
-        idx += 1;
-        remaining -= 8;
+    let full = (b.bit_len / 8) as usize;
+    let tail_bits = (b.bit_len % 8) as u8;
+    if w.is_byte_aligned() {
+        w.extend_bytes(&b.bytes[..full]);
+    } else {
+        let mut words = b.bytes[..full].chunks_exact(8);
+        for c in &mut words {
+            w.push(u64::from_be_bytes(c.try_into().expect("8-byte chunk")), 64);
+        }
+        for &byte in words.remainder() {
+            w.push(byte as u64, 8);
+        }
     }
-    if remaining > 0 {
-        let tail = (b.bytes[idx] >> (8 - remaining as u8)) as u64;
-        w.push(tail, remaining as u8);
+    if tail_bits > 0 {
+        let tail = (b.bytes[full] >> (8 - tail_bits)) as u64;
+        w.push(tail, tail_bits);
     }
 }
 
@@ -140,6 +171,30 @@ mod tests {
             assert_eq!(back, chunk, "block {i}");
             offset += p.bit_len;
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_fresh_encode() {
+        let data = b"tolerant value speculation, block after block after block";
+        let t = table_for(data);
+        let mut out = EncodedBlock::default();
+        for chunk in data.chunks(11) {
+            assert!(encode_block_into(chunk, &t, &mut out));
+            assert_eq!(out, encode_block(chunk, &t).unwrap());
+        }
+        let cap = out.bytes.capacity();
+        assert!(encode_block_into(&data[..11], &t, &mut out));
+        assert!(out.bytes.capacity() >= cap.min(out.bytes.len()));
+    }
+
+    #[test]
+    fn encode_into_failure_leaves_empty_block() {
+        let t = table_for(b"ab");
+        let mut out = encode_block(b"ab", &t).unwrap();
+        assert!(!encode_block_into(b"abz", &t, &mut out));
+        assert_eq!(out.bit_len, 0);
+        assert_eq!(out.src_len, 0);
+        assert!(out.bytes.is_empty());
     }
 
     #[test]

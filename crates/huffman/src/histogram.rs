@@ -49,24 +49,57 @@ impl Histogram {
 
     /// Add the bytes of `data` into this histogram.
     pub fn accumulate(&mut self, data: &[u8]) {
-        // Four sub-histograms defeat the store-to-load dependency on a single
-        // counter array; measurably faster on long runs of equal bytes.
-        let mut lanes = [[0u32; ALPHABET]; 4];
-        let mut chunks = data.chunks_exact(4);
-        for c in &mut chunks {
-            lanes[0][c[0] as usize] += 1;
-            lanes[1][c[1] as usize] += 1;
-            lanes[2][c[2] as usize] += 1;
-            lanes[3][c[3] as usize] += 1;
-        }
-        // Spread the ≤3 tail bytes across distinct lanes too, so a tail of
-        // equal bytes doesn't serialise on lane 0's counter.
-        for (i, &b) in chunks.remainder().iter().enumerate() {
-            lanes[i][b as usize] += 1;
-        }
+        let lanes = Self::count_lanes(data);
         for (i, c) in self.counts.iter_mut().enumerate() {
             *c += lanes[0][i] as u64 + lanes[1][i] as u64 + lanes[2][i] as u64 + lanes[3][i] as u64;
         }
+    }
+
+    /// Count `data` into four shadow lane tables, 8 bytes per iteration.
+    ///
+    /// Four sub-histograms defeat the store-to-load dependency on a single
+    /// counter array (long runs of equal bytes would otherwise serialise on
+    /// one counter), and the single `u64` load per 8 bytes replaces eight
+    /// byte loads — the SIMD-shaped scalar loop that autovectorizes.
+    #[inline]
+    fn count_lanes(data: &[u8]) -> [[u32; ALPHABET]; 4] {
+        let mut lanes = [[0u32; ALPHABET]; 4];
+        let mut words = data.chunks_exact(8);
+        for c in &mut words {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            lanes[0][(w & 0xFF) as usize] += 1;
+            lanes[1][((w >> 8) & 0xFF) as usize] += 1;
+            lanes[2][((w >> 16) & 0xFF) as usize] += 1;
+            lanes[3][((w >> 24) & 0xFF) as usize] += 1;
+            lanes[0][((w >> 32) & 0xFF) as usize] += 1;
+            lanes[1][((w >> 40) & 0xFF) as usize] += 1;
+            lanes[2][((w >> 48) & 0xFF) as usize] += 1;
+            lanes[3][(w >> 56) as usize] += 1;
+        }
+        // Spread the ≤7 tail bytes across distinct lanes too, so a tail of
+        // equal bytes doesn't serialise on lane 0's counter.
+        for (i, &b) in words.remainder().iter().enumerate() {
+            lanes[i % 4][b as usize] += 1;
+        }
+        lanes
+    }
+
+    /// Fused count→reduce: count `data` into a fresh block histogram while
+    /// folding the same lane tables into `acc` in the same final pass.
+    ///
+    /// This is the paper's `count` immediately followed by its first-level
+    /// `reduce`, without re-walking the block or a second 256-entry merge
+    /// sweep over a cloned accumulator.
+    pub fn count_into(data: &[u8], acc: &mut Histogram) -> Histogram {
+        let lanes = Self::count_lanes(data);
+        let mut block = Histogram::new();
+        for (i, slot) in block.counts.iter_mut().enumerate().take(ALPHABET) {
+            let c =
+                lanes[0][i] as u64 + lanes[1][i] as u64 + lanes[2][i] as u64 + lanes[3][i] as u64;
+            *slot = c;
+            acc.counts[i] += c;
+        }
+        block
     }
 
     /// Merge `other` into `self` (the paper's `reduce` task body).
@@ -81,6 +114,26 @@ impl Histogram {
         let mut h = Histogram::new();
         for p in parts {
             h.merge(p);
+        }
+        h
+    }
+
+    /// `base + Σ parts` in a single output pass: the reduce-task body that
+    /// folds a group of block histograms onto a running prefix accumulator
+    /// without first cloning `base` and then re-sweeping it per part.
+    pub fn merged_with_base<'a, I>(base: &Histogram, parts: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Histogram>,
+        I::IntoIter: Clone,
+    {
+        let parts = parts.into_iter();
+        let mut h = Histogram::new();
+        for i in 0..ALPHABET {
+            let mut c = base.counts[i];
+            for p in parts.clone() {
+                c += p.counts[i];
+            }
+            h.counts[i] = c;
         }
         h
     }
@@ -217,7 +270,7 @@ mod tests {
 
     #[test]
     fn accumulate_handles_unaligned_tails() {
-        for n in 0..9usize {
+        for n in 0..25usize {
             let data: Vec<u8> = (0..n as u8).collect();
             let h = Histogram::from_bytes(&data);
             assert_eq!(h.total(), n as u64, "length {n}");
@@ -225,6 +278,33 @@ mod tests {
                 assert_eq!(h.count(b), 1);
             }
         }
+    }
+
+    #[test]
+    fn count_into_matches_separate_count_and_merge() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4_099).collect();
+        for split in [0usize, 1, 7, 8, 9, 63, 64, 65, 4_099] {
+            let (a, b) = data.split_at(split);
+            let mut acc = Histogram::from_bytes(a);
+            let block = Histogram::count_into(b, &mut acc);
+            assert_eq!(block, Histogram::from_bytes(b), "split {split}");
+            assert_eq!(acc, Histogram::from_bytes(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn merged_with_base_matches_clone_then_merge() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let parts: Vec<Histogram> = data.chunks(777).map(Histogram::from_bytes).collect();
+        let base = Histogram::from_bytes(b"prefix state");
+        let fused = Histogram::merged_with_base(&base, parts.iter());
+        let mut slow = base.clone();
+        for p in &parts {
+            slow.merge(p);
+        }
+        assert_eq!(fused, slow);
+        // Empty group degenerates to the base itself.
+        assert_eq!(Histogram::merged_with_base(&base, [].iter()), base);
     }
 
     #[test]

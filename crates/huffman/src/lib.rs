@@ -52,7 +52,7 @@ pub use bitio::{BitReader, BitWriter};
 pub use codes::CodeTable;
 pub use container::{compress, unpack, ContainerError};
 pub use decode::{decode_exact, Decoder};
-pub use encode::{concat_blocks, encode_block, EncodedBlock};
+pub use encode::{concat_blocks, encode_block, encode_block_into, EncodedBlock};
 pub use estimate::{relative_cost_delta, tolerance_verdict, Verdict};
 pub use histogram::Histogram;
 pub use offset::{block_bits, OffsetChain};

@@ -25,7 +25,9 @@
 
 use crate::config::{HuffmanConfig, PredictorKind};
 use std::sync::Arc;
-use tvs_core::{Action, CheckResult, ManagerStats, SpecVersion, SpeculationManager, WaitBuffer};
+use tvs_core::{
+    Action, CheckResult, ManagerStats, ScratchPool, SpecVersion, SpeculationManager, WaitBuffer,
+};
 use tvs_huffman::{relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, Histogram};
 use tvs_sre::task::{expect_payload, payload};
 use tvs_sre::{
@@ -187,6 +189,12 @@ pub struct HuffmanWorkload {
     outputs: Vec<Option<EncodedBlock>>,
     committed_tree: Option<Arc<SpecTree>>,
     faults: FaultInjector,
+
+    // Steady-state scratch, recycled between scheduler events so the
+    // speculation control path performs no per-block heap allocation.
+    actions_scratch: Vec<Action>,
+    commit_scratch: Vec<(u64, EncodeOut)>,
+    encode_pool: ScratchPool<u8>,
 }
 
 impl HuffmanWorkload {
@@ -222,6 +230,9 @@ impl HuffmanWorkload {
             outputs: vec![None; n_blocks],
             committed_tree: None,
             faults: FaultInjector::disabled(),
+            actions_scratch: Vec::new(),
+            commit_scratch: Vec::new(),
+            encode_pool: ScratchPool::new(),
             cfg,
         }
     }
@@ -323,10 +334,11 @@ impl HuffmanWorkload {
         let bytes = group.len() * 1024 + if prev.is_some() { 2048 } else { 0 };
         self.reduce_inflight = true;
         ctx.spawn(TaskSpec::regular("reduce", 1, bytes, g as u64, move |_| {
-            let mut h = prev.as_ref().map(|p| (**p).clone()).unwrap_or_default();
-            for part in &group {
-                h.merge(part);
-            }
+            // Fused fold: base + Σ parts in a single output pass, instead of
+            // cloning the accumulator and re-sweeping it once per part.
+            let zero = Histogram::new();
+            let base = prev.as_deref().unwrap_or(&zero);
+            let h = Histogram::merged_with_base(base, group.iter().map(Arc::as_ref));
             payload(Arc::new(h))
         }));
     }
@@ -462,10 +474,23 @@ impl HuffmanWorkload {
         for idx in lo..lo + n {
             let data = self.data[idx].as_ref().expect("arrived").clone();
             let table = tree.clone();
+            // The output buffer travels into the task, comes back through
+            // the completion payload, and re-enters the pool when the block
+            // is finalised without retaining its bytes — so in steady state
+            // (collect_output off) encode allocates nothing per block.
+            // Option dance: task bodies are FnMut but run once; taking the
+            // buffer out keeps the closure re-callable in the type system.
+            let mut recycled = Some(self.encode_pool.take());
             let body = move |_: &tvs_sre::TaskCtx| {
-                let e = tvs_huffman::encode_block(&data, &table.table)
-                    .expect("covering/exact table encodes all bytes");
-                payload(e)
+                let mut out = EncodedBlock {
+                    bytes: recycled.take().unwrap_or_default(),
+                    ..Default::default()
+                };
+                assert!(
+                    tvs_huffman::encode_block_into(&data, &table.table, &mut out),
+                    "covering/exact table encodes all bytes"
+                );
+                payload(out)
             };
             let task = match version {
                 Some(v) => TaskSpec::speculative(
@@ -503,6 +528,7 @@ impl HuffmanWorkload {
                 bit_len: encoded.bit_len,
                 src_len: encoded.src_len,
             });
+            self.encode_pool.put(encoded.bytes);
         }
         self.blocks_done += 1;
     }
@@ -511,8 +537,23 @@ impl HuffmanWorkload {
     // Speculation action handling
     // ------------------------------------------------------------------
 
-    fn handle_actions(&mut self, ctx: &mut dyn SchedCtx, actions: Vec<Action>) {
-        for a in actions {
+    /// Run `fill` against the manager with the recycled action scratch,
+    /// then execute whatever actions it produced. The scratch's capacity
+    /// survives across events, so the control path stops allocating once
+    /// it has seen its largest action burst.
+    fn dispatch(
+        &mut self,
+        ctx: &mut dyn SchedCtx,
+        fill: impl FnOnce(&mut SpeculationManager<Arc<SpecTree>>, &mut Vec<Action>),
+    ) {
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        fill(&mut self.mgr, &mut actions);
+        self.handle_actions(ctx, &mut actions);
+        self.actions_scratch = actions;
+    }
+
+    fn handle_actions(&mut self, ctx: &mut dyn SchedCtx, actions: &mut Vec<Action>) {
+        for a in actions.drain(..) {
             match a {
                 Action::StartPrediction { version } => self.spawn_predictor(ctx, version),
                 Action::SpawnCheck { version } => self.spawn_check(ctx, version),
@@ -546,9 +587,12 @@ impl HuffmanWorkload {
                         .as_ref()
                         .map(|p| p.tree.clone())
                         .or_else(|| self.mgr.pending_final().map(|(_, t)| t.clone()));
-                    for (slot, out) in self.buffer.commit(version) {
+                    let mut ready = std::mem::take(&mut self.commit_scratch);
+                    self.buffer.commit_into(version, &mut ready);
+                    for (slot, out) in ready.drain(..) {
                         self.finalize_block(slot as usize, out.encoded, out.finished);
                     }
+                    self.commit_scratch = ready;
                 }
                 Action::RecomputeNaturally => {
                     let tree = self
@@ -628,8 +672,7 @@ impl Workload for HuffmanWorkload {
                 if self.cfg.speculates() && !self.first_count_seen {
                     self.first_count_seen = true;
                     if self.cfg.schedule.step == 0 && self.counts[0].is_some() {
-                        let actions = self.mgr.on_basis(0);
-                        self.handle_actions(ctx, actions);
+                        self.dispatch(ctx, |mgr, out| mgr.on_basis_into(0, out));
                     }
                 }
                 // New counted blocks may unblock the active paths.
@@ -645,8 +688,8 @@ impl Workload for HuffmanWorkload {
                 self.reduce_inflight = false;
                 if self.cfg.speculates() && !self.mgr.is_done() && self.reduces_done < self.n_groups
                 {
-                    let actions = self.mgr.on_basis(self.reduces_done as u64);
-                    self.handle_actions(ctx, actions);
+                    let basis = self.reduces_done as u64;
+                    self.dispatch(ctx, move |mgr, out| mgr.on_basis_into(basis, out));
                 }
                 if self.reduces_done == self.n_groups {
                     self.spawn_tree(ctx);
@@ -658,11 +701,9 @@ impl Workload for HuffmanWorkload {
                 let tree = expect_payload::<Arc<SpecTree>>(done.output, "Arc<SpecTree>");
                 self.final_tree = Some(tree);
                 if self.cfg.speculates() {
-                    let actions = self.mgr.on_final();
-                    self.handle_actions(ctx, actions);
+                    self.dispatch(ctx, |mgr, out| mgr.on_final_into(out));
                 } else {
-                    let actions = vec![Action::RecomputeNaturally];
-                    self.handle_actions(ctx, actions);
+                    self.dispatch(ctx, |_, out| out.push(Action::RecomputeNaturally));
                 }
             }
             "predict" => {
@@ -694,18 +735,18 @@ impl Workload for HuffmanWorkload {
                         "(version, CheckResult, Arc<SpecTree>)",
                     );
                 let basis = candidate.basis;
-                let actions = self
-                    .mgr
-                    .on_check_result(version, result, Some((candidate, basis)));
-                self.handle_actions(ctx, actions);
+                self.dispatch(ctx, move |mgr, out| {
+                    mgr.on_check_result_into(version, result, Some((candidate, basis)), out)
+                });
             }
             "final-check" => {
                 let (version, result) = expect_payload::<(SpecVersion, CheckResult)>(
                     done.output,
                     "(version, CheckResult)",
                 );
-                let actions = self.mgr.on_final_check_result(version, result);
-                self.handle_actions(ctx, actions);
+                self.dispatch(ctx, move |mgr, out| {
+                    mgr.on_final_check_result_into(version, result, out)
+                });
             }
             "offset" => {
                 let (lo, lens) =
@@ -761,8 +802,7 @@ impl Workload for HuffmanWorkload {
         // the regular rollback actions clear the path and wait buffer.
         self.mgr.record_fault();
         if let Some(v) = fault.version {
-            let actions = self.mgr.on_external_abort(v);
-            self.handle_actions(ctx, actions);
+            self.dispatch(ctx, move |mgr, out| mgr.on_external_abort_into(v, out));
         }
     }
 

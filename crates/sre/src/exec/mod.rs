@@ -3,5 +3,6 @@
 //! the same [`crate::Scheduler`] and [`crate::Workload`] abstractions.
 
 pub mod baseline;
+pub mod commit_log;
 pub mod sim;
 pub mod threaded;

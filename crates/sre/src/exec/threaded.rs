@@ -33,9 +33,13 @@
 //!   the baseline's `notify_all` storm does, and an over-provisioned one
 //!   never turns queue depth into futex churn.
 //! * **Completion routing off the critical section.** Workers report
-//!   results over a bounded MPSC channel; a single router thread drains it,
-//!   charges lanes, runs `Workload::on_complete` and re-pumps — so workload
-//!   routing code never blocks a worker.
+//!   results over a bounded **lock-free commit log** — an epoch-reclaimed
+//!   MPSC ring ([`super::commit_log::CommitRing`]) — and a single router
+//!   thread drains it in batches, charges lanes, runs
+//!   `Workload::on_complete` and re-pumps. Reporting a completion costs
+//!   one CAS plus one uncontended slot write, so workload routing code
+//!   never blocks a worker and the dispatch pump never contends with the
+//!   completion drain.
 //! * **Panic-isolated task bodies.** Every body runs under `catch_unwind`.
 //!   A panicking *speculative* task is treated exactly like a detected
 //!   misspeculation: its slot is reclaimed ([`Scheduler::fault`]), the
@@ -60,6 +64,7 @@
 //! cross-validate outputs: both executors (and the baseline) run the *same*
 //! `Workload` implementations.
 
+use super::commit_log::{CommitRing, PopOutcome, Producer};
 use crate::fault::{self, RetryPolicy, RunError, WatchdogConfig};
 use crate::metrics::RunMetrics;
 use crate::policy::DispatchPolicy;
@@ -68,7 +73,6 @@ use crate::task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Ti
 use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
@@ -531,10 +535,14 @@ where
         pump(&fabric, inner);
     }
 
-    // Completion channel: workers produce, the router consumes. Bounded so
-    // a stalled router back-pressures workers instead of buffering
-    // unboundedly; wide enough that a short-task storm rarely blocks a send.
-    let (tx, rx) = sync_channel::<Finished>((8 * cfg.workers).max(64));
+    // Completion log: workers produce, the router consumes — a lock-free
+    // epoch-reclaimed ring (see [`super::commit_log`]) instead of a mutex
+    // channel, so reporting a completion never serialises workers on a
+    // shared lock. Bounded so a stalled router back-pressures workers
+    // instead of buffering unboundedly; wide enough that a short-task storm
+    // rarely spins on a full ring.
+    let ring: Arc<CommitRing<Finished>> =
+        Arc::new(CommitRing::with_capacity((64 * cfg.workers).max(1024)));
 
     // Worker threads: grab from lanes, run, report. The commit lock is
     // never *waited on* here — an idle worker may `try_lock` it to refill
@@ -545,7 +553,7 @@ where
         .map(|me| {
             let fabric = Arc::clone(&fabric);
             let commit = Arc::clone(&commit);
-            let tx: SyncSender<Finished> = tx.clone();
+            let tx: Producer<Finished> = ring.producer();
             std::thread::Builder::new()
                 .name(format!("tvs-worker-{me}"))
                 .spawn(move || {
@@ -735,9 +743,8 @@ where
                 .expect("failed to spawn worker thread")
         })
         .collect();
-    // Workers hold the only senders from here on: when they exit, the
-    // channel disconnects and the router drains out.
-    drop(tx);
+    // Workers hold the only producer handles: when they exit, the ring
+    // disconnects and the router drains out.
 
     // Input feeder thread (the paper's first auxiliary thread).
     let feeder = {
@@ -810,14 +817,17 @@ where
     let router = {
         let fabric = Arc::clone(&fabric);
         let commit = Arc::clone(&commit);
+        let ring = Arc::clone(&ring);
         std::thread::Builder::new()
             .name("tvs-router".into())
             .spawn(move || {
-                // Batch drain: one blocking recv, then opportunistic
-                // try_recvs, all routed under a single commit-lock
-                // acquisition with one pump and one wake at the end. On a
-                // short-task storm this amortises the lock/pump/wake cost
-                // across the whole backlog instead of paying it per task.
+                // Batch drain: opportunistic lock-free pops, all routed
+                // under a single commit-lock acquisition with one pump and
+                // one wake at the end. On a short-task storm this amortises
+                // the lock/pump/wake cost across the whole backlog instead
+                // of paying it per task — and since the pops never touch
+                // the commit lock, the dispatch pump (feeder or an idle
+                // worker) is free to run concurrently with the drain.
                 let mut batch: Vec<Finished> = Vec::with_capacity(64);
                 // Completions held back by an injected DelayCompletion;
                 // re-queued at the top of the next iteration, after
@@ -827,23 +837,27 @@ where
                 loop {
                     batch.append(&mut delayed);
                     while batch.len() < 256 {
-                        match rx.try_recv() {
-                            Ok(f) => batch.push(f),
-                            Err(_) => break,
+                        match ring.pop() {
+                            Some(f) => batch.push(f),
+                            None => break,
                         }
                     }
                     if batch.is_empty() {
                         // Spin-then-sleep: yield a few times before paying
-                        // the blocking-recv futex wait — on a hot system the
+                        // the park/unpark futex trip — on a hot system the
                         // next completion is only a task body away.
                         if idle < 4 * fabric.spin_limit {
                             idle += 1;
                             std::thread::yield_now();
                             continue;
                         }
-                        match rx.recv() {
-                            Ok(f) => batch.push(f),
-                            Err(_) => return,
+                        match ring.pop_wait(Duration::from_millis(100)) {
+                            PopOutcome::Item(f) => batch.push(f),
+                            PopOutcome::Disconnected => {
+                                ring.close();
+                                return;
+                            }
+                            PopOutcome::TimedOut => continue,
                         }
                     }
                     idle = 0;
@@ -967,6 +981,10 @@ where
                     drop(guard);
                     if done {
                         fabric.done.store(true, Ordering::SeqCst);
+                        // Close the ring so a worker spinning on a full ring
+                        // (or racing a late send) fails fast instead of
+                        // waiting for a consumer that is gone.
+                        ring.close();
                         fabric.wake_all();
                         return;
                     }
