@@ -16,7 +16,7 @@ use tvs_sre::exec::threaded::ThreadedConfig;
 use tvs_sre::exec::{baseline, threaded};
 use tvs_sre::task::{payload, TaskSpec};
 use tvs_sre::workload::{Completion, InputBlock, SchedCtx, Workload};
-use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, Scheduler, Tracer};
+use tvs_sre::{x86_smp, DispatchPolicy, FixedCost, MetricsHub, Scheduler, Tracer};
 
 /// One task per input block; each body spins for `spin` wall time
 /// (zero = short body, dominated by runtime overhead).
@@ -133,6 +133,9 @@ enum Exec {
     /// Work-stealing with the event tracer enabled — the tracing-overhead
     /// comparison cells.
     WorkStealingTraced,
+    /// Work-stealing with the live metrics plane enabled — the
+    /// metrics-overhead comparison cells.
+    WorkStealingMetered,
     Baseline,
 }
 
@@ -141,6 +144,7 @@ impl Exec {
         match self {
             Exec::WorkStealing => "work_stealing",
             Exec::WorkStealingTraced => "work_stealing_traced",
+            Exec::WorkStealingMetered => "work_stealing_metered",
             Exec::Baseline => "baseline",
         }
     }
@@ -167,6 +171,13 @@ fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -
                     &cfg,
                     inputs,
                     tracer.clone(),
+                ),
+                Exec::WorkStealingMetered => threaded::run_metered(
+                    PerBlock { n, seen: 0, spin },
+                    &cfg,
+                    inputs,
+                    tracer.clone(),
+                    MetricsHub::enabled(workers),
                 ),
                 Exec::Baseline => baseline::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
             };
@@ -263,6 +274,45 @@ fn bench_tracing_overhead(cells: &mut Vec<Cell>) {
     }
 }
 
+/// Metrics-overhead cells: work-stealing with the live metrics plane on
+/// vs off, on the same body mix as the tracing cells (the ISSUE's ≤3 %
+/// envelope on ~100 µs bodies; short bodies are the worst case, for the
+/// job log only).
+fn bench_metrics_overhead(cells: &mut Vec<Cell>) {
+    const REPS: usize = 5;
+    for (body, n, spin) in [
+        ("short", 1000usize, Duration::ZERO),
+        ("long", 64, Duration::from_micros(100)),
+    ] {
+        let mut medians = [0.0f64; 2];
+        for (i, exec) in [Exec::WorkStealing, Exec::WorkStealingMetered]
+            .into_iter()
+            .enumerate()
+        {
+            let median_s = run_once(exec, 4, n, spin, REPS);
+            medians[i] = median_s;
+            println!(
+                "{:<22} {:<6} workers=4   {:>9.3} ms  {:>12.0} tasks/s",
+                exec.label(),
+                body,
+                median_s * 1e3,
+                n as f64 / median_s,
+            );
+            cells.push(Cell {
+                exec,
+                body,
+                workers: 4,
+                tasks: n,
+                median_s,
+            });
+        }
+        println!(
+            "metrics overhead, {body} tasks @ 4 workers: {:.2}x",
+            medians[1] / medians[0]
+        );
+    }
+}
+
 fn throughput_csv(cells: &[Cell], cores: usize) -> String {
     let mut out = String::from("executor,body,workers,cores,tasks,median_ms,tasks_per_sec\n");
     for c in cells {
@@ -298,6 +348,8 @@ fn main() {
     let mut cells = bench_executor_throughput();
     println!("== tracing overhead ==");
     bench_tracing_overhead(&mut cells);
+    println!("== metrics overhead ==");
+    bench_metrics_overhead(&mut cells);
     std::fs::create_dir_all(&dir).expect("results dir");
     let path = dir.join("runtime_micro_throughput.csv");
     std::fs::write(&path, throughput_csv(&cells, cores)).expect("write csv");

@@ -11,7 +11,7 @@
 //! Run with `cargo run --release -p tvs-bench --bin tvs-report`.
 
 use tvs_bench::{results_dir, write_trace};
-use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_core::{AllocStats, BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
 use tvs_iosim::{Disk, Uniform};
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::runner::{run_huffman_sim_chaos, run_huffman_sim_events};
@@ -23,7 +23,7 @@ use tvs_workloads::FileKind;
 const WORKERS: usize = 8;
 const BYTES: usize = 256 * 1024;
 
-fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64) {
+fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64, alloc: Option<AllocStats>) {
     let h = log.health();
     println!(
         "{:<13} {:>7} {:>6} {:>6} {:>7} {:>9} {:>7.1} {:>9}",
@@ -37,7 +37,36 @@ fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64) {
         makespan,
     );
     if h.dropped > 0 {
-        println!("    ! {} events dropped (ring overflow)", h.dropped);
+        let per_ring: Vec<String> = h
+            .dropped_per_ring
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d > 0)
+            .map(|(ring, d)| {
+                if ring == log.workers {
+                    format!("control x{d}")
+                } else {
+                    format!("worker {ring} x{d}")
+                }
+            })
+            .collect();
+        println!(
+            "    ! {} events dropped (ring overflow: {})",
+            h.dropped,
+            per_ring.join(", ")
+        );
+    }
+    if let Some(a) = alloc {
+        println!(
+            "    encode-pool allocs: {} heap, {} reused ({:.1}% reuse)",
+            a.heap_allocs,
+            a.reuses,
+            if a.total() == 0 {
+                0.0
+            } else {
+                100.0 * a.reuses as f64 / a.total() as f64
+            }
+        );
     }
     if h.rollbacks > 0 {
         let hist: Vec<String> = h
@@ -97,7 +126,12 @@ fn main() {
         // input exercises the full speculation lifecycle.
         cfg.schedule = SpeculationSchedule::with_step(0);
         let (out, log) = run_huffman_sim_events(&data, &cfg, &platform, &Disk::default());
-        print_policy(policy, &log, out.metrics.makespan);
+        print_policy(
+            policy,
+            &log,
+            out.metrics.makespan,
+            Some(out.result.alloc_stats),
+        );
         if policy.label() == "aggressive" {
             keep = Some(log);
         }
@@ -133,7 +167,12 @@ fn main() {
         ..SimChaos::default()
     };
     match run_huffman_sim_chaos(&data, &cfg, &platform, &Disk::default(), &chaos) {
-        Ok((out, log)) => print_policy(DispatchPolicy::Aggressive, &log, out.metrics.makespan),
+        Ok((out, log)) => print_policy(
+            DispatchPolicy::Aggressive,
+            &log,
+            out.metrics.makespan,
+            Some(out.result.alloc_stats),
+        ),
         Err(e) => println!("    structured failure: {e}"),
     }
 
@@ -154,5 +193,10 @@ fn main() {
         start_us: 0,
     };
     let (out, log) = run_huffman_sim_events(&drifting, &bc, &platform, &slow);
-    print_policy(DispatchPolicy::Aggressive, &log, out.metrics.makespan);
+    print_policy(
+        DispatchPolicy::Aggressive,
+        &log,
+        out.metrics.makespan,
+        Some(out.result.alloc_stats),
+    );
 }

@@ -16,6 +16,7 @@ use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBrea
 use crate::frequency::{SpeculationSchedule, VerificationPolicy};
 use crate::validate::CheckResult;
 use crate::version::{VersionState, VersionTracker};
+use tvs_metrics::{Counter, Gauge, MetricsHub};
 use tvs_sre::SpecVersion;
 use tvs_trace::{EventKind, Tracer};
 
@@ -122,6 +123,7 @@ pub struct SpeculationManager<T> {
     stats: ManagerStats,
     rollback_hook: Option<Box<dyn FnMut(SpecVersion) + Send>>,
     tracer: Tracer,
+    metrics: MetricsHub,
     breaker: Option<CircuitBreaker>,
 }
 
@@ -149,6 +151,7 @@ impl<T> SpeculationManager<T> {
             stats: ManagerStats::default(),
             rollback_hook: None,
             tracer: Tracer::disabled(),
+            metrics: MetricsHub::disabled(),
             breaker: None,
         }
     }
@@ -159,6 +162,7 @@ impl<T> SpeculationManager<T> {
     /// recover events flow to the tracer's control ring.
     pub fn set_breaker(&mut self, cfg: BreakerConfig) {
         self.breaker = Some(CircuitBreaker::new(cfg));
+        self.publish_breaker_gauge();
     }
 
     /// The breaker's state, if one is configured.
@@ -174,6 +178,32 @@ impl<T> SpeculationManager<T> {
     /// with the observed cascade depth attached.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Route speculation-outcome counters (predictions, check verdicts,
+    /// commits) and the breaker-state gauge into `metrics`. The manager
+    /// always runs under its host's routing/commit lock, so counters go to
+    /// the hub's control shard — no lane attribution, no contention.
+    /// Rollback counters are *not* fed here — the SRE scheduler owns them
+    /// (one increment per `abort_version`, with cascade depth attached).
+    pub fn set_metrics(&mut self, metrics: MetricsHub) {
+        self.metrics = metrics;
+        self.publish_breaker_gauge();
+    }
+
+    /// Mirror the breaker's state into [`Gauge::BreakerState`]:
+    /// 0 = no breaker, 1 = closed, 2 = open, 3 = half-open.
+    fn publish_breaker_gauge(&self) {
+        if !self.metrics.is_live() {
+            return;
+        }
+        let v = match self.breaker.as_ref().map(CircuitBreaker::state) {
+            None => 0,
+            Some(BreakerState::Closed) => 1,
+            Some(BreakerState::Open) => 2,
+            Some(BreakerState::HalfOpen) => 3,
+        };
+        self.metrics.gauge_set(Gauge::BreakerState, v);
     }
 
     /// Register a user-defined rollback routine, invoked with each aborted
@@ -243,6 +273,7 @@ impl<T> SpeculationManager<T> {
                     .emit_control(EventKind::BreakerTrip { failures, commits });
             }
         }
+        self.publish_breaker_gauge();
     }
 
     fn breaker_success(&mut self) {
@@ -252,6 +283,7 @@ impl<T> SpeculationManager<T> {
                     .emit_control(EventKind::BreakerRecover { successes });
             }
         }
+        self.publish_breaker_gauge();
     }
 
     /// An executor caught a fault (panicked task body, watchdog cancel)
@@ -284,10 +316,12 @@ impl<T> SpeculationManager<T> {
                     Some(b) => b.allows(basis),
                     None => true,
                 };
+                self.publish_breaker_gauge();
                 if breaker_allows && self.schedule.should_start(basis, *restart) {
                     let version = self.tracker.allocate(basis);
                     self.phase = Phase::Pending { version };
                     self.stats.predictions += 1;
+                    self.metrics.add_control(Counter::Predictions, 1);
                     self.tracer
                         .emit_control(EventKind::PredictorFire { version, basis });
                     if let Some(b) = &mut self.breaker {
@@ -371,6 +405,7 @@ impl<T> SpeculationManager<T> {
         }
         if result.valid {
             self.stats.checks_passed += 1;
+            self.metrics.add_control(Counter::ChecksPassed, 1);
             self.tracer.emit_control(EventKind::CheckPass {
                 version,
                 margin: result.delta,
@@ -379,6 +414,7 @@ impl<T> SpeculationManager<T> {
             return;
         }
         self.stats.checks_failed += 1;
+        self.metrics.add_control(Counter::ChecksFailed, 1);
         self.tracer.emit_control(EventKind::CheckFail {
             version,
             margin: result.delta,
@@ -394,10 +430,12 @@ impl<T> SpeculationManager<T> {
                     Some(b) => b.allows(candidate_basis),
                     None => true,
                 };
+                self.publish_breaker_gauge();
                 if breaker_allows {
                     let v2 = self.tracker.allocate(candidate_basis);
                     assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
                     self.stats.predictions += 1;
+                    self.metrics.add_control(Counter::Predictions, 1);
                     self.tracer.emit_control(EventKind::VersionOpen {
                         version: v2,
                         basis: candidate_basis,
@@ -519,6 +557,8 @@ impl<T> SpeculationManager<T> {
             Phase::FinalChecking { version: v, .. } if v == version => {
                 if result.valid {
                     self.tracker.commit(version);
+                    self.metrics.add_control(Counter::ChecksPassed, 1);
+                    self.metrics.add_control(Counter::Commits, 1);
                     self.tracer.emit_control(EventKind::CheckPass {
                         version,
                         margin: result.delta,
@@ -531,6 +571,7 @@ impl<T> SpeculationManager<T> {
                     out.push(Action::Commit { version });
                 } else {
                     self.stats.checks_failed += 1;
+                    self.metrics.add_control(Counter::ChecksFailed, 1);
                     self.tracer.emit_control(EventKind::CheckFail {
                         version,
                         margin: result.delta,

@@ -11,6 +11,7 @@
 //! packages the common case of speculatively-overwritten state.
 
 use crate::arena::{AllocStats, ScratchPool};
+use tvs_metrics::{Counter, MetricsHub};
 use tvs_sre::{FaultInjector, FaultKind, FaultSite, SpecVersion};
 use tvs_trace::{EventKind, Tracer};
 
@@ -38,6 +39,7 @@ pub struct UndoLog<E: Undo> {
     committed: u64,
     undone: u64,
     tracer: Tracer,
+    metrics: MetricsHub,
     faults: FaultInjector,
 }
 
@@ -49,6 +51,7 @@ impl<E: Undo> Default for UndoLog<E> {
             committed: 0,
             undone: 0,
             tracer: Tracer::disabled(),
+            metrics: MetricsHub::disabled(),
             faults: FaultInjector::disabled(),
         }
     }
@@ -64,6 +67,14 @@ impl<E: Undo> UndoLog<E> {
     /// abort actually replays journal entries.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Feed [`Counter::UndoReplays`] (one per journal entry replayed by an
+    /// abort) into `metrics`' control shard — the journal is mutated under
+    /// its host's routing lock, matching the control shard's single-writer
+    /// discipline.
+    pub fn set_metrics(&mut self, metrics: MetricsHub) {
+        self.metrics = metrics;
     }
 
     /// Inject faults at the `UndoJournal` site: a drawn `Stall` delays the
@@ -122,6 +133,7 @@ impl<E: Undo> UndoLog<E> {
         self.pool.put(entries);
         self.undone += n as u64;
         if n > 0 {
+            self.metrics.add_control(Counter::UndoReplays, n as u64);
             self.tracer.emit_control(EventKind::UndoReplay {
                 version,
                 entries: n as u64,

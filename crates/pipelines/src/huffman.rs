@@ -26,9 +26,11 @@
 use crate::config::{HuffmanConfig, PredictorKind};
 use std::sync::Arc;
 use tvs_core::{
-    Action, CheckResult, ManagerStats, ScratchPool, SpecVersion, SpeculationManager, WaitBuffer,
+    Action, AllocStats, CheckResult, ManagerStats, ScratchPool, SpecVersion, SpeculationManager,
+    WaitBuffer,
 };
 use tvs_huffman::{relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, Histogram};
+use tvs_metrics::{Gauge, MetricsHub};
 use tvs_sre::task::{expect_payload, payload};
 use tvs_sre::{
     Completion, FaultInjector, FaultKind, FaultNotice, FaultSite, InputBlock, SchedCtx, TaskSpec,
@@ -125,6 +127,9 @@ pub struct PipelineResult {
     /// The assembled output stream, when `collect_output` was set:
     /// `(bytes, bit_len, lengths)` — decodable with the committed table.
     pub output: Option<(Vec<u8>, u64, CodeLengths)>,
+    /// Heap-allocation counters of the encode-buffer scratch pool:
+    /// `heap_allocs` buffers touched the heap, `reuses` were recycled.
+    pub alloc_stats: AllocStats,
 }
 
 impl PipelineResult {
@@ -189,6 +194,7 @@ pub struct HuffmanWorkload {
     outputs: Vec<Option<EncodedBlock>>,
     committed_tree: Option<Arc<SpecTree>>,
     faults: FaultInjector,
+    metrics: MetricsHub,
 
     // Steady-state scratch, recycled between scheduler events so the
     // speculation control path performs no per-block heap allocation.
@@ -230,6 +236,7 @@ impl HuffmanWorkload {
             outputs: vec![None; n_blocks],
             committed_tree: None,
             faults: FaultInjector::disabled(),
+            metrics: MetricsHub::disabled(),
             actions_scratch: Vec::new(),
             commit_scratch: Vec::new(),
             encode_pool: ScratchPool::new(),
@@ -243,6 +250,15 @@ impl HuffmanWorkload {
     /// events land in the same log.
     pub fn set_tracer(&mut self, tracer: tvs_sre::Tracer) {
         self.mgr.set_tracer(tracer);
+    }
+
+    /// Route speculation-outcome counters (predictions, check verdicts,
+    /// commits, breaker state) and the encode-pool allocation gauges into
+    /// `hub`. Pass the same hub to the executor's `run_metered` so worker-
+    /// and scheduler-side counters land in the same registry.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.mgr.set_metrics(hub.clone());
+        self.metrics = hub;
     }
 
     /// Arm the workload-level fault sites. Currently that is
@@ -287,6 +303,7 @@ impl HuffmanWorkload {
                 None
             },
             output,
+            alloc_stats: self.encode_pool.stats(),
         }
     }
 
@@ -531,6 +548,11 @@ impl HuffmanWorkload {
             self.encode_pool.put(encoded.bytes);
         }
         self.blocks_done += 1;
+        if self.metrics.is_live() {
+            let a = self.encode_pool.stats();
+            self.metrics.gauge_set(Gauge::AllocHeap, a.heap_allocs);
+            self.metrics.gauge_set(Gauge::AllocReuse, a.reuses);
+        }
     }
 
     // ------------------------------------------------------------------

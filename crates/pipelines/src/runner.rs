@@ -6,10 +6,16 @@ use crate::huffman::{HuffmanWorkload, PipelineResult};
 use std::sync::Arc;
 use tvs_iosim::ArrivalModel;
 use tvs_sre::exec::sim::{
-    run as sim_run, run_traced as sim_run_traced, try_run_chaos, SimChaos, SimConfig,
+    run as sim_run, run_traced as sim_run_traced, try_run_chaos,
+    try_run_metered as sim_try_run_metered, SimChaos, SimConfig,
 };
-use tvs_sre::exec::threaded::{try_run_traced as threaded_try_run_traced, ThreadedConfig};
-use tvs_sre::{InputBlock, Platform, RunError, RunMetrics, TaskTrace, TraceLog, Tracer};
+use tvs_sre::exec::threaded::{
+    try_run_metered as threaded_try_run_metered, try_run_traced as threaded_try_run_traced,
+    ThreadedConfig,
+};
+use tvs_sre::{
+    InputBlock, MetricsHub, Platform, RunError, RunMetrics, TaskTrace, TraceLog, Tracer,
+};
 
 /// Everything a figure needs from one run.
 #[derive(Debug, Clone)]
@@ -130,6 +136,45 @@ pub fn run_huffman_sim_events(
     )
 }
 
+/// Like [`run_huffman_sim`], feeding every layer's telemetry (scheduler
+/// lifecycle counters, per-lane dispatch, manager outcomes, breaker state,
+/// encode-pool gauges) into `hub`. Pass a hub built with
+/// `MetricsHub::enabled(platform.workers)`; arm virtual-time sampling on it
+/// beforehand (`enable_virtual_sampling`) to collect byte-deterministic
+/// [`tvs_sre::MetricsSnapshot`]s, and drain them afterwards with
+/// `drain_virtual_snapshots`.
+pub fn run_huffman_sim_metered(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+    hub: MetricsHub,
+) -> RunOutcome {
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    wl.set_metrics(hub.clone());
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace: false,
+    };
+    let rep = sim_try_run_metered(
+        wl,
+        &sim,
+        &HuffmanCost,
+        blocks,
+        Tracer::disabled(),
+        &SimChaos::default(),
+        hub,
+    )
+    .unwrap_or_else(|e| panic!("metered sim run failed: {e}"));
+    RunOutcome {
+        result: rep.workload.result(),
+        metrics: rep.metrics,
+        arrivals: times,
+    }
+}
+
 /// Run the Huffman pipeline on the simulator under a chaos plan: the
 /// fault-injection rules, retry policy and virtual watchdog in `chaos`,
 /// with the full speculation-lifecycle event log (including `task-fault`,
@@ -197,6 +242,23 @@ pub fn run_huffman_threaded_events(
     (outcome, log)
 }
 
+/// Like [`run_huffman_threaded`], feeding every layer's telemetry into
+/// `hub`. Pass a hub built with `MetricsHub::enabled(workers)` and attach a
+/// [`tvs_sre::Sampler`] (or call `hub.snapshot()` yourself) to watch the
+/// run live — this is what `tvs-top` and the `socket_stream` example do.
+pub fn run_huffman_threaded_metered(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+    hub: MetricsHub,
+) -> RunOutcome {
+    let tcfg = ThreadedConfig::new(workers, cfg.policy);
+    try_threaded_metered_impl(data, cfg, &tcfg, arrival, time_scale, hub)
+        .unwrap_or_else(|e| panic!("metered threaded run failed: {e}"))
+}
+
 /// Run the Huffman pipeline on real threads under a caller-built
 /// [`ThreadedConfig`] — its `faults`, `retry` and `watchdog` fields are the
 /// chaos knobs — capturing the full event log in wall-clock time. The
@@ -238,10 +300,57 @@ fn try_threaded_impl(
     time_scale: u64,
     tracer: Tracer,
 ) -> Result<RunOutcome, RunError> {
+    let (wl, iter, times) = threaded_setup(data, cfg, tcfg, arrival, time_scale, &tracer, None);
+    let (wl, metrics) = threaded_try_run_traced(wl, tcfg, iter, tracer)?;
+    Ok(RunOutcome {
+        result: wl.result(),
+        metrics,
+        arrivals: times,
+    })
+}
+
+fn try_threaded_metered_impl(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    tcfg: &ThreadedConfig,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+    hub: MetricsHub,
+) -> Result<RunOutcome, RunError> {
+    let tracer = Tracer::disabled();
+    let (wl, iter, times) =
+        threaded_setup(data, cfg, tcfg, arrival, time_scale, &tracer, Some(&hub));
+    let (wl, metrics) = threaded_try_run_metered(wl, tcfg, iter, tracer, hub)?;
+    Ok(RunOutcome {
+        result: wl.result(),
+        metrics,
+        arrivals: times,
+    })
+}
+
+/// Shared threaded-run scaffolding: workload wiring plus the paced input
+/// iterator (arrival schedule compressed by `time_scale`).
+#[allow(clippy::type_complexity)]
+fn threaded_setup(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    tcfg: &ThreadedConfig,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+    tracer: &Tracer,
+    hub: Option<&MetricsHub>,
+) -> (
+    HuffmanWorkload,
+    impl Iterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    Vec<u64>,
+) {
     let n = data.len().div_ceil(cfg.block_bytes);
     let times = arrival.schedule(n, cfg.block_bytes);
     let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
     wl.set_tracer(tracer.clone());
+    if let Some(h) = hub {
+        wl.set_metrics(h.clone());
+    }
     wl.set_fault_injector(tcfg.faults.clone());
 
     // The feeder consumes a paced iterator; build owned blocks up front.
@@ -264,12 +373,7 @@ fn try_threaded_impl(
         }
         (i, d)
     });
-    let (wl, metrics) = threaded_try_run_traced(wl, tcfg, iter, tracer)?;
-    Ok(RunOutcome {
-        result: wl.result(),
-        metrics,
-        arrivals: times,
-    })
+    (wl, iter, times)
 }
 
 #[cfg(test)]

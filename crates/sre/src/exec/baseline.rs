@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
+use tvs_metrics::{Counter, MetricsHub};
 use tvs_trace::{EventKind, Tracer};
 
 pub use super::threaded::ThreadedConfig;
@@ -170,10 +171,47 @@ where
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
+    try_run_metered(workload, cfg, inputs, tracer, MetricsHub::disabled())
+}
+
+/// [`try_run_traced`] with a live metrics hub. The baseline has no lanes,
+/// so per-"lane" dispatch counters in the hub attribute each dispatch to
+/// the worker that popped it — useful for live dashboards — while
+/// [`RunMetrics::lane_dispatches`] keeps its documented per-worker zeros
+/// (the baseline has no lane *binding* semantics to report).
+pub fn try_run_metered<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+    hub: MetricsHub,
+) -> Result<(W, RunMetrics), RunError>
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
     assert!(cfg.workers > 0, "need at least one worker");
+    let hub = if hub.has_registry() {
+        assert_eq!(
+            hub.workers(),
+            cfg.workers,
+            "metrics hub must be sized for cfg.workers lanes"
+        );
+        hub
+    } else {
+        MetricsHub::internal(cfg.workers)
+    };
+    if hub.is_live() {
+        hub.set_label(&format!("{:?}", cfg.policy));
+    }
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
-            sched: Scheduler::with_tracer(cfg.policy, tracer.clone()),
+            sched: {
+                let mut s = Scheduler::with_tracer(cfg.policy, tracer.clone());
+                s.set_metrics(hub.clone());
+                s
+            },
             workload,
             input_done: false,
             delivered: 0,
@@ -249,10 +287,12 @@ where
         .map(|me| {
             let shared = Arc::clone(&shared);
             let tracer = tracer.clone();
+            let hub = hub.clone();
             std::thread::spawn(move || loop {
                 let mut inner = fault::lock_recover(&shared.inner);
                 if let Some(mut work) = inner.sched.dispatch() {
                     drop(inner);
+                    hub.add(me, Counter::LaneDispatch, 1);
                     if tracer.is_enabled() {
                         tracer.emit(
                             me,
@@ -282,6 +322,7 @@ where
                             Ok(out) => break Ok(out),
                             Err(_) => {
                                 shared.fault_count.fetch_add(1, Ordering::Relaxed);
+                                hub.add(me, Counter::Faults, 1);
                                 if tracer.is_enabled() {
                                     tracer.emit(
                                         me,
@@ -300,6 +341,7 @@ where
                                 }
                                 attempt += 1;
                                 shared.retries.fetch_add(1, Ordering::Relaxed);
+                                hub.add(me, Counter::Retries, 1);
                                 std::thread::sleep(Duration::from_micros(
                                     retry.backoff_us(attempt),
                                 ));
@@ -308,6 +350,7 @@ where
                     };
                     let finished = shared.now();
                     let busy = finished.saturating_sub(started);
+                    hub.add(me, Counter::BusyUs, busy);
                     let mut inner = fault::lock_recover(&shared.inner);
                     inner.busy_us += busy;
                     inner.sched.charge(work.class, busy);
@@ -317,6 +360,7 @@ where
                             // Reuse the misspeculation path (see the module
                             // docs): reclaim, notify, abort or fail.
                             inner.wasted_us += busy;
+                            hub.add(me, Counter::WastedUs, busy);
                             if let Some(vers) = inner.sched.fault(work.id) {
                                 let Inner {
                                     sched, workload, ..
@@ -380,6 +424,7 @@ where
                         Some(CompletionOutcome::Discard) => {
                             inner.discarded += 1;
                             inner.wasted_us += busy;
+                            hub.add(me, Counter::WastedUs, busy);
                         }
                         Some(CompletionOutcome::Deliver) => {
                             inner.delivered += 1;

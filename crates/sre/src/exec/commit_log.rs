@@ -126,6 +126,15 @@ impl<T> CommitRing<T> {
         self.slots.len()
     }
 
+    /// Entries currently enqueued (claimed by producers, not yet popped).
+    /// Racy by nature — both cursors move concurrently — but the error is
+    /// bounded by in-flight operations, which is fine for telemetry.
+    pub fn occupancy(&self) -> u64 {
+        self.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.head.load(Ordering::Relaxed))
+    }
+
     /// Register a producer. Dropping the handle deregisters it and wakes
     /// the consumer so it can observe the disconnect.
     pub fn producer(self: &std::sync::Arc<Self>) -> Producer<T> {

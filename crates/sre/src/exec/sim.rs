@@ -40,6 +40,7 @@ use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
+use tvs_metrics::{Counter, MetricsHub};
 use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a simulation run.
@@ -169,13 +170,52 @@ pub fn run_traced<W: Workload>(
 /// speculative tasks — recovers through the rollback machinery and
 /// completes the run.
 pub fn try_run_chaos<W: Workload>(
-    mut workload: W,
+    workload: W,
     cfg: &SimConfig,
     cost: &dyn CostModel,
     inputs: Vec<InputBlock>,
     tracer: Tracer,
     chaos: &SimChaos,
 ) -> Result<SimReport<W>, RunError> {
+    try_run_metered(
+        workload,
+        cfg,
+        cost,
+        inputs,
+        tracer,
+        chaos,
+        MetricsHub::disabled(),
+    )
+}
+
+/// [`try_run_chaos`] with a live metrics hub. Snapshots are driven by
+/// *virtual* time: arm the hub with
+/// [`MetricsHub::enable_virtual_sampling`] before the run and drain with
+/// [`MetricsHub::drain_virtual_snapshots`] after — the snapshot stream is
+/// then as deterministic as the simulation itself (same seed → identical
+/// JSONL bytes). No sampler thread is involved.
+pub fn try_run_metered<W: Workload>(
+    mut workload: W,
+    cfg: &SimConfig,
+    cost: &dyn CostModel,
+    inputs: Vec<InputBlock>,
+    tracer: Tracer,
+    chaos: &SimChaos,
+    hub: MetricsHub,
+) -> Result<SimReport<W>, RunError> {
+    let hub = if hub.has_registry() {
+        assert_eq!(
+            hub.workers(),
+            cfg.platform.workers,
+            "metrics hub must be sized for the platform's worker count"
+        );
+        hub
+    } else {
+        MetricsHub::internal(cfg.platform.workers)
+    };
+    if hub.is_live() {
+        hub.set_label(&format!("{:?}", cfg.policy));
+    }
     assert!(
         cfg.platform.workers > 0,
         "platform must have at least one worker"
@@ -186,6 +226,7 @@ pub fn try_run_chaos<W: Workload>(
     );
 
     let mut sched = Scheduler::with_tracer(cfg.policy, tracer.clone());
+    sched.set_metrics(hub.clone());
     let mut workers: Vec<WorkerState> = (0..cfg.platform.workers)
         .map(|_| WorkerState {
             pipeline_end: 0,
@@ -222,6 +263,7 @@ pub fn try_run_chaos<W: Workload>(
     let mut last_event_time: Time = 0;
 
     tracer.set_virtual_now(0);
+    hub.set_virtual_now(0);
     {
         let mut ctx = SimCtx {
             sched: &mut sched,
@@ -238,7 +280,7 @@ pub fn try_run_chaos<W: Workload>(
         0,
         &mut heap,
         &mut heap_seq,
-        &mut metrics.lane_dispatches,
+        &hub,
         &tracer,
         &mut chaos_state,
     );
@@ -246,6 +288,8 @@ pub fn try_run_chaos<W: Workload>(
     while let Some(Reverse((t, _seq, aux, slot))) = heap.pop() {
         last_event_time = t;
         tracer.set_virtual_now(t);
+        hub.set_virtual_now(t);
+        hub.virtual_tick(t);
         match slot {
             EvSlot::Arrival => {
                 // An injected feeder stall pushes the arrival to a later
@@ -284,6 +328,7 @@ pub fn try_run_chaos<W: Workload>(
                 debug_assert_eq!(end, t);
                 let busy = end - start;
                 metrics.busy_us += busy;
+                hub.add(worker, Counter::BusyUs, busy);
                 let pre_aborted = work.version.map(|v| sched.is_aborted(v)).unwrap_or(false);
                 if tracer.is_enabled() {
                     tracer.emit_at(
@@ -325,6 +370,7 @@ pub fn try_run_chaos<W: Workload>(
                         });
                     }
                     metrics.wasted_us += busy;
+                    hub.add(worker, Counter::WastedUs, busy);
                 } else {
                     // Panic-isolated body execution. Retries are
                     // instantaneous in virtual time.
@@ -344,6 +390,7 @@ pub fn try_run_chaos<W: Workload>(
                             Ok(out) => break Some(out),
                             Err(_) => {
                                 metrics.faults += 1;
+                                hub.add(worker, Counter::Faults, 1);
                                 if tracer.is_enabled() {
                                     tracer.emit_at(
                                         worker,
@@ -363,6 +410,7 @@ pub fn try_run_chaos<W: Workload>(
                                 }
                                 attempt += 1;
                                 metrics.task_retries += 1;
+                                hub.add(worker, Counter::Retries, 1);
                             }
                         }
                     };
@@ -382,6 +430,7 @@ pub fn try_run_chaos<W: Workload>(
                                 });
                             }
                             metrics.wasted_us += busy;
+                            hub.add(worker, Counter::WastedUs, busy);
                             if let Some(vers) = sched.fault(work.id) {
                                 let mut ctx = SimCtx {
                                     sched: &mut sched,
@@ -513,6 +562,7 @@ pub fn try_run_chaos<W: Workload>(
                         // The version died while the completion was held
                         // back; its already-produced output is dropped.
                         metrics.wasted_us += busy;
+                        hub.add_control(Counter::WastedUs, busy);
                     }
                     Some(CompletionOutcome::Deliver) => {
                         let mut ctx = SimCtx {
@@ -540,6 +590,7 @@ pub fn try_run_chaos<W: Workload>(
                     if let Some(a) = workers[wi].assigned.iter().find(|a| a.work.id == id) {
                         TaskCtx::signal_abort(&a.work.ctx.abort_flag());
                         metrics.watchdog_cancels += 1;
+                        hub.add_control(Counter::WatchdogCancels, 1);
                         if tracer.is_enabled() {
                             tracer.emit_at(
                                 wi,
@@ -569,7 +620,7 @@ pub fn try_run_chaos<W: Workload>(
             t,
             &mut heap,
             &mut heap_seq,
-            &mut metrics.lane_dispatches,
+            &hub,
             &tracer,
             &mut chaos_state,
         );
@@ -593,6 +644,11 @@ pub fn try_run_chaos<W: Workload>(
     metrics.tasks_deleted_ready = st.deleted_ready;
     metrics.rollbacks = st.rollbacks;
     metrics.duplicate_completions = st.duplicate_completions;
+    // Final snapshot view over the hub's shards — the sim's analogue of
+    // the threaded executor's per-lane counters lives there now.
+    metrics.lane_dispatches = hub.lane_counts(Counter::LaneDispatch);
+    // Flush any virtual-sampling boundary the last event crossed exactly.
+    hub.virtual_tick(last_event_time);
 
     Ok(SimReport {
         workload,
@@ -611,8 +667,9 @@ enum EvSlot {
 }
 
 /// Fill worker prefetch queues with dispatchable tasks, scheduling their
-/// completion events. `lane_dispatches` counts tasks bound per worker (the
-/// simulator's analogue of the threaded executor's ready lanes).
+/// completion events. Per-worker dispatch counts go to `hub`'s lane
+/// shards (the simulator's analogue of the threaded executor's ready
+/// lanes).
 #[allow(clippy::too_many_arguments)]
 fn dispatch_all(
     sched: &mut Scheduler,
@@ -622,7 +679,7 @@ fn dispatch_all(
     now: Time,
     heap: &mut BinaryHeap<Reverse<(Time, u64, usize, EvSlot)>>,
     heap_seq: &mut u64,
-    lane_dispatches: &mut [u64],
+    hub: &MetricsHub,
     tracer: &Tracer,
     chaos: &mut ChaosState<'_>,
 ) {
@@ -663,7 +720,7 @@ fn dispatch_all(
             _ => {}
         }
         sched.charge(work.class, c);
-        lane_dispatches[wi] += 1;
+        hub.add(wi, Counter::LaneDispatch, 1);
         if tracer.is_enabled() {
             tracer.emit_at(
                 wi,

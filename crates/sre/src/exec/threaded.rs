@@ -76,6 +76,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
+use tvs_metrics::{Counter, Gauge, Hist, MetricsHub};
 use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a threaded run.
@@ -155,8 +156,6 @@ struct Fabric {
     spin_limit: u32,
     /// Round-robin cursor for lane routing.
     next_lane: AtomicUsize,
-    lane_dispatches: Vec<AtomicU64>,
-    steals: AtomicU64,
     done: AtomicBool,
     start: Instant,
     /// Fault injection handle (disabled handle = one branch per site).
@@ -165,20 +164,26 @@ struct Fabric {
     /// watchdog. Only maintained when the watchdog is configured.
     watch: Vec<Mutex<Option<WatchSlot>>>,
     watchdog_enabled: bool,
-    /// Caught body panics (one per failed attempt).
-    fault_count: AtomicU64,
-    /// Retry attempts spent on panicked non-speculative bodies.
-    retries: AtomicU64,
-    /// Tasks cancelled by the watchdog.
-    watchdog_cancels: AtomicU64,
     /// Lifecycle event sink. Dispatch events go to the control ring (the
     /// pump always runs under the commit lock, so that ring stays
     /// single-writer); worker-side events go to each worker's own ring.
     tracer: Tracer,
+    /// Telemetry registry — *always* backed by a registry here (at least
+    /// [`MetricsHub::internal`]): its sharded cells replace the bespoke
+    /// lane-dispatch/steal/fault atomics this struct used to carry, so
+    /// [`RunMetrics`] and live snapshots read the same cells and nothing
+    /// is counted twice.
+    hub: MetricsHub,
 }
 
 impl Fabric {
-    fn new(workers: usize, tracer: Tracer, faults: FaultInjector, watchdog_enabled: bool) -> Self {
+    fn new(
+        workers: usize,
+        tracer: Tracer,
+        faults: FaultInjector,
+        watchdog_enabled: bool,
+        hub: MetricsHub,
+    ) -> Self {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(workers);
@@ -197,17 +202,13 @@ impl Fabric {
             target_awake: hw.min(workers).max(1),
             spin_limit: if hw > 1 { 3 } else { 0 },
             next_lane: AtomicUsize::new(0),
-            lane_dispatches: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-            steals: AtomicU64::new(0),
             done: AtomicBool::new(false),
             start: Instant::now(),
             faults,
             watch: (0..workers).map(|_| Mutex::new(None)).collect(),
             watchdog_enabled,
-            fault_count: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            watchdog_cancels: AtomicU64::new(0),
             tracer,
+            hub,
         }
     }
 
@@ -235,7 +236,7 @@ impl Fabric {
         if work.class == TaskClass::Regular {
             self.normal_bound.fetch_add(1, Ordering::SeqCst);
         }
-        self.lane_dispatches[lane].fetch_add(1, Ordering::Relaxed);
+        self.hub.add(lane, Counter::LaneDispatch, 1);
         if self.tracer.is_enabled() {
             self.tracer.emit_control(EventKind::Dispatch {
                 id: work.id,
@@ -477,6 +478,24 @@ where
         .unwrap_or_else(|e| panic!("threaded run failed: {e}"))
 }
 
+/// [`run`] with live metrics: see [`try_run_metered`]. Panics on a
+/// failed run.
+pub fn run_metered<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+    hub: MetricsHub,
+) -> (W, RunMetrics)
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
+    try_run_metered(workload, cfg, inputs, tracer, hub)
+        .unwrap_or_else(|e| panic!("threaded run failed: {e}"))
+}
+
 /// The full entry point: threaded execution with tracing and structured
 /// failure.
 ///
@@ -501,15 +520,53 @@ where
     I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     I::IntoIter: Send,
 {
+    try_run_metered(workload, cfg, inputs, tracer, MetricsHub::disabled())
+}
+
+/// [`try_run_traced`] with a live metrics hub: counters, gauges and
+/// histograms stream into `hub` as the run executes, so a sampler thread
+/// (or `tvs-top`) can watch mid-run. Pass [`MetricsHub::disabled`] to
+/// run dark — the executor then allocates an internal counters-only
+/// registry, which costs the same as the per-lane atomics it replaced.
+pub fn try_run_metered<W, I>(
+    workload: W,
+    cfg: &ThreadedConfig,
+    inputs: I,
+    tracer: Tracer,
+    hub: MetricsHub,
+) -> Result<(W, RunMetrics), RunError>
+where
+    W: Workload + Send + 'static,
+    I: IntoIterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
+    I::IntoIter: Send,
+{
     assert!(cfg.workers > 0, "need at least one worker");
+    let hub = if hub.has_registry() {
+        assert_eq!(
+            hub.workers(),
+            cfg.workers,
+            "metrics hub must be sized for cfg.workers lanes"
+        );
+        hub
+    } else {
+        MetricsHub::internal(cfg.workers)
+    };
+    if hub.is_live() {
+        hub.set_label(&format!("{:?}", cfg.policy));
+    }
     let fabric = Arc::new(Fabric::new(
         cfg.workers,
         tracer.clone(),
         cfg.faults.clone(),
         cfg.watchdog.is_some(),
+        hub.clone(),
     ));
     let commit = Arc::new(Mutex::new(Inner {
-        sched: Scheduler::with_tracer(cfg.policy, tracer),
+        sched: {
+            let mut s = Scheduler::with_tracer(cfg.policy, tracer);
+            s.set_metrics(hub.clone());
+            s
+        },
         workload,
         input_done: false,
         delivered: 0,
@@ -564,7 +621,7 @@ where
                             Some((ready, stolen_from)) => {
                                 spins = 0;
                                 if let Some(victim) = stolen_from {
-                                    fabric.steals.fetch_add(1, Ordering::Relaxed);
+                                    fabric.hub.add(me, Counter::Steal, 1);
                                     if fabric.tracer.is_enabled() {
                                         fabric.tracer.emit(
                                             me,
@@ -633,7 +690,7 @@ where
                                     match run_attempt(&fabric, &mut work) {
                                         Ok(out) => break BodyResult::Ran(out),
                                         Err(_) => {
-                                            fabric.fault_count.fetch_add(1, Ordering::Relaxed);
+                                            fabric.hub.add(me, Counter::Faults, 1);
                                             if traced {
                                                 fabric.tracer.emit(
                                                     me,
@@ -651,7 +708,7 @@ where
                                                 break BodyResult::Faulted { attempt };
                                             }
                                             attempt += 1;
-                                            fabric.retries.fetch_add(1, Ordering::Relaxed);
+                                            fabric.hub.add(me, Counter::Retries, 1);
                                             std::thread::sleep(Duration::from_micros(
                                                 retry.backoff_us(attempt),
                                             ));
@@ -861,6 +918,13 @@ where
                         }
                     }
                     idle = 0;
+                    if fabric.hub.is_live() {
+                        // Occupancy *after* the batch pops: what is still
+                        // waiting behind this drain.
+                        let occ = ring.occupancy();
+                        fabric.hub.gauge_set(Gauge::RingOccupancy, occ);
+                        fabric.hub.record(Hist::RingOccupancy, occ);
+                    }
                     let mut guard = fault::lock_recover(&commit);
                     let inner = &mut *guard;
                     for f in batch.drain(..) {
@@ -886,6 +950,8 @@ where
                                 let busy = finished.saturating_sub(started);
                                 inner.busy_us += busy;
                                 inner.wasted_us += busy;
+                                fabric.hub.add_control(Counter::BusyUs, busy);
+                                fabric.hub.add_control(Counter::WastedUs, busy);
                                 inner.sched.charge(class, busy);
                                 if let Some(vers) = inner.sched.fault(id) {
                                     let Inner {
@@ -938,12 +1004,14 @@ where
                                 }
                                 let busy = finished.saturating_sub(started);
                                 inner.busy_us += busy;
+                                fabric.hub.add_control(Counter::BusyUs, busy);
                                 inner.sched.charge(class, busy);
                                 match inner.sched.try_complete(id) {
                                     None => {}
                                     Some(CompletionOutcome::Discard) => {
                                         inner.discarded += 1;
                                         inner.wasted_us += busy;
+                                        fabric.hub.add_control(Counter::WastedUs, busy);
                                     }
                                     Some(CompletionOutcome::Deliver) => {
                                         inner.delivered += 1;
@@ -1018,7 +1086,7 @@ where
                         }
                         s.flagged = true;
                         TaskCtx::signal_abort(&s.flag);
-                        fabric.watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+                        fabric.hub.add_control(Counter::WatchdogCancels, 1);
                         if fabric.tracer.is_enabled() {
                             fabric.tracer.emit_control(EventKind::WatchdogCancel {
                                 id: s.id,
@@ -1080,6 +1148,8 @@ where
         return Err(RunError::WorkerLost { what });
     }
     let st = inner.sched.stats().clone();
+    // RunMetrics is a final snapshot view over the hub's cells: the lane
+    // dispatch/steal/fault counts exist in exactly one place.
     let metrics = RunMetrics {
         makespan: inner.finished_at.unwrap_or_else(|| fabric.now()),
         tasks_delivered: inner.delivered,
@@ -1089,15 +1159,11 @@ where
         wasted_us: inner.wasted_us,
         rollbacks: st.rollbacks,
         workers: cfg.workers,
-        lane_dispatches: fabric
-            .lane_dispatches
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect(),
-        steals: fabric.steals.load(Ordering::Relaxed),
-        faults: fabric.fault_count.load(Ordering::Relaxed),
-        task_retries: fabric.retries.load(Ordering::Relaxed),
-        watchdog_cancels: fabric.watchdog_cancels.load(Ordering::Relaxed),
+        lane_dispatches: hub.lane_counts(Counter::LaneDispatch),
+        steals: hub.counter_total(Counter::Steal),
+        faults: hub.counter_total(Counter::Faults),
+        task_retries: hub.counter_total(Counter::Retries),
+        watchdog_cancels: hub.counter_total(Counter::WatchdogCancels),
         duplicate_completions: st.duplicate_completions,
     };
     Ok((inner.workload, metrics))

@@ -58,5 +58,6 @@ pub use policy::DispatchPolicy;
 pub use sched::Scheduler;
 pub use task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Time};
 pub use tvs_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite};
+pub use tvs_metrics::{MetricsHub, MetricsSnapshot, Sampler};
 pub use tvs_trace::{TraceLog, Tracer};
 pub use workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};

@@ -15,6 +15,7 @@ use crate::task::{SpecVersion, TaskClass, TaskCtx, TaskFn, TaskId, TaskSpec};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use tvs_metrics::{Counter, Gauge, Hist, MetricsHub};
 use tvs_trace::{EventKind, Tracer};
 
 /// A task handed to an executor for execution.
@@ -72,6 +73,10 @@ pub struct SchedStats {
 struct Running {
     version: Option<SpecVersion>,
     abort: Arc<AtomicBool>,
+    class: TaskClass,
+    /// Hub clock at dispatch, µs — stamped only for `Check` tasks on a
+    /// live hub (feeds the check-latency histogram at completion).
+    dispatched_at: u64,
 }
 
 /// The scheduler core. Not thread-safe by itself; executors wrap it.
@@ -85,6 +90,7 @@ pub struct Scheduler {
     stats: SchedStats,
     loads: LaneLoads,
     tracer: Tracer,
+    metrics: MetricsHub,
 }
 
 impl Scheduler {
@@ -107,7 +113,17 @@ impl Scheduler {
             stats: SchedStats::default(),
             loads: LaneLoads::default(),
             tracer,
+            metrics: MetricsHub::disabled(),
         }
+    }
+
+    /// Attach a metrics hub. The scheduler is the single feed for the
+    /// lifecycle counters every executor shares (delivered / discarded /
+    /// deleted-ready / rollbacks / duplicates) plus the check-latency and
+    /// block-service histograms, so the counts can't diverge between
+    /// executors or get double-counted.
+    pub fn set_metrics(&mut self, metrics: MetricsHub) {
+        self.metrics = metrics;
     }
 
     /// The active dispatch policy.
@@ -162,11 +178,18 @@ impl Scheduler {
             TaskClass::Predictor | TaskClass::Check => {}
         }
         let ctx = TaskCtx::new();
+        let dispatched_at = if spec.class == TaskClass::Check && self.metrics.is_live() {
+            self.metrics.now_us()
+        } else {
+            0
+        };
         self.running.insert(
             id,
             Running {
                 version: spec.version,
                 abort: ctx.abort_flag(),
+                class: spec.class,
+                dispatched_at,
             },
         );
         Some(Dispatched {
@@ -209,6 +232,7 @@ impl Scheduler {
             .remove(&id)
             .expect("cancel_bound() called for a task that is not running");
         self.stats.deleted_ready += 1;
+        self.metrics.add_control(Counter::DeletedReady, 1);
         self.tracer.emit_control(EventKind::CancelReady {
             id,
             version: r.version.unwrap_or(0),
@@ -239,8 +263,9 @@ impl Scheduler {
         match class {
             TaskClass::Regular => self.loads.busy_normal_us += busy_us,
             TaskClass::Speculative => self.loads.busy_spec_us += busy_us,
-            TaskClass::Predictor | TaskClass::Check => {}
+            TaskClass::Predictor | TaskClass::Check => return,
         }
+        self.metrics.record(Hist::BlockServiceUs, busy_us);
     }
 
     /// Per-lane charged busy time `(normal, speculative)`, µs.
@@ -271,18 +296,25 @@ impl Scheduler {
             Some(r) => r,
             None => {
                 self.stats.duplicate_completions += 1;
+                self.metrics.add_control(Counter::DuplicateCompletions, 1);
                 return None;
             }
         };
+        if r.class == TaskClass::Check && self.metrics.is_live() {
+            let lat = self.metrics.now_us().saturating_sub(r.dispatched_at);
+            self.metrics.record(Hist::CheckLatencyUs, lat);
+        }
         let aborted = r
             .version
             .map(|v| self.aborted.contains(&v))
             .unwrap_or(false);
         Some(if aborted {
             self.stats.discarded += 1;
+            self.metrics.add_control(Counter::TasksDiscarded, 1);
             CompletionOutcome::Discard
         } else {
             self.stats.delivered += 1;
+            self.metrics.add_control(Counter::TasksDelivered, 1);
             CompletionOutcome::Deliver
         })
     }
@@ -307,11 +339,16 @@ impl Scheduler {
             return 0; // already aborted; idempotent
         }
         self.stats.rollbacks += 1;
+        self.metrics.add_control(Counter::Rollbacks, 1);
         let victims = self.queue.remove_version(version);
         for id in &victims {
             self.bodies.remove(id);
         }
         self.stats.deleted_ready += victims.len() as u64;
+        self.metrics
+            .add_control(Counter::DeletedReady, victims.len() as u64);
+        self.metrics
+            .gauge_max(Gauge::CascadeMax, victims.len() as u64);
         for r in self.running.values() {
             if r.version == Some(version) {
                 TaskCtx::signal_abort(&r.abort);

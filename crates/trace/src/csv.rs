@@ -316,6 +316,7 @@ mod tests {
                 },
             ],
             dropped: 0,
+            dropped_per_worker: Vec::new(),
             label: String::new(),
         };
         let csv = log.to_event_csv();

@@ -279,6 +279,10 @@ pub struct TraceLog {
     pub events: Vec<TraceEvent>,
     /// Events lost to ring overflow (oldest-first overwrite).
     pub dropped: u64,
+    /// Per-ring drop counts, `workers + 1` entries (last is the control
+    /// ring) — pinpoints *which* worker's ring overflowed. Sums to
+    /// [`TraceLog::dropped`]. Hand-built logs may leave this empty.
+    pub dropped_per_worker: Vec<u64>,
     /// Free-form run label (e.g. the dispatch policy), shown in exports.
     pub label: String,
 }

@@ -78,6 +78,9 @@ pub struct SpecHealth {
     pub events: usize,
     /// Events lost to ring overflow (aggregates below undercount if > 0).
     pub dropped: u64,
+    /// Per-ring drop counts (`workers + 1` entries, last = control ring),
+    /// locating the overflowing ring. Empty for hand-built logs.
+    pub dropped_per_ring: Vec<u64>,
     /// Speculative versions opened (installed or promoted).
     pub versions_opened: u64,
     /// Versions committed.
@@ -149,6 +152,7 @@ impl TraceLog {
         let mut h = SpecHealth {
             events: self.events.len(),
             dropped: self.dropped,
+            dropped_per_ring: self.dropped_per_worker.clone(),
             ..Default::default()
         };
 
@@ -272,6 +276,7 @@ mod tests {
             timebase: Timebase::Virtual,
             events,
             dropped: 0,
+            dropped_per_worker: vec![0, 0],
             label: String::new(),
         }
     }

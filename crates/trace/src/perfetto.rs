@@ -266,6 +266,7 @@ mod tests {
             timebase: Timebase::Virtual,
             events,
             dropped: 0,
+            dropped_per_worker: vec![0, 0, 0],
             label: "balanced".into(),
         }
     }

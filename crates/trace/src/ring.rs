@@ -149,6 +149,20 @@ impl Tracer {
         }
     }
 
+    /// Per-ring drop counts so far: `workers + 1` entries, the last being
+    /// the control ring. Empty for a disabled tracer.
+    pub fn dropped_per_ring(&self) -> Vec<u64> {
+        self.inner
+            .as_ref()
+            .map(|b| {
+                b.rings
+                    .iter()
+                    .map(|r| r.dropped.load(Ordering::Relaxed))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Total events lost to ring overflow so far.
     pub fn dropped(&self) -> u64 {
         self.inner
@@ -169,10 +183,13 @@ impl Tracer {
         let b = self.inner.as_ref()?;
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut dropped = 0u64;
+        let mut dropped_per_worker = Vec::with_capacity(b.rings.len());
         for r in &b.rings {
             let mut buf = lock_recover(&r.buf);
             events.extend(buf.drain(..));
-            dropped += r.dropped.load(Ordering::Relaxed);
+            let d = r.dropped.load(Ordering::Relaxed);
+            dropped += d;
+            dropped_per_worker.push(d);
         }
         let timebase = if b.virt_used.load(Ordering::Relaxed) {
             Timebase::Virtual
@@ -185,6 +202,7 @@ impl Tracer {
             timebase,
             events,
             dropped,
+            dropped_per_worker,
             label: lock_recover(&b.label).clone(),
         })
     }

@@ -50,6 +50,14 @@ fn arrival() -> Uniform {
 ///    `sum(cascade_depth) + count(cancel-ready) == tasks_deleted_ready`.
 fn assert_lifecycle(log: &TraceLog, metrics: &RunMetrics) {
     assert_eq!(log.dropped, 0, "rings must not overflow in tests");
+    assert_eq!(
+        log.dropped_per_worker.len(),
+        log.workers + 1,
+        "one drop counter per worker ring plus the control ring"
+    );
+    for (ring, d) in log.dropped_per_worker.iter().enumerate() {
+        assert_eq!(*d, 0, "ring {ring} dropped events in a deterministic run");
+    }
     let mut opened: HashMap<u32, u64> = HashMap::new();
     let mut committed: HashMap<u32, u64> = HashMap::new();
     let mut rolled: HashMap<u32, u64> = HashMap::new();
