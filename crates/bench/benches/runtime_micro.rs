@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tvs_bench::microbench::{bench, bench_with, black_box, write_csv, Opts};
 use tvs_bench::results_dir;
+use tvs_core::{ReplicatingWorkload, ValidationMode};
 use tvs_sre::exec::sim::{run as sim_run, SimConfig};
 use tvs_sre::exec::threaded::ThreadedConfig;
 use tvs_sre::exec::{baseline, threaded};
@@ -136,6 +137,10 @@ enum Exec {
     /// Work-stealing with the live metrics plane enabled — the
     /// metrics-overhead comparison cells.
     WorkStealingMetered,
+    /// Work-stealing with replication-based validation at sample rate 1.0
+    /// — every task executed twice and digest-compared, the worst-case
+    /// replication overhead.
+    WorkStealingReplicated,
     Baseline,
 }
 
@@ -145,9 +150,16 @@ impl Exec {
             Exec::WorkStealing => "work_stealing",
             Exec::WorkStealingTraced => "work_stealing_traced",
             Exec::WorkStealingMetered => "work_stealing_metered",
+            Exec::WorkStealingReplicated => "work_stealing_replicated",
             Exec::Baseline => "baseline",
         }
     }
+}
+
+/// The unit-payload digest for the replication cells: every completion
+/// digests to the same constant, so replicas always agree.
+fn unit_digest(_name: &'static str, out: &dyn std::any::Any) -> Option<u64> {
+    out.downcast_ref::<()>().map(|_| 0x5DC)
 }
 
 /// Median wall-clock seconds over `reps` full runs of `n` tasks.
@@ -157,6 +169,20 @@ fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -
         .map(|_| {
             let inputs: Vec<(usize, Arc<[u8]>)> =
                 (0..n).map(|i| (i, Arc::from(vec![0u8; 16]))).collect();
+            if exec == Exec::WorkStealingReplicated {
+                let wl = ReplicatingWorkload::new(
+                    PerBlock { n, seen: 0, spin },
+                    ValidationMode::Replicate { sample_rate: 1.0 },
+                    7,
+                    Arc::new(unit_digest),
+                );
+                let t = Instant::now();
+                let (w, m) = threaded::run(wl, &cfg, inputs);
+                let el = t.elapsed().as_secs_f64();
+                assert_eq!(w.inner().seen, n);
+                assert_eq!(m.replica_dispatches as usize, n);
+                return el;
+            }
             // The tracer lives outside the timed region: the cell measures
             // what a run pays for emission, not for draining afterwards.
             let tracer = match exec {
@@ -180,6 +206,7 @@ fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -
                     MetricsHub::enabled(workers),
                 ),
                 Exec::Baseline => baseline::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
+                Exec::WorkStealingReplicated => unreachable!("handled above"),
             };
             let el = t.elapsed().as_secs_f64();
             drop(tracer.drain());
@@ -313,6 +340,46 @@ fn bench_metrics_overhead(cells: &mut Vec<Cell>) {
     }
 }
 
+/// Replication-overhead cells: work-stealing with every task replicated
+/// (sample rate 1.0, the worst case) vs plain work-stealing, on the same
+/// body mix as the tracing cells. Coarse-grain (~100 µs) bodies are the
+/// regime the paper targets; the expected overhead there is ~2x compute
+/// but far less than 2x wall-clock while idle workers absorb replicas.
+fn bench_replication_overhead(cells: &mut Vec<Cell>) {
+    const REPS: usize = 5;
+    for (body, n, spin) in [
+        ("short", 1000usize, Duration::ZERO),
+        ("long", 64, Duration::from_micros(100)),
+    ] {
+        let mut medians = [0.0f64; 2];
+        for (i, exec) in [Exec::WorkStealing, Exec::WorkStealingReplicated]
+            .into_iter()
+            .enumerate()
+        {
+            let median_s = run_once(exec, 4, n, spin, REPS);
+            medians[i] = median_s;
+            println!(
+                "{:<24} {:<6} workers=4   {:>9.3} ms  {:>12.0} tasks/s",
+                exec.label(),
+                body,
+                median_s * 1e3,
+                n as f64 / median_s,
+            );
+            cells.push(Cell {
+                exec,
+                body,
+                workers: 4,
+                tasks: n,
+                median_s,
+            });
+        }
+        println!(
+            "replication overhead, {body} tasks @ 4 workers: {:.2}x",
+            medians[1] / medians[0]
+        );
+    }
+}
+
 fn throughput_csv(cells: &[Cell], cores: usize) -> String {
     let mut out = String::from("executor,body,workers,cores,tasks,median_ms,tasks_per_sec\n");
     for c in cells {
@@ -350,6 +417,8 @@ fn main() {
     bench_tracing_overhead(&mut cells);
     println!("== metrics overhead ==");
     bench_metrics_overhead(&mut cells);
+    println!("== replication overhead ==");
+    bench_replication_overhead(&mut cells);
     std::fs::create_dir_all(&dir).expect("results dir");
     let path = dir.join("runtime_micro_throughput.csv");
     std::fs::write(&path, throughput_csv(&cells, cores)).expect("write csv");

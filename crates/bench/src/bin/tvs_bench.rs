@@ -26,7 +26,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tvs_bench::microbench::{bench_with, black_box, Measurement, Opts};
-use tvs_core::{SpecVersion, UndoLog, WaitBuffer};
+use tvs_core::{ReplicatingWorkload, SpecVersion, UndoLog, ValidationMode, WaitBuffer};
 use tvs_huffman::{CodeLengths, CodeTable, EncodedBlock, Histogram};
 use tvs_sre::exec::threaded::{self, ThreadedConfig};
 use tvs_sre::task::{payload, TaskSpec};
@@ -200,6 +200,54 @@ fn threaded_short_row() -> Row {
     }
 }
 
+/// The same short-task cell with replication-based validation at sample
+/// rate 1.0: every task runs twice and its digests are compared. The
+/// worst-case replication overhead is part of the committed trajectory —
+/// the coarse-grain regime the paper targets pays proportionally less.
+fn threaded_short_replicated_row() -> Row {
+    const N: usize = 1000;
+    const TASK_BYTES: usize = 16;
+    const REPS: usize = 9;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let cfg = ThreadedConfig::new(workers, DispatchPolicy::NonSpeculative);
+    let digest = |_: &'static str, out: &dyn std::any::Any| out.downcast_ref::<()>().map(|_| 0x5DC);
+    let mut per_task_ns: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let inputs: Vec<(usize, std::sync::Arc<[u8]>)> = (0..N)
+                .map(|i| (i, std::sync::Arc::from(vec![0u8; TASK_BYTES])))
+                .collect();
+            let wl = ReplicatingWorkload::new(
+                PerBlock { n: N, seen: 0 },
+                ValidationMode::Replicate { sample_rate: 1.0 },
+                7,
+                std::sync::Arc::new(digest),
+            );
+            let t = Instant::now();
+            let (w, m) = threaded::run(wl, &cfg, inputs);
+            let el = t.elapsed().as_nanos() as f64;
+            assert_eq!(w.inner().seen, N);
+            assert_eq!(m.replica_dispatches as usize, N);
+            assert_eq!(w.stats().sdc_detected, 0, "clean replicas must agree");
+            el / N as f64
+        })
+        .collect();
+    per_task_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p50 = percentile(&per_task_ns, 50.0);
+    println!(
+        "{:<36} {:>12.0} ns/task (p50, {workers} workers, every task replicated)",
+        "threaded_short_tasks_replicated", p50
+    );
+    Row {
+        bench: "threaded_short_tasks_replicated",
+        bytes_per_sec: TASK_BYTES as f64 / (p50 * 1e-9),
+        allocs_per_block: 0.0,
+        p50_ns: p50,
+        p99_ns: percentile(&per_task_ns, 99.0),
+    }
+}
+
 /// The speculation engine's steady-state loop: one version per round —
 /// journalled speculative writes, buffered outputs, then commit or abort.
 /// Past warm-up the wait buffer and undo journal must recycle everything:
@@ -365,7 +413,11 @@ fn main() {
     println!("== tvs-bench: huffman kernels ==");
     let huffman = huffman_rows();
     println!("== tvs-bench: runtime ==");
-    let runtime = vec![threaded_short_row(), spec_engine_row()];
+    let runtime = vec![
+        threaded_short_row(),
+        threaded_short_replicated_row(),
+        spec_engine_row(),
+    ];
 
     let files = [
         ("BENCH_huffman.json", &huffman),

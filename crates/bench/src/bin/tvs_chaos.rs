@@ -20,16 +20,17 @@
 //! Exits non-zero if any invariant is violated.
 
 use tvs_bench::{results_dir, write_trace};
-use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
 use tvs_huffman::{decode_exact, CodeTable};
 use tvs_iosim::Uniform;
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::runner::{
-    run_huffman_sim_chaos, run_huffman_sim_events, run_huffman_threaded_chaos, RunOutcome,
+    run_huffman_sim_chaos, run_huffman_sim_events, run_huffman_sim_sdc, run_huffman_threaded_chaos,
+    run_huffman_threaded_sdc, RunOutcome,
 };
 use tvs_sre::exec::sim::SimChaos;
 use tvs_sre::exec::threaded::ThreadedConfig;
-use tvs_sre::{x86_smp, DispatchPolicy, FaultInjector, FaultPlan, RunError, TraceLog};
+use tvs_sre::{x86_smp, DispatchPolicy, FaultInjector, FaultPlan, FaultSite, RunError, TraceLog};
 use tvs_workloads::FileKind;
 
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
@@ -67,6 +68,19 @@ fn check_invariant(
         // A structured failure is an allowed outcome — the invariant only
         // forbids crashes and silent corruption.
         Err(e) => Ok(format!("structured error: {e}")),
+    }
+}
+
+/// Byte-identity check for the SDC matrix (no trace log involved).
+fn decode_exactly(out: &RunOutcome, data: &[u8]) -> Result<(), String> {
+    let Some((bytes, bits, lengths)) = out.result.output.as_ref() else {
+        return Err("run completed without collected output".into());
+    };
+    let table = CodeTable::from_lengths(lengths);
+    match decode_exact(bytes, 0, *bits, data.len(), &table) {
+        Ok(back) if back == data => Ok(()),
+        Ok(_) => Err("output decodes to WRONG bytes".into()),
+        Err(e) => Err(format!("output does not decode: {e}")),
     }
 }
 
@@ -135,6 +149,86 @@ fn main() {
             }
         };
         println!("{seed:<6} {sim_cell:<40} {thr_cell:<40}");
+    }
+
+    // Silent-data-corruption recall: FaultPlan::sdc flips bits in encoded
+    // blocks *after* a successful encode — no panic, no stall, bit count
+    // intact — so retry and the tolerance checks are both blind. Under
+    // Replicate/Both every run must decode byte-identically AND, whenever
+    // corruptions actually landed, detect at least one divergence.
+    let mut sdc_cfg = HuffmanConfig {
+        block_bytes: 1024,
+        reduce_ratio: 4,
+        offset_fanout: 4,
+        schedule: SpeculationSchedule::with_step(1),
+        verification: VerificationPolicy::Full,
+        ..cfg()
+    };
+    let sdc_data = tvs_workloads::generate(FileKind::Text, 32 * 1024, 2011);
+    let sdc_modes = [
+        ("replicate", ValidationMode::Replicate { sample_rate: 1.0 }),
+        ("both", ValidationMode::Both { sample_rate: 1.0 }),
+    ];
+    let mut recall_lines = String::new();
+    println!(
+        "\n== sdc recall: {} seeds x sim+threaded x replicate/both ==",
+        SEEDS.len()
+    );
+    println!(
+        "{:<6} {:<10} {:<10} {:<30}",
+        "seed", "exec", "mode", "injected/detected"
+    );
+    for seed in SEEDS {
+        for (mode_label, mode) in sdc_modes {
+            sdc_cfg.validation = mode;
+            for exec in ["sim", "threaded"] {
+                let faults = FaultInjector::new(FaultPlan::sdc(seed));
+                let (out, stats) = if exec == "sim" {
+                    run_huffman_sim_sdc(&sdc_data, &sdc_cfg, &x86_smp(8), &arrival, faults.clone())
+                } else {
+                    match run_huffman_threaded_sdc(
+                        &sdc_data,
+                        &sdc_cfg,
+                        WORKERS,
+                        &arrival,
+                        1000,
+                        faults.clone(),
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            violations += 1;
+                            println!("{seed:<6} {exec:<10} {mode_label:<10} VIOLATION: {e}");
+                            continue;
+                        }
+                    }
+                };
+                let injected = faults.injected_at(FaultSite::TaskOutput);
+                let detected = stats.sdc_detected;
+                let decoded = decode_exactly(&out, &sdc_data);
+                let ok = decoded.is_ok() && (injected == 0 || detected >= 1);
+                recall_lines.push_str(&format!(
+                    "{{\"seed\":{seed},\"exec\":\"{exec}\",\"mode\":\"{mode_label}\",\"injected\":{injected},\"detected\":{detected},\"ok\":{ok}}}\n"
+                ));
+                let cell = if ok {
+                    format!("{injected}/{detected}")
+                } else {
+                    violations += 1;
+                    format!(
+                        "VIOLATION: {injected} injected, {detected} detected — {}",
+                        decoded.err().unwrap_or_else(|| "undetected".into())
+                    )
+                };
+                println!("{seed:<6} {exec:<10} {mode_label:<10} {cell:<30}");
+            }
+        }
+    }
+    let dir = results_dir();
+    let recall_path = dir.join("sdc_recall.jsonl");
+    if let Err(e) = std::fs::write(&recall_path, &recall_lines) {
+        println!("VIOLATION: could not write sdc recall artifact: {e}");
+        violations += 1;
+    } else {
+        println!("sdc recall -> {}", recall_path.display());
     }
 
     // Adversarial misprediction: drifting input, zero tolerance, tight

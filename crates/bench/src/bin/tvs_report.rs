@@ -9,6 +9,9 @@
 //! load it at `ui.perfetto.dev`) and `results/huffman_trace_events.csv`.
 //!
 //! Run with `cargo run --release -p tvs-bench --bin tvs-report`.
+//! Exits non-zero if any run violates the health invariants (dropped
+//! trace events, or a negative waste ratio — both signs of a broken
+//! telemetry plane rather than a slow run).
 
 use tvs_bench::{results_dir, write_trace};
 use tvs_core::{AllocStats, BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
@@ -23,8 +26,17 @@ use tvs_workloads::FileKind;
 const WORKERS: usize = 8;
 const BYTES: usize = 256 * 1024;
 
-fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64, alloc: Option<AllocStats>) {
+/// Print one policy's health summary. Returns the number of health-
+/// invariant violations (dropped events, negative waste ratio) so `main`
+/// can fail the process instead of shipping a silently-broken report.
+fn print_policy(
+    policy: DispatchPolicy,
+    log: &TraceLog,
+    makespan: u64,
+    alloc: Option<AllocStats>,
+) -> u32 {
     let h = log.health();
+    let mut violations = 0u32;
     println!(
         "{:<13} {:>7} {:>6} {:>6} {:>7} {:>9} {:>7.1} {:>9}",
         policy.label(),
@@ -37,6 +49,7 @@ fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64, alloc: Op
         makespan,
     );
     if h.dropped > 0 {
+        violations += 1;
         let per_ring: Vec<String> = h
             .dropped_per_ring
             .iter()
@@ -51,9 +64,16 @@ fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64, alloc: Op
             })
             .collect();
         println!(
-            "    ! {} events dropped (ring overflow: {})",
+            "    ! VIOLATION: {} events dropped (ring overflow: {})",
             h.dropped,
             per_ring.join(", ")
+        );
+    }
+    if h.waste_ratio() < 0.0 {
+        violations += 1;
+        println!(
+            "    ! VIOLATION: negative waste ratio {:.3} (discard/execute counters inconsistent)",
+            h.waste_ratio()
         );
     }
     if let Some(a) = alloc {
@@ -101,6 +121,13 @@ fn print_policy(policy: DispatchPolicy, log: &TraceLog, makespan: u64, alloc: Op
             h.breaker_trips, h.breaker_probes, h.breaker_recoveries
         );
     }
+    if h.replica_dispatches > 0 {
+        println!(
+            "    replication: {} replica(s), {} match(es), {} SDC detected ({} resolved)",
+            h.replica_dispatches, h.replica_matches, h.sdc_detected, h.sdc_resolved
+        );
+    }
+    violations
 }
 
 fn main() {
@@ -120,13 +147,14 @@ fn main() {
         "policy", "events", "fires", "opens", "commits", "rollbacks", "waste%", "makespan"
     );
     let mut keep = None;
+    let mut violations = 0u32;
     for policy in DispatchPolicy::ALL {
         let mut cfg = HuffmanConfig::disk_x86(policy);
         // Step 0 predicts from the very first block, so even this small
         // input exercises the full speculation lifecycle.
         cfg.schedule = SpeculationSchedule::with_step(0);
         let (out, log) = run_huffman_sim_events(&data, &cfg, &platform, &Disk::default());
-        print_policy(
+        violations += print_policy(
             policy,
             &log,
             out.metrics.makespan,
@@ -167,12 +195,14 @@ fn main() {
         ..SimChaos::default()
     };
     match run_huffman_sim_chaos(&data, &cfg, &platform, &Disk::default(), &chaos) {
-        Ok((out, log)) => print_policy(
-            DispatchPolicy::Aggressive,
-            &log,
-            out.metrics.makespan,
-            Some(out.result.alloc_stats),
-        ),
+        Ok((out, log)) => {
+            violations += print_policy(
+                DispatchPolicy::Aggressive,
+                &log,
+                out.metrics.makespan,
+                Some(out.result.alloc_stats),
+            )
+        }
         Err(e) => println!("    structured failure: {e}"),
     }
 
@@ -193,10 +223,14 @@ fn main() {
         start_us: 0,
     };
     let (out, log) = run_huffman_sim_events(&drifting, &bc, &platform, &slow);
-    print_policy(
+    violations += print_policy(
         DispatchPolicy::Aggressive,
         &log,
         out.metrics.makespan,
         Some(out.result.alloc_stats),
     );
+    if violations > 0 {
+        println!("\n{violations} health invariant violation(s)");
+        std::process::exit(1);
+    }
 }

@@ -99,6 +99,12 @@ pub struct CircuitBreaker {
     opened_at: u64,
     /// The probe prediction in flight, when half-open.
     probe: Option<SpecVersion>,
+    /// A half-open [`Self::allows`] admission not yet turned into a probe
+    /// via [`Self::note_prediction`]. Without this claim, two callers
+    /// racing through `allows` between probe resolutions would *both* be
+    /// admitted (both see `probe == None`) and two probes would fly at
+    /// once — exactly what half-open exists to prevent.
+    claimed: bool,
     /// Consecutive successes while half-open.
     streak: u32,
     trips: u64,
@@ -114,6 +120,7 @@ impl CircuitBreaker {
             window: std::collections::VecDeque::with_capacity(cfg.window),
             opened_at: 0,
             probe: None,
+            claimed: false,
             streak: 0,
             trips: 0,
         }
@@ -149,7 +156,13 @@ impl CircuitBreaker {
 
     /// May a new prediction start at this basis event? Open→HalfOpen
     /// transition happens here once the cooldown elapses. In `HalfOpen`,
-    /// a prediction is allowed only while no probe is already in flight.
+    /// a prediction is allowed only while no probe is in flight *and* no
+    /// earlier admission is still pending its [`Self::note_prediction`]:
+    /// a `true` return claims the single probe slot, so concurrent
+    /// callers admit exactly one probe. Callers must follow an admission
+    /// with `note_prediction` (the manager spawns the predictor on the
+    /// same basis event), or the slot stays claimed until the next
+    /// outcome resolves.
     pub fn allows(&mut self, basis: u64) -> bool {
         match self.state {
             BreakerState::Closed => true,
@@ -157,22 +170,32 @@ impl CircuitBreaker {
                 if basis.saturating_sub(self.opened_at) >= self.cfg.cooldown {
                     self.state = BreakerState::HalfOpen;
                     self.probe = None;
+                    self.claimed = true;
                     self.streak = 0;
                     true
                 } else {
                     false
                 }
             }
-            BreakerState::HalfOpen => self.probe.is_none(),
+            BreakerState::HalfOpen => {
+                if self.probe.is_none() && !self.claimed {
+                    self.claimed = true;
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 
-    /// A prediction started while half-open: remember it as the probe.
-    /// Returns `true` if this prediction is a probe (caller emits the
+    /// A prediction started while half-open: remember it as the probe
+    /// (consuming the admission claimed by [`Self::allows`]). Returns
+    /// `true` if this prediction is a probe (caller emits the
     /// `breaker-probe` trace event).
     pub fn note_prediction(&mut self, version: SpecVersion) -> bool {
         if self.state == BreakerState::HalfOpen {
             self.probe = Some(version);
+            self.claimed = false;
             true
         } else {
             false
@@ -185,6 +208,7 @@ impl CircuitBreaker {
         self.push_outcome(false);
         if self.state == BreakerState::HalfOpen {
             self.probe = None;
+            self.claimed = false;
             self.streak += 1;
             if self.streak >= self.cfg.probe_successes.max(1) {
                 self.state = BreakerState::Closed;
@@ -225,6 +249,7 @@ impl CircuitBreaker {
                 self.state = BreakerState::Open;
                 self.opened_at = basis;
                 self.probe = None;
+                self.claimed = false;
                 self.streak = 0;
                 self.trips += 1;
                 Some(BreakerTransition::Tripped {
@@ -331,6 +356,70 @@ mod tests {
         assert_eq!(b.trips(), 2);
         assert!(!b.allows(14), "cooldown restarted at basis 13");
         assert!(b.allows(23));
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_per_claim() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 2,
+            probe_successes: 1,
+        });
+        b.record_failure(1);
+        b.record_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Two callers race through allows() at the same basis, *before*
+        // either calls note_prediction: exactly one may be admitted.
+        let first = b.allows(4);
+        let second = b.allows(4);
+        assert!(first, "the first caller claims the probe slot");
+        assert!(!second, "the second caller must be refused");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The claim is consumed by note_prediction; further callers are
+        // still refused because the probe is now in flight.
+        assert!(b.note_prediction(9));
+        assert!(!b.allows(4));
+        // Probe resolves: the next single admission works again.
+        assert!(matches!(
+            b.record_success(),
+            Some(BreakerTransition::Recovered { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_allows_admit_one_probe_across_threads() {
+        use std::sync::{Arc, Mutex};
+        let b = Arc::new(Mutex::new(CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            cooldown: 0,
+            probe_successes: 1,
+        })));
+        {
+            let mut g = b.lock().unwrap();
+            g.record_failure(1);
+            g.record_failure(2);
+            assert_eq!(g.state(), BreakerState::Open);
+        }
+        let admitted: Vec<bool> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.lock().unwrap().allows(3))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(
+            admitted.iter().filter(|&&a| a).count(),
+            1,
+            "exactly one of {} concurrent allows() callers admitted: {admitted:?}",
+            admitted.len()
+        );
+        assert_eq!(b.lock().unwrap().state(), BreakerState::HalfOpen);
     }
 
     #[test]

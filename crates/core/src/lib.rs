@@ -91,3 +91,9 @@ pub use version::{VersionState, VersionTracker};
 
 /// Re-export: versions are the SRE's tags.
 pub use tvs_sre::SpecVersion;
+
+/// Re-exports: the replication validation plane lives in the substrate
+/// crate (it wraps any `Workload`), but it is speculation *policy* —
+/// surfaced here next to the breaker and manager that consume its
+/// verdicts.
+pub use tvs_sre::{DigestFn, ReplicaStats, ReplicatingWorkload, SdcNotice, ValidationMode};

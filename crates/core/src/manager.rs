@@ -92,6 +92,12 @@ pub struct ManagerStats {
     pub faults: u64,
     /// Circuit-breaker trips (speculation suspended).
     pub breaker_trips: u64,
+    /// Replica vote sets that resolved clean, reported via
+    /// [`SpeculationManager::on_replica_result`].
+    pub replica_checks: u64,
+    /// Silent-data-corruption detections (divergent replica digests)
+    /// reported via [`SpeculationManager::on_replica_result`].
+    pub sdc_detected: u64,
 }
 
 #[derive(Debug)]
@@ -295,6 +301,22 @@ impl<T> SpeculationManager<T> {
         self.breaker_failure();
     }
 
+    /// The replication validation plane compared a task's replica votes
+    /// (see `tvs_sre::replica::ReplicatingWorkload`). A mismatch is
+    /// silent data corruption — it feeds the breaker's failure window
+    /// exactly like a loud fault, because a machine that corrupts
+    /// outputs is a machine whose speculation cannot be trusted either.
+    /// Matches are recorded for the stats only; they are routine, not
+    /// evidence of health worth closing the breaker over.
+    pub fn on_replica_result(&mut self, matched: bool) {
+        if matched {
+            self.stats.replica_checks += 1;
+        } else {
+            self.stats.sdc_detected += 1;
+            self.breaker_failure();
+        }
+    }
+
     /// A basis event completed (the `basis`-th, 1-based). Returns the
     /// actions to take.
     pub fn on_basis(&mut self, basis: u64) -> Vec<Action> {
@@ -312,12 +334,18 @@ impl<T> SpeculationManager<T> {
         self.last_basis = basis;
         match &self.phase {
             Phase::Idle { restart } => {
-                let breaker_allows = match &mut self.breaker {
-                    Some(b) => b.allows(basis),
-                    None => true,
-                };
+                // Ask the schedule first: a half-open breaker's allows()
+                // *claims* the single probe slot, so it must only be
+                // consulted when a prediction would actually start —
+                // otherwise the claim leaks and the probe never flies.
+                let wants_start = self.schedule.should_start(basis, *restart);
+                let breaker_allows = wants_start
+                    && match &mut self.breaker {
+                        Some(b) => b.allows(basis),
+                        None => true,
+                    };
                 self.publish_breaker_gauge();
-                if breaker_allows && self.schedule.should_start(basis, *restart) {
+                if breaker_allows {
                     let version = self.tracker.allocate(basis);
                     self.phase = Phase::Pending { version };
                     self.stats.predictions += 1;

@@ -82,10 +82,17 @@ pub enum FaultSite {
     UndoJournal,
     /// The input feeder (iosim paced delivery / threaded feeder thread).
     Feeder,
+    /// A task body's *output*, after it was computed but before it is
+    /// delivered. [`FaultKind::CorruptValue`] here models a silent data
+    /// corruption (SDC): the task neither panics nor stalls, it just
+    /// returns wrong bytes. Tolerance checks do not necessarily observe
+    /// the damage — this site exists so replication-based validation has
+    /// something to catch.
+    TaskOutput,
 }
 
 /// Number of distinct sites (occurrence counters are per-site).
-const SITES: usize = 5;
+const SITES: usize = 6;
 
 impl FaultSite {
     fn index(self) -> usize {
@@ -95,6 +102,7 @@ impl FaultSite {
             FaultSite::PredictedValue => 2,
             FaultSite::UndoJournal => 3,
             FaultSite::Feeder => 4,
+            FaultSite::TaskOutput => 5,
         }
     }
 
@@ -106,6 +114,7 @@ impl FaultSite {
             FaultSite::PredictedValue => "predicted-value",
             FaultSite::UndoJournal => "undo-journal",
             FaultSite::Feeder => "feeder",
+            FaultSite::TaskOutput => "task-output",
         }
     }
 
@@ -119,6 +128,7 @@ impl FaultSite {
             0x1656_67B1_9E37_79F9,
             0x2545_F491_4F6C_DD1D,
             0x9E6C_63D0_876A_68E5,
+            0xD6E8_FEB8_6659_FD93,
         ][self.index()]
     }
 }
@@ -189,6 +199,17 @@ impl FaultPlan {
             .with_rule(FaultSite::Feeder, FaultKind::Stall { us: 200 }, 0.05)
             .with_max_faults(64)
     }
+
+    /// The SDC-recall mix: only [`FaultSite::TaskOutput`] is armed, with
+    /// [`FaultKind::CorruptValue`] — silent corruptions that never panic,
+    /// never stall, and are invisible to retry. Capped low so a replica
+    /// vote set always contains at least one clean execution under the
+    /// recall tests' bounded re-execution.
+    pub fn sdc(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .with_rule(FaultSite::TaskOutput, FaultKind::CorruptValue, 0.2)
+            .with_max_faults(6)
+    }
 }
 
 /// One injected fault, as recorded in the injector's log.
@@ -208,6 +229,9 @@ struct Inner {
     counters: [AtomicU64; SITES],
     /// Total faults injected (compared against `plan.max_faults`).
     injected: AtomicU64,
+    /// Per-site injected counters (exact recall accounting needs "how
+    /// many corruptions actually landed at TaskOutput", not the total).
+    injected_site: [AtomicU64; SITES],
     /// Record of every injected fault, for chaos reports.
     log: Mutex<Vec<InjectedFault>>,
 }
@@ -241,6 +265,7 @@ impl FaultInjector {
                 plan,
                 counters: Default::default(),
                 injected: AtomicU64::new(0),
+                injected_site: Default::default(),
                 log: Mutex::new(Vec::new()),
             })),
         }
@@ -257,6 +282,17 @@ impl FaultInjector {
     /// function of `(seed, site, occurrence-at-site)`.
     #[inline]
     pub fn draw(&self, site: FaultSite) -> Option<FaultKind> {
+        self.draw_with_occurrence(site).map(|(kind, _)| kind)
+    }
+
+    /// Like [`FaultInjector::draw`], additionally returning the zero-based
+    /// occurrence index of the opportunity that hit. Wiring points that
+    /// *fabricate* corrupted data use the index to make each corruption
+    /// payload occurrence-dependent, so two corruptions of the same value
+    /// can never cancel out into identical (and thus digest-equal) wrong
+    /// answers.
+    #[inline]
+    pub fn draw_with_occurrence(&self, site: FaultSite) -> Option<(FaultKind, u64)> {
         let inner = self.inner.as_ref()?;
         let n = inner.counters[site.index()].fetch_add(1, Ordering::Relaxed);
         let mut rng = SmallRng::seed_from_u64(
@@ -273,6 +309,7 @@ impl FaultInjector {
                     inner.injected.fetch_sub(1, Ordering::Relaxed);
                     return None;
                 }
+                inner.injected_site[site.index()].fetch_add(1, Ordering::Relaxed);
                 inner
                     .log
                     .lock()
@@ -282,7 +319,7 @@ impl FaultInjector {
                         kind: rule.kind,
                         occurrence: n,
                     });
-                return Some(rule.kind);
+                return Some((rule.kind, n));
             }
         }
         None
@@ -293,6 +330,15 @@ impl FaultInjector {
         self.inner
             .as_ref()
             .map(|i| i.injected.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Faults injected at one specific site so far (the denominator of
+    /// an SDC recall ratio is `injected_at(FaultSite::TaskOutput)`).
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.injected_site[site.index()].load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 
@@ -427,5 +473,71 @@ mod tests {
         assert_eq!(FaultKind::Stall { us: 1 }.label(), "stall");
         assert_eq!(FaultKind::CorruptValue.label(), "corrupt-value");
         assert_eq!(FaultSite::PredictedValue.label(), "predicted-value");
+        assert_eq!(FaultSite::TaskOutput.label(), "task-output");
+    }
+
+    #[test]
+    fn sdc_plan_only_arms_task_output() {
+        let inj = FaultInjector::new(FaultPlan::sdc(7).with_max_faults(u64::MAX));
+        let mut out_hits = 0;
+        for _ in 0..500 {
+            for site in [
+                FaultSite::TaskBody,
+                FaultSite::Completion,
+                FaultSite::PredictedValue,
+                FaultSite::UndoJournal,
+                FaultSite::Feeder,
+            ] {
+                assert_eq!(inj.draw(site), None, "sdc plan must not arm {site:?}");
+            }
+            if inj.draw(FaultSite::TaskOutput) == Some(FaultKind::CorruptValue) {
+                out_hits += 1;
+            }
+        }
+        assert!(out_hits > 0, "task-output corruption fires eventually");
+        assert_eq!(inj.injected_at(FaultSite::TaskOutput), out_hits);
+        assert_eq!(inj.injected(), out_hits);
+    }
+
+    #[test]
+    fn occurrence_indices_match_the_log() {
+        let plan = FaultPlan::new(3).with_rule(FaultSite::TaskOutput, FaultKind::CorruptValue, 0.5);
+        let inj = FaultInjector::new(plan);
+        let mut hits = Vec::new();
+        for _ in 0..200 {
+            if let Some((kind, occ)) = inj.draw_with_occurrence(FaultSite::TaskOutput) {
+                assert_eq!(kind, FaultKind::CorruptValue);
+                hits.push(occ);
+            }
+        }
+        assert!(!hits.is_empty());
+        let logged: Vec<u64> = inj.log().iter().map(|f| f.occurrence).collect();
+        assert_eq!(hits, logged, "returned occurrences mirror the log");
+        // Occurrence indices are strictly increasing: no two corruptions
+        // can share a payload derived from them.
+        assert!(hits.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn per_site_injection_counts_are_exact() {
+        let plan = FaultPlan::new(11)
+            .with_rule(FaultSite::TaskOutput, FaultKind::CorruptValue, 1.0)
+            .with_rule(FaultSite::TaskBody, FaultKind::PanicTask, 1.0)
+            .with_max_faults(5);
+        let inj = FaultInjector::new(plan);
+        for _ in 0..3 {
+            inj.draw(FaultSite::TaskOutput);
+        }
+        for _ in 0..10 {
+            inj.draw(FaultSite::TaskBody);
+        }
+        assert_eq!(inj.injected_at(FaultSite::TaskOutput), 3);
+        assert_eq!(
+            inj.injected_at(FaultSite::TaskBody),
+            2,
+            "cap shared across sites"
+        );
+        assert_eq!(inj.injected(), 5);
+        assert_eq!(inj.injected_at(FaultSite::Feeder), 0);
     }
 }

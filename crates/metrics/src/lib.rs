@@ -84,11 +84,21 @@ pub enum Counter {
     WastedUs,
     /// Undo-journal entries replayed by aborts.
     UndoReplays,
+    /// Replica tasks spawned for replication-based validation.
+    ReplicaDispatches,
+    /// Replica vote sets that resolved clean on first comparison.
+    ReplicaMatches,
+    /// Silent-data-corruption detections (divergent replica digests).
+    SdcDetected,
+    /// Divergent vote sets resolved by a tiebreak re-execution.
+    SdcResolved,
+    /// Total µs the executors slept in jittered retry backoff.
+    RetryBackoffUs,
 }
 
 impl Counter {
     /// Every counter, in stable exposition order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::LaneDispatch,
         Counter::Steal,
         Counter::TasksDelivered,
@@ -106,6 +116,11 @@ impl Counter {
         Counter::BusyUs,
         Counter::WastedUs,
         Counter::UndoReplays,
+        Counter::ReplicaDispatches,
+        Counter::ReplicaMatches,
+        Counter::SdcDetected,
+        Counter::SdcResolved,
+        Counter::RetryBackoffUs,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -128,6 +143,11 @@ impl Counter {
             Counter::BusyUs => "busy_us",
             Counter::WastedUs => "wasted_us",
             Counter::UndoReplays => "undo_replays",
+            Counter::ReplicaDispatches => "replica_dispatches",
+            Counter::ReplicaMatches => "replica_matches",
+            Counter::SdcDetected => "sdc_detected",
+            Counter::SdcResolved => "sdc_resolved",
+            Counter::RetryBackoffUs => "retry_backoff_us",
         }
     }
 }
@@ -149,16 +169,21 @@ pub enum Gauge {
     AllocReuse,
     /// Deepest rollback cascade seen so far (monotonic max).
     CascadeMax,
+    /// SDC detection recall in permille (`1000 * detected vote sets /
+    /// corruptions injected at the task-output fault site`); 1000 when
+    /// nothing was injected yet.
+    SdcRecallPermille,
 }
 
 impl Gauge {
     /// Every gauge, in stable exposition order.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::BreakerState,
         Gauge::RingOccupancy,
         Gauge::AllocHeap,
         Gauge::AllocReuse,
         Gauge::CascadeMax,
+        Gauge::SdcRecallPermille,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -169,6 +194,7 @@ impl Gauge {
             Gauge::AllocHeap => "alloc_heap",
             Gauge::AllocReuse => "alloc_reuse",
             Gauge::CascadeMax => "cascade_max",
+            Gauge::SdcRecallPermille => "sdc_recall_permille",
         }
     }
 }

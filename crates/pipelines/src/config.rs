@@ -1,6 +1,6 @@
 //! Huffman pipeline configuration.
 
-use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
 use tvs_sre::DispatchPolicy;
 
 /// How speculative trees cover byte values the prefix histogram has not
@@ -48,6 +48,9 @@ pub struct HuffmanConfig {
     /// faults trip the run back to conservative dispatch (`None` = never
     /// degrade, the paper's baseline behaviour).
     pub breaker: Option<BreakerConfig>,
+    /// How task outputs are validated: the paper's tolerance checks only
+    /// (the default), replication-based redundant execution, or both.
+    pub validation: ValidationMode,
 }
 
 impl HuffmanConfig {
@@ -64,6 +67,7 @@ impl HuffmanConfig {
             predictor: PredictorKind::default(),
             collect_output: false,
             breaker: None,
+            validation: ValidationMode::Tolerance,
         }
     }
 

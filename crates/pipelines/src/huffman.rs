@@ -33,8 +33,8 @@ use tvs_huffman::{relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, His
 use tvs_metrics::{Gauge, MetricsHub};
 use tvs_sre::task::{expect_payload, payload};
 use tvs_sre::{
-    Completion, FaultInjector, FaultKind, FaultNotice, FaultSite, InputBlock, SchedCtx, TaskSpec,
-    Time, Workload,
+    Completion, FaultInjector, FaultKind, FaultNotice, FaultSite, InputBlock, SchedCtx, SdcNotice,
+    TaskSpec, Time, Workload,
 };
 
 /// The speculated value: a Huffman code (lengths + canonical table) built
@@ -498,6 +498,7 @@ impl HuffmanWorkload {
             // Option dance: task bodies are FnMut but run once; taking the
             // buffer out keeps the closure re-callable in the type system.
             let mut recycled = Some(self.encode_pool.take());
+            let faults = self.faults.clone();
             let body = move |_: &tvs_sre::TaskCtx| {
                 let mut out = EncodedBlock {
                     bytes: recycled.take().unwrap_or_default(),
@@ -507,6 +508,23 @@ impl HuffmanWorkload {
                     tvs_huffman::encode_block_into(&data, &table.table, &mut out),
                     "covering/exact table encodes all bytes"
                 );
+                // Chaos: a silent data corruption flips bits in the encoded
+                // output *after* a successful encode. Nothing panics and no
+                // tolerance check sees the damage (the bit count is intact),
+                // so only replication-based validation can catch it. The
+                // flipped byte avoids the zero-padded tail so the corruption
+                // always lands on meaningful bits, and the xor mask is
+                // occurrence-unique so two corrupted replicas of the same
+                // block still disagree with each other.
+                if let Some((FaultKind::CorruptValue, occ)) =
+                    faults.draw_with_occurrence(FaultSite::TaskOutput)
+                {
+                    let len = out.bytes.len();
+                    if len > 1 {
+                        let pos = (occ as usize).wrapping_mul(0x9E37_79B9) % (len - 1);
+                        out.bytes[pos] ^= ((occ % 255) + 1) as u8;
+                    }
+                }
                 payload(out)
             };
             let task = match version {
@@ -658,6 +676,60 @@ fn corrupt_tree(tree: &SpecTree) -> SpecTree {
         lengths,
         table,
         basis: tree.basis,
+    }
+}
+
+/// Digest one Huffman task output for replication-based validation
+/// (FNV-1a over the payload's semantic content).
+///
+/// Covers every task the pipeline spawns, keyed by task name. An unknown
+/// name or an unexpected payload type returns `None`, which the
+/// replication plane treats as undigestible: the primary result is
+/// delivered untouched and the flight is counted as degraded rather than
+/// risking a bogus vote.
+pub fn digest_output(name: &'static str, out: &dyn std::any::Any) -> Option<u64> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn bytes(mut h: u64, bs: &[u8]) -> u64 {
+        for &b in bs {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+    fn word(h: u64, w: u64) -> u64 {
+        bytes(h, &w.to_le_bytes())
+    }
+    fn check(h: u64, r: &CheckResult) -> u64 {
+        word(word(h, r.valid as u64), r.delta.to_bits())
+    }
+    let h = FNV_OFFSET;
+    match name {
+        "count" | "reduce" => {
+            let hist = out.downcast_ref::<Arc<Histogram>>()?;
+            Some(hist.counts().iter().fold(h, |h, &c| word(h, c)))
+        }
+        "tree" | "predict" => {
+            let tree = out.downcast_ref::<Arc<SpecTree>>()?;
+            Some(word(bytes(h, tree.lengths.lengths()), tree.basis))
+        }
+        "offset" => {
+            let (lo, lens) = out.downcast_ref::<(usize, Vec<u64>)>()?;
+            Some(lens.iter().fold(word(h, *lo as u64), |h, &l| word(h, l)))
+        }
+        "encode" => {
+            let e = out.downcast_ref::<EncodedBlock>()?;
+            Some(word(word(bytes(h, &e.bytes), e.bit_len), e.src_len as u64))
+        }
+        "check" => {
+            let (v, r, cand) = out.downcast_ref::<(SpecVersion, CheckResult, Arc<SpecTree>)>()?;
+            let h = check(word(h, *v as u64), r);
+            Some(word(bytes(h, cand.lengths.lengths()), cand.basis))
+        }
+        "final-check" => {
+            let (v, r) = out.downcast_ref::<(SpecVersion, CheckResult)>()?;
+            Some(check(word(h, *v as u64), r))
+        }
+        _ => None,
     }
 }
 
@@ -817,6 +889,24 @@ impl Workload for HuffmanWorkload {
         }
     }
 
+    fn on_sdc(&mut self, ctx: &mut dyn SchedCtx, sdc: SdcNotice) {
+        if sdc.unresolved {
+            // The vote budget ran out without a majority. For a versioned
+            // task the speculation is untrustworthy wholesale: abort it
+            // through the manager so the regular rollback actions clear the
+            // path and wait buffer (the natural path re-covers the blocks).
+            if let Some(v) = sdc.version {
+                self.dispatch(ctx, move |mgr, out| mgr.on_external_abort_into(v, out));
+            }
+        } else {
+            // First divergence on this task: a silent corruption was
+            // *detected*. Feed the breaker's failure window — sustained SDC
+            // rates should degrade speculation just like sustained
+            // mispredictions do.
+            self.mgr.on_replica_result(false);
+        }
+    }
+
     fn on_fault(&mut self, ctx: &mut dyn SchedCtx, fault: FaultNotice) {
         // Executor-recovered faults (caught panics, watchdog cancels) feed
         // the breaker's failure window; a faulted *speculative* task also
@@ -837,7 +927,7 @@ impl Workload for HuffmanWorkload {
 mod tests {
     use super::*;
     use crate::cost::HuffmanCost;
-    use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
+    use tvs_core::{SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
     use tvs_sre::exec::sim::{run, SimConfig};
     use tvs_sre::{x86_smp, DispatchPolicy};
 
@@ -864,6 +954,7 @@ mod tests {
             predictor: Default::default(),
             collect_output: true,
             breaker: None,
+            validation: ValidationMode::Tolerance,
         }
     }
 

@@ -59,5 +59,8 @@ pub mod runner;
 
 pub use config::HuffmanConfig;
 pub use cost::HuffmanCost;
-pub use huffman::{HuffmanWorkload, PipelineResult, SpecTree};
-pub use runner::{run_huffman_sim, run_huffman_threaded, RunOutcome};
+pub use huffman::{digest_output, HuffmanWorkload, PipelineResult, SpecTree};
+pub use runner::{
+    run_huffman_sim, run_huffman_sim_sdc, run_huffman_threaded, run_huffman_threaded_sdc,
+    RunOutcome,
+};

@@ -2,8 +2,9 @@
 
 use crate::config::HuffmanConfig;
 use crate::cost::HuffmanCost;
-use crate::huffman::{HuffmanWorkload, PipelineResult};
+use crate::huffman::{digest_output, HuffmanWorkload, PipelineResult};
 use std::sync::Arc;
+use tvs_core::{ReplicaStats, ReplicatingWorkload};
 use tvs_iosim::ArrivalModel;
 use tvs_sre::exec::sim::{
     run as sim_run, run_traced as sim_run_traced, try_run_chaos,
@@ -14,8 +15,21 @@ use tvs_sre::exec::threaded::{
     ThreadedConfig,
 };
 use tvs_sre::{
-    InputBlock, MetricsHub, Platform, RunError, RunMetrics, TaskTrace, TraceLog, Tracer,
+    FaultInjector, InputBlock, MetricsHub, Platform, RunError, RunMetrics, TaskTrace, TraceLog,
+    Tracer,
 };
+
+/// Seed of the replication plane's deterministic ordinary-task sampler.
+/// Fixed so two runs of the same configuration replicate the same tasks.
+const SDC_SEED: u64 = 0x5DC0_11A7;
+
+/// Wrap the pipeline workload in the replication validation plane per the
+/// configuration's [`tvs_core::ValidationMode`]. Under the default
+/// `Tolerance` mode the wrapper is a strict pass-through, so every
+/// existing entry point keeps its exact behaviour.
+fn wrap(wl: HuffmanWorkload, cfg: &HuffmanConfig) -> ReplicatingWorkload<HuffmanWorkload> {
+    ReplicatingWorkload::new(wl, cfg.validation, SDC_SEED, Arc::new(digest_output))
+}
 
 /// Everything a figure needs from one run.
 #[derive(Debug, Clone)]
@@ -87,7 +101,7 @@ pub fn run_huffman_sim_traced(
     trace: bool,
 ) -> (RunOutcome, Vec<TaskTrace>) {
     let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
-    let wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
     let sim = SimConfig {
         platform: platform.clone(),
         policy: cfg.policy,
@@ -96,7 +110,7 @@ pub fn run_huffman_sim_traced(
     let rep = sim_run(wl, &sim, &HuffmanCost, blocks);
     (
         RunOutcome {
-            result: rep.workload.result(),
+            result: rep.workload.inner().result(),
             metrics: rep.metrics,
             arrivals: times,
         },
@@ -117,7 +131,8 @@ pub fn run_huffman_sim_events(
     let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
     let tracer = Tracer::enabled(platform.workers);
     tracer.set_label(cfg.policy.label());
-    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let mut wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
+    wl.inner_mut().set_tracer(tracer.clone());
     wl.set_tracer(tracer.clone());
     let sim = SimConfig {
         platform: platform.clone(),
@@ -128,7 +143,7 @@ pub fn run_huffman_sim_events(
     let log = tracer.drain().expect("enabled tracer drains");
     (
         RunOutcome {
-            result: rep.workload.result(),
+            result: rep.workload.inner().result(),
             metrics: rep.metrics,
             arrivals: times,
         },
@@ -151,7 +166,8 @@ pub fn run_huffman_sim_metered(
     hub: MetricsHub,
 ) -> RunOutcome {
     let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
-    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let mut wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
+    wl.inner_mut().set_metrics(hub.clone());
     wl.set_metrics(hub.clone());
     let sim = SimConfig {
         platform: platform.clone(),
@@ -169,7 +185,7 @@ pub fn run_huffman_sim_metered(
     )
     .unwrap_or_else(|e| panic!("metered sim run failed: {e}"));
     RunOutcome {
-        result: rep.workload.result(),
+        result: rep.workload.inner().result(),
         metrics: rep.metrics,
         arrivals: times,
     }
@@ -193,7 +209,9 @@ pub fn run_huffman_sim_chaos(
     let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
     let tracer = Tracer::enabled(platform.workers);
     tracer.set_label(cfg.policy.label());
-    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let mut wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
+    wl.inner_mut().set_tracer(tracer.clone());
+    wl.inner_mut().set_fault_injector(chaos.faults.clone());
     wl.set_tracer(tracer.clone());
     wl.set_fault_injector(chaos.faults.clone());
     let sim = SimConfig {
@@ -205,11 +223,73 @@ pub fn run_huffman_sim_chaos(
     let log = tracer.drain().expect("enabled tracer drains");
     Ok((
         RunOutcome {
-            result: rep.workload.result(),
+            result: rep.workload.inner().result(),
             metrics: rep.metrics,
             arrivals: times,
         },
         log,
+    ))
+}
+
+/// Run the Huffman pipeline on the simulator with replication-based
+/// validation armed against silent data corruption: `faults` should carry
+/// a [`tvs_sre::FaultSite::TaskOutput`] rule (see `FaultPlan::sdc`), which
+/// flips bits in encoded blocks *after* a successful encode — invisible to
+/// panics, retry and the tolerance checks alike. The same injector is
+/// wired into the workload (so draws share one budget) and into the
+/// replication plane (so it can compute detection recall). Returns the
+/// outcome plus the plane's counters.
+pub fn run_huffman_sim_sdc(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+    faults: FaultInjector,
+) -> (RunOutcome, ReplicaStats) {
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let mut wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
+    wl.inner_mut().set_fault_injector(faults.clone());
+    wl.set_fault_injector(faults);
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace: false,
+    };
+    let rep = sim_run(wl, &sim, &HuffmanCost, blocks);
+    let stats = rep.workload.stats();
+    (
+        RunOutcome {
+            result: rep.workload.inner().result(),
+            metrics: rep.metrics,
+            arrivals: times,
+        },
+        stats,
+    )
+}
+
+/// Threaded counterpart of [`run_huffman_sim_sdc`]: real workers, the same
+/// silent-corruption injection and replication plane. Returns a structured
+/// [`RunError`] if the run cannot complete.
+pub fn run_huffman_threaded_sdc(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+    faults: FaultInjector,
+) -> Result<(RunOutcome, ReplicaStats), RunError> {
+    let mut tcfg = ThreadedConfig::new(workers, cfg.policy);
+    tcfg.faults = faults;
+    let tracer = Tracer::disabled();
+    let (wl, iter, times) = threaded_setup(data, cfg, &tcfg, arrival, time_scale, &tracer, None);
+    let (wl, metrics) = threaded_try_run_traced(wl, &tcfg, iter, tracer)?;
+    Ok((
+        RunOutcome {
+            result: wl.inner().result(),
+            metrics,
+            arrivals: times,
+        },
+        wl.stats(),
     ))
 }
 
@@ -303,7 +383,7 @@ fn try_threaded_impl(
     let (wl, iter, times) = threaded_setup(data, cfg, tcfg, arrival, time_scale, &tracer, None);
     let (wl, metrics) = threaded_try_run_traced(wl, tcfg, iter, tracer)?;
     Ok(RunOutcome {
-        result: wl.result(),
+        result: wl.inner().result(),
         metrics,
         arrivals: times,
     })
@@ -322,7 +402,7 @@ fn try_threaded_metered_impl(
         threaded_setup(data, cfg, tcfg, arrival, time_scale, &tracer, Some(&hub));
     let (wl, metrics) = threaded_try_run_metered(wl, tcfg, iter, tracer, hub)?;
     Ok(RunOutcome {
-        result: wl.result(),
+        result: wl.inner().result(),
         metrics,
         arrivals: times,
     })
@@ -340,17 +420,20 @@ fn threaded_setup(
     tracer: &Tracer,
     hub: Option<&MetricsHub>,
 ) -> (
-    HuffmanWorkload,
+    ReplicatingWorkload<HuffmanWorkload>,
     impl Iterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
     Vec<u64>,
 ) {
     let n = data.len().div_ceil(cfg.block_bytes);
     let times = arrival.schedule(n, cfg.block_bytes);
-    let mut wl = HuffmanWorkload::new(cfg.clone(), data.len());
+    let mut wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
+    wl.inner_mut().set_tracer(tracer.clone());
     wl.set_tracer(tracer.clone());
     if let Some(h) = hub {
+        wl.inner_mut().set_metrics(h.clone());
         wl.set_metrics(h.clone());
     }
+    wl.inner_mut().set_fault_injector(tcfg.faults.clone());
     wl.set_fault_injector(tcfg.faults.clone());
 
     // The feeder consumes a paced iterator; build owned blocks up front.

@@ -342,9 +342,11 @@ where
                                 attempt += 1;
                                 shared.retries.fetch_add(1, Ordering::Relaxed);
                                 hub.add(me, Counter::Retries, 1);
-                                std::thread::sleep(Duration::from_micros(
-                                    retry.backoff_us(attempt),
-                                ));
+                                // Jittered per-task backoff: correlated
+                                // faults must not wake in lockstep.
+                                let wait = retry.backoff_jittered_us(attempt, work.id);
+                                hub.add(me, Counter::RetryBackoffUs, wait);
+                                std::thread::sleep(Duration::from_micros(wait));
                             }
                         }
                     };
@@ -510,6 +512,8 @@ where
         task_retries: shared.retries.load(Ordering::Relaxed),
         watchdog_cancels: 0,
         duplicate_completions: st.duplicate_completions,
+        replica_dispatches: st.replicas_spawned,
+        retry_backoff_us: hub.counter_total(Counter::RetryBackoffUs),
     };
     Ok((inner.workload, metrics))
 }

@@ -644,6 +644,8 @@ pub fn try_run_metered<W: Workload>(
     metrics.tasks_deleted_ready = st.deleted_ready;
     metrics.rollbacks = st.rollbacks;
     metrics.duplicate_completions = st.duplicate_completions;
+    metrics.replica_dispatches = st.replicas_spawned;
+    // retry_backoff_us stays 0: the simulator retries instantaneously.
     // Final snapshot view over the hub's shards — the sim's analogue of
     // the threaded executor's per-lane counters lives there now.
     metrics.lane_dispatches = hub.lane_counts(Counter::LaneDispatch);

@@ -709,9 +709,12 @@ where
                                             }
                                             attempt += 1;
                                             fabric.hub.add(me, Counter::Retries, 1);
-                                            std::thread::sleep(Duration::from_micros(
-                                                retry.backoff_us(attempt),
-                                            ));
+                                            // Jittered per-task backoff:
+                                            // correlated faults must not
+                                            // wake in lockstep.
+                                            let wait = retry.backoff_jittered_us(attempt, work.id);
+                                            fabric.hub.add(me, Counter::RetryBackoffUs, wait);
+                                            std::thread::sleep(Duration::from_micros(wait));
                                         }
                                     }
                                 };
@@ -1165,6 +1168,8 @@ where
         task_retries: hub.counter_total(Counter::Retries),
         watchdog_cancels: hub.counter_total(Counter::WatchdogCancels),
         duplicate_completions: st.duplicate_completions,
+        replica_dispatches: st.replicas_spawned,
+        retry_backoff_us: hub.counter_total(Counter::RetryBackoffUs),
     };
     Ok((inner.workload, metrics))
 }

@@ -87,6 +87,34 @@ impl RetryPolicy {
             .saturating_mul(1u64 << shift)
             .min(self.max_backoff_us)
     }
+
+    /// [`RetryPolicy::backoff_us`] with ±50% seeded jitter, µs.
+    ///
+    /// Exponential backoff with synchronized phases is self-defeating: if a
+    /// shared cause (an injected stall burst, a contended resource) faults
+    /// several tasks at once, fixed backoff wakes all their retries in the
+    /// same instant. The jitter is a pure function of `(salt, attempt)` —
+    /// executors pass the task id as the salt — so retry schedules stay
+    /// reproducible per task while distinct tasks decorrelate. The result
+    /// is in `[backoff/2, backoff*3/2)`, still capped at
+    /// [`RetryPolicy::max_backoff_us`], and 0 stays 0.
+    pub fn backoff_jittered_us(&self, attempt: u32, salt: u64) -> u64 {
+        let base = self.backoff_us(attempt);
+        if base == 0 {
+            return 0;
+        }
+        let r = mix64(salt ^ 0x5851_F42D_4C95_7F2D_u64.wrapping_mul(u64::from(attempt)));
+        (base / 2 + r % base).min(self.max_backoff_us)
+    }
+}
+
+/// splitmix64 finalizer: a cheap, dependency-free bijective mixer. Also
+/// used by the replication plane's deterministic task sampling.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Watchdog configuration: detect tasks exceeding a deadline and cancel
@@ -157,6 +185,44 @@ mod tests {
         assert_eq!(p.backoff_us(4), 800);
         assert_eq!(p.backoff_us(5), 1_000, "capped");
         assert_eq!(p.backoff_us(40), 1_000, "huge attempts stay capped");
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_band_and_is_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+        };
+        for attempt in 1..=6 {
+            let base = p.backoff_us(attempt);
+            for salt in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+                let j = p.backoff_jittered_us(attempt, salt);
+                assert!(
+                    j >= base / 2 && j < base.saturating_mul(3) / 2 + 1,
+                    "attempt {attempt} salt {salt}: {j} outside [{}, {})",
+                    base / 2,
+                    base * 3 / 2
+                );
+                assert!(j <= p.max_backoff_us);
+                assert_eq!(
+                    j,
+                    p.backoff_jittered_us(attempt, salt),
+                    "same (salt, attempt) must reproduce the same backoff"
+                );
+            }
+        }
+        // Distinct salts decorrelate: not all equal for a fixed attempt.
+        let vals: std::collections::HashSet<u64> =
+            (0..32).map(|salt| p.backoff_jittered_us(3, salt)).collect();
+        assert!(vals.len() > 1, "jitter must vary across salts");
+        // Zero base stays zero (no sleep where none was configured).
+        let z = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+        };
+        assert_eq!(z.backoff_jittered_us(1, 9), 0);
     }
 
     #[test]

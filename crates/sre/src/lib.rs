@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod platform;
 pub mod policy;
 pub mod queue;
+pub mod replica;
 pub mod sched;
 pub mod task;
 pub mod workload;
@@ -55,9 +56,10 @@ pub use mapreduce::{MapReduce, Summary};
 pub use metrics::{RunMetrics, TaskTrace};
 pub use platform::{cell_be, x86_smp, CostModel, FixedCost, Platform};
 pub use policy::DispatchPolicy;
+pub use replica::{DigestFn, ReplicaStats, ReplicatingWorkload, ValidationMode};
 pub use sched::Scheduler;
 pub use task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Time};
 pub use tvs_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 pub use tvs_metrics::{MetricsHub, MetricsSnapshot, Sampler};
 pub use tvs_trace::{TraceLog, Tracer};
-pub use workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
+pub use workload::{Completion, FaultNotice, InputBlock, SchedCtx, SdcNotice, Workload};

@@ -70,6 +70,13 @@ pub struct RunMetrics {
     /// Duplicate completion deliveries the scheduler absorbed (only
     /// non-zero under fault injection).
     pub duplicate_completions: u64,
+    /// Replica tasks spawned for replication-based validation (zero
+    /// unless the workload is wrapped in a
+    /// [`crate::replica::ReplicatingWorkload`] with a replicating mode).
+    pub replica_dispatches: u64,
+    /// Total µs spent sleeping in jittered retry backoff (threaded
+    /// executors only; the simulator retries instantaneously).
+    pub retry_backoff_us: u64,
 }
 
 impl RunMetrics {

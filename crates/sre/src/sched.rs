@@ -32,6 +32,9 @@ pub struct Dispatched {
     pub tag: u64,
     /// Payload size in bytes (for the cost model).
     pub bytes: usize,
+    /// The primary task this is a replica of, if any (see
+    /// [`TaskSpec::replica_of`]).
+    pub replica_of: Option<TaskId>,
     /// Context to pass to `run` (carries the abort flag).
     pub ctx: TaskCtx,
     /// The task body.
@@ -68,6 +71,9 @@ pub struct SchedStats {
     /// Duplicate completion deliveries tolerated (injected echoes that
     /// [`Scheduler::try_complete`] absorbed).
     pub duplicate_completions: u64,
+    /// Replica tasks spawned for replication-based validation
+    /// (`TaskSpec::replica_of` set).
+    pub replicas_spawned: u64,
 }
 
 struct Running {
@@ -151,6 +157,12 @@ impl Scheduler {
         }
         let id = self.next_id;
         self.next_id += 1;
+        if let Some(of) = spec.replica_of {
+            self.stats.replicas_spawned += 1;
+            self.metrics.add_control(Counter::ReplicaDispatches, 1);
+            self.tracer
+                .emit_control(EventKind::ReplicaDispatch { id, of });
+        }
         self.queue.push(id, spec.class, spec.depth, spec.version);
         self.bodies.insert(id, spec);
         self.stats.spawned += 1;
@@ -199,6 +211,7 @@ impl Scheduler {
             version: spec.version,
             tag: spec.tag,
             bytes: spec.bytes,
+            replica_of: spec.replica_of,
             ctx,
             run: spec.run,
         })
@@ -532,6 +545,30 @@ mod tests {
         s.abort_version(5);
         assert_eq!(s.stats().rollbacks, before);
         assert_eq!(tracer.drain().unwrap().events.len(), 0);
+    }
+
+    #[test]
+    fn replica_spawns_are_counted_and_traced() {
+        use tvs_trace::{EventKind, Tracer};
+        let tracer = Tracer::enabled(1);
+        let mut s = Scheduler::with_tracer(DispatchPolicy::Balanced, tracer.clone());
+        let primary = s.spawn(reg("count", 0)).unwrap();
+        let replica = s.spawn(reg("count", 0).as_replica_of(primary)).unwrap();
+        assert_eq!(s.stats().replicas_spawned, 1);
+        assert_eq!(s.stats().spawned, 2);
+        let d1 = s.dispatch().unwrap();
+        let d2 = s.dispatch().unwrap();
+        let of = [d1, d2]
+            .iter()
+            .find(|d| d.id == replica)
+            .and_then(|d| d.replica_of);
+        assert_eq!(of, Some(primary), "replica_of survives dispatch");
+        let log = tracer.drain().unwrap();
+        assert!(log.events.iter().any(|e| e.kind
+            == EventKind::ReplicaDispatch {
+                id: replica,
+                of: primary
+            }));
     }
 
     #[test]

@@ -118,6 +118,12 @@ pub struct TaskSpec {
     pub version: Option<SpecVersion>,
     /// Application-defined tag (e.g. block index) carried to the completion.
     pub tag: u64,
+    /// When set, this task is a *replica*: a redundant re-execution of the
+    /// referenced primary task, spawned for replication-based validation.
+    /// The scheduler counts and traces replica spawns; delivery-side vote
+    /// comparison lives above it (replicas are never routed to the
+    /// workload's `on_complete`, so they cannot double-commit).
+    pub replica_of: Option<TaskId>,
     /// The task body.
     pub run: TaskFn,
 }
@@ -131,6 +137,7 @@ impl std::fmt::Debug for TaskSpec {
             .field("bytes", &self.bytes)
             .field("version", &self.version)
             .field("tag", &self.tag)
+            .field("replica_of", &self.replica_of)
             .finish()
     }
 }
@@ -151,6 +158,7 @@ impl TaskSpec {
             bytes,
             version: None,
             tag,
+            replica_of: None,
             run: Box::new(run),
         }
     }
@@ -171,6 +179,7 @@ impl TaskSpec {
             bytes,
             version: Some(version),
             tag,
+            replica_of: None,
             run: Box::new(run),
         }
     }
@@ -190,6 +199,7 @@ impl TaskSpec {
             bytes,
             version: Some(version),
             tag,
+            replica_of: None,
             run: Box::new(run),
         }
     }
@@ -211,8 +221,17 @@ impl TaskSpec {
             bytes,
             version: None,
             tag,
+            replica_of: None,
             run: Box::new(run),
         }
+    }
+
+    /// Mark this task as a replica of `primary` (builder-style). Used by
+    /// the replication-validation plane when it re-executes a completed
+    /// task to vote on its output.
+    pub fn as_replica_of(mut self, primary: TaskId) -> Self {
+        self.replica_of = Some(primary);
+        self
     }
 
     /// Whether this task runs on a speculative path.

@@ -71,6 +71,26 @@ pub struct FaultNotice {
     pub attempt: u32,
 }
 
+/// Notice of a silent-data-corruption event raised by the replication
+/// validation plane (see `crate::replica::ReplicatingWorkload`): the
+/// digests of a primary task and its replica diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcNotice {
+    /// Id of the primary task whose vote set diverged.
+    pub id: TaskId,
+    /// Task kind name.
+    pub name: &'static str,
+    /// The primary task's speculation version, if any.
+    pub version: Option<SpecVersion>,
+    /// `false` on first detection (a bounded tiebreak re-execution is
+    /// about to run); `true` when the vote budget is exhausted without
+    /// two digests ever agreeing. For an unresolved *versioned* task the
+    /// plane aborts the version right after this callback — workloads
+    /// that track version state should treat it like a fault notice and
+    /// schedule a non-speculative replay.
+    pub unresolved: bool,
+}
+
 /// Capabilities a workload has inside its callbacks.
 pub trait SchedCtx {
     /// Current time, µs (virtual in the simulator, wall-derived otherwise).
@@ -114,6 +134,16 @@ pub trait Workload {
     /// Default: ignore.
     fn on_fault(&mut self, ctx: &mut dyn SchedCtx, fault: FaultNotice) {
         let _ = (ctx, fault);
+    }
+
+    /// Replication-based validation detected diverging outputs for one of
+    /// this workload's tasks (silent data corruption). Called by the
+    /// replication plane, not by executors; workloads that feed a
+    /// speculation manager should count the failure into its breaker
+    /// window here. See [`SdcNotice::unresolved`] for the two phases.
+    /// Default: ignore.
+    fn on_sdc(&mut self, ctx: &mut dyn SchedCtx, sdc: SdcNotice) {
+        let _ = (ctx, sdc);
     }
 
     /// `true` once the application's result is complete; the executor stops

@@ -82,8 +82,9 @@ impl TraceLog {
     /// dispatch, `victim` for steal, `discarded` for task-end, `basis` for
     /// predictor-fire/version-open, `margin` for checks, `cascade_depth`
     /// for rollback, `entries` for undo-replay, `attempt` for task-fault,
-    /// `ran_us` for watchdog-cancel, `failures`/`commits` for breaker-trip
-    /// and `successes` for breaker-recover. Names are RFC-4180 quoted.
+    /// `ran_us` for watchdog-cancel, `failures`/`commits` for breaker-trip,
+    /// `successes` for breaker-recover and the primary task id (`of`) for
+    /// replica-dispatch. Names are RFC-4180 quoted.
     pub fn to_event_csv(&self) -> String {
         let mut out = String::from(EVENT_CSV_HEADER);
         out.push('\n');
@@ -233,6 +234,30 @@ impl TraceLog {
                     String::new(),
                     String::new(),
                     successes.to_string(),
+                    String::new(),
+                ),
+                EventKind::ReplicaDispatch { id, of } => (
+                    id.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    of.to_string(),
+                    String::new(),
+                ),
+                EventKind::ReplicaMatch { id } | EventKind::SdcResolved { id } => (
+                    id.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+                EventKind::SdcDetected { id, version } => (
+                    id.to_string(),
+                    String::new(),
+                    String::new(),
+                    fmt_version(*version),
+                    String::new(),
                     String::new(),
                 ),
             };

@@ -178,6 +178,35 @@ pub enum EventKind {
         /// Consecutive probe successes that closed the breaker.
         successes: u64,
     },
+    /// A replica (redundant re-execution for replication-based
+    /// validation) was spawned for a completed primary task.
+    ReplicaDispatch {
+        /// The replica's task id.
+        id: u64,
+        /// The primary task the replica re-executes.
+        of: u64,
+    },
+    /// A replica's output digest matched its primary's: the output is
+    /// validated and delivered once.
+    ReplicaMatch {
+        /// The primary task id whose vote set resolved clean.
+        id: u64,
+    },
+    /// Replica digests diverged: silent data corruption detected. A
+    /// bounded tiebreak re-execution follows; if no two votes ever
+    /// agree the version (if any) is aborted and replayed.
+    SdcDetected {
+        /// The primary task id whose vote set diverged.
+        id: u64,
+        /// Speculation version of the divergent task, if any.
+        version: Option<u32>,
+    },
+    /// A divergent vote set was resolved by a tiebreak vote agreeing
+    /// with an earlier one; the agreed output was delivered.
+    SdcResolved {
+        /// The primary task id whose vote set resolved.
+        id: u64,
+    },
 }
 
 impl EventKind {
@@ -203,6 +232,10 @@ impl EventKind {
             EventKind::BreakerTrip { .. } => "breaker-trip",
             EventKind::BreakerProbe { .. } => "breaker-probe",
             EventKind::BreakerRecover { .. } => "breaker-recover",
+            EventKind::ReplicaDispatch { .. } => "replica-dispatch",
+            EventKind::ReplicaMatch { .. } => "replica-match",
+            EventKind::SdcDetected { .. } => "sdc-detected",
+            EventKind::SdcResolved { .. } => "sdc-resolved",
         }
     }
 
@@ -213,7 +246,8 @@ impl EventKind {
             | EventKind::TaskStart { version, .. }
             | EventKind::TaskEnd { version, .. }
             | EventKind::TaskFault { version, .. }
-            | EventKind::WatchdogCancel { version, .. } => version,
+            | EventKind::WatchdogCancel { version, .. }
+            | EventKind::SdcDetected { version, .. } => version,
             EventKind::CancelReady { version, .. }
             | EventKind::PredictorFire { version, .. }
             | EventKind::VersionOpen { version, .. }
@@ -227,7 +261,10 @@ impl EventKind {
             | EventKind::Park
             | EventKind::Unpark
             | EventKind::BreakerTrip { .. }
-            | EventKind::BreakerRecover { .. } => None,
+            | EventKind::BreakerRecover { .. }
+            | EventKind::ReplicaDispatch { .. }
+            | EventKind::ReplicaMatch { .. }
+            | EventKind::SdcResolved { .. } => None,
         }
     }
 }

@@ -109,6 +109,14 @@ pub struct SpecHealth {
     pub breaker_probes: u64,
     /// Breaker recoveries (speculation resumed after a probe committed).
     pub breaker_recoveries: u64,
+    /// Replicas spawned for replication-based validation.
+    pub replica_dispatches: u64,
+    /// Replica vote sets that resolved clean on the first comparison.
+    pub replica_matches: u64,
+    /// Silent-data-corruption detections (divergent replica digests).
+    pub sdc_detected: u64,
+    /// Divergent vote sets resolved by a tiebreak re-execution.
+    pub sdc_resolved: u64,
     /// Sum of rollback cascade depths (ready tasks deleted from the
     /// central queue).
     pub cascade_total: u64,
@@ -133,6 +141,19 @@ impl SpecHealth {
             0.0
         } else {
             self.wasted_us as f64 / self.busy_us as f64
+        }
+    }
+
+    /// SDC detection recall against a known injection count (from a fault
+    /// injector's task-output site): detections / injected, clamped to 1.
+    /// Vacuously 1.0 when nothing was injected. One detection can cover
+    /// several injections of the *same* vote set (e.g. primary and tiebreak
+    /// both corrupted), so the clamp keeps the ratio a recall.
+    pub fn sdc_recall(&self, injected: u64) -> f64 {
+        if injected == 0 {
+            1.0
+        } else {
+            (self.sdc_detected as f64 / injected as f64).min(1.0)
         }
     }
 }
@@ -218,6 +239,10 @@ impl TraceLog {
                 EventKind::BreakerTrip { .. } => h.breaker_trips += 1,
                 EventKind::BreakerProbe { .. } => h.breaker_probes += 1,
                 EventKind::BreakerRecover { .. } => h.breaker_recoveries += 1,
+                EventKind::ReplicaDispatch { .. } => h.replica_dispatches += 1,
+                EventKind::ReplicaMatch { .. } => h.replica_matches += 1,
+                EventKind::SdcDetected { .. } => h.sdc_detected += 1,
+                EventKind::SdcResolved { .. } => h.sdc_resolved += 1,
                 EventKind::Park | EventKind::Unpark => {}
             }
         }
@@ -416,5 +441,32 @@ mod tests {
         assert_eq!(h.steals, 1);
         assert_eq!(h.cancelled_ready, 1);
         assert_eq!(h.undo_replays, 1);
+    }
+
+    #[test]
+    fn replication_counters_and_recall() {
+        let events = vec![
+            ev(0, 1, EventKind::ReplicaDispatch { id: 2, of: 1 }),
+            ev(1, 2, EventKind::ReplicaMatch { id: 1 }),
+            ev(2, 3, EventKind::ReplicaDispatch { id: 4, of: 3 }),
+            ev(
+                3,
+                4,
+                EventKind::SdcDetected {
+                    id: 3,
+                    version: Some(7),
+                },
+            ),
+            ev(4, 5, EventKind::ReplicaDispatch { id: 5, of: 3 }),
+            ev(5, 6, EventKind::SdcResolved { id: 3 }),
+        ];
+        let h = mk(events).health();
+        assert_eq!(h.replica_dispatches, 3);
+        assert_eq!(h.replica_matches, 1);
+        assert_eq!(h.sdc_detected, 1);
+        assert_eq!(h.sdc_resolved, 1);
+        assert_eq!(h.sdc_recall(0), 1.0, "vacuous recall");
+        assert_eq!(h.sdc_recall(1), 1.0);
+        assert_eq!(h.sdc_recall(2), 0.5);
     }
 }

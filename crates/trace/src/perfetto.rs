@@ -227,6 +227,30 @@ impl TraceLog {
                         r#"{{"name":"breaker-recover","cat":"breaker","ph":"i","s":"p","ts":{ts},"pid":1,"tid":{tid},"args":{{"successes":{successes}}}}}"#
                     ));
                 }
+                EventKind::ReplicaDispatch { id, of } => {
+                    rows.push(format!(
+                        r#"{{"name":"replica-dispatch","cat":"replication","ph":"i","s":"t","ts":{ts},"pid":1,"tid":{tid},"args":{{"id":{id},"of":{of}}}}}"#
+                    ));
+                }
+                EventKind::ReplicaMatch { id } => {
+                    rows.push(format!(
+                        r#"{{"name":"replica-match","cat":"replication","ph":"i","s":"t","ts":{ts},"pid":1,"tid":{tid},"args":{{"id":{id}}}}}"#
+                    ));
+                }
+                EventKind::SdcDetected { id, version } => {
+                    rows.push(format!(
+                        r#"{{"name":"sdc-detected","cat":"replication","ph":"i","s":"p","ts":{},"pid":1,"tid":{},"args":{{"id":{},"version":{}}}}}"#,
+                        ts,
+                        tid,
+                        id,
+                        opt_version(*version)
+                    ));
+                }
+                EventKind::SdcResolved { id } => {
+                    rows.push(format!(
+                        r#"{{"name":"sdc-resolved","cat":"replication","ph":"i","s":"t","ts":{ts},"pid":1,"tid":{tid},"args":{{"id":{id}}}}}"#
+                    ));
+                }
             }
         }
 

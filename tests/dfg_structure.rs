@@ -3,7 +3,7 @@
 //! chain, one tree, a serial offset chain fanning out into encodes, plus
 //! the speculative predictor/check/offset/encode overlay.
 
-use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_core::{SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
 use tvs_iosim::Uniform;
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::runner::run_huffman_sim_traced;
@@ -33,6 +33,7 @@ fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
         predictor: Default::default(),
         collect_output: false,
         breaker: None,
+        validation: ValidationMode::Tolerance,
     }
 }
 

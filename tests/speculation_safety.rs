@@ -2,7 +2,7 @@
 //! rollbacks strike, the committed output is always correct and every
 //! block is finalised exactly once.
 
-use tvs_core::{SpeculationSchedule, Tolerance, VerificationPolicy};
+use tvs_core::{SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
 use tvs_huffman::{decode_exact, serial_encode, CodeTable};
 use tvs_iosim::{Custom, Disk, Uniform};
 use tvs_pipelines::config::HuffmanConfig;
@@ -51,6 +51,7 @@ fn small_cfg(
         predictor: Default::default(),
         collect_output: true,
         breaker: None,
+        validation: ValidationMode::Tolerance,
     }
 }
 
