@@ -24,9 +24,10 @@ use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, ValidationMode, Ve
 use tvs_huffman::{decode_exact, CodeTable};
 use tvs_iosim::Uniform;
 use tvs_pipelines::config::HuffmanConfig;
+use tvs_pipelines::postmortem;
 use tvs_pipelines::runner::{
     run_huffman_sim_chaos, run_huffman_sim_events, run_huffman_sim_sdc, run_huffman_threaded_chaos,
-    run_huffman_threaded_sdc, RunOutcome,
+    run_huffman_threaded_events, run_huffman_threaded_sdc, RunOutcome,
 };
 use tvs_sre::exec::sim::SimChaos;
 use tvs_sre::exec::threaded::ThreadedConfig;
@@ -35,6 +36,46 @@ use tvs_workloads::FileKind;
 
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 const WORKERS: usize = 4;
+/// Bundle names are `postmortem_<rev>_<seed>`; the two forced
+/// breaker-trip dumps use distinct fixed seeds so they coexist.
+const BREAKER_SEED_SIM: u64 = 2011;
+const BREAKER_SEED_THREADED: u64 = 2012;
+
+/// Dump `log` as a breaker-trip post-mortem bundle under `dir`, reload
+/// it, and verify the conservation invariant. Returns the violation
+/// count (0 or 1).
+fn dump_bundle(dir: &std::path::Path, seed: u64, log: &TraceLog) -> u32 {
+    let meta = postmortem::BundleMeta::for_log(
+        postmortem::Trigger::BreakerTrip,
+        seed,
+        DispatchPolicy::Aggressive.label(),
+        log,
+        None,
+    );
+    let path = match postmortem::write_bundle(dir, &meta, log, &[]) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("VIOLATION: could not write post-mortem bundle: {e}");
+            return 1;
+        }
+    };
+    match postmortem::load_bundle(&path).map_err(|e| format!("bundle does not reload: {e}")) {
+        Ok(bundle) => match bundle.check() {
+            Ok(()) => {
+                println!("post-mortem bundle -> {}", path.display());
+                0
+            }
+            Err(e) => {
+                println!("VIOLATION: reloaded bundle fails conservation: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            println!("VIOLATION: {e}");
+            1
+        }
+    }
+}
 
 fn cfg() -> HuffmanConfig {
     HuffmanConfig {
@@ -279,6 +320,27 @@ fn main() {
             violations += 1;
         }
     }
+
+    // Forced post-mortem dumps of the breaker-trip scenario, sim and
+    // threaded: the CI smoke step reloads the sim bundle with
+    // `tvs-report --postmortem` and requires the offline cascade
+    // reconstruction to conserve the live wasted-µs totals.
+    violations += dump_bundle(&dir, BREAKER_SEED_SIM, &log);
+    let mut tbc = bc.clone();
+    tbc.breaker = Some(BreakerConfig {
+        window: 4,
+        min_samples: 2,
+        trip_ratio: 0.5,
+        cooldown: 1_000,
+        probe_successes: 1,
+    });
+    let (_, tlog) = run_huffman_threaded_events(&adversarial, &tbc, WORKERS, &slow, 1000);
+    println!(
+        "threaded breaker: {} trip(s), {} rollback(s)",
+        tlog.count("breaker-trip"),
+        tlog.health().rollbacks
+    );
+    violations += dump_bundle(&dir, BREAKER_SEED_THREADED, &tlog);
 
     if violations > 0 {
         println!("\n{violations} chaos invariant violation(s)");

@@ -10,13 +10,20 @@
 //!
 //! Run with `cargo run --release -p tvs-bench --bin tvs-report`.
 //! Exits non-zero if any run violates the health invariants (dropped
-//! trace events, or a negative waste ratio — both signs of a broken
+//! trace events, a negative waste ratio, or a lineage table that fails
+//! to conserve the aggregate wasted-µs total — all signs of a broken
 //! telemetry plane rather than a slow run).
+//!
+//! `tvs-report --postmortem <dir>` instead reloads a crash bundle
+//! written by the flight recorder (see `tvs_pipelines::postmortem`) and
+//! reconstructs the full rollback cascade forest offline, with
+//! per-lineage wasted-µs totals checked against the manifest.
 
 use tvs_bench::{results_dir, write_trace};
 use tvs_core::{AllocStats, BreakerConfig, SpeculationSchedule, Tolerance, VerificationPolicy};
 use tvs_iosim::{Disk, Uniform};
 use tvs_pipelines::config::HuffmanConfig;
+use tvs_pipelines::postmortem;
 use tvs_pipelines::runner::{run_huffman_sim_chaos, run_huffman_sim_events};
 use tvs_sre::exec::sim::SimChaos;
 use tvs_sre::{x86_smp, DispatchPolicy, FaultInjector, FaultPlan};
@@ -109,6 +116,38 @@ fn print_policy(
             lat.p50, lat.p90, lat.p99, lat.max, lat.count
         );
     }
+    // Per-lineage cost accounting: the offline version → lineage join
+    // must conserve the aggregate wasted-µs total, and the costliest
+    // lines are worth naming in the report.
+    let lineage = log.lineage();
+    if lineage.total_wasted_us() != h.wasted_us {
+        violations += 1;
+        println!(
+            "    ! VIOLATION: lineage table accounts for {}us wasted but SpecHealth reports {}us",
+            lineage.total_wasted_us(),
+            h.wasted_us
+        );
+    }
+    let mut roots = lineage.roots();
+    if !roots.is_empty() {
+        roots.sort_by_key(|r| std::cmp::Reverse(r.wasted_us));
+        let worst: Vec<String> = roots
+            .iter()
+            .take(3)
+            .map(|r| {
+                format!(
+                    "v{} wasted={}us depth<={} replays={}",
+                    r.root, r.wasted_us, r.max_depth, r.replays
+                )
+            })
+            .collect();
+        println!(
+            "    lineage: {} root(s), {}us attributed waste; costliest: {}",
+            roots.len(),
+            lineage.total_wasted_us(),
+            worst.join(", ")
+        );
+    }
     if h.faults + h.watchdog_cancels > 0 {
         println!(
             "    faults: {} task fault(s), {} watchdog cancel(s), {} undo replay(s)",
@@ -130,7 +169,37 @@ fn print_policy(
     violations
 }
 
+/// `--postmortem <dir>`: reload a crash bundle and reconstruct the
+/// cascade forest offline. Exits non-zero when the bundle is unreadable
+/// or its lineage table fails the conservation check.
+fn postmortem_mode(dir: &str) -> ! {
+    match postmortem::load_bundle(std::path::Path::new(dir)) {
+        Ok(bundle) => {
+            print!("{}", bundle.render_report());
+            if let Err(e) = bundle.check() {
+                eprintln!("conservation violation: {e}");
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("cannot load post-mortem bundle at {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--postmortem") {
+        match args.get(i + 1) {
+            Some(dir) => postmortem_mode(dir),
+            None => {
+                eprintln!("usage: tvs-report --postmortem <bundle-dir>");
+                std::process::exit(2);
+            }
+        }
+    }
     // A two-phase stream (text, then PDF) whose symbol distribution shifts
     // mid-run: the step-0 prediction from the first block misfits the tail,
     // so tolerance checks fail and the report shows real rollbacks next to
@@ -229,6 +298,37 @@ fn main() {
         out.metrics.makespan,
         Some(out.result.alloc_stats),
     );
+    // Flight-recorder self-check: dump the breaker-trip run as a crash
+    // bundle, reload it, and require the offline reconstruction to
+    // conserve the live wasted-µs total.
+    let meta = postmortem::BundleMeta::for_log(
+        postmortem::Trigger::BreakerTrip,
+        2011,
+        DispatchPolicy::Aggressive.label(),
+        &log,
+        None,
+    );
+    match postmortem::write_bundle(&results_dir(), &meta, &log, &[]) {
+        Ok(path) => {
+            println!("  -> {}", path.display());
+            match postmortem::load_bundle(&path) {
+                Ok(bundle) => {
+                    if let Err(e) = bundle.check() {
+                        println!("    ! VIOLATION: reloaded bundle fails conservation: {e}");
+                        violations += 1;
+                    }
+                }
+                Err(e) => {
+                    println!("    ! VIOLATION: bundle does not reload: {e}");
+                    violations += 1;
+                }
+            }
+        }
+        Err(e) => {
+            println!("    ! VIOLATION: could not write post-mortem bundle: {e}");
+            violations += 1;
+        }
+    }
     if violations > 0 {
         println!("\n{violations} health invariant violation(s)");
         std::process::exit(1);

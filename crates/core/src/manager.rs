@@ -131,6 +131,11 @@ pub struct SpeculationManager<T> {
     tracer: Tracer,
     metrics: MetricsHub,
     breaker: Option<CircuitBreaker>,
+    /// `(root, depth)` per allocated version, indexed by `version - 1`
+    /// (versions are dense from 1). Lets a candidate promotion inherit
+    /// its parent's root and extend its depth in O(1).
+    lineage: Vec<(SpecVersion, u32)>,
+    lineage_roots: u64,
 }
 
 impl<T> std::fmt::Debug for SpeculationManager<T> {
@@ -159,6 +164,8 @@ impl<T> SpeculationManager<T> {
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
             breaker: None,
+            lineage: Vec::new(),
+            lineage_roots: 0,
         }
     }
 
@@ -259,6 +266,50 @@ impl<T> SpeculationManager<T> {
         self.tracker.state(v)
     }
 
+    /// Record the causal lineage of a freshly allocated version and emit
+    /// the [`EventKind::LineageOpen`] declaration: fresh predictions are
+    /// self-rooted at depth 0; promoted candidates inherit the parent's
+    /// root one level deeper. The declaration rides the control ring, so
+    /// every later event carrying this version number joins to its
+    /// lineage offline (`LineageTable::from_log`).
+    fn open_lineage(&mut self, version: SpecVersion, parent: Option<SpecVersion>) {
+        let (root, parent_v, depth) = match parent {
+            None => (version, 0, 0),
+            Some(p) => {
+                let (root, pd) = self.lineage.get(p as usize - 1).copied().unwrap_or((p, 0));
+                (root, p, pd + 1)
+            }
+        };
+        let slot = version as usize - 1;
+        if self.lineage.len() <= slot {
+            self.lineage.resize(slot + 1, (0, 0));
+        }
+        self.lineage[slot] = (root, depth);
+        if depth == 0 {
+            self.lineage_roots += 1;
+            self.metrics
+                .gauge_set(Gauge::LineageRoots, self.lineage_roots);
+        }
+        self.metrics.gauge_max(Gauge::LineageDepthMax, depth as u64);
+        self.tracer.emit_control(EventKind::LineageOpen {
+            version,
+            root,
+            parent: parent_v,
+            depth,
+        });
+    }
+
+    /// Distinct lineage roots opened so far (fresh, non-cascade
+    /// predictions).
+    pub fn lineage_roots(&self) -> u64 {
+        self.lineage_roots
+    }
+
+    /// `(root, depth)` of `v`'s lineage, if this manager allocated it.
+    pub fn lineage_of(&self, v: SpecVersion) -> Option<(SpecVersion, u32)> {
+        self.lineage.get(v.checked_sub(1)? as usize).copied()
+    }
+
     fn emit_rollback(&mut self, version: SpecVersion, out: &mut Vec<Action>) {
         self.tracker.abort(version);
         self.stats.rollbacks += 1;
@@ -347,6 +398,7 @@ impl<T> SpeculationManager<T> {
                 self.publish_breaker_gauge();
                 if breaker_allows {
                     let version = self.tracker.allocate(basis);
+                    self.open_lineage(version, None);
                     self.phase = Phase::Pending { version };
                     self.stats.predictions += 1;
                     self.metrics.add_control(Counter::Predictions, 1);
@@ -461,6 +513,7 @@ impl<T> SpeculationManager<T> {
                 self.publish_breaker_gauge();
                 if breaker_allows {
                     let v2 = self.tracker.allocate(candidate_basis);
+                    self.open_lineage(v2, Some(version));
                     assert!(self.tracker.activate(v2), "fresh version cannot be aborted");
                     self.stats.predictions += 1;
                     self.metrics.add_control(Counter::Predictions, 1);
@@ -774,6 +827,36 @@ mod tests {
             0,
             "rollback events belong to the scheduler, not the manager"
         );
+    }
+
+    #[test]
+    fn lineage_declarations_chain_cascades_to_their_root() {
+        let tracer = Tracer::enabled(1);
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_tracer(tracer.clone());
+        // v1 fresh → fails → v2 promoted → fails → v3 promoted.
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        m.on_basis(2);
+        m.on_check_result(1, CheckResult::fail(0.9), Some(("v2", 2)));
+        m.on_basis(3);
+        m.on_check_result(2, CheckResult::fail(0.9), Some(("v3", 3)));
+        // A fresh line after the cascade dies.
+        m.on_basis(4);
+        m.on_check_result(3, CheckResult::fail(0.9), None);
+        m.on_basis(5);
+
+        assert_eq!(m.lineage_of(1), Some((1, 0)), "fresh line is self-rooted");
+        assert_eq!(m.lineage_of(2), Some((1, 1)), "promotion inherits the root");
+        assert_eq!(m.lineage_of(3), Some((1, 2)), "cascade deepens");
+        assert_eq!(m.lineage_of(4), Some((4, 0)), "restart opens a new root");
+        assert_eq!(m.lineage_roots(), 2);
+
+        let log = tracer.drain().expect("enabled tracer drains");
+        assert_eq!(log.count("lineage-open"), 4, "one declaration per version");
+        let lineage = log.lineage();
+        let v3 = lineage.lineage_of(3).expect("v3 joins");
+        assert_eq!((v3.root, v3.parent, v3.depth), (1, Some(2), 2));
     }
 
     #[test]

@@ -277,6 +277,12 @@ impl FaultInjector {
         self.inner.is_some()
     }
 
+    /// The plan's seed, if this handle carries a plan. Post-mortem
+    /// bundles record it so a crashed run can be replayed bit-exactly.
+    pub fn seed(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.plan.seed)
+    }
+
     /// One injection opportunity at `site`. Returns the fault to act out,
     /// or `None` (the overwhelmingly common case). The outcome is a pure
     /// function of `(seed, site, occurrence-at-site)`.

@@ -94,11 +94,24 @@ pub enum Counter {
     SdcResolved,
     /// Total µs the executors slept in jittered retry backoff.
     RetryBackoffUs,
+    /// Profiler: µs spent running primary/replica task bodies.
+    TimeRunUs,
+    /// Profiler: µs spent acquiring work (dispatch scans + steal probes).
+    TimeStealUs,
+    /// Profiler: µs spent parked waiting for work or completions.
+    TimeParkUs,
+    /// Profiler: µs spent running tolerance-check task bodies.
+    TimeCheckUs,
+    /// Profiler: µs spent inside the commit path (scheduler/commit lock).
+    TimeCommitUs,
+    /// Profiler: µs the router thread spent draining or waiting on the
+    /// commit ring.
+    TimeRouterWaitUs,
 }
 
 impl Counter {
     /// Every counter, in stable exposition order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 28] = [
         Counter::LaneDispatch,
         Counter::Steal,
         Counter::TasksDelivered,
@@ -121,6 +134,12 @@ impl Counter {
         Counter::SdcDetected,
         Counter::SdcResolved,
         Counter::RetryBackoffUs,
+        Counter::TimeRunUs,
+        Counter::TimeStealUs,
+        Counter::TimeParkUs,
+        Counter::TimeCheckUs,
+        Counter::TimeCommitUs,
+        Counter::TimeRouterWaitUs,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -148,6 +167,12 @@ impl Counter {
             Counter::SdcDetected => "sdc_detected",
             Counter::SdcResolved => "sdc_resolved",
             Counter::RetryBackoffUs => "retry_backoff_us",
+            Counter::TimeRunUs => "time_run_us",
+            Counter::TimeStealUs => "time_steal_us",
+            Counter::TimeParkUs => "time_park_us",
+            Counter::TimeCheckUs => "time_check_us",
+            Counter::TimeCommitUs => "time_commit_us",
+            Counter::TimeRouterWaitUs => "time_router_wait_us",
         }
     }
 }
@@ -173,17 +198,23 @@ pub enum Gauge {
     /// corruptions injected at the task-output fault site`); 1000 when
     /// nothing was injected yet.
     SdcRecallPermille,
+    /// Distinct speculation lineage roots opened so far.
+    LineageRoots,
+    /// Deepest lineage cascade depth opened so far (monotonic max).
+    LineageDepthMax,
 }
 
 impl Gauge {
     /// Every gauge, in stable exposition order.
-    pub const ALL: [Gauge; 6] = [
+    pub const ALL: [Gauge; 8] = [
         Gauge::BreakerState,
         Gauge::RingOccupancy,
         Gauge::AllocHeap,
         Gauge::AllocReuse,
         Gauge::CascadeMax,
         Gauge::SdcRecallPermille,
+        Gauge::LineageRoots,
+        Gauge::LineageDepthMax,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -195,6 +226,8 @@ impl Gauge {
             Gauge::AllocReuse => "alloc_reuse",
             Gauge::CascadeMax => "cascade_max",
             Gauge::SdcRecallPermille => "sdc_recall_permille",
+            Gauge::LineageRoots => "lineage_roots",
+            Gauge::LineageDepthMax => "lineage_depth_max",
         }
     }
 }
@@ -211,14 +244,20 @@ pub enum Hist {
     BlockServiceUs,
     /// Commit-ring occupancy sampled at each router drain.
     RingOccupancy,
+    /// Profiler: length of each uninterrupted worker run slice, µs.
+    RunSliceUs,
+    /// Profiler: length of each worker idle (steal-scan + park) slice, µs.
+    IdleSliceUs,
 }
 
 impl Hist {
     /// Every histogram, in stable exposition order.
-    pub const ALL: [Hist; 3] = [
+    pub const ALL: [Hist; 5] = [
         Hist::CheckLatencyUs,
         Hist::BlockServiceUs,
         Hist::RingOccupancy,
+        Hist::RunSliceUs,
+        Hist::IdleSliceUs,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -227,6 +266,8 @@ impl Hist {
             Hist::CheckLatencyUs => "check_latency_us",
             Hist::BlockServiceUs => "block_service_us",
             Hist::RingOccupancy => "ring_occupancy",
+            Hist::RunSliceUs => "run_slice_us",
+            Hist::IdleSliceUs => "idle_slice_us",
         }
     }
 }

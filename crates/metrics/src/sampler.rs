@@ -46,11 +46,18 @@ impl Sampler {
             .spawn(move || {
                 loop {
                     {
-                        // Park until the next tick or a stop request.
+                        // Park until the next tick or a stop request. The
+                        // flag is checked *before* waiting as well: a stop
+                        // signalled before the thread first parks would
+                        // otherwise be a lost wakeup, leaving the final
+                        // flush waiting out the whole tick.
                         let guard = match inner.stop.lock() {
                             Ok(g) => g,
                             Err(p) => p.into_inner(),
                         };
+                        if *guard {
+                            break;
+                        }
                         let (guard, _timeout) = match inner.cv.wait_timeout(guard, tick) {
                             Ok(r) => r,
                             Err(p) => p.into_inner(),
@@ -144,6 +151,48 @@ mod tests {
             "stop must not wait out the tick"
         );
         assert_eq!(rx.try_iter().count(), 1, "exactly the final snapshot");
+    }
+
+    #[test]
+    fn final_flush_sees_writes_made_right_before_stop() {
+        // Race coverage: a counter bumped immediately before stop() must
+        // land in the final flushed snapshot — stop() signals, the thread
+        // exits its park loop, and the post-loop snapshot runs *after*
+        // the signal, so the write is always visible.
+        for _ in 0..32 {
+            let hub = MetricsHub::enabled(1);
+            let (tx, rx) = mpsc::channel();
+            let sampler = Sampler::spawn(hub.clone(), Duration::from_secs(3600), move |s| {
+                let _ = tx.send(s);
+            });
+            hub.add(0, Counter::Commits, 1);
+            hub.add_control(Counter::Rollbacks, 2);
+            sampler.stop();
+            let snaps: Vec<_> = rx.try_iter().collect();
+            let last = snaps.last().expect("final snapshot must flush");
+            assert_eq!(last.counter(Counter::Commits).total, 1);
+            assert_eq!(last.counter(Counter::Rollbacks).total, 2);
+        }
+    }
+
+    #[test]
+    fn drop_also_flushes_exactly_once() {
+        let hub = MetricsHub::enabled(1);
+        hub.add(0, Counter::Commits, 9);
+        let (tx, rx) = mpsc::channel();
+        {
+            let _sampler = Sampler::spawn(hub, Duration::from_secs(3600), move |s| {
+                let _ = tx.send(s);
+            });
+            // Dropped without stop(): Drop signals, joins, flushes.
+        }
+        let snaps: Vec<_> = rx.try_iter().collect();
+        assert_eq!(
+            snaps.len(),
+            1,
+            "drop path flushes exactly the final snapshot"
+        );
+        assert_eq!(snaps[0].counter(Counter::Commits).total, 9);
     }
 
     #[test]

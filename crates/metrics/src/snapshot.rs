@@ -10,6 +10,27 @@
 use crate::json::{self, Value};
 use crate::{Counter, Gauge, Hist};
 
+/// Version stamped into the `"schema"` field of every JSONL snapshot
+/// line. Bump when the line shape changes incompatibly; readers treat a
+/// missing field as version 1 (the pre-stamp format) and ignore unknown
+/// versions' extra fields thanks to the lenient parser.
+pub const JSONL_SCHEMA_VERSION: u64 = 2;
+
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+pub fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A counter's running total plus its delta since the previous snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CounterWindow {
@@ -142,6 +163,8 @@ impl MetricsSnapshot {
     pub fn to_json_line(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
+        push_kv(&mut s, "schema", &JSONL_SCHEMA_VERSION.to_string());
+        s.push(',');
         push_kv(&mut s, "tick", &self.tick.to_string());
         s.push(',');
         push_kv(&mut s, "t_us", &self.t_us.to_string());
@@ -285,6 +308,11 @@ impl MetricsSnapshot {
     /// gauges, and `tvs_<hist>` histograms with cumulative `le` buckets.
     pub fn to_prometheus(&self) -> String {
         let mut s = String::with_capacity(2048);
+        s.push_str("# TYPE tvs_run_info gauge\n");
+        s.push_str(&format!(
+            "tvs_run_info{{label=\"{}\"}} 1\n",
+            prom_escape(&self.label)
+        ));
         for c in Counter::ALL {
             if c == Counter::LaneDispatch || c == Counter::Steal {
                 continue; // exposed per-lane below
@@ -422,6 +450,70 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn jsonl_carries_schema_version() {
+        let line = sample().to_json_line();
+        assert!(
+            line.starts_with(&format!("{{\"schema\":{JSONL_SCHEMA_VERSION},")),
+            "schema stamp must lead the line: {line}"
+        );
+        // Pre-stamp (version 1) lines still parse.
+        let v1 =
+            r#"{"tick":1,"t_us":5,"label":"x","workers":1,"counters":{},"gauges":{},"hists":{}}"#;
+        assert!(MetricsSnapshot::from_json_line(v1).is_some());
+    }
+
+    #[test]
+    fn waste_ratio_is_zero_not_nan_when_idle() {
+        let h = MetricsHub::enabled(1);
+        let snap = h.snapshot().unwrap();
+        let r = snap.waste_ratio();
+        assert!(!r.is_nan(), "idle snapshot must not yield NaN");
+        assert_eq!(r, 0.0);
+        assert!(snap.to_prometheus().contains("tvs_waste_ratio 0\n"));
+    }
+
+    #[test]
+    fn awkward_labels_escape_and_round_trip() {
+        let label = "pol\"icy\\w\nnewline";
+        let h = MetricsHub::enabled(1);
+        h.set_label(label);
+        let snap = h.snapshot().unwrap();
+        // JSONL: the writer escapes, the parser restores.
+        let back = MetricsSnapshot::from_json_line(&snap.to_json_line()).expect("parse");
+        assert_eq!(back.label, label);
+        // Prometheus: label values escape backslash, quote and newline,
+        // and every exposition line stays a single line.
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains(r#"tvs_run_info{label="pol\"icy\\w\nnewline"} 1"#),
+            "escaped run label missing from exposition:\n{text}"
+        );
+        for line in text.lines() {
+            let unescaped = line.matches('"').count() - line.matches("\\\"").count();
+            assert!(unescaped % 2 == 0, "unbalanced quoting in {line:?}");
+        }
+    }
+
+    #[test]
+    fn counter_window_delta_survives_u64_wraparound() {
+        let h = MetricsHub::enabled(1);
+        h.add(0, Counter::BusyUs, u64::MAX - 5);
+        let first = h.snapshot().unwrap().counter(Counter::BusyUs);
+        assert_eq!(first.total, u64::MAX - 5);
+        // The atomic wraps: (MAX - 5) + 10 ≡ 4 (mod 2⁶⁴).
+        h.add(0, Counter::BusyUs, 10);
+        let second = h.snapshot().unwrap().counter(Counter::BusyUs);
+        assert_eq!(second.total, 4);
+        // total < baseline: the delta clamps to 0 instead of exploding
+        // to ~2⁶⁴ or panicking.
+        assert_eq!(second.delta, 0);
+        // The window after the wrap is sane again.
+        h.add(0, Counter::BusyUs, 7);
+        let third = h.snapshot().unwrap().counter(Counter::BusyUs);
+        assert_eq!(third.delta, 7);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!
 //! [`runner`] wires workloads to the discrete-event or threaded executor
 //! with I/O arrival models and platform models; [`report`] renders the
-//! series the paper's figures plot.
+//! series the paper's figures plot; [`postmortem`] dumps and reloads
+//! crash bundles (trace rings + lineage table + metrics snapshots) when
+//! a chaos run dies.
 //!
 //! ```
 //! use tvs_pipelines::config::HuffmanConfig;
@@ -54,6 +56,7 @@ pub mod cost;
 pub mod filter;
 pub mod huffman;
 pub mod kmeans;
+pub mod postmortem;
 pub mod report;
 pub mod runner;
 

@@ -219,7 +219,23 @@ pub fn run_huffman_sim_chaos(
         policy: cfg.policy,
         trace: false,
     };
-    let rep = try_run_chaos(wl, &sim, &HuffmanCost, blocks, tracer.clone(), chaos)?;
+    let rep = match try_run_chaos(wl, &sim, &HuffmanCost, blocks, tracer.clone(), chaos) {
+        Ok(rep) => rep,
+        Err(e) => {
+            // Crash hook: dump the flight-recorder state before the
+            // structured error propagates (see `postmortem`).
+            if let Some(log) = tracer.drain() {
+                crate::postmortem::capture(
+                    crate::postmortem::Trigger::RunError,
+                    chaos.faults.seed().unwrap_or(0),
+                    cfg.policy.label(),
+                    &log,
+                    Some(e.to_string()),
+                );
+            }
+            return Err(e);
+        }
+    };
     let log = tracer.drain().expect("enabled tracer drains");
     Ok((
         RunOutcome {
@@ -354,7 +370,23 @@ pub fn run_huffman_threaded_chaos(
 ) -> Result<(RunOutcome, TraceLog), RunError> {
     let tracer = Tracer::enabled(tcfg.workers);
     tracer.set_label(cfg.policy.label());
-    let outcome = try_threaded_impl(data, cfg, tcfg, arrival, time_scale, tracer.clone())?;
+    let outcome = match try_threaded_impl(data, cfg, tcfg, arrival, time_scale, tracer.clone()) {
+        Ok(out) => out,
+        Err(e) => {
+            // Crash hook: dump the flight-recorder state before the
+            // structured error propagates (see `postmortem`).
+            if let Some(log) = tracer.drain() {
+                crate::postmortem::capture(
+                    crate::postmortem::Trigger::RunError,
+                    tcfg.faults.seed().unwrap_or(0),
+                    cfg.policy.label(),
+                    &log,
+                    Some(e.to_string()),
+                );
+            }
+            return Err(e);
+        }
+    };
     let log = tracer.drain().expect("enabled tracer drains");
     Ok((outcome, log))
 }

@@ -24,13 +24,13 @@
 use crate::fault::{self, RunError};
 use crate::metrics::RunMetrics;
 use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
-use crate::task::{Payload, SpecVersion, TaskId, TaskSpec, Time};
+use crate::task::{Payload, SpecVersion, TaskClass, TaskId, TaskSpec, Time};
 use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
-use tvs_metrics::{Counter, MetricsHub};
+use tvs_metrics::{Counter, Hist, MetricsHub};
 use tvs_trace::{EventKind, Tracer};
 
 pub use super::threaded::ThreadedConfig;
@@ -288,186 +288,213 @@ where
             let shared = Arc::clone(&shared);
             let tracer = tracer.clone();
             let hub = hub.clone();
-            std::thread::spawn(move || loop {
-                let mut inner = fault::lock_recover(&shared.inner);
-                if let Some(mut work) = inner.sched.dispatch() {
-                    drop(inner);
-                    hub.add(me, Counter::LaneDispatch, 1);
-                    if tracer.is_enabled() {
-                        tracer.emit(
-                            me,
-                            EventKind::Dispatch {
-                                id: work.id,
-                                name: work.name,
-                                class: work.class.trace_tag(),
-                                version: work.version,
-                                lane: me as u32,
-                            },
-                        );
-                        tracer.emit(
-                            me,
-                            EventKind::TaskStart {
-                                id: work.id,
-                                name: work.name,
-                                version: work.version,
-                            },
-                        );
-                    }
-                    let started = shared.now();
-                    // Panic-isolated body: catch, report, retry in place
-                    // (non-speculative only) with bounded backoff.
-                    let mut attempt = 0u32;
-                    let outcome = loop {
-                        match run_attempt(&shared.faults, &mut work) {
-                            Ok(out) => break Ok(out),
-                            Err(_) => {
-                                shared.fault_count.fetch_add(1, Ordering::Relaxed);
-                                hub.add(me, Counter::Faults, 1);
-                                if tracer.is_enabled() {
-                                    tracer.emit(
-                                        me,
-                                        EventKind::TaskFault {
-                                            id: work.id,
-                                            name: work.name,
-                                            version: work.version,
-                                            attempt,
-                                        },
-                                    );
-                                }
-                                if work.version.is_some()
-                                    || attempt + 1 >= retry.max_attempts.max(1)
-                                {
-                                    break Err(attempt);
-                                }
-                                attempt += 1;
-                                shared.retries.fetch_add(1, Ordering::Relaxed);
-                                hub.add(me, Counter::Retries, 1);
-                                // Jittered per-task backoff: correlated
-                                // faults must not wake in lockstep.
-                                let wait = retry.backoff_jittered_us(attempt, work.id);
-                                hub.add(me, Counter::RetryBackoffUs, wait);
-                                std::thread::sleep(Duration::from_micros(wait));
-                            }
-                        }
-                    };
-                    let finished = shared.now();
-                    let busy = finished.saturating_sub(started);
-                    hub.add(me, Counter::BusyUs, busy);
+            std::thread::spawn(move || {
+                // Profiler state clocks: `mark` is the end of the last
+                // charged interval; time between marks is attributed to
+                // whichever state the worker was in (acquire = steal,
+                // body = run/check, routing under the lock = commit,
+                // condvar nap = park). All stamps reuse `shared.now()`
+                // calls the loop already makes where possible.
+                let mut mark = shared.now();
+                loop {
                     let mut inner = fault::lock_recover(&shared.inner);
-                    inner.busy_us += busy;
-                    inner.sched.charge(work.class, busy);
-                    let output = match outcome {
-                        Ok(output) => output,
-                        Err(attempt) => {
-                            // Reuse the misspeculation path (see the module
-                            // docs): reclaim, notify, abort or fail.
-                            inner.wasted_us += busy;
-                            hub.add(me, Counter::WastedUs, busy);
-                            if let Some(vers) = inner.sched.fault(work.id) {
-                                let Inner {
-                                    sched, workload, ..
-                                } = &mut *inner;
-                                let mut ctx = LockedCtx {
-                                    sched,
-                                    now: finished,
-                                };
-                                workload.on_fault(
-                                    &mut ctx,
-                                    FaultNotice {
-                                        id: work.id,
-                                        name: work.name,
-                                        version: vers,
-                                        attempt,
-                                    },
-                                );
-                                match vers {
-                                    Some(v) => {
-                                        ctx.abort_version(v);
-                                    }
-                                    None => {
-                                        inner.failed.get_or_insert(RunError::TaskFailed {
-                                            name: work.name,
-                                            id: work.id,
-                                            attempts: attempt + 1,
-                                        });
-                                    }
-                                }
-                            }
-                            let done = run_complete(&mut inner, finished);
-                            drop(inner);
-                            shared.cv.notify_all();
-                            if done {
-                                return;
-                            }
-                            continue;
-                        }
-                    };
-                    let duplicate = matches!(
-                        shared.faults.draw(FaultSite::Completion),
-                        Some(FaultKind::DuplicateCompletion)
-                    );
-                    let outcome = inner.sched.try_complete(work.id);
-                    if duplicate {
-                        let _ = inner.sched.try_complete(work.id);
-                    }
-                    if tracer.is_enabled() {
-                        tracer.emit(
-                            me,
-                            EventKind::TaskEnd {
-                                id: work.id,
-                                name: work.name,
-                                version: work.version,
-                                discarded: outcome == Some(CompletionOutcome::Discard),
-                            },
-                        );
-                    }
-                    match outcome {
-                        None => {}
-                        Some(CompletionOutcome::Discard) => {
-                            inner.discarded += 1;
-                            inner.wasted_us += busy;
-                            hub.add(me, Counter::WastedUs, busy);
-                        }
-                        Some(CompletionOutcome::Deliver) => {
-                            inner.delivered += 1;
-                            let Inner {
-                                sched, workload, ..
-                            } = &mut *inner;
-                            workload.on_complete(
-                                &mut LockedCtx {
-                                    sched,
-                                    now: finished,
+                    if let Some(mut work) = inner.sched.dispatch() {
+                        drop(inner);
+                        hub.add(me, Counter::LaneDispatch, 1);
+                        if tracer.is_enabled() {
+                            tracer.emit(
+                                me,
+                                EventKind::Dispatch {
+                                    id: work.id,
+                                    name: work.name,
+                                    class: work.class.trace_tag(),
+                                    version: work.version,
+                                    lane: me as u32,
                                 },
-                                Completion {
+                            );
+                            tracer.emit(
+                                me,
+                                EventKind::TaskStart {
                                     id: work.id,
                                     name: work.name,
                                     version: work.version,
-                                    tag: work.tag,
-                                    started,
-                                    finished,
-                                    output,
                                 },
                             );
                         }
-                    }
-                    let done = run_complete(&mut inner, finished);
-                    drop(inner);
-                    shared.cv.notify_all();
-                    if done {
-                        return;
-                    }
-                } else {
-                    if run_complete(&mut inner, shared.now()) {
+                        let started = shared.now();
+                        hub.add(me, Counter::TimeStealUs, started.saturating_sub(mark));
+                        // Panic-isolated body: catch, report, retry in place
+                        // (non-speculative only) with bounded backoff.
+                        let mut attempt = 0u32;
+                        let outcome = loop {
+                            match run_attempt(&shared.faults, &mut work) {
+                                Ok(out) => break Ok(out),
+                                Err(_) => {
+                                    shared.fault_count.fetch_add(1, Ordering::Relaxed);
+                                    hub.add(me, Counter::Faults, 1);
+                                    if tracer.is_enabled() {
+                                        tracer.emit(
+                                            me,
+                                            EventKind::TaskFault {
+                                                id: work.id,
+                                                name: work.name,
+                                                version: work.version,
+                                                attempt,
+                                            },
+                                        );
+                                    }
+                                    if work.version.is_some()
+                                        || attempt + 1 >= retry.max_attempts.max(1)
+                                    {
+                                        break Err(attempt);
+                                    }
+                                    attempt += 1;
+                                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                                    hub.add(me, Counter::Retries, 1);
+                                    // Jittered per-task backoff: correlated
+                                    // faults must not wake in lockstep.
+                                    let wait = retry.backoff_jittered_us(attempt, work.id);
+                                    hub.add(me, Counter::RetryBackoffUs, wait);
+                                    std::thread::sleep(Duration::from_micros(wait));
+                                }
+                            }
+                        };
+                        let finished = shared.now();
+                        let busy = finished.saturating_sub(started);
+                        hub.add(me, Counter::BusyUs, busy);
+                        let clock = if work.class == TaskClass::Check {
+                            Counter::TimeCheckUs
+                        } else {
+                            Counter::TimeRunUs
+                        };
+                        hub.add(me, clock, busy);
+                        hub.record(Hist::RunSliceUs, busy);
+                        let mut inner = fault::lock_recover(&shared.inner);
+                        inner.busy_us += busy;
+                        inner.sched.charge(work.class, busy);
+                        let output = match outcome {
+                            Ok(output) => output,
+                            Err(attempt) => {
+                                // Reuse the misspeculation path (see the module
+                                // docs): reclaim, notify, abort or fail.
+                                inner.wasted_us += busy;
+                                hub.add(me, Counter::WastedUs, busy);
+                                if let Some(vers) = inner.sched.fault(work.id) {
+                                    let Inner {
+                                        sched, workload, ..
+                                    } = &mut *inner;
+                                    let mut ctx = LockedCtx {
+                                        sched,
+                                        now: finished,
+                                    };
+                                    workload.on_fault(
+                                        &mut ctx,
+                                        FaultNotice {
+                                            id: work.id,
+                                            name: work.name,
+                                            version: vers,
+                                            attempt,
+                                        },
+                                    );
+                                    match vers {
+                                        Some(v) => {
+                                            ctx.abort_version(v);
+                                        }
+                                        None => {
+                                            inner.failed.get_or_insert(RunError::TaskFailed {
+                                                name: work.name,
+                                                id: work.id,
+                                                attempts: attempt + 1,
+                                            });
+                                        }
+                                    }
+                                }
+                                let done = run_complete(&mut inner, finished);
+                                drop(inner);
+                                mark = shared.now();
+                                hub.add(me, Counter::TimeCommitUs, mark.saturating_sub(finished));
+                                shared.cv.notify_all();
+                                if done {
+                                    return;
+                                }
+                                continue;
+                            }
+                        };
+                        let duplicate = matches!(
+                            shared.faults.draw(FaultSite::Completion),
+                            Some(FaultKind::DuplicateCompletion)
+                        );
+                        let outcome = inner.sched.try_complete(work.id);
+                        if duplicate {
+                            let _ = inner.sched.try_complete(work.id);
+                        }
+                        if tracer.is_enabled() {
+                            tracer.emit(
+                                me,
+                                EventKind::TaskEnd {
+                                    id: work.id,
+                                    name: work.name,
+                                    version: work.version,
+                                    discarded: outcome == Some(CompletionOutcome::Discard),
+                                },
+                            );
+                        }
+                        match outcome {
+                            None => {}
+                            Some(CompletionOutcome::Discard) => {
+                                inner.discarded += 1;
+                                inner.wasted_us += busy;
+                                hub.add(me, Counter::WastedUs, busy);
+                            }
+                            Some(CompletionOutcome::Deliver) => {
+                                inner.delivered += 1;
+                                let Inner {
+                                    sched, workload, ..
+                                } = &mut *inner;
+                                workload.on_complete(
+                                    &mut LockedCtx {
+                                        sched,
+                                        now: finished,
+                                    },
+                                    Completion {
+                                        id: work.id,
+                                        name: work.name,
+                                        version: work.version,
+                                        tag: work.tag,
+                                        started,
+                                        finished,
+                                        output,
+                                    },
+                                );
+                            }
+                        }
+                        let done = run_complete(&mut inner, finished);
                         drop(inner);
+                        mark = shared.now();
+                        hub.add(me, Counter::TimeCommitUs, mark.saturating_sub(finished));
                         shared.cv.notify_all();
-                        return;
+                        if done {
+                            return;
+                        }
+                    } else {
+                        if run_complete(&mut inner, shared.now()) {
+                            drop(inner);
+                            shared.cv.notify_all();
+                            return;
+                        }
+                        // Re-check periodically: completion conditions can
+                        // change without a notify in rare shutdown races.
+                        let napped = shared.now();
+                        hub.add(me, Counter::TimeStealUs, napped.saturating_sub(mark));
+                        let _ = shared
+                            .cv
+                            .wait_timeout(inner, Duration::from_millis(5))
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        mark = shared.now();
+                        let idle = mark.saturating_sub(napped);
+                        hub.add(me, Counter::TimeParkUs, idle);
+                        hub.record(Hist::IdleSliceUs, idle);
                     }
-                    // Re-check periodically: completion conditions can
-                    // change without a notify in rare shutdown races.
-                    let _ = shared
-                        .cv
-                        .wait_timeout(inner, Duration::from_millis(5))
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             })
         })

@@ -34,13 +34,13 @@ use crate::metrics::{RunMetrics, SimReport, TaskTrace};
 use crate::platform::{CostModel, Platform};
 use crate::policy::DispatchPolicy;
 use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
-use crate::task::{Payload, SpecVersion, TaskCtx, TaskId, TaskSpec, Time};
+use crate::task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Time};
 use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
-use tvs_metrics::{Counter, MetricsHub};
+use tvs_metrics::{Counter, Hist, MetricsHub};
 use tvs_trace::{EventKind, Tracer};
 
 /// Configuration of a simulation run.
@@ -329,6 +329,16 @@ pub fn try_run_metered<W: Workload>(
                 let busy = end - start;
                 metrics.busy_us += busy;
                 hub.add(worker, Counter::BusyUs, busy);
+                // Profiler state clocks, in virtual time. The simulator
+                // has no steal scans or parks — a virtual worker is either
+                // occupied or idle — so only the run/check clocks tick.
+                let clock = if work.class == TaskClass::Check {
+                    Counter::TimeCheckUs
+                } else {
+                    Counter::TimeRunUs
+                };
+                hub.add(worker, clock, busy);
+                hub.record(Hist::RunSliceUs, busy);
                 let pre_aborted = work.version.map(|v| sched.is_aborted(v)).unwrap_or(false);
                 if tracer.is_enabled() {
                     tracer.emit_at(

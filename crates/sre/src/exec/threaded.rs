@@ -616,6 +616,14 @@ where
                 .spawn(move || {
                     let _ = fabric.parkers[me].handle.set(std::thread::current());
                     let mut spins = 0u32;
+                    // Time-accounting profiler: `mark` is the end of the
+                    // last charged interval. Work-acquisition time (lane
+                    // pops, steal scans, spin-yields, re-validation) is
+                    // charged at the next grab, body time at task end and
+                    // park time around the futex nap — each boundary
+                    // reuses a stamp the loop already takes, so the only
+                    // extra cost is one counter add per interval.
+                    let mut mark = fabric.now();
                     loop {
                         match fabric.grab(me) {
                             Some((ready, stolen_from)) => {
@@ -643,6 +651,12 @@ where
                                     ready.epoch != fabric.abort_epoch.load(Ordering::SeqCst);
                                 if stale && work.version.is_some() && work.ctx.aborted() {
                                     let now = fabric.now();
+                                    fabric.hub.add(
+                                        me,
+                                        Counter::TimeStealUs,
+                                        now.saturating_sub(mark),
+                                    );
+                                    mark = now;
                                     let cancelled = Finished {
                                         id: work.id,
                                         name: work.name,
@@ -670,6 +684,11 @@ where
                                     );
                                 }
                                 let started = fabric.now();
+                                fabric.hub.add(
+                                    me,
+                                    Counter::TimeStealUs,
+                                    started.saturating_sub(mark),
+                                );
                                 if fabric.watchdog_enabled {
                                     *fault::lock_recover(&fabric.watch[me]) = Some(WatchSlot {
                                         id: work.id,
@@ -722,6 +741,15 @@ where
                                     *fault::lock_recover(&fabric.watch[me]) = None;
                                 }
                                 let finished = fabric.now();
+                                let slice = finished.saturating_sub(started);
+                                let clock = if work.class == TaskClass::Check {
+                                    Counter::TimeCheckUs
+                                } else {
+                                    Counter::TimeRunUs
+                                };
+                                fabric.hub.add(me, clock, slice);
+                                fabric.hub.record(Hist::RunSliceUs, slice);
+                                mark = finished;
                                 if traced {
                                     if let BodyResult::Ran(_) = body {
                                         fabric.tracer.emit(
@@ -789,7 +817,17 @@ where
                                     if traced {
                                         fabric.tracer.emit(me, EventKind::Park);
                                     }
+                                    let napped = fabric.now();
+                                    fabric.hub.add(
+                                        me,
+                                        Counter::TimeStealUs,
+                                        napped.saturating_sub(mark),
+                                    );
                                     std::thread::park_timeout(Duration::from_millis(100));
+                                    mark = fabric.now();
+                                    let idle = mark.saturating_sub(napped);
+                                    fabric.hub.add(me, Counter::TimeParkUs, idle);
+                                    fabric.hub.record(Hist::IdleSliceUs, idle);
                                     if traced {
                                         fabric.tracer.emit(me, EventKind::Unpark);
                                     }
@@ -911,7 +949,13 @@ where
                             std::thread::yield_now();
                             continue;
                         }
-                        match ring.pop_wait(Duration::from_millis(100)) {
+                        let waited_from = fabric.now();
+                        let outcome = ring.pop_wait(Duration::from_millis(100));
+                        fabric.hub.add_control(
+                            Counter::TimeRouterWaitUs,
+                            fabric.now().saturating_sub(waited_from),
+                        );
+                        match outcome {
                             PopOutcome::Item(f) => batch.push(f),
                             PopOutcome::Disconnected => {
                                 ring.close();
@@ -928,6 +972,7 @@ where
                         fabric.hub.gauge_set(Gauge::RingOccupancy, occ);
                         fabric.hub.record(Hist::RingOccupancy, occ);
                     }
+                    let route_from = fabric.now();
                     let mut guard = fault::lock_recover(&commit);
                     let inner = &mut *guard;
                     for f in batch.drain(..) {
@@ -1050,6 +1095,12 @@ where
                     let pushed = pump(&fabric, inner);
                     let done = run_complete(inner, fabric.now());
                     drop(guard);
+                    // Commit-path time: the whole routed batch under one
+                    // lock acquisition (one add per batch, not per task).
+                    fabric.hub.add_control(
+                        Counter::TimeCommitUs,
+                        fabric.now().saturating_sub(route_from),
+                    );
                     if done {
                         fabric.done.store(true, Ordering::SeqCst);
                         // Close the ring so a worker spinning on a full ring

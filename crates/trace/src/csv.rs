@@ -80,7 +80,8 @@ impl TraceLog {
     /// Columns: `seq,worker,wall_us,virt_us,event,id,name,class,version,aux,aux2`
     /// where `aux`/`aux2` carry the event-specific payload — `lane` for
     /// dispatch, `victim` for steal, `discarded` for task-end, `basis` for
-    /// predictor-fire/version-open, `margin` for checks, `cascade_depth`
+    /// predictor-fire/version-open, `root`/`depth` for lineage-open (whose
+    /// `id` column carries the parent version), `margin` for checks, `cascade_depth`
     /// for rollback, `entries` for undo-replay, `attempt` for task-fault,
     /// `ran_us` for watchdog-cancel, `failures`/`commits` for breaker-trip,
     /// `successes` for breaker-recover and the primary task id (`of`) for
@@ -141,6 +142,22 @@ impl TraceLog {
                     version.to_string(),
                     String::new(),
                     String::new(),
+                ),
+                EventKind::LineageOpen {
+                    version,
+                    root,
+                    parent,
+                    depth,
+                } => (
+                    // The `id` column carries the parent version (0 =
+                    // none): root and depth take aux/aux2, and three
+                    // payload slots is all this schema has.
+                    parent.to_string(),
+                    String::new(),
+                    String::new(),
+                    version.to_string(),
+                    root.to_string(),
+                    depth.to_string(),
                 ),
                 EventKind::PredictorFire { version, basis }
                 | EventKind::VersionOpen { version, basis } => (

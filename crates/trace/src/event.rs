@@ -102,6 +102,25 @@ pub enum EventKind {
         /// Basis event count the value was built from.
         basis: u64,
     },
+    /// A version's causal lineage was recorded by the speculation
+    /// manager at allocation time: which root misprediction line it
+    /// belongs to, which version spawned it, and how deep in the cascade
+    /// it sits. Emitted once per version (fresh predictions are their own
+    /// root at depth 0; candidates promoted after a failed check inherit
+    /// the failed version's root at depth + 1), so every later
+    /// version-carrying event joins to its root via the lineage table.
+    LineageOpen {
+        /// The version whose lineage this is.
+        version: u32,
+        /// Root version of the speculation line (equals `version` for a
+        /// fresh, non-cascade prediction).
+        root: u32,
+        /// Version whose failed check spawned this one (0 = none; 0 is
+        /// never issued as a real version).
+        parent: u32,
+        /// Cascade depth below the root (0 for the root itself).
+        depth: u32,
+    },
     /// An intermediate or final check passed.
     CheckPass {
         /// The version under test.
@@ -222,6 +241,7 @@ impl EventKind {
             EventKind::CancelReady { .. } => "cancel-ready",
             EventKind::PredictorFire { .. } => "predictor-fire",
             EventKind::VersionOpen { .. } => "version-open",
+            EventKind::LineageOpen { .. } => "lineage-open",
             EventKind::CheckPass { .. } => "check-pass",
             EventKind::CheckFail { .. } => "check-fail",
             EventKind::Commit { .. } => "commit",
@@ -251,6 +271,7 @@ impl EventKind {
             EventKind::CancelReady { version, .. }
             | EventKind::PredictorFire { version, .. }
             | EventKind::VersionOpen { version, .. }
+            | EventKind::LineageOpen { version, .. }
             | EventKind::CheckPass { version, .. }
             | EventKind::CheckFail { version, .. }
             | EventKind::Commit { version }

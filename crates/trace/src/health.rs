@@ -7,6 +7,7 @@
 //! to completion.
 
 use crate::event::{ClassTag, EventKind, TraceLog};
+use crate::lineage::{LineageCost, LineageTable};
 use std::collections::HashMap;
 
 /// Percentiles of a latency population, µs.
@@ -132,6 +133,14 @@ pub struct SpecHealth {
     pub waste_timeline: Vec<WasteBucket>,
     /// Dispatch-to-completion latency of check-class tasks.
     pub check_latency: LatencyStats,
+    /// Per-lineage cost aggregates: one entry per root misprediction
+    /// line, sorted by root version ascending (see
+    /// [`LineageTable::roots`]). Summing `wasted_us` over these plus
+    /// [`SpecHealth::unattributed_wasted_us`] equals
+    /// [`SpecHealth::wasted_us`].
+    pub lineage: Vec<LineageCost>,
+    /// Wasted µs of discarded tasks that carried no version.
+    pub unattributed_wasted_us: u64,
 }
 
 impl SpecHealth {
@@ -243,7 +252,7 @@ impl TraceLog {
                 EventKind::ReplicaMatch { .. } => h.replica_matches += 1,
                 EventKind::SdcDetected { .. } => h.sdc_detected += 1,
                 EventKind::SdcResolved { .. } => h.sdc_resolved += 1,
-                EventKind::Park | EventKind::Unpark => {}
+                EventKind::Park | EventKind::Unpark | EventKind::LineageOpen { .. } => {}
             }
         }
 
@@ -252,6 +261,9 @@ impl TraceLog {
         h.cascade_hist = hist;
         h.waste_timeline = timeline;
         h.check_latency = LatencyStats::from_samples(check_lat);
+        let lineage = LineageTable::from_log(self);
+        h.unattributed_wasted_us = lineage.unattributed_wasted_us;
+        h.lineage = lineage.roots();
         h
     }
 }
@@ -329,6 +341,73 @@ mod tests {
         let timeline_waste: u64 = h.waste_timeline.iter().map(|b| b.wasted_us).sum();
         assert_eq!(timeline_busy, 150, "every task lands in some bucket");
         assert_eq!(timeline_waste, 50);
+    }
+
+    #[test]
+    fn waste_ratio_is_zero_not_nan_when_nothing_ran() {
+        // busy_us == 0 must yield 0.0, never NaN — downstream comparisons
+        // (`h.waste_ratio() < 0.0` in tvs-report) silently pass on NaN.
+        let h = SpecHealth::default();
+        assert_eq!(h.busy_us, 0);
+        let r = h.waste_ratio();
+        assert!(!r.is_nan(), "waste ratio must never be NaN");
+        assert_eq!(r, 0.0);
+        // Same for an empty log end to end.
+        let r = mk(vec![]).health().waste_ratio();
+        assert!(!r.is_nan());
+        assert_eq!(r, 0.0);
+        // And for the timeline buckets.
+        assert_eq!(WasteBucket::default().ratio(), 0.0);
+    }
+
+    #[test]
+    fn health_carries_per_lineage_costs() {
+        let mut events = vec![ev(
+            0,
+            0,
+            EventKind::LineageOpen {
+                version: 1,
+                root: 1,
+                parent: 0,
+                depth: 0,
+            },
+        )];
+        events.extend(vec![
+            ev(
+                1,
+                5,
+                EventKind::TaskStart {
+                    id: 1,
+                    name: "t",
+                    version: Some(1),
+                },
+            ),
+            ev(
+                2,
+                30,
+                EventKind::TaskEnd {
+                    id: 1,
+                    name: "t",
+                    version: Some(1),
+                    discarded: true,
+                },
+            ),
+            ev(
+                3,
+                30,
+                EventKind::Rollback {
+                    version: 1,
+                    cascade_depth: 2,
+                },
+            ),
+        ]);
+        let h = mk(events).health();
+        assert_eq!(h.lineage.len(), 1);
+        assert_eq!(h.lineage[0].root, 1);
+        assert_eq!(h.lineage[0].wasted_us, 25);
+        assert_eq!(h.lineage[0].rollbacks, 1);
+        let lineage_total: u64 = h.lineage.iter().map(|l| l.wasted_us).sum();
+        assert_eq!(lineage_total + h.unattributed_wasted_us, h.wasted_us);
     }
 
     #[test]

@@ -42,9 +42,11 @@
 pub mod csv;
 pub mod event;
 pub mod health;
+pub mod lineage;
 pub mod perfetto;
 pub mod ring;
 
 pub use event::{ClassTag, EventKind, Timebase, TraceEvent, TraceLog};
 pub use health::{LatencyStats, SpecHealth, WasteBucket};
+pub use lineage::{LineageCost, LineageId, LineageTable, VersionCost};
 pub use ring::{Tracer, DEFAULT_RING_CAPACITY};

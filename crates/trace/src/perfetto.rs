@@ -148,6 +148,16 @@ impl TraceLog {
                         r#"{{"name":"v{version}","cat":"speculation","ph":"b","id":{version},"ts":{ts},"pid":1,"tid":{tid},"args":{{"basis":{basis}}}}}"#
                     ));
                 }
+                EventKind::LineageOpen {
+                    version,
+                    root,
+                    parent,
+                    depth,
+                } => {
+                    rows.push(format!(
+                        r#"{{"name":"lineage-open","cat":"speculation","ph":"n","id":{version},"ts":{ts},"pid":1,"tid":{tid},"args":{{"root":{root},"parent":{parent},"depth":{depth}}}}}"#
+                    ));
+                }
                 EventKind::Commit { version } => {
                     rows.push(format!(
                         r#"{{"name":"v{version}","cat":"speculation","ph":"e","id":{version},"ts":{ts},"pid":1,"tid":{tid},"args":{{"outcome":"commit"}}}}"#

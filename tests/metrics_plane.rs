@@ -176,6 +176,49 @@ fn threaded_run_metrics_is_a_registry_view() {
 }
 
 #[test]
+fn profiler_clocks_and_lineage_gauges_populate() {
+    // Flight recorder: the worker time-accounting clocks and the
+    // manager's lineage gauges feed the same registry on both executors.
+    // Body time is charged to exactly one of the run/check clocks, so
+    // together they must equal the busy total the executors already
+    // report — a cheap conservation invariant over the new counters.
+    let d = data();
+    let hub = MetricsHub::enabled(4);
+    let _ = run_huffman_threaded_metered(
+        &d,
+        &cfg(DispatchPolicy::Aggressive),
+        4,
+        &arrival(),
+        1000,
+        hub.clone(),
+    );
+    assert!(hub.counter_total(Counter::TimeRunUs) > 0, "run clock ticks");
+    assert_eq!(
+        hub.counter_total(Counter::TimeRunUs) + hub.counter_total(Counter::TimeCheckUs),
+        hub.counter_total(Counter::BusyUs),
+        "threaded: body time lands in exactly one state clock"
+    );
+
+    let hub2 = MetricsHub::enabled(8);
+    let _ = run_huffman_sim_metered(
+        &d,
+        &cfg(DispatchPolicy::Aggressive),
+        &x86_smp(8),
+        &arrival(),
+        hub2.clone(),
+    );
+    assert_eq!(
+        hub2.counter_total(Counter::TimeRunUs) + hub2.counter_total(Counter::TimeCheckUs),
+        hub2.counter_total(Counter::BusyUs),
+        "sim: body time lands in exactly one state clock"
+    );
+    assert!(
+        hub2.gauge_get(Gauge::LineageRoots) > 0,
+        "a speculative run opens at least one lineage root"
+    );
+}
+
+#[test]
 fn snapshot_jsonl_round_trips_and_prometheus_exposes_totals() {
     let d = data();
     let hub = MetricsHub::enabled(8);
