@@ -142,6 +142,11 @@ enum Exec {
     /// replication overhead.
     WorkStealingReplicated,
     Baseline,
+    /// The threaded Huffman pipeline without checkpointing — reference
+    /// for the checkpoint-overhead comparison cells.
+    HuffmanPlain,
+    /// The threaded Huffman pipeline snapshotting at the default cadence.
+    HuffmanCheckpointed,
 }
 
 impl Exec {
@@ -152,6 +157,8 @@ impl Exec {
             Exec::WorkStealingMetered => "work_stealing_metered",
             Exec::WorkStealingReplicated => "work_stealing_replicated",
             Exec::Baseline => "baseline",
+            Exec::HuffmanPlain => "huffman_plain",
+            Exec::HuffmanCheckpointed => "huffman_checkpointed",
         }
     }
 }
@@ -207,6 +214,9 @@ fn run_once(exec: Exec, workers: usize, n: usize, spin: Duration, reps: usize) -
                 ),
                 Exec::Baseline => baseline::run(PerBlock { n, seen: 0, spin }, &cfg, inputs),
                 Exec::WorkStealingReplicated => unreachable!("handled above"),
+                Exec::HuffmanPlain | Exec::HuffmanCheckpointed => {
+                    unreachable!("huffman cells are timed in bench_checkpoint_overhead")
+                }
             };
             let el = t.elapsed().as_secs_f64();
             drop(tracer.drain());
@@ -380,6 +390,74 @@ fn bench_replication_overhead(cells: &mut Vec<Cell>) {
     }
 }
 
+/// Checkpoint-overhead cells: the threaded Huffman pipeline snapshotting
+/// at the default cadence vs not at all (the ISSUE's ≤3 % envelope —
+/// enforced strictly by the `checkpoint_overhead` guard test under
+/// `TVS_CHECKPOINT_STRICT=1`).
+fn bench_checkpoint_overhead(cells: &mut Vec<Cell>) {
+    use tvs_core::CheckpointConfig;
+    use tvs_iosim::Uniform;
+    use tvs_pipelines::config::HuffmanConfig;
+    use tvs_pipelines::runner::{run_huffman_threaded, run_huffman_threaded_checkpointed};
+    const REPS: usize = 5;
+    let mut cfg = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
+    cfg.block_bytes = 1024;
+    cfg.reduce_ratio = 4;
+    cfg.offset_fanout = 4;
+    cfg.schedule = tvs_core::SpeculationSchedule::with_step(1);
+    let data = tvs_workloads::generate(tvs_workloads::FileKind::Text, 128 * 1024, 2011);
+    let n = cfg.n_blocks(data.len());
+    let arrival = Uniform {
+        gap_us: 2,
+        start_us: 0,
+    };
+    let dir = std::env::temp_dir().join(format!("tvs-micro-ckpt-{}", std::process::id()));
+    let mut medians = [0.0f64; 2];
+    for (i, exec) in [Exec::HuffmanPlain, Exec::HuffmanCheckpointed]
+        .into_iter()
+        .enumerate()
+    {
+        let mut secs: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let t = Instant::now();
+                if exec == Exec::HuffmanCheckpointed {
+                    let mut c = cfg.clone();
+                    c.checkpoint = Some(CheckpointConfig::at_default_cadence(&dir));
+                    let out = run_huffman_threaded_checkpointed(&data, &c, 4, &arrival, 1000)
+                        .into_outcome();
+                    assert_eq!(out.result.blocks.len(), n);
+                } else {
+                    let out = run_huffman_threaded(&data, &cfg, 4, &arrival, 1000);
+                    assert_eq!(out.result.blocks.len(), n);
+                }
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_s = secs[secs.len() / 2];
+        medians[i] = median_s;
+        println!(
+            "{:<22} {:<6} workers=4   {:>9.3} ms  {:>12.0} blocks/s",
+            exec.label(),
+            "128k",
+            median_s * 1e3,
+            n as f64 / median_s,
+        );
+        cells.push(Cell {
+            exec,
+            body: "128k",
+            workers: 4,
+            tasks: n,
+            median_s,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "checkpoint overhead, default cadence @ 4 workers: {:.2}x",
+        medians[1] / medians[0]
+    );
+}
+
 fn throughput_csv(cells: &[Cell], cores: usize) -> String {
     let mut out = String::from("executor,body,workers,cores,tasks,median_ms,tasks_per_sec\n");
     for c in cells {
@@ -419,6 +497,8 @@ fn main() {
     bench_metrics_overhead(&mut cells);
     println!("== replication overhead ==");
     bench_replication_overhead(&mut cells);
+    println!("== checkpoint overhead ==");
+    bench_checkpoint_overhead(&mut cells);
     std::fs::create_dir_all(&dir).expect("results dir");
     let path = dir.join("runtime_micro_throughput.csv");
     std::fs::write(&path, throughput_csv(&cells, cores)).expect("write csv");

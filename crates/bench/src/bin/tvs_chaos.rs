@@ -20,14 +20,19 @@
 //! Exits non-zero if any invariant is violated.
 
 use tvs_bench::{results_dir, write_trace};
-use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
+use tvs_core::{
+    BreakerConfig, CheckpointConfig, SpeculationSchedule, Tolerance, ValidationMode,
+    VerificationPolicy,
+};
 use tvs_huffman::{decode_exact, CodeTable};
 use tvs_iosim::Uniform;
 use tvs_pipelines::config::HuffmanConfig;
 use tvs_pipelines::postmortem;
 use tvs_pipelines::runner::{
-    run_huffman_sim_chaos, run_huffman_sim_events, run_huffman_sim_sdc, run_huffman_threaded_chaos,
-    run_huffman_threaded_events, run_huffman_threaded_sdc, RunOutcome,
+    resume_huffman_sim, resume_huffman_threaded, run_huffman_sim, run_huffman_sim_chaos,
+    run_huffman_sim_checkpointed, run_huffman_sim_events, run_huffman_sim_sdc,
+    run_huffman_threaded_chaos, run_huffman_threaded_checkpointed, run_huffman_threaded_events,
+    run_huffman_threaded_sdc, CheckpointedRun, RunOutcome,
 };
 use tvs_sre::exec::sim::SimChaos;
 use tvs_sre::exec::threaded::ThreadedConfig;
@@ -270,6 +275,113 @@ fn main() {
         violations += 1;
     } else {
         println!("sdc recall -> {}", recall_path.display());
+    }
+
+    // Kill-and-resume matrix: for every seed, halt a checkpointed run at
+    // each kill block, resume from the snapshot, and require the resumed
+    // stream to be byte-identical to the uninterrupted run — on both
+    // executors. This is the crash-recovery contract: a kill at any
+    // committed prefix loses no bytes and changes no bytes.
+    let resume_cfg = HuffmanConfig {
+        block_bytes: 1024,
+        reduce_ratio: 4,
+        offset_fanout: 4,
+        schedule: SpeculationSchedule::with_step(1),
+        ..cfg()
+    };
+    const KILL_POINTS: [usize; 3] = [8, 24, 48];
+    let mut resume_lines = String::new();
+    println!(
+        "\n== kill-and-resume: {} seeds x {:?} x sim+threaded ==",
+        SEEDS.len(),
+        KILL_POINTS
+    );
+    println!(
+        "{:<6} {:<8} {:<10} {:<30}",
+        "seed", "kill_at", "exec", "prefix/replayed"
+    );
+    for seed in SEEDS {
+        let rd = tvs_workloads::generate(FileKind::Text, 64 * 1024, seed);
+        let n_blocks = resume_cfg.n_blocks(rd.len());
+        let base = run_huffman_sim(&rd, &resume_cfg, &x86_smp(8), &arrival);
+        let base_out = base.result.output.as_ref().expect("output collected");
+        for kill_at in KILL_POINTS {
+            for exec in ["sim", "threaded"] {
+                let dir = std::env::temp_dir().join(format!(
+                    "tvs-chaos-resume-{}-{seed}-{kill_at}-{exec}",
+                    std::process::id()
+                ));
+                let mut kc = resume_cfg.clone();
+                kc.checkpoint = Some(CheckpointConfig {
+                    every_blocks: 4,
+                    dir: dir.clone(),
+                    halt_at_block: Some(kill_at),
+                });
+                let halted = if exec == "sim" {
+                    run_huffman_sim_checkpointed(&rd, &kc, &x86_smp(8), &arrival)
+                } else {
+                    run_huffman_threaded_checkpointed(&rd, &kc, WORKERS, &arrival, 1000)
+                };
+                let snap = match halted {
+                    CheckpointedRun::Halted(s) => *s,
+                    CheckpointedRun::Completed(_) => {
+                        violations += 1;
+                        println!(
+                            "{seed:<6} {kill_at:<8} {exec:<10} VIOLATION: completed, never halted"
+                        );
+                        continue;
+                    }
+                };
+                if exec == "sim" && seed == SEEDS[0] && kill_at == KILL_POINTS[1] {
+                    // Keep one representative snapshot as a CI artifact;
+                    // the smoke step audits it with
+                    // `tvs-report --resume-audit`.
+                    let keep = results_dir().join("resume_snapshot");
+                    match snap.write_atomic(&keep) {
+                        Ok(p) => println!("snapshot artifact -> {}", p.display()),
+                        Err(e) => {
+                            println!("VIOLATION: could not persist snapshot artifact: {e}");
+                            violations += 1;
+                        }
+                    }
+                }
+                let resumed = if exec == "sim" {
+                    resume_huffman_sim(&snap, &rd, &resume_cfg, &x86_smp(8), &arrival)
+                } else {
+                    resume_huffman_threaded(&snap, &rd, &resume_cfg, WORKERS, &arrival, 1000)
+                };
+                let prefix = snap.prefix as usize;
+                let replayed = n_blocks - prefix;
+                let cell = match resumed {
+                    Ok(out) => {
+                        let ro = out.result.output.as_ref().expect("output collected");
+                        if (&ro.0, ro.1) == (&base_out.0, base_out.1) {
+                            format!("ok ({prefix}/{replayed})")
+                        } else {
+                            violations += 1;
+                            "VIOLATION: resumed stream diverges".into()
+                        }
+                    }
+                    Err(e) => {
+                        violations += 1;
+                        format!("VIOLATION: resume rejected: {e}")
+                    }
+                };
+                let identical = !cell.starts_with("VIOLATION");
+                resume_lines.push_str(&format!(
+                    "{{\"seed\":{seed},\"kill_at\":{kill_at},\"exec\":\"{exec}\",\"prefix\":{prefix},\"replayed\":{replayed},\"identical\":{identical}}}\n"
+                ));
+                println!("{seed:<6} {kill_at:<8} {exec:<10} {cell:<30}");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    let resume_path = results_dir().join("resume_matrix.jsonl");
+    if let Err(e) = std::fs::write(&resume_path, &resume_lines) {
+        println!("VIOLATION: could not write resume matrix artifact: {e}");
+        violations += 1;
+    } else {
+        println!("resume matrix -> {}", resume_path.display());
     }
 
     // Adversarial misprediction: drifting input, zero tolerance, tight

@@ -1,0 +1,359 @@
+//! The graceful degradation ladder.
+//!
+//! The circuit breaker (see [`crate::breaker`]) is binary: speculation is
+//! either allowed or suppressed. Under *sustained* chaos that is too
+//! coarse — a run flapping between full speculation and a tripped breaker
+//! wastes work on doomed cascades, while a run that could tolerate capped
+//! speculation is pushed all the way to the natural path. The ladder adds
+//! the middle rungs: an escalating controller over windowed
+//! speculation-outcome observations and breaker trips that degrades
+//! service level one step at a time and climbs back up only after a
+//! hysteresis period of clean operation.
+//!
+//! Levels, from healthiest to most degraded:
+//!
+//! 1. [`DegradationLevel::Full`] — unrestricted speculation.
+//! 2. [`DegradationLevel::CappedDepth`] — fresh predictions still start,
+//!    but misprediction cascades may not promote candidates deeper than
+//!    [`LadderConfig::depth_cap`].
+//! 3. [`DegradationLevel::NonSpeculative`] — no new predictions or
+//!    promotions; the stream runs on the natural path.
+//! 4. [`DegradationLevel::CheckpointPause`] — as above, plus the hosting
+//!    workload should persist a checkpoint at every committed-prefix
+//!    advance so an operator can stop the run without losing work.
+//!
+//! Transitions *down* happen when a sampling window closes with a failure
+//! ratio at or above [`LadderConfig::trip_ratio`], or immediately when
+//! the circuit breaker trips. Transitions *up* require
+//! [`LadderConfig::up_windows`] *consecutive* clean windows — the
+//! hysteresis that prevents flapping between adjacent levels.
+
+/// Service level of the degradation ladder, healthiest first. The
+/// numeric value is exported as the `degradation_level` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum DegradationLevel {
+    /// Unrestricted speculation.
+    Full = 0,
+    /// Speculation with a capped misprediction-cascade depth.
+    CappedDepth = 1,
+    /// Natural path only: no predictions, no candidate promotions.
+    NonSpeculative = 2,
+    /// Natural path plus checkpoint-eagerly: persist a snapshot at every
+    /// committed-prefix advance so the run can be paused losslessly.
+    CheckpointPause = 3,
+}
+
+impl DegradationLevel {
+    /// All levels, healthiest first.
+    pub const ALL: [DegradationLevel; 4] = [
+        DegradationLevel::Full,
+        DegradationLevel::CappedDepth,
+        DegradationLevel::NonSpeculative,
+        DegradationLevel::CheckpointPause,
+    ];
+
+    /// Numeric gauge value (0 = full … 3 = checkpoint-and-pause).
+    pub fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// One level more degraded (saturating).
+    pub fn down(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::Full => DegradationLevel::CappedDepth,
+            DegradationLevel::CappedDepth => DegradationLevel::NonSpeculative,
+            DegradationLevel::NonSpeculative | DegradationLevel::CheckpointPause => {
+                DegradationLevel::CheckpointPause
+            }
+        }
+    }
+
+    /// One level healthier (saturating).
+    pub fn up(self) -> DegradationLevel {
+        match self {
+            DegradationLevel::Full | DegradationLevel::CappedDepth => DegradationLevel::Full,
+            DegradationLevel::NonSpeculative => DegradationLevel::CappedDepth,
+            DegradationLevel::CheckpointPause => DegradationLevel::NonSpeculative,
+        }
+    }
+
+    /// Whether new predictions and candidate promotions may start at all.
+    pub fn allows_speculation(self) -> bool {
+        self <= DegradationLevel::CappedDepth
+    }
+}
+
+/// Configuration of the [`DegradationLadder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Observations per sampling window.
+    pub window: u64,
+    /// Minimum observations in a window before its failure ratio counts
+    /// (a window closing with fewer samples is treated as clean).
+    pub min_samples: u64,
+    /// A window whose `failures / samples` is at or above this steps the
+    /// ladder down one level.
+    pub trip_ratio: f64,
+    /// Consecutive clean windows required before stepping back *up* one
+    /// level — the hysteresis that prevents flapping.
+    pub up_windows: u32,
+    /// Maximum cascade depth a promoted candidate may reach while the
+    /// ladder sits at [`DegradationLevel::CappedDepth`].
+    pub depth_cap: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            up_windows: 2,
+            depth_cap: 1,
+        }
+    }
+}
+
+/// A level transition: `(from, to)`.
+pub type LadderStep = (DegradationLevel, DegradationLevel);
+
+/// The escalating degradation controller (see module docs).
+#[derive(Debug)]
+pub struct DegradationLadder {
+    cfg: LadderConfig,
+    level: DegradationLevel,
+    window_samples: u64,
+    window_failures: u64,
+    clean_windows: u32,
+    steps: u64,
+}
+
+impl DegradationLadder {
+    /// A ladder at [`DegradationLevel::Full`].
+    pub fn new(cfg: LadderConfig) -> Self {
+        DegradationLadder {
+            cfg,
+            level: DegradationLevel::Full,
+            window_samples: 0,
+            window_failures: 0,
+            clean_windows: 0,
+            steps: 0,
+        }
+    }
+
+    /// Current service level.
+    pub fn level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// The configured cascade-depth cap (applies at
+    /// [`DegradationLevel::CappedDepth`]).
+    pub fn depth_cap(&self) -> u32 {
+        self.cfg.depth_cap
+    }
+
+    /// Level transitions taken so far (either direction).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Record one speculation outcome (`ok` = check passed or version
+    /// committed; `!ok` = rollback, fault or SDC detection). Returns the
+    /// transition if closing the window changed the level.
+    pub fn observe(&mut self, ok: bool) -> Option<LadderStep> {
+        self.window_samples += 1;
+        if !ok {
+            self.window_failures += 1;
+        }
+        if self.window_samples < self.cfg.window {
+            return None;
+        }
+        let samples = std::mem::take(&mut self.window_samples);
+        let failures = std::mem::take(&mut self.window_failures);
+        let degraded = samples >= self.cfg.min_samples.max(1)
+            && failures as f64 >= self.cfg.trip_ratio * samples as f64
+            && failures > 0;
+        if degraded {
+            self.clean_windows = 0;
+            self.step_down()
+        } else {
+            self.clean_windows += 1;
+            if self.clean_windows >= self.cfg.up_windows.max(1) {
+                self.clean_windows = 0;
+                self.step_up()
+            } else {
+                None
+            }
+        }
+    }
+
+    /// The circuit breaker tripped: step down immediately (no need to
+    /// wait for the window to close — a trip *is* a closed verdict) and
+    /// restart the sampling window so post-trip observations are judged
+    /// on their own.
+    pub fn on_breaker_trip(&mut self) -> Option<LadderStep> {
+        self.window_samples = 0;
+        self.window_failures = 0;
+        self.clean_windows = 0;
+        self.step_down()
+    }
+
+    fn step_down(&mut self) -> Option<LadderStep> {
+        let from = self.level;
+        let to = from.down();
+        if from == to {
+            return None;
+        }
+        self.level = to;
+        self.steps += 1;
+        Some((from, to))
+    }
+
+    fn step_up(&mut self) -> Option<LadderStep> {
+        let from = self.level;
+        let to = from.up();
+        if from == to {
+            return None;
+        }
+        self.level = to;
+        self.steps += 1;
+        Some((from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LadderConfig {
+        LadderConfig {
+            window: 4,
+            min_samples: 2,
+            trip_ratio: 0.5,
+            up_windows: 2,
+            depth_cap: 1,
+        }
+    }
+
+    fn fail_window(l: &mut DegradationLadder) -> Option<LadderStep> {
+        let mut last = None;
+        for _ in 0..4 {
+            last = l.observe(false).or(last);
+        }
+        last
+    }
+
+    fn clean_window(l: &mut DegradationLadder) -> Option<LadderStep> {
+        let mut last = None;
+        for _ in 0..4 {
+            last = l.observe(true).or(last);
+        }
+        last
+    }
+
+    #[test]
+    fn degrades_one_level_per_bad_window() {
+        let mut l = DegradationLadder::new(cfg());
+        assert_eq!(l.level(), DegradationLevel::Full);
+        assert_eq!(
+            fail_window(&mut l),
+            Some((DegradationLevel::Full, DegradationLevel::CappedDepth))
+        );
+        assert_eq!(
+            fail_window(&mut l),
+            Some((
+                DegradationLevel::CappedDepth,
+                DegradationLevel::NonSpeculative
+            ))
+        );
+        assert_eq!(
+            fail_window(&mut l),
+            Some((
+                DegradationLevel::NonSpeculative,
+                DegradationLevel::CheckpointPause
+            ))
+        );
+        // The bottom rung saturates: no further transition.
+        assert_eq!(fail_window(&mut l), None);
+        assert_eq!(l.level(), DegradationLevel::CheckpointPause);
+        assert_eq!(l.steps_taken(), 3);
+    }
+
+    #[test]
+    fn recovery_requires_consecutive_clean_windows() {
+        let mut l = DegradationLadder::new(cfg());
+        fail_window(&mut l);
+        assert_eq!(l.level(), DegradationLevel::CappedDepth);
+        // One clean window is not enough (up_windows = 2)...
+        assert_eq!(clean_window(&mut l), None);
+        assert_eq!(l.level(), DegradationLevel::CappedDepth);
+        // ...two consecutive clean windows step back up.
+        assert_eq!(
+            clean_window(&mut l),
+            Some((DegradationLevel::CappedDepth, DegradationLevel::Full))
+        );
+    }
+
+    #[test]
+    fn a_failure_resets_the_hysteresis_counter() {
+        let mut l = DegradationLadder::new(cfg());
+        fail_window(&mut l);
+        clean_window(&mut l); // clean streak = 1
+        fail_window(&mut l); // drops further AND resets the streak
+        assert_eq!(l.level(), DegradationLevel::NonSpeculative);
+        assert_eq!(clean_window(&mut l), None, "streak restarted from zero");
+        assert_eq!(
+            clean_window(&mut l).map(|s| s.1),
+            Some(DegradationLevel::CappedDepth)
+        );
+    }
+
+    #[test]
+    fn breaker_trip_steps_down_immediately() {
+        let mut l = DegradationLadder::new(cfg());
+        l.observe(true);
+        l.observe(false);
+        assert_eq!(
+            l.on_breaker_trip(),
+            Some((DegradationLevel::Full, DegradationLevel::CappedDepth))
+        );
+        // The window restarted: the two pre-trip samples are gone, so the
+        // next window needs four fresh observations to close.
+        for _ in 0..3 {
+            assert_eq!(l.observe(true), None);
+        }
+    }
+
+    #[test]
+    fn sparse_windows_count_as_clean() {
+        // min_samples = 3: a window with one failure out of 4 samples has
+        // ratio 0.25 < 0.5 → clean; but also check few-failure windows
+        // below min_samples never degrade.
+        let mut l = DegradationLadder::new(LadderConfig {
+            window: 2,
+            min_samples: 3,
+            trip_ratio: 0.5,
+            up_windows: 1,
+            depth_cap: 1,
+        });
+        assert_eq!(l.observe(false), None);
+        assert_eq!(l.observe(false), None, "window of 2 < min_samples 3");
+        assert_eq!(l.level(), DegradationLevel::Full);
+    }
+
+    #[test]
+    fn level_ordering_and_helpers() {
+        assert!(DegradationLevel::Full < DegradationLevel::CheckpointPause);
+        assert!(DegradationLevel::Full.allows_speculation());
+        assert!(DegradationLevel::CappedDepth.allows_speculation());
+        assert!(!DegradationLevel::NonSpeculative.allows_speculation());
+        assert!(!DegradationLevel::CheckpointPause.allows_speculation());
+        assert_eq!(DegradationLevel::CheckpointPause.as_u32(), 3);
+        assert_eq!(DegradationLevel::Full.up(), DegradationLevel::Full);
+        assert_eq!(
+            DegradationLevel::CheckpointPause.down(),
+            DegradationLevel::CheckpointPause
+        );
+    }
+}

@@ -36,7 +36,13 @@
 //!   windowed rollback/commit ratio and executor fault rate that trips
 //!   speculation back to conservative dispatch and probes for recovery;
 //! * [`arena`] — generation-indexed slot/buffer recycling that keeps the
-//!   per-block speculation bookkeeping off the heap in steady state.
+//!   per-block speculation bookkeeping off the heap in steady state;
+//! * [`ladder`] — the degradation ladder above the breaker: an escalating
+//!   controller (full → capped depth → non-speculative → checkpoint-and-
+//!   pause) with hysteresis in both directions;
+//! * [`checkpoint`] — committed-prefix snapshots: the finalized block
+//!   prefix, merged histogram, code table and encoder bit-IO carry,
+//!   written atomically so a killed run resumes byte-identically.
 //!
 //! The mechanisms these actions rely on (version-tagged tasks, abort flags,
 //! control-class priorities) live in the substrate crate `tvs-sre`.
@@ -72,8 +78,10 @@
 pub mod arena;
 pub mod breaker;
 pub mod buffer;
+pub mod checkpoint;
 pub mod frequency;
 pub mod interface;
+pub mod ladder;
 pub mod manager;
 pub mod undo;
 pub mod validate;
@@ -82,8 +90,10 @@ pub mod version;
 pub use arena::{AllocStats, Arena, Handle, ScratchPool};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use buffer::WaitBuffer;
+pub use checkpoint::{CheckpointConfig, ResumeError, StreamSnapshot};
 pub use frequency::{SpeculationSchedule, VerificationPolicy};
 pub use interface::{SpeculationBuilder, SpeculationPlan};
+pub use ladder::{DegradationLadder, DegradationLevel, LadderConfig};
 pub use manager::{Action, ManagerStats, SpeculationManager};
 pub use undo::{JournaledCell, UndoLog};
 pub use validate::{CheckResult, Tolerance};

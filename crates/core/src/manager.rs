@@ -14,6 +14,7 @@
 
 use crate::breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 use crate::frequency::{SpeculationSchedule, VerificationPolicy};
+use crate::ladder::{DegradationLadder, DegradationLevel, LadderConfig};
 use crate::validate::CheckResult;
 use crate::version::{VersionState, VersionTracker};
 use tvs_metrics::{Counter, Gauge, MetricsHub};
@@ -92,6 +93,9 @@ pub struct ManagerStats {
     pub faults: u64,
     /// Circuit-breaker trips (speculation suspended).
     pub breaker_trips: u64,
+    /// Degradation-ladder level transitions (either direction), if a
+    /// ladder is configured via [`SpeculationManager::set_ladder`].
+    pub ladder_steps: u64,
     /// Replica vote sets that resolved clean, reported via
     /// [`SpeculationManager::on_replica_result`].
     pub replica_checks: u64,
@@ -131,6 +135,7 @@ pub struct SpeculationManager<T> {
     tracer: Tracer,
     metrics: MetricsHub,
     breaker: Option<CircuitBreaker>,
+    ladder: Option<DegradationLadder>,
     /// `(root, depth)` per allocated version, indexed by `version - 1`
     /// (versions are dense from 1). Lets a candidate promotion inherit
     /// its parent's root and extend its depth in O(1).
@@ -164,6 +169,7 @@ impl<T> SpeculationManager<T> {
             tracer: Tracer::disabled(),
             metrics: MetricsHub::disabled(),
             breaker: None,
+            ladder: None,
             lineage: Vec::new(),
             lineage_roots: 0,
         }
@@ -181,6 +187,24 @@ impl<T> SpeculationManager<T> {
     /// The breaker's state, if one is configured.
     pub fn breaker_state(&self) -> Option<BreakerState> {
         self.breaker.as_ref().map(CircuitBreaker::state)
+    }
+
+    /// Enable the degradation ladder above the breaker: windows of bad
+    /// speculation outcomes (and breaker trips, immediately) step the
+    /// service level down one rung at a time — full speculation, capped
+    /// cascade depth, non-speculative, checkpoint-and-pause — and
+    /// sustained clean windows step it back up with hysteresis. Level
+    /// transitions flow to the control ring as
+    /// [`EventKind::LadderStep`] and mirror into
+    /// [`Gauge::DegradationLevel`].
+    pub fn set_ladder(&mut self, cfg: LadderConfig) {
+        self.ladder = Some(DegradationLadder::new(cfg));
+        self.publish_ladder_gauge();
+    }
+
+    /// The ladder's current service level, if one is configured.
+    pub fn ladder_level(&self) -> Option<DegradationLevel> {
+        self.ladder.as_ref().map(DegradationLadder::level)
     }
 
     /// Route speculation-lifecycle events (predictor fires, version opens,
@@ -202,6 +226,7 @@ impl<T> SpeculationManager<T> {
     pub fn set_metrics(&mut self, metrics: MetricsHub) {
         self.metrics = metrics;
         self.publish_breaker_gauge();
+        self.publish_ladder_gauge();
     }
 
     /// Mirror the breaker's state into [`Gauge::BreakerState`]:
@@ -217,6 +242,39 @@ impl<T> SpeculationManager<T> {
             Some(BreakerState::HalfOpen) => 3,
         };
         self.metrics.gauge_set(Gauge::BreakerState, v);
+    }
+
+    /// Mirror the ladder's level into [`Gauge::DegradationLevel`]
+    /// (0 = full … 3 = checkpoint-and-pause; 0 also when no ladder).
+    fn publish_ladder_gauge(&self) {
+        if !self.metrics.is_live() {
+            return;
+        }
+        let v = self
+            .ladder
+            .as_ref()
+            .map_or(0, |l| u64::from(l.level().as_u32()));
+        self.metrics.gauge_set(Gauge::DegradationLevel, v);
+    }
+
+    /// Feed one speculation outcome into the ladder (and, when the
+    /// breaker just tripped, the immediate step-down), emitting
+    /// [`EventKind::LadderStep`] for each transition taken.
+    fn note_ladder(&mut self, ok: bool, breaker_tripped: bool) {
+        let Some(l) = &mut self.ladder else { return };
+        let mut steps = [None, None];
+        steps[0] = l.observe(ok);
+        if breaker_tripped {
+            steps[1] = l.on_breaker_trip();
+        }
+        for (from, to) in steps.into_iter().flatten() {
+            self.stats.ladder_steps += 1;
+            self.tracer.emit_control(EventKind::LadderStep {
+                from: from.as_u32(),
+                to: to.as_u32(),
+            });
+        }
+        self.publish_ladder_gauge();
     }
 
     /// Register a user-defined rollback routine, invoked with each aborted
@@ -322,15 +380,18 @@ impl<T> SpeculationManager<T> {
 
     fn breaker_failure(&mut self) {
         let basis = self.last_basis;
+        let mut tripped = false;
         if let Some(b) = &mut self.breaker {
             if let Some(BreakerTransition::Tripped { failures, commits }) = b.record_failure(basis)
             {
                 self.stats.breaker_trips += 1;
                 self.tracer
                     .emit_control(EventKind::BreakerTrip { failures, commits });
+                tripped = true;
             }
         }
         self.publish_breaker_gauge();
+        self.note_ladder(false, tripped);
     }
 
     fn breaker_success(&mut self) {
@@ -341,6 +402,7 @@ impl<T> SpeculationManager<T> {
             }
         }
         self.publish_breaker_gauge();
+        self.note_ladder(true, false);
     }
 
     /// An executor caught a fault (panicked task body, watchdog cancel)
@@ -389,8 +451,16 @@ impl<T> SpeculationManager<T> {
                 // *claims* the single probe slot, so it must only be
                 // consulted when a prediction would actually start —
                 // otherwise the claim leaks and the probe never flies.
+                // The ladder gate sits between for the same reason: at
+                // NonSpeculative or below, no prediction will start, so
+                // the breaker must not be asked (its probe would leak).
                 let wants_start = self.schedule.should_start(basis, *restart);
+                let ladder_allows = self
+                    .ladder
+                    .as_ref()
+                    .is_none_or(|l| l.level().allows_speculation());
                 let breaker_allows = wants_start
+                    && ladder_allows
                     && match &mut self.breaker {
                         Some(b) => b.allows(basis),
                         None => true,
@@ -506,10 +576,35 @@ impl<T> SpeculationManager<T> {
                 // way it suppresses fresh predictions: mispredicting runs
                 // fall back to conservative dispatch instead of chaining
                 // doomed versions, until a cooldown and probe recover.
-                let breaker_allows = match &mut self.breaker {
-                    Some(b) => b.allows(candidate_basis),
+                // The ladder adds the middle rung: at CappedDepth the
+                // promotion is allowed only while the cascade stays within
+                // the configured depth cap (the candidate would sit one
+                // level below the version that just failed); deeper rungs
+                // suppress promotion entirely. The ladder is checked
+                // before the breaker so a suppressed promotion cannot
+                // leak a half-open probe claim.
+                let ladder_allows = match &self.ladder {
                     None => true,
+                    Some(l) => {
+                        let lvl = l.level();
+                        if !lvl.allows_speculation() {
+                            false
+                        } else if lvl == DegradationLevel::CappedDepth {
+                            let parent_depth = self
+                                .lineage
+                                .get(version as usize - 1)
+                                .map_or(0, |&(_, d)| d);
+                            parent_depth < l.depth_cap()
+                        } else {
+                            true
+                        }
+                    }
                 };
+                let breaker_allows = ladder_allows
+                    && match &mut self.breaker {
+                        Some(b) => b.allows(candidate_basis),
+                        None => true,
+                    };
                 self.publish_breaker_gauge();
                 if breaker_allows {
                     let v2 = self.tracker.allocate(candidate_basis);
@@ -958,6 +1053,153 @@ mod tests {
         assert!(m.on_basis(5).is_empty());
         assert_eq!(m.on_basis(6), vec![Action::StartPrediction { version: 3 }]);
         assert_eq!(m.breaker_state(), Some(BreakerState::HalfOpen));
+    }
+
+    #[test]
+    fn breaker_trip_steps_the_ladder_down_within_one_window() {
+        let tracer = Tracer::enabled(1);
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_tracer(tracer.clone());
+        m.set_breaker(breaker_cfg());
+        // A window far larger than the test so only the trip can step.
+        m.set_ladder(LadderConfig {
+            window: 64,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            up_windows: 2,
+            depth_cap: 1,
+        });
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::Full));
+        m.record_fault();
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::Full));
+        m.record_fault(); // trips the breaker → immediate ladder step
+        assert_eq!(m.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::CappedDepth));
+        assert_eq!(m.stats().ladder_steps, 1);
+        let log = tracer.drain().expect("drains");
+        assert_eq!(log.count("breaker-trip"), 1);
+        assert_eq!(log.count("ladder-step"), 1);
+    }
+
+    #[test]
+    fn ladder_at_non_speculative_suppresses_predictions() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_ladder(LadderConfig {
+            window: 2,
+            min_samples: 1,
+            trip_ratio: 0.5,
+            up_windows: 2,
+            depth_cap: 1,
+        });
+        // Two all-fail windows walk the ladder to NonSpeculative.
+        let mut basis = 0;
+        for expect_version in 1..=4u32 {
+            basis += 1;
+            assert_eq!(
+                m.on_basis(basis),
+                vec![Action::StartPrediction {
+                    version: expect_version
+                }],
+                "speculation still allowed above NonSpeculative"
+            );
+            m.install_prediction(expect_version, "v");
+            basis += 1;
+            m.on_basis(basis);
+            m.on_check_result(expect_version, CheckResult::fail(0.9), None);
+        }
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::NonSpeculative));
+        assert_eq!(m.stats().ladder_steps, 2);
+        // Despite the pending restart, no prediction starts any more.
+        assert!(m.on_basis(basis + 1).is_empty());
+        assert!(m.on_basis(basis + 2).is_empty());
+    }
+
+    #[test]
+    fn capped_depth_blocks_promotions_beyond_the_cap() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_ladder(LadderConfig {
+            window: 2,
+            min_samples: 1,
+            trip_ratio: 0.5,
+            up_windows: 2,
+            depth_cap: 1,
+        });
+        // First failure (window still open, level Full): candidate
+        // promoted to depth 1.
+        m.on_basis(1);
+        m.install_prediction(1, "v1");
+        m.on_basis(2);
+        let acts = m.on_check_result(1, CheckResult::fail(0.9), Some(("c1", 2)));
+        assert_eq!(
+            acts,
+            vec![
+                Action::Rollback { version: 1 },
+                Action::PromoteCandidate { version: 2 }
+            ]
+        );
+        assert_eq!(m.lineage_of(2), Some((1, 1)));
+        // Second failure closes the window → CappedDepth; the candidate
+        // would sit at depth 2 > cap 1, so promotion is suppressed.
+        m.on_basis(3);
+        let acts = m.on_check_result(2, CheckResult::fail(0.9), Some(("c2", 3)));
+        assert_eq!(acts, vec![Action::Rollback { version: 2 }]);
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::CappedDepth));
+        assert_eq!(m.active(), None);
+        // Fresh predictions (depth 0) still start at CappedDepth...
+        assert_eq!(m.on_basis(4), vec![Action::StartPrediction { version: 3 }]);
+        assert_eq!(m.lineage_of(3), Some((3, 0)));
+        // ...and their first promotion (depth 1 = cap) is still allowed.
+        m.install_prediction(3, "v3");
+        m.on_basis(5);
+        let acts = m.on_check_result(3, CheckResult::fail(0.9), Some(("c3", 5)));
+        assert_eq!(
+            acts,
+            vec![
+                Action::Rollback { version: 3 },
+                Action::PromoteCandidate { version: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn ladder_recovers_with_hysteresis_after_clean_windows() {
+        let mut m = mgr(1, VerificationPolicy::Full);
+        m.set_ladder(LadderConfig {
+            window: 2,
+            min_samples: 1,
+            trip_ratio: 0.5,
+            up_windows: 2,
+            depth_cap: 1,
+        });
+        // One bad window: Full → CappedDepth.
+        let mut basis = 0;
+        for v in 1..=2u32 {
+            basis += 1;
+            m.on_basis(basis);
+            m.install_prediction(v, "v");
+            basis += 1;
+            m.on_basis(basis);
+            m.on_check_result(v, CheckResult::fail(0.9), None);
+        }
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::CappedDepth));
+        // One clean window (2 passes) is not enough — hysteresis.
+        basis += 1;
+        m.on_basis(basis);
+        m.install_prediction(3, "v3");
+        for _ in 0..2 {
+            basis += 1;
+            m.on_basis(basis);
+            m.on_check_result(3, CheckResult::pass(0.0), None);
+        }
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::CappedDepth));
+        // The second consecutive clean window steps back up.
+        for _ in 0..2 {
+            basis += 1;
+            m.on_basis(basis);
+            m.on_check_result(3, CheckResult::pass(0.0), None);
+        }
+        assert_eq!(m.ladder_level(), Some(DegradationLevel::Full));
+        assert_eq!(m.stats().ladder_steps, 2);
     }
 
     #[test]

@@ -107,11 +107,18 @@ pub enum Counter {
     /// Profiler: µs the router thread spent draining or waiting on the
     /// commit ring.
     TimeRouterWaitUs,
+    /// Completion reports rejected by the router's worker-epoch gate:
+    /// the reporting worker had been quarantined (or the report was a
+    /// duplicated-completion injection), so delivering it could
+    /// double-commit.
+    StaleCompletionsRejected,
+    /// Workers respawned by the supervisor after a missed heartbeat.
+    WorkerRespawns,
 }
 
 impl Counter {
     /// Every counter, in stable exposition order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 30] = [
         Counter::LaneDispatch,
         Counter::Steal,
         Counter::TasksDelivered,
@@ -140,6 +147,8 @@ impl Counter {
         Counter::TimeCheckUs,
         Counter::TimeCommitUs,
         Counter::TimeRouterWaitUs,
+        Counter::StaleCompletionsRejected,
+        Counter::WorkerRespawns,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -173,6 +182,8 @@ impl Counter {
             Counter::TimeCheckUs => "time_check_us",
             Counter::TimeCommitUs => "time_commit_us",
             Counter::TimeRouterWaitUs => "time_router_wait_us",
+            Counter::StaleCompletionsRejected => "stale_completions_rejected",
+            Counter::WorkerRespawns => "worker_respawns",
         }
     }
 }
@@ -202,11 +213,14 @@ pub enum Gauge {
     LineageRoots,
     /// Deepest lineage cascade depth opened so far (monotonic max).
     LineageDepthMax,
+    /// Degradation-ladder level: 0 = full speculation, 1 = capped cascade
+    /// depth, 2 = non-speculative, 3 = checkpoint-and-pause.
+    DegradationLevel,
 }
 
 impl Gauge {
     /// Every gauge, in stable exposition order.
-    pub const ALL: [Gauge; 8] = [
+    pub const ALL: [Gauge; 9] = [
         Gauge::BreakerState,
         Gauge::RingOccupancy,
         Gauge::AllocHeap,
@@ -215,6 +229,7 @@ impl Gauge {
         Gauge::SdcRecallPermille,
         Gauge::LineageRoots,
         Gauge::LineageDepthMax,
+        Gauge::DegradationLevel,
     ];
 
     /// Stable snake_case name used by the JSONL and Prometheus exports.
@@ -228,6 +243,7 @@ impl Gauge {
             Gauge::SdcRecallPermille => "sdc_recall_permille",
             Gauge::LineageRoots => "lineage_roots",
             Gauge::LineageDepthMax => "lineage_depth_max",
+            Gauge::DegradationLevel => "degradation_level",
         }
     }
 }

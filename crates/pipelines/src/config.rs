@@ -1,6 +1,9 @@
 //! Huffman pipeline configuration.
 
-use tvs_core::{BreakerConfig, SpeculationSchedule, Tolerance, ValidationMode, VerificationPolicy};
+use tvs_core::{
+    BreakerConfig, CheckpointConfig, LadderConfig, SpeculationSchedule, Tolerance, ValidationMode,
+    VerificationPolicy,
+};
 use tvs_sre::DispatchPolicy;
 
 /// How speculative trees cover byte values the prefix histogram has not
@@ -51,6 +54,14 @@ pub struct HuffmanConfig {
     /// How task outputs are validated: the paper's tolerance checks only
     /// (the default), replication-based redundant execution, or both.
     pub validation: ValidationMode,
+    /// Committed-prefix checkpointing: snapshot the finalized block prefix
+    /// (stream bytes, histogram, code table, bit-IO carry) at this cadence
+    /// so a killed run can resume byte-identically (`None` = never).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Degradation ladder above the breaker: escalate full speculation →
+    /// capped cascade depth → non-speculative → checkpoint-and-pause on
+    /// sustained failure, with hysteresis both ways (`None` = no ladder).
+    pub ladder: Option<LadderConfig>,
 }
 
 impl HuffmanConfig {
@@ -68,6 +79,8 @@ impl HuffmanConfig {
             collect_output: false,
             breaker: None,
             validation: ValidationMode::Tolerance,
+            checkpoint: None,
+            ladder: None,
         }
     }
 
@@ -105,6 +118,26 @@ impl HuffmanConfig {
     /// Number of reduce (basis) events for `data_len` bytes.
     pub fn n_groups(&self, data_len: usize) -> usize {
         self.n_blocks(data_len).div_ceil(self.reduce_ratio)
+    }
+
+    /// FNV-1a digest of every output-shaping parameter. A checkpoint
+    /// snapshot records it so a resume attempt under a *different* shape
+    /// (block size, ratios, tolerance, predictor, …) is rejected with
+    /// [`tvs_core::ResumeError::InputMismatch`] instead of silently
+    /// producing a stream that no longer matches the uninterrupted run.
+    pub fn digest(&self) -> u64 {
+        let s = format!(
+            "{} {} {} {} {} {:?} {} {:?}",
+            self.block_bytes,
+            self.reduce_ratio,
+            self.offset_fanout,
+            self.policy.label(),
+            self.schedule.step,
+            self.verification,
+            self.tolerance.margin.to_bits(),
+            self.predictor,
+        );
+        tvs_core::checkpoint::fnv1a(s.as_bytes())
     }
 
     /// This configuration expressed through the paper's four-point
@@ -161,6 +194,26 @@ mod tests {
         assert_eq!(plan.tolerance, Tolerance::percent(5.0));
         assert_eq!(plan.schedule.step, 3);
         assert!(plan.edge.contains("encoding-tree"));
+    }
+
+    #[test]
+    fn digest_tracks_output_shaping_fields_only() {
+        let base = HuffmanConfig::disk_x86(DispatchPolicy::Balanced);
+        let mut same = base.clone();
+        same.collect_output = true;
+        same.checkpoint = Some(CheckpointConfig::new(4, "/tmp/x"));
+        same.ladder = Some(LadderConfig::default());
+        assert_eq!(
+            base.digest(),
+            same.digest(),
+            "observability knobs must not invalidate snapshots"
+        );
+        let mut shifted = base.clone();
+        shifted.block_bytes = 2048;
+        assert_ne!(base.digest(), shifted.digest());
+        let mut shifted = base.clone();
+        shifted.tolerance = Tolerance::percent(5.0);
+        assert_ne!(base.digest(), shifted.digest());
     }
 
     #[test]

@@ -25,11 +25,15 @@
 
 use crate::config::{HuffmanConfig, PredictorKind};
 use std::sync::Arc;
+use tvs_core::ladder::DegradationLevel;
 use tvs_core::{
-    Action, AllocStats, CheckResult, ManagerStats, ScratchPool, SpecVersion, SpeculationManager,
-    WaitBuffer,
+    Action, AllocStats, CheckResult, CheckpointConfig, ManagerStats, ResumeError, ScratchPool,
+    SpecVersion, SpeculationManager, StreamSnapshot, WaitBuffer,
 };
-use tvs_huffman::{relative_cost_delta, CodeLengths, CodeTable, EncodedBlock, Histogram};
+use tvs_huffman::encode::append_block;
+use tvs_huffman::{
+    relative_cost_delta, BitWriter, CodeLengths, CodeTable, EncodedBlock, Histogram,
+};
 use tvs_metrics::{Gauge, MetricsHub};
 use tvs_sre::task::{expect_payload, payload};
 use tvs_sre::{
@@ -165,11 +169,86 @@ struct Path {
     offset_inflight: bool,
 }
 
+/// Live checkpointing state: the assembled committed-prefix bitstream
+/// (its trailing partial byte is the encoder bit-IO carry), the merged
+/// histogram of the prefix blocks, and the write bookkeeping.
+struct Ckpt {
+    cfg: CheckpointConfig,
+    writer: BitWriter,
+    hist: Histogram,
+    /// Blocks `0..prefix` are finalized *and* appended to `writer`.
+    prefix: usize,
+    /// Prefix length at the last snapshot write.
+    last_written: usize,
+    /// The most recently built snapshot (kept in memory so a halted run
+    /// can hand it to the caller even if the disk write failed; shared
+    /// with the writer thread without copying the stream prefix).
+    last_snapshot: Option<Arc<StreamSnapshot>>,
+    /// Wall-clock moment of the last cadence write: burst commits (the
+    /// end-loaded drain) cross many cadence thresholds within
+    /// microseconds, and writing each would churn the disk for files the
+    /// next rename immediately replaces. Cadence writes are debounced to
+    /// [`CKPT_WRITE_GAP`]; halt and ladder-pause writes never are.
+    last_write: Option<std::time::Instant>,
+    /// Asynchronous disk plane: snapshots are handed to a dedicated
+    /// writer thread so serialization and the atomic tmp+rename never
+    /// block the commit path (the ≤3 % overhead budget). The thread
+    /// coalesces to the newest pending snapshot — the rename makes the
+    /// latest one win regardless.
+    tx: Option<std::sync::mpsc::Sender<Arc<StreamSnapshot>>>,
+    disk: Option<std::thread::JoinHandle<()>>,
+    /// Set on clean completion: drop without joining the writer thread
+    /// (its remaining writes serve no resume and may finish lazily).
+    detach: bool,
+}
+
+/// Minimum wall-clock gap between cadence-driven snapshot writes.
+const CKPT_WRITE_GAP: std::time::Duration = std::time::Duration::from_millis(20);
+
+impl Ckpt {
+    fn enqueue_write(&mut self, snap: Arc<StreamSnapshot>) {
+        if self.tx.is_none() {
+            let (tx, rx) = std::sync::mpsc::channel::<Arc<StreamSnapshot>>();
+            let dir = self.cfg.dir.clone();
+            self.tx = Some(tx);
+            self.disk = Some(std::thread::spawn(move || {
+                while let Ok(mut snap) = rx.recv() {
+                    // Coalesce a backlog: only the newest snapshot
+                    // survives the atomic rename anyway.
+                    while let Ok(newer) = rx.try_recv() {
+                        snap = newer;
+                    }
+                    let _ = snap.write_atomic(&dir);
+                }
+            }));
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(snap);
+        }
+    }
+}
+
+impl Drop for Ckpt {
+    fn drop(&mut self) {
+        // Close the channel, then wait for the last write: once the
+        // workload is dropped (the runner returns), the on-disk snapshot
+        // is guaranteed current. Cleanly completed runs skip the join —
+        // nothing will ever resume from their snapshots.
+        self.tx = None;
+        if let Some(h) = self.disk.take() {
+            if !self.detach {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
 /// The Huffman encoder workload. Drive it with either executor.
 pub struct HuffmanWorkload {
     cfg: HuffmanConfig,
     n_blocks: usize,
     n_groups: usize,
+    src_bytes: usize,
 
     data: Vec<Option<Arc<[u8]>>>,
     arrival: Vec<Time>,
@@ -196,6 +275,16 @@ pub struct HuffmanWorkload {
     faults: FaultInjector,
     metrics: MetricsHub,
 
+    // Checkpoint/restart state. `resume_tree` doubles as the resume-mode
+    // flag: when set, the run bypasses count/reduce/speculation entirely
+    // and encodes the re-fed blocks with the snapshot's committed tree.
+    ckpt: Option<Ckpt>,
+    halted: bool,
+    input_digest: u64,
+    resume_k: usize,
+    resume_base: Option<(Vec<u8>, u64)>,
+    resume_tree: Option<Arc<SpecTree>>,
+
     // Steady-state scratch, recycled between scheduler events so the
     // speculation control path performs no per-block heap allocation.
     actions_scratch: Vec<Action>,
@@ -214,9 +303,25 @@ impl HuffmanWorkload {
         if let Some(b) = cfg.breaker {
             mgr.set_breaker(b);
         }
+        if let Some(l) = cfg.ladder {
+            mgr.set_ladder(l);
+        }
+        let ckpt = cfg.checkpoint.clone().map(|c| Ckpt {
+            cfg: c,
+            writer: BitWriter::new(),
+            hist: Histogram::new(),
+            prefix: 0,
+            last_written: 0,
+            last_snapshot: None,
+            last_write: None,
+            tx: None,
+            disk: None,
+            detach: false,
+        });
         HuffmanWorkload {
             n_blocks,
             n_groups,
+            src_bytes: data_len,
             data: vec![None; n_blocks],
             arrival: vec![0; n_blocks],
             counts: vec![None; n_blocks],
@@ -237,11 +342,112 @@ impl HuffmanWorkload {
             committed_tree: None,
             faults: FaultInjector::disabled(),
             metrics: MetricsHub::disabled(),
+            ckpt,
+            halted: false,
+            input_digest: 0,
+            resume_k: 0,
+            resume_base: None,
+            resume_tree: None,
             actions_scratch: Vec::new(),
             commit_scratch: Vec::new(),
             encode_pool: ScratchPool::new(),
             cfg,
         }
+    }
+
+    /// Reconstruct a workload from a committed-prefix snapshot: blocks
+    /// `0..snapshot.prefix` are prefilled as finalized, the committed tree
+    /// is rebuilt from the snapshot's code lengths, and only blocks
+    /// `snapshot.prefix..` need to be re-fed (the runner filters them).
+    /// The resumed run never re-speculates — every remaining block is
+    /// encoded with the snapshot's tree, which is what makes the resumed
+    /// output byte-identical to an uninterrupted run.
+    ///
+    /// Callers must have verified the snapshot against their input and
+    /// configuration with [`StreamSnapshot::check_matches`] first; this
+    /// constructor re-checks only the structural binding it can see.
+    pub fn resume(
+        cfg: HuffmanConfig,
+        data_len: usize,
+        snap: &StreamSnapshot,
+    ) -> Result<Self, ResumeError> {
+        let mut wl = Self::new(cfg, data_len);
+        if snap.n_blocks as usize != wl.n_blocks || snap.block_bytes as usize != wl.cfg.block_bytes
+        {
+            return Err(ResumeError::InputMismatch);
+        }
+        let k = snap.prefix as usize;
+        if k > 0 {
+            let arr: [u8; 256] = snap
+                .code_lengths
+                .as_slice()
+                .try_into()
+                .map_err(|_| ResumeError::BadField("code_lengths"))?;
+            let lengths = CodeLengths::from_lengths(arr)
+                .map_err(|_| ResumeError::BadField("code_lengths"))?;
+            let table = CodeTable::from_lengths(&lengths);
+            let tree = Arc::new(SpecTree {
+                lengths,
+                table,
+                basis: snap.prefix,
+            });
+            wl.committed_tree = Some(tree.clone());
+            wl.resume_tree = Some(tree);
+        }
+        wl.committed_version = match snap.committed_version {
+            0 => None,
+            v => Some(v as SpecVersion),
+        };
+        for i in 0..k {
+            wl.done[i] = Some(BlockDone {
+                arrival: snap.arrivals[i],
+                encoded_at: snap.encoded_at[i],
+                bits: snap.bits[i],
+            });
+            // Stub: the bytes already live in the snapshot's prefix stream.
+            wl.outputs[i] = Some(EncodedBlock {
+                bytes: Vec::new(),
+                bit_len: snap.bits[i],
+                src_len: 0,
+            });
+        }
+        wl.blocks_done = k;
+        wl.resume_k = k;
+        wl.resume_base = Some((snap.stream_bytes.clone(), snap.stream_bit_len));
+        // Seed the checkpoint plane from the snapshot so a resumed run can
+        // itself be killed and resumed: the writer re-ingests the prefix
+        // stream (restoring the bit-IO carry) and the histogram restarts
+        // from the snapshot's merged base.
+        if let Some(ck) = &mut wl.ckpt {
+            seed_writer(&mut ck.writer, &snap.stream_bytes, snap.stream_bit_len);
+            if snap.hist_base.len() == 256 {
+                ck.hist
+                    .counts_mut()
+                    .copy_from_slice(snap.hist_base.as_slice());
+            }
+            ck.prefix = k;
+            ck.last_written = k;
+        }
+        Ok(wl)
+    }
+
+    /// Bind the snapshot plane to the input stream: pass
+    /// `tvs_core::checkpoint::fnv1a(data)` so snapshots record which bytes
+    /// they belong to. The checkpointed runner entry points do this.
+    pub fn set_input_digest(&mut self, digest: u64) {
+        self.input_digest = digest;
+    }
+
+    /// True once the run stopped at [`CheckpointConfig::halt_at_block`].
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The most recent snapshot built (halt, cadence or end-of-run write).
+    pub fn snapshot(&self) -> Option<StreamSnapshot> {
+        self.ckpt
+            .as_ref()
+            .and_then(|c| c.last_snapshot.as_deref().cloned())
     }
 
     /// Route the speculation manager's lifecycle events (predictor fires,
@@ -272,16 +478,24 @@ impl HuffmanWorkload {
 
     /// Extract the result after the run finished.
     pub fn result(&self) -> PipelineResult {
-        assert!(self.is_finished(), "result() before the run finished");
+        assert!(
+            self.blocks_done == self.n_blocks,
+            "result() before the run finished"
+        );
         let blocks: Vec<BlockDone> = self.done.iter().map(|d| d.expect("all done")).collect();
         let compressed_bits = blocks.iter().map(|b| b.bits).sum();
         let output = if self.cfg.collect_output {
-            let encs: Vec<&EncodedBlock> = self
-                .outputs
-                .iter()
-                .map(|o| o.as_ref().expect("collected"))
-                .collect();
-            let (bytes, bits) = tvs_huffman::concat_blocks(encs);
+            // Resumed runs prepend the snapshot's prefix stream (restoring
+            // the bit-IO carry), then append only the re-encoded blocks;
+            // uninterrupted runs concatenate everything from block 0.
+            let mut w = BitWriter::new();
+            if let Some((bytes, bit_len)) = &self.resume_base {
+                seed_writer(&mut w, bytes, *bit_len);
+            }
+            for o in &self.outputs[self.resume_k..] {
+                append_block(&mut w, o.as_ref().expect("collected"));
+            }
+            let (bytes, bits) = w.finish();
             let lengths = self
                 .committed_tree
                 .as_ref()
@@ -295,7 +509,7 @@ impl HuffmanWorkload {
         PipelineResult {
             blocks,
             compressed_bits,
-            src_bytes: self.data_len(),
+            src_bytes: self.src_bytes,
             committed_version: self.committed_version,
             spec_stats: if self.cfg.speculates() {
                 Some(self.mgr.stats())
@@ -307,8 +521,114 @@ impl HuffmanWorkload {
         }
     }
 
-    fn data_len(&self) -> usize {
-        self.data.iter().flatten().map(|d| d.len()).sum()
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Advance the checkpoint plane after a block finalizes: append newly
+    /// contiguous blocks to the prefix stream, then write a snapshot when
+    /// the cadence is due, the halt block is reached, the run finished, or
+    /// the degradation ladder demands eager durability (checkpoint-and-
+    /// pause). Disk failures are absorbed — the in-memory snapshot still
+    /// serves halt and resume, and losing a cadence write only widens the
+    /// at-risk window.
+    fn advance_checkpoint(&mut self) {
+        if self.halted {
+            // The "kill" already happened: freeze the durable state at the
+            // halt prefix so a resume replays from there, even though the
+            // in-flight commit drain may finalize a few more blocks.
+            return;
+        }
+        let Some(mut ck) = self.ckpt.take() else {
+            return;
+        };
+        while ck.prefix < self.n_blocks && self.done[ck.prefix].is_some() {
+            let i = ck.prefix;
+            let out = self.outputs[i].as_ref().expect("finalized block retained");
+            append_block(&mut ck.writer, out);
+            if let Some(h) = &self.counts[i] {
+                ck.hist.merge(h);
+            } else if let Some(d) = &self.data[i] {
+                // Resume mode skips count tasks; fold the block directly.
+                ck.hist.accumulate(d);
+            }
+            if !self.cfg.collect_output {
+                // The prefix stream now carries these bits; recycle.
+                let out = self.outputs[i].take().expect("just read");
+                self.outputs[i] = Some(EncodedBlock {
+                    bytes: Vec::new(),
+                    bit_len: out.bit_len,
+                    src_len: out.src_len,
+                });
+                self.encode_pool.put(out.bytes);
+            }
+            ck.prefix += 1;
+        }
+        let halt = !self.halted
+            && ck
+                .cfg
+                .halt_at_block
+                .is_some_and(|h| h > 0 && ck.prefix >= h);
+        let due = ck.cfg.every_blocks > 0 && ck.prefix >= ck.last_written + ck.cfg.every_blocks;
+        // A run that reaches the final block needs no snapshot — there is
+        // nothing left to resume — so cadence writes stop one short of
+        // completion rather than paying the largest serialization for a
+        // file nobody can use.
+        let finished = ck.prefix == self.n_blocks;
+        let eager = self.mgr.ladder_level() == Some(DegradationLevel::CheckpointPause);
+        let debounced = ck.last_write.is_some_and(|t| t.elapsed() < CKPT_WRITE_GAP);
+        if ck.prefix > ck.last_written && (halt || eager || (due && !finished && !debounced)) {
+            let snap = Arc::new(self.build_snapshot(&ck));
+            ck.enqueue_write(Arc::clone(&snap));
+            ck.last_written = ck.prefix;
+            ck.last_snapshot = Some(snap);
+            ck.last_write = Some(std::time::Instant::now());
+        }
+        if halt {
+            self.halted = true;
+        }
+        if finished && !self.halted {
+            // Clean completion: pending writes are unreadable history (a
+            // finished stream is never resumed), so the writer thread may
+            // finish in the background instead of stalling the run's tail.
+            ck.detach = true;
+        }
+        self.ckpt = Some(ck);
+    }
+
+    /// Assemble the committed-prefix snapshot from the live state.
+    fn build_snapshot(&self, ck: &Ckpt) -> StreamSnapshot {
+        let (stream_bytes, stream_bit_len) = ck.writer.clone().finish();
+        let k = ck.prefix;
+        let per = |f: fn(&BlockDone) -> u64| -> Vec<u64> {
+            self.done[..k]
+                .iter()
+                .map(|d| f(d.as_ref().expect("prefix finalized")))
+                .collect()
+        };
+        StreamSnapshot {
+            config_digest: self.cfg.digest(),
+            input_digest: self.input_digest,
+            n_blocks: self.n_blocks as u64,
+            block_bytes: self.cfg.block_bytes as u64,
+            prefix: k as u64,
+            cadence: ck.cfg.every_blocks as u64,
+            arrivals: per(|d| d.arrival),
+            encoded_at: per(|d| d.encoded_at),
+            bits: per(|d| d.bits),
+            hist_base: if k > 0 {
+                ck.hist.counts().to_vec()
+            } else {
+                Vec::new()
+            },
+            code_lengths: match (&self.committed_tree, k) {
+                (Some(t), k) if k > 0 => t.lengths.lengths().to_vec(),
+                _ => Vec::new(),
+            },
+            committed_version: u64::from(self.committed_version.unwrap_or(0)),
+            stream_bytes,
+            stream_bit_len,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -555,7 +875,9 @@ impl HuffmanWorkload {
             encoded_at: finished,
             bits: encoded.bit_len,
         });
-        if self.cfg.collect_output {
+        if self.cfg.collect_output || self.ckpt.is_some() {
+            // Checkpointing retains the bytes until the block joins the
+            // contiguous prefix stream (advance_checkpoint recycles them).
             self.outputs[idx] = Some(encoded);
         } else {
             self.outputs[idx] = Some(EncodedBlock {
@@ -571,6 +893,7 @@ impl HuffmanWorkload {
             self.metrics.gauge_set(Gauge::AllocHeap, a.heap_allocs);
             self.metrics.gauge_set(Gauge::AllocReuse, a.reuses);
         }
+        self.advance_checkpoint();
     }
 
     // ------------------------------------------------------------------
@@ -658,6 +981,18 @@ fn data_len_of(data: &[Option<Arc<[u8]>>], idx: usize) -> usize {
     data[idx].as_ref().map(|d| d.len()).unwrap_or(0)
 }
 
+/// Re-seed a fresh, byte-aligned bit writer with a snapshot's prefix
+/// stream: whole bytes verbatim, then the meaningful bits of the trailing
+/// partial byte — exactly the encoder carry the snapshot recorded.
+fn seed_writer(w: &mut BitWriter, bytes: &[u8], bit_len: u64) {
+    let full = (bit_len / 8) as usize;
+    let tail = (bit_len % 8) as u8;
+    w.extend_bytes(&bytes[..full]);
+    if tail > 0 {
+        w.push(u64::from(bytes[full] >> (8 - tail)), tail);
+    }
+}
+
 /// Scramble a predicted tree for [`FaultSite::PredictedValue`] injection.
 /// The multiset of code lengths is preserved — Kraft's inequality still
 /// holds and every symbol that had a code keeps one, so downstream encode
@@ -743,12 +1078,28 @@ impl Workload for HuffmanWorkload {
     fn on_input(&mut self, ctx: &mut dyn SchedCtx, block: InputBlock) {
         let idx = block.index;
         assert!(idx < self.n_blocks, "unexpected block index {idx}");
+        // A halted run spawns nothing further; a resumed run ignores
+        // blocks the snapshot already committed.
+        if self.halted || idx < self.resume_k {
+            return;
+        }
         self.arrival[idx] = block.arrival;
         self.data[idx] = Some(block.data);
-        self.spawn_count(ctx, idx);
+        if let Some(tree) = self.resume_tree.clone() {
+            // Resume mode: the tree is settled — skip count/reduce and
+            // encode the block directly with the snapshot's code table.
+            self.spawn_encodes(ctx, None, tree, idx, 1);
+        } else {
+            self.spawn_count(ctx, idx);
+        }
     }
 
     fn on_complete(&mut self, ctx: &mut dyn SchedCtx, done: Completion) {
+        if self.halted {
+            // Drain in-flight completions without spawning successors so
+            // the executor winds down at the halt point.
+            return;
+        }
         match done.name {
             "count" => {
                 let idx = done.tag as usize;
@@ -919,7 +1270,7 @@ impl Workload for HuffmanWorkload {
     }
 
     fn is_finished(&self) -> bool {
-        self.blocks_done == self.n_blocks
+        self.halted || self.blocks_done == self.n_blocks
     }
 }
 
@@ -955,6 +1306,8 @@ mod tests {
             collect_output: true,
             breaker: None,
             validation: ValidationMode::Tolerance,
+            checkpoint: None,
+            ladder: None,
         }
     }
 

@@ -64,6 +64,7 @@ pub use config::HuffmanConfig;
 pub use cost::HuffmanCost;
 pub use huffman::{digest_output, HuffmanWorkload, PipelineResult, SpecTree};
 pub use runner::{
-    run_huffman_sim, run_huffman_sim_sdc, run_huffman_threaded, run_huffman_threaded_sdc,
-    RunOutcome,
+    resume_huffman_sim, resume_huffman_threaded, run_huffman_sim, run_huffman_sim_checkpointed,
+    run_huffman_sim_sdc, run_huffman_threaded, run_huffman_threaded_checkpointed,
+    run_huffman_threaded_sdc, CheckpointedRun, RunOutcome,
 };

@@ -4,7 +4,8 @@ use crate::config::HuffmanConfig;
 use crate::cost::HuffmanCost;
 use crate::huffman::{digest_output, HuffmanWorkload, PipelineResult};
 use std::sync::Arc;
-use tvs_core::{ReplicaStats, ReplicatingWorkload};
+use tvs_core::checkpoint::fnv1a;
+use tvs_core::{ReplicaStats, ReplicatingWorkload, ResumeError, StreamSnapshot};
 use tvs_iosim::ArrivalModel;
 use tvs_sre::exec::sim::{
     run as sim_run, run_traced as sim_run_traced, try_run_chaos,
@@ -79,6 +80,161 @@ pub fn schedule_blocks(
         })
         .collect();
     (blocks, times)
+}
+
+/// Outcome of a checkpointed run: completion, or a halt at the configured
+/// block with the snapshot that resumes it.
+#[derive(Debug, Clone)]
+pub enum CheckpointedRun {
+    /// The run finished; the final snapshot (if any) is on disk.
+    Completed(Box<RunOutcome>),
+    /// The run stopped at [`tvs_core::CheckpointConfig::halt_at_block`];
+    /// feed this snapshot to [`resume_huffman_sim`] /
+    /// [`resume_huffman_threaded`] to finish the stream byte-identically.
+    Halted(Box<StreamSnapshot>),
+}
+
+impl CheckpointedRun {
+    /// The halt snapshot, or a panic for completed runs (test helper).
+    pub fn into_snapshot(self) -> StreamSnapshot {
+        match self {
+            CheckpointedRun::Halted(s) => *s,
+            CheckpointedRun::Completed(_) => panic!("run completed instead of halting"),
+        }
+    }
+
+    /// The completed outcome, or a panic for halted runs (test helper).
+    pub fn into_outcome(self) -> RunOutcome {
+        match self {
+            CheckpointedRun::Completed(o) => *o,
+            CheckpointedRun::Halted(_) => panic!("run halted instead of completing"),
+        }
+    }
+}
+
+/// Run the Huffman pipeline on the simulator with the configuration's
+/// checkpoint plane armed (`cfg.checkpoint` must be `Some`): snapshots are
+/// bound to this input's digest, written at the configured cadence, and a
+/// `halt_at_block` stops the run at that committed prefix.
+pub fn run_huffman_sim_checkpointed(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+) -> CheckpointedRun {
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let mut wl0 = HuffmanWorkload::new(cfg.clone(), data.len());
+    wl0.set_input_digest(fnv1a(data));
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace: false,
+    };
+    let rep = sim_run(wrap(wl0, cfg), &sim, &HuffmanCost, blocks);
+    let inner = rep.workload.inner();
+    if inner.halted() {
+        CheckpointedRun::Halted(Box::new(
+            inner
+                .snapshot()
+                .expect("halted run always built a snapshot"),
+        ))
+    } else {
+        CheckpointedRun::Completed(Box::new(RunOutcome {
+            result: inner.result(),
+            metrics: rep.metrics,
+            arrivals: times,
+        }))
+    }
+}
+
+/// Resume a killed simulator run from its committed-prefix snapshot:
+/// verifies the snapshot against this input and configuration, re-feeds
+/// only the blocks past the prefix, and completes the stream — byte-
+/// identical to an uninterrupted run, because every remaining block is
+/// encoded with the snapshot's committed tree.
+pub fn resume_huffman_sim(
+    snapshot: &StreamSnapshot,
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    platform: &Platform,
+    arrival: &dyn ArrivalModel,
+) -> Result<RunOutcome, ResumeError> {
+    snapshot.check_matches(cfg.digest(), fnv1a(data))?;
+    let (blocks, times) = schedule_blocks(data, cfg.block_bytes, arrival);
+    let k = snapshot.prefix as usize;
+    let blocks: Vec<InputBlock> = blocks.into_iter().filter(|b| b.index >= k).collect();
+    let mut wl0 = HuffmanWorkload::resume(cfg.clone(), data.len(), snapshot)?;
+    wl0.set_input_digest(fnv1a(data));
+    let sim = SimConfig {
+        platform: platform.clone(),
+        policy: cfg.policy,
+        trace: false,
+    };
+    let rep = sim_run(wrap(wl0, cfg), &sim, &HuffmanCost, blocks);
+    Ok(RunOutcome {
+        result: rep.workload.inner().result(),
+        metrics: rep.metrics,
+        arrivals: times,
+    })
+}
+
+/// Threaded counterpart of [`run_huffman_sim_checkpointed`]: real workers,
+/// the same snapshot cadence and halt semantics.
+pub fn run_huffman_threaded_checkpointed(
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+) -> CheckpointedRun {
+    let tcfg = ThreadedConfig::new(workers, cfg.policy);
+    let tracer = Tracer::disabled();
+    let mut wl0 = HuffmanWorkload::new(cfg.clone(), data.len());
+    wl0.set_input_digest(fnv1a(data));
+    let (wl, iter, times) =
+        threaded_setup(wl0, data, cfg, &tcfg, arrival, time_scale, &tracer, None, 0);
+    let (wl, metrics) = threaded_try_run_traced(wl, &tcfg, iter, tracer)
+        .unwrap_or_else(|e| panic!("checkpointed threaded run failed: {e}"));
+    let inner = wl.inner();
+    if inner.halted() {
+        CheckpointedRun::Halted(Box::new(
+            inner
+                .snapshot()
+                .expect("halted run always built a snapshot"),
+        ))
+    } else {
+        CheckpointedRun::Completed(Box::new(RunOutcome {
+            result: inner.result(),
+            metrics,
+            arrivals: times,
+        }))
+    }
+}
+
+/// Threaded counterpart of [`resume_huffman_sim`].
+pub fn resume_huffman_threaded(
+    snapshot: &StreamSnapshot,
+    data: &[u8],
+    cfg: &HuffmanConfig,
+    workers: usize,
+    arrival: &dyn ArrivalModel,
+    time_scale: u64,
+) -> Result<RunOutcome, ResumeError> {
+    snapshot.check_matches(cfg.digest(), fnv1a(data))?;
+    let tcfg = ThreadedConfig::new(workers, cfg.policy);
+    let tracer = Tracer::disabled();
+    let k = snapshot.prefix as usize;
+    let mut wl0 = HuffmanWorkload::resume(cfg.clone(), data.len(), snapshot)?;
+    wl0.set_input_digest(fnv1a(data));
+    let (wl, iter, times) =
+        threaded_setup(wl0, data, cfg, &tcfg, arrival, time_scale, &tracer, None, k);
+    let (wl, metrics) = threaded_try_run_traced(wl, &tcfg, iter, tracer)
+        .unwrap_or_else(|e| panic!("resumed threaded run failed: {e}"));
+    Ok(RunOutcome {
+        result: wl.inner().result(),
+        metrics,
+        arrivals: times,
+    })
 }
 
 /// Run the Huffman pipeline on the deterministic discrete-event executor.
@@ -297,7 +453,9 @@ pub fn run_huffman_threaded_sdc(
     let mut tcfg = ThreadedConfig::new(workers, cfg.policy);
     tcfg.faults = faults;
     let tracer = Tracer::disabled();
-    let (wl, iter, times) = threaded_setup(data, cfg, &tcfg, arrival, time_scale, &tracer, None);
+    let wl0 = HuffmanWorkload::new(cfg.clone(), data.len());
+    let (wl, iter, times) =
+        threaded_setup(wl0, data, cfg, &tcfg, arrival, time_scale, &tracer, None, 0);
     let (wl, metrics) = threaded_try_run_traced(wl, &tcfg, iter, tracer)?;
     Ok((
         RunOutcome {
@@ -412,7 +570,9 @@ fn try_threaded_impl(
     time_scale: u64,
     tracer: Tracer,
 ) -> Result<RunOutcome, RunError> {
-    let (wl, iter, times) = threaded_setup(data, cfg, tcfg, arrival, time_scale, &tracer, None);
+    let wl0 = HuffmanWorkload::new(cfg.clone(), data.len());
+    let (wl, iter, times) =
+        threaded_setup(wl0, data, cfg, tcfg, arrival, time_scale, &tracer, None, 0);
     let (wl, metrics) = threaded_try_run_traced(wl, tcfg, iter, tracer)?;
     Ok(RunOutcome {
         result: wl.inner().result(),
@@ -430,8 +590,18 @@ fn try_threaded_metered_impl(
     hub: MetricsHub,
 ) -> Result<RunOutcome, RunError> {
     let tracer = Tracer::disabled();
-    let (wl, iter, times) =
-        threaded_setup(data, cfg, tcfg, arrival, time_scale, &tracer, Some(&hub));
+    let wl0 = HuffmanWorkload::new(cfg.clone(), data.len());
+    let (wl, iter, times) = threaded_setup(
+        wl0,
+        data,
+        cfg,
+        tcfg,
+        arrival,
+        time_scale,
+        &tracer,
+        Some(&hub),
+        0,
+    );
     let (wl, metrics) = threaded_try_run_metered(wl, tcfg, iter, tracer, hub)?;
     Ok(RunOutcome {
         result: wl.inner().result(),
@@ -441,9 +611,11 @@ fn try_threaded_metered_impl(
 }
 
 /// Shared threaded-run scaffolding: workload wiring plus the paced input
-/// iterator (arrival schedule compressed by `time_scale`).
-#[allow(clippy::type_complexity)]
+/// iterator (arrival schedule compressed by `time_scale`). Blocks below
+/// `skip_below` are not fed at all — a resumed run's committed prefix.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn threaded_setup(
+    wl0: HuffmanWorkload,
     data: &[u8],
     cfg: &HuffmanConfig,
     tcfg: &ThreadedConfig,
@@ -451,6 +623,7 @@ fn threaded_setup(
     time_scale: u64,
     tracer: &Tracer,
     hub: Option<&MetricsHub>,
+    skip_below: usize,
 ) -> (
     ReplicatingWorkload<HuffmanWorkload>,
     impl Iterator<Item = (usize, Arc<[u8]>)> + Send + 'static,
@@ -458,7 +631,7 @@ fn threaded_setup(
 ) {
     let n = data.len().div_ceil(cfg.block_bytes);
     let times = arrival.schedule(n, cfg.block_bytes);
-    let mut wl = wrap(HuffmanWorkload::new(cfg.clone(), data.len()), cfg);
+    let mut wl = wrap(wl0, cfg);
     wl.inner_mut().set_tracer(tracer.clone());
     wl.set_tracer(tracer.clone());
     if let Some(h) = hub {
@@ -472,12 +645,13 @@ fn threaded_setup(
     let owned: Vec<(usize, Arc<[u8]>)> = data
         .chunks(cfg.block_bytes)
         .enumerate()
+        .filter(|(i, _)| *i >= skip_below)
         .map(|(i, c)| (i, Arc::<[u8]>::from(c)))
         .collect();
     let pace_times = times.clone();
-    let paced = owned.into_iter().zip(pace_times).map(move |((i, d), due)| {
+    let paced = owned.into_iter().map(move |(i, d)| {
         // Busy-sleep pacing (scaled).
-        (i, d, due / time_scale.max(1))
+        (i, d, pace_times[i] / time_scale.max(1))
     });
     let start = std::time::Instant::now();
     let iter = paced.map(move |(i, d, due_us)| {

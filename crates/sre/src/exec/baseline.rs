@@ -393,6 +393,7 @@ where
                                             id: work.id,
                                             name: work.name,
                                             version: vers,
+                                            tag: work.tag,
                                             attempt,
                                         },
                                     );
@@ -541,6 +542,8 @@ where
         duplicate_completions: st.duplicate_completions,
         replica_dispatches: st.replicas_spawned,
         retry_backoff_us: hub.counter_total(Counter::RetryBackoffUs),
+        stale_completions_rejected: 0,
+        worker_respawns: 0,
     };
     Ok((inner.workload, metrics))
 }

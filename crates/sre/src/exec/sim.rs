@@ -453,6 +453,7 @@ pub fn try_run_metered<W: Workload>(
                                         id: work.id,
                                         name: work.name,
                                         version: vers,
+                                        tag: work.tag,
                                         attempt,
                                     },
                                 );

@@ -65,7 +65,7 @@
 //! `Workload` implementations.
 
 use super::commit_log::{CommitRing, PopOutcome, Producer};
-use crate::fault::{self, RetryPolicy, RunError, WatchdogConfig};
+use crate::fault::{self, RetryPolicy, RunError, SupervisorConfig, WatchdogConfig};
 use crate::metrics::RunMetrics;
 use crate::policy::DispatchPolicy;
 use crate::sched::{CompletionOutcome, Dispatched, Scheduler};
@@ -73,7 +73,7 @@ use crate::task::{Payload, SpecVersion, TaskClass, TaskCtx, TaskId, TaskSpec, Ti
 use crate::workload::{Completion, FaultNotice, InputBlock, SchedCtx, Workload};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tvs_faults::{FaultInjector, FaultKind, FaultSite};
 use tvs_metrics::{Counter, Gauge, Hist, MetricsHub};
@@ -90,19 +90,23 @@ pub struct ThreadedConfig {
     pub retry: RetryPolicy,
     /// Watchdog over long-running tasks; `None` disables it.
     pub watchdog: Option<WatchdogConfig>,
+    /// Worker supervision (heartbeats, quarantine, respawn); `None`
+    /// disables it.
+    pub supervisor: Option<SupervisorConfig>,
     /// Fault injection plan (disabled by default; see `tvs-faults`).
     pub faults: FaultInjector,
 }
 
 impl ThreadedConfig {
     /// A config with default fault handling: bounded retry, no watchdog,
-    /// no fault injection.
+    /// no supervision, no fault injection.
     pub fn new(workers: usize, policy: DispatchPolicy) -> Self {
         ThreadedConfig {
             workers,
             policy,
             retry: RetryPolicy::default(),
             watchdog: None,
+            supervisor: None,
             faults: FaultInjector::disabled(),
         }
     }
@@ -116,7 +120,10 @@ struct Ready {
 }
 
 struct Parker {
-    handle: OnceLock<std::thread::Thread>,
+    /// The lane's current worker thread. A mutex (not a `OnceLock`)
+    /// because supervision respawns workers: a replacement installs its
+    /// own handle over the quarantined incarnation's.
+    handle: Mutex<Option<std::thread::Thread>>,
     parked: AtomicBool,
 }
 
@@ -156,6 +163,20 @@ struct Fabric {
     spin_limit: u32,
     /// Round-robin cursor for lane routing.
     next_lane: AtomicUsize,
+    /// Per-lane worker incarnation. Completion reports are stamped with
+    /// the reporting incarnation's epoch; the router rejects reports whose
+    /// epoch no longer matches (the worker was quarantined), so a
+    /// presumed-dead worker's straggling completions are re-fed instead of
+    /// double-committed.
+    worker_epoch: Vec<AtomicU64>,
+    /// Per-lane heartbeat stamp (µs since run start), refreshed at the top
+    /// of every worker loop iteration. Only maintained and consulted when
+    /// supervision is configured — unsupervised runs skip the stamp (and
+    /// the epoch poll) to keep the short-task hot loop free of them.
+    heartbeat: Vec<AtomicU64>,
+    /// Whether a supervisor thread is running (gates the heartbeat stamp
+    /// and quarantine poll in the worker loop).
+    supervised: bool,
     done: AtomicBool,
     start: Instant,
     /// Fault injection handle (disabled handle = one branch per site).
@@ -182,6 +203,7 @@ impl Fabric {
         tracer: Tracer,
         faults: FaultInjector,
         watchdog_enabled: bool,
+        supervised: bool,
         hub: MetricsHub,
     ) -> Self {
         let hw = std::thread::available_parallelism()
@@ -191,7 +213,7 @@ impl Fabric {
             lanes: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             parkers: (0..workers)
                 .map(|_| Parker {
-                    handle: OnceLock::new(),
+                    handle: Mutex::new(None),
                     parked: AtomicBool::new(false),
                 })
                 .collect(),
@@ -202,6 +224,9 @@ impl Fabric {
             target_awake: hw.min(workers).max(1),
             spin_limit: if hw > 1 { 3 } else { 0 },
             next_lane: AtomicUsize::new(0),
+            worker_epoch: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            heartbeat: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            supervised,
             done: AtomicBool::new(false),
             start: Instant::now(),
             faults,
@@ -300,7 +325,7 @@ impl Fabric {
         if awake < self.target_awake && self.in_lanes.load(Ordering::SeqCst) > awake {
             for p in &self.parkers {
                 if p.parked.swap(false, Ordering::SeqCst) {
-                    if let Some(t) = p.handle.get() {
+                    if let Some(t) = fault::lock_recover(&p.handle).as_ref() {
                         t.unpark();
                     }
                     return;
@@ -312,9 +337,26 @@ impl Fabric {
     /// Unpark everyone, parked flag or not (shutdown path).
     fn wake_all(&self) {
         for p in &self.parkers {
-            if let Some(t) = p.handle.get() {
+            if let Some(t) = fault::lock_recover(&p.handle).as_ref() {
                 t.unpark();
             }
+        }
+    }
+
+    /// Reassign a quarantined worker's ready lane: move its bound entries
+    /// to the other lanes (round-robin), where live workers drain them
+    /// without waiting for the replacement to spin up. The entries stay
+    /// lane-bound throughout, so `in_lanes`/`normal_bound` are untouched
+    /// and nothing is re-counted as a dispatch.
+    fn reassign_lane(&self, from: usize) {
+        let n = self.lanes.len();
+        if n <= 1 {
+            return;
+        }
+        let moved: Vec<Ready> = fault::lock_recover(&self.lanes[from]).drain(..).collect();
+        for (i, r) in moved.into_iter().enumerate() {
+            let to = (from + 1 + (i % (n - 1))) % n;
+            fault::lock_recover(&self.lanes[to]).push_back(r);
         }
     }
 }
@@ -347,7 +389,9 @@ enum BodyResult {
     Faulted { attempt: u32 },
 }
 
-/// A worker's report to the router.
+/// A worker's report to the router, stamped with the reporting worker
+/// incarnation so the router's epoch gate can reject reports from
+/// quarantined workers (see [`Fabric::worker_epoch`]).
 struct Finished {
     id: TaskId,
     name: &'static str,
@@ -356,6 +400,12 @@ struct Finished {
     tag: u64,
     started: Time,
     finished: Time,
+    /// Reporting worker's lane index.
+    worker: usize,
+    /// Reporting worker's incarnation epoch. `u64::MAX` marks an injected
+    /// duplicate-completion echo, which never matches a live epoch — the
+    /// echo deliberately exercises the reject path end to end.
+    epoch: u64,
     body: BodyResult,
 }
 
@@ -427,6 +477,263 @@ fn run_attempt(fabric: &Fabric, work: &mut Dispatched) -> std::thread::Result<Pa
         }
         (run)(ctx)
     }))
+}
+
+/// Spawn one worker thread on lane `me` with incarnation `my_epoch`.
+///
+/// Named (rather than inline in [`try_run_metered`]) because the
+/// supervisor respawns quarantined workers: a replacement runs this same
+/// loop on the same lane under a fresh epoch. Every loop iteration stamps
+/// the lane's heartbeat and re-checks the lane's current epoch — an
+/// incarnation that lost its lane (it was presumed dead, then woke up)
+/// exits instead of racing its replacement, and its final report is
+/// rejected by the router's epoch gate.
+fn spawn_worker<W: Send + 'static>(
+    me: usize,
+    my_epoch: u64,
+    fabric: Arc<Fabric>,
+    commit: Arc<Mutex<Inner<W>>>,
+    tx: Producer<Finished>,
+    retry: RetryPolicy,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("tvs-worker-{me}"))
+        .spawn(move || {
+            *fault::lock_recover(&fabric.parkers[me].handle) = Some(std::thread::current());
+            let mut spins = 0u32;
+            // Time-accounting profiler: `mark` is the end of the
+            // last charged interval. Work-acquisition time (lane
+            // pops, steal scans, spin-yields, re-validation) is
+            // charged at the next grab, body time at task end and
+            // park time around the futex nap — each boundary
+            // reuses a stamp the loop already takes, so the only
+            // extra cost is one counter add per interval.
+            let mut mark = fabric.now();
+            loop {
+                // Supervision bookkeeping costs one clock read plus two
+                // SeqCst atomics per iteration — real money against µs
+                // tasks — so unsupervised runs skip it entirely. `mark`
+                // is at most a few spin-yields behind the wall clock
+                // (every park and task end refreshes it), which is noise
+                // against the heartbeat timeout's 100 ms floor.
+                if fabric.supervised {
+                    fabric.heartbeat[me].store(mark, Ordering::SeqCst);
+                    if fabric.worker_epoch[me].load(Ordering::SeqCst) != my_epoch {
+                        // Quarantined: a replacement owns this lane now.
+                        return;
+                    }
+                }
+                match fabric.grab(me) {
+                    Some((ready, stolen_from)) => {
+                        spins = 0;
+                        if let Some(victim) = stolen_from {
+                            fabric.hub.add(me, Counter::Steal, 1);
+                            if fabric.tracer.is_enabled() {
+                                fabric.tracer.emit(
+                                    me,
+                                    EventKind::Steal {
+                                        id: ready.work.id,
+                                        victim: victim as u32,
+                                    },
+                                );
+                            }
+                        }
+                        // Wake chain: if backlog remains beyond the
+                        // awake set, ramp up one more worker.
+                        fabric.wake_for_work();
+                        let mut work = ready.work;
+                        // Epoch-checked re-validation: only a task
+                        // bound before some rollback can be stale,
+                        // and only a flagged one is actually dead.
+                        let stale = ready.epoch != fabric.abort_epoch.load(Ordering::SeqCst);
+                        if stale && work.version.is_some() && work.ctx.aborted() {
+                            let now = fabric.now();
+                            fabric
+                                .hub
+                                .add(me, Counter::TimeStealUs, now.saturating_sub(mark));
+                            mark = now;
+                            let cancelled = Finished {
+                                id: work.id,
+                                name: work.name,
+                                class: work.class,
+                                version: work.version,
+                                tag: work.tag,
+                                started: now,
+                                finished: now,
+                                worker: me,
+                                epoch: my_epoch,
+                                body: BodyResult::Cancelled,
+                            };
+                            if tx.send(cancelled).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                        let traced = fabric.tracer.is_enabled();
+                        if traced {
+                            fabric.tracer.emit(
+                                me,
+                                EventKind::TaskStart {
+                                    id: work.id,
+                                    name: work.name,
+                                    version: work.version,
+                                },
+                            );
+                        }
+                        let started = fabric.now();
+                        fabric
+                            .hub
+                            .add(me, Counter::TimeStealUs, started.saturating_sub(mark));
+                        if fabric.watchdog_enabled {
+                            *fault::lock_recover(&fabric.watch[me]) = Some(WatchSlot {
+                                id: work.id,
+                                version: work.version,
+                                flag: work.ctx.abort_flag(),
+                                started,
+                                flagged: false,
+                            });
+                        }
+                        // Panic-isolated body execution: catch,
+                        // report, and — for non-speculative tasks —
+                        // retry in place with bounded backoff.
+                        // Speculative faults never retry: aborting
+                        // the version is cheaper and the
+                        // speculation layer restarts the work.
+                        let mut attempt = 0u32;
+                        let body = loop {
+                            match run_attempt(&fabric, &mut work) {
+                                Ok(out) => break BodyResult::Ran(out),
+                                Err(_) => {
+                                    fabric.hub.add(me, Counter::Faults, 1);
+                                    if traced {
+                                        fabric.tracer.emit(
+                                            me,
+                                            EventKind::TaskFault {
+                                                id: work.id,
+                                                name: work.name,
+                                                version: work.version,
+                                                attempt,
+                                            },
+                                        );
+                                    }
+                                    if work.version.is_some()
+                                        || attempt + 1 >= retry.max_attempts.max(1)
+                                    {
+                                        break BodyResult::Faulted { attempt };
+                                    }
+                                    attempt += 1;
+                                    fabric.hub.add(me, Counter::Retries, 1);
+                                    // Jittered per-task backoff:
+                                    // correlated faults must not
+                                    // wake in lockstep.
+                                    let wait = retry.backoff_jittered_us(attempt, work.id);
+                                    fabric.hub.add(me, Counter::RetryBackoffUs, wait);
+                                    std::thread::sleep(Duration::from_micros(wait));
+                                }
+                            }
+                        };
+                        if fabric.watchdog_enabled {
+                            *fault::lock_recover(&fabric.watch[me]) = None;
+                        }
+                        let finished = fabric.now();
+                        let slice = finished.saturating_sub(started);
+                        let clock = if work.class == TaskClass::Check {
+                            Counter::TimeCheckUs
+                        } else {
+                            Counter::TimeRunUs
+                        };
+                        fabric.hub.add(me, clock, slice);
+                        fabric.hub.record(Hist::RunSliceUs, slice);
+                        mark = finished;
+                        if traced {
+                            if let BodyResult::Ran(_) = body {
+                                fabric.tracer.emit(
+                                    me,
+                                    EventKind::TaskEnd {
+                                        id: work.id,
+                                        name: work.name,
+                                        version: work.version,
+                                        discarded: work.ctx.aborted(),
+                                    },
+                                );
+                            }
+                        }
+                        let report = Finished {
+                            id: work.id,
+                            name: work.name,
+                            class: work.class,
+                            version: work.version,
+                            tag: work.tag,
+                            started,
+                            finished,
+                            worker: me,
+                            epoch: my_epoch,
+                            body,
+                        };
+                        if tx.send(report).is_err() {
+                            return;
+                        }
+                    }
+                    None => {
+                        if fabric.done.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        // Work conservation: refill the lanes
+                        // ourselves if the commit lock happens to be
+                        // free — a dry spell doesn't have to cost a
+                        // round trip through the router thread.
+                        if let Ok(mut guard) = commit.try_lock() {
+                            let pushed = pump(&fabric, &mut guard);
+                            drop(guard);
+                            if pushed {
+                                continue;
+                            }
+                        }
+                        // Spin-then-park: a couple of yields lets
+                        // the feeder/router run and refill before we
+                        // pay the (µs-scale) park/unpark futex trip.
+                        if spins < fabric.spin_limit {
+                            spins += 1;
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        spins = 0;
+                        let p = &fabric.parkers[me];
+                        // Dekker-style handshake with the pump: set
+                        // parked (flag and count), then re-check;
+                        // the pump pushes, then checks the count.
+                        // SeqCst total order guarantees at least one
+                        // side sees the other, so no wake-up is
+                        // lost. The timeout is belt-and-braces only.
+                        p.parked.store(true, Ordering::SeqCst);
+                        fabric.parked_count.fetch_add(1, Ordering::SeqCst);
+                        if fabric.in_lanes.load(Ordering::SeqCst) == 0
+                            && !fabric.done.load(Ordering::SeqCst)
+                        {
+                            let traced = fabric.tracer.is_enabled();
+                            if traced {
+                                fabric.tracer.emit(me, EventKind::Park);
+                            }
+                            let napped = fabric.now();
+                            fabric
+                                .hub
+                                .add(me, Counter::TimeStealUs, napped.saturating_sub(mark));
+                            std::thread::park_timeout(Duration::from_millis(100));
+                            mark = fabric.now();
+                            let idle = mark.saturating_sub(napped);
+                            fabric.hub.add(me, Counter::TimeParkUs, idle);
+                            fabric.hub.record(Hist::IdleSliceUs, idle);
+                            if traced {
+                                fabric.tracer.emit(me, EventKind::Unpark);
+                            }
+                        }
+                        p.parked.store(false, Ordering::SeqCst);
+                        fabric.parked_count.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn worker thread")
 }
 
 /// Run `workload` on `cfg.workers` real threads, feeding it the blocks
@@ -558,7 +865,11 @@ where
         cfg.workers,
         tracer.clone(),
         cfg.faults.clone(),
-        cfg.watchdog.is_some(),
+        // The supervisor also needs the watch slots: quarantining a wedged
+        // worker signals the abort flag of whatever it was running, which
+        // is what unsticks abort-aware bodies and injected stalls.
+        cfg.watchdog.is_some() || cfg.supervisor.is_some(),
+        cfg.supervisor.is_some(),
         hub.clone(),
     ));
     let commit = Arc::new(Mutex::new(Inner {
@@ -608,237 +919,14 @@ where
     let retry = cfg.retry;
     let workers: Vec<_> = (0..cfg.workers)
         .map(|me| {
-            let fabric = Arc::clone(&fabric);
-            let commit = Arc::clone(&commit);
-            let tx: Producer<Finished> = ring.producer();
-            std::thread::Builder::new()
-                .name(format!("tvs-worker-{me}"))
-                .spawn(move || {
-                    let _ = fabric.parkers[me].handle.set(std::thread::current());
-                    let mut spins = 0u32;
-                    // Time-accounting profiler: `mark` is the end of the
-                    // last charged interval. Work-acquisition time (lane
-                    // pops, steal scans, spin-yields, re-validation) is
-                    // charged at the next grab, body time at task end and
-                    // park time around the futex nap — each boundary
-                    // reuses a stamp the loop already takes, so the only
-                    // extra cost is one counter add per interval.
-                    let mut mark = fabric.now();
-                    loop {
-                        match fabric.grab(me) {
-                            Some((ready, stolen_from)) => {
-                                spins = 0;
-                                if let Some(victim) = stolen_from {
-                                    fabric.hub.add(me, Counter::Steal, 1);
-                                    if fabric.tracer.is_enabled() {
-                                        fabric.tracer.emit(
-                                            me,
-                                            EventKind::Steal {
-                                                id: ready.work.id,
-                                                victim: victim as u32,
-                                            },
-                                        );
-                                    }
-                                }
-                                // Wake chain: if backlog remains beyond the
-                                // awake set, ramp up one more worker.
-                                fabric.wake_for_work();
-                                let mut work = ready.work;
-                                // Epoch-checked re-validation: only a task
-                                // bound before some rollback can be stale,
-                                // and only a flagged one is actually dead.
-                                let stale =
-                                    ready.epoch != fabric.abort_epoch.load(Ordering::SeqCst);
-                                if stale && work.version.is_some() && work.ctx.aborted() {
-                                    let now = fabric.now();
-                                    fabric.hub.add(
-                                        me,
-                                        Counter::TimeStealUs,
-                                        now.saturating_sub(mark),
-                                    );
-                                    mark = now;
-                                    let cancelled = Finished {
-                                        id: work.id,
-                                        name: work.name,
-                                        class: work.class,
-                                        version: work.version,
-                                        tag: work.tag,
-                                        started: now,
-                                        finished: now,
-                                        body: BodyResult::Cancelled,
-                                    };
-                                    if tx.send(cancelled).is_err() {
-                                        return;
-                                    }
-                                    continue;
-                                }
-                                let traced = fabric.tracer.is_enabled();
-                                if traced {
-                                    fabric.tracer.emit(
-                                        me,
-                                        EventKind::TaskStart {
-                                            id: work.id,
-                                            name: work.name,
-                                            version: work.version,
-                                        },
-                                    );
-                                }
-                                let started = fabric.now();
-                                fabric.hub.add(
-                                    me,
-                                    Counter::TimeStealUs,
-                                    started.saturating_sub(mark),
-                                );
-                                if fabric.watchdog_enabled {
-                                    *fault::lock_recover(&fabric.watch[me]) = Some(WatchSlot {
-                                        id: work.id,
-                                        version: work.version,
-                                        flag: work.ctx.abort_flag(),
-                                        started,
-                                        flagged: false,
-                                    });
-                                }
-                                // Panic-isolated body execution: catch,
-                                // report, and — for non-speculative tasks —
-                                // retry in place with bounded backoff.
-                                // Speculative faults never retry: aborting
-                                // the version is cheaper and the
-                                // speculation layer restarts the work.
-                                let mut attempt = 0u32;
-                                let body = loop {
-                                    match run_attempt(&fabric, &mut work) {
-                                        Ok(out) => break BodyResult::Ran(out),
-                                        Err(_) => {
-                                            fabric.hub.add(me, Counter::Faults, 1);
-                                            if traced {
-                                                fabric.tracer.emit(
-                                                    me,
-                                                    EventKind::TaskFault {
-                                                        id: work.id,
-                                                        name: work.name,
-                                                        version: work.version,
-                                                        attempt,
-                                                    },
-                                                );
-                                            }
-                                            if work.version.is_some()
-                                                || attempt + 1 >= retry.max_attempts.max(1)
-                                            {
-                                                break BodyResult::Faulted { attempt };
-                                            }
-                                            attempt += 1;
-                                            fabric.hub.add(me, Counter::Retries, 1);
-                                            // Jittered per-task backoff:
-                                            // correlated faults must not
-                                            // wake in lockstep.
-                                            let wait = retry.backoff_jittered_us(attempt, work.id);
-                                            fabric.hub.add(me, Counter::RetryBackoffUs, wait);
-                                            std::thread::sleep(Duration::from_micros(wait));
-                                        }
-                                    }
-                                };
-                                if fabric.watchdog_enabled {
-                                    *fault::lock_recover(&fabric.watch[me]) = None;
-                                }
-                                let finished = fabric.now();
-                                let slice = finished.saturating_sub(started);
-                                let clock = if work.class == TaskClass::Check {
-                                    Counter::TimeCheckUs
-                                } else {
-                                    Counter::TimeRunUs
-                                };
-                                fabric.hub.add(me, clock, slice);
-                                fabric.hub.record(Hist::RunSliceUs, slice);
-                                mark = finished;
-                                if traced {
-                                    if let BodyResult::Ran(_) = body {
-                                        fabric.tracer.emit(
-                                            me,
-                                            EventKind::TaskEnd {
-                                                id: work.id,
-                                                name: work.name,
-                                                version: work.version,
-                                                discarded: work.ctx.aborted(),
-                                            },
-                                        );
-                                    }
-                                }
-                                let report = Finished {
-                                    id: work.id,
-                                    name: work.name,
-                                    class: work.class,
-                                    version: work.version,
-                                    tag: work.tag,
-                                    started,
-                                    finished,
-                                    body,
-                                };
-                                if tx.send(report).is_err() {
-                                    return;
-                                }
-                            }
-                            None => {
-                                if fabric.done.load(Ordering::SeqCst) {
-                                    return;
-                                }
-                                // Work conservation: refill the lanes
-                                // ourselves if the commit lock happens to be
-                                // free — a dry spell doesn't have to cost a
-                                // round trip through the router thread.
-                                if let Ok(mut guard) = commit.try_lock() {
-                                    let pushed = pump(&fabric, &mut guard);
-                                    drop(guard);
-                                    if pushed {
-                                        continue;
-                                    }
-                                }
-                                // Spin-then-park: a couple of yields lets
-                                // the feeder/router run and refill before we
-                                // pay the (µs-scale) park/unpark futex trip.
-                                if spins < fabric.spin_limit {
-                                    spins += 1;
-                                    std::thread::yield_now();
-                                    continue;
-                                }
-                                spins = 0;
-                                let p = &fabric.parkers[me];
-                                // Dekker-style handshake with the pump: set
-                                // parked (flag and count), then re-check;
-                                // the pump pushes, then checks the count.
-                                // SeqCst total order guarantees at least one
-                                // side sees the other, so no wake-up is
-                                // lost. The timeout is belt-and-braces only.
-                                p.parked.store(true, Ordering::SeqCst);
-                                fabric.parked_count.fetch_add(1, Ordering::SeqCst);
-                                if fabric.in_lanes.load(Ordering::SeqCst) == 0
-                                    && !fabric.done.load(Ordering::SeqCst)
-                                {
-                                    let traced = fabric.tracer.is_enabled();
-                                    if traced {
-                                        fabric.tracer.emit(me, EventKind::Park);
-                                    }
-                                    let napped = fabric.now();
-                                    fabric.hub.add(
-                                        me,
-                                        Counter::TimeStealUs,
-                                        napped.saturating_sub(mark),
-                                    );
-                                    std::thread::park_timeout(Duration::from_millis(100));
-                                    mark = fabric.now();
-                                    let idle = mark.saturating_sub(napped);
-                                    fabric.hub.add(me, Counter::TimeParkUs, idle);
-                                    fabric.hub.record(Hist::IdleSliceUs, idle);
-                                    if traced {
-                                        fabric.tracer.emit(me, EventKind::Unpark);
-                                    }
-                                }
-                                p.parked.store(false, Ordering::SeqCst);
-                                fabric.parked_count.fetch_sub(1, Ordering::SeqCst);
-                            }
-                        }
-                    }
-                })
-                .expect("failed to spawn worker thread")
+            spawn_worker(
+                me,
+                0,
+                Arc::clone(&fabric),
+                Arc::clone(&commit),
+                ring.producer(),
+                retry,
+            )
         })
         .collect();
     // Workers hold the only producer handles: when they exit, the ring
@@ -976,6 +1064,45 @@ where
                     let mut guard = fault::lock_recover(&commit);
                     let inner = &mut *guard;
                     for f in batch.drain(..) {
+                        // Worker-epoch gate: a report whose epoch no longer
+                        // matches its lane's current incarnation comes from
+                        // a quarantined worker (or is an injected duplicate
+                        // echo). Reject it *before* any charging or
+                        // completion routing — the dead incarnation's work
+                        // must never double-commit — and recover the task
+                        // through the regular fault path: reclaim its slot,
+                        // notify the workload (which re-spawns lost
+                        // non-speculative work) and abort its version. The
+                        // scheduler's `fault` is idempotent, so an echo of
+                        // an already-completed task is a pure rejection.
+                        let lane_epoch = fabric.worker_epoch[f.worker].load(Ordering::SeqCst);
+                        if f.epoch != lane_epoch {
+                            fabric.hub.add_control(Counter::StaleCompletionsRejected, 1);
+                            if let Some(vers) = inner.sched.fault(f.id) {
+                                let Inner {
+                                    sched, workload, ..
+                                } = inner;
+                                let mut ctx = WsCtx {
+                                    sched,
+                                    abort_epoch: &fabric.abort_epoch,
+                                    now: f.finished,
+                                };
+                                workload.on_fault(
+                                    &mut ctx,
+                                    FaultNotice {
+                                        id: f.id,
+                                        name: f.name,
+                                        version: vers,
+                                        tag: f.tag,
+                                        attempt: 0,
+                                    },
+                                );
+                                if let Some(v) = vers {
+                                    ctx.abort_version(v);
+                                }
+                            }
+                            continue;
+                        }
                         let Finished {
                             id,
                             name,
@@ -984,6 +1111,8 @@ where
                             tag,
                             started,
                             finished,
+                            worker,
+                            epoch,
                             body,
                         } = f;
                         match body {
@@ -1016,6 +1145,7 @@ where
                                             id,
                                             name,
                                             version: vers,
+                                            tag,
                                             attempt,
                                         },
                                     );
@@ -1043,6 +1173,8 @@ where
                                             tag,
                                             started,
                                             finished,
+                                            worker,
+                                            epoch,
                                             body: BodyResult::Ran(output),
                                         });
                                         continue;
@@ -1085,15 +1217,37 @@ where
                                     }
                                 }
                                 if echo {
-                                    // Deliver the completion twice; the
-                                    // scheduler absorbs the second copy.
-                                    let _ = inner.sched.try_complete(id);
+                                    // Deliver the completion a second time,
+                                    // stamped with an epoch no incarnation
+                                    // ever holds: the duplicate flows back
+                                    // through this loop and the worker-epoch
+                                    // gate rejects it — exercising the same
+                                    // path that protects against a
+                                    // quarantined worker's stragglers,
+                                    // instead of quietly absorbing the echo
+                                    // in the scheduler.
+                                    delayed.push(Finished {
+                                        id,
+                                        name,
+                                        class,
+                                        version,
+                                        tag,
+                                        started,
+                                        finished,
+                                        worker,
+                                        epoch: u64::MAX,
+                                        body: BodyResult::Faulted { attempt: 0 },
+                                    });
                                 }
                             }
                         }
                     }
                     let pushed = pump(&fabric, inner);
-                    let done = run_complete(inner, fabric.now());
+                    // Held-back reports (injected delays and duplicate
+                    // echoes) must flow through the gate before the run can
+                    // end, or a last-batch echo would never exercise the
+                    // reject path. One more loop iteration drains them.
+                    let done = run_complete(inner, fabric.now()) && delayed.is_empty();
                     drop(guard);
                     // Commit-path time: the whole routed batch under one
                     // lock acquisition (one add per batch, not per task).
@@ -1166,6 +1320,81 @@ where
             .expect("failed to spawn watchdog thread")
     });
 
+    // Supervisor thread: polls the per-lane heartbeat clocks and recovers
+    // lanes whose worker went dark — wedged in a body that ignores its
+    // abort flag, or descheduled indefinitely. Quarantine bumps the lane's
+    // epoch (under the commit lock, so the router's gate and the bump are
+    // ordered), signals the old incarnation's running task, hands its
+    // ready lane to the live workers, and respawns a replacement on the
+    // fresh epoch. Any completion the quarantined incarnation still
+    // reports is rejected by the router's epoch gate and re-fed — never
+    // double-committed.
+    let supervisor = cfg.supervisor.map(|sv| {
+        let fabric = Arc::clone(&fabric);
+        let commit = Arc::clone(&commit);
+        let ring = Arc::clone(&ring);
+        std::thread::Builder::new()
+            .name("tvs-supervisor".into())
+            .spawn(move || {
+                let mut respawned: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !fabric.done.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(sv.poll_us.max(100)));
+                    let now = fabric.now();
+                    for me in 0..fabric.lanes.len() {
+                        let hb = fabric.heartbeat[me].load(Ordering::SeqCst);
+                        if now.saturating_sub(hb) < sv.heartbeat_timeout_us.max(1)
+                            || fabric.done.load(Ordering::SeqCst)
+                        {
+                            continue;
+                        }
+                        // Quarantine under the commit lock: the epoch bump
+                        // is ordered against the router's gate (which reads
+                        // epochs while routing under the same lock) and the
+                        // control-ring emissions stay single-writer.
+                        let guard = fault::lock_recover(&commit);
+                        let old = fabric.worker_epoch[me].fetch_add(1, Ordering::SeqCst);
+                        // Restart the clock so the replacement gets a full
+                        // timeout before it is judged.
+                        fabric.heartbeat[me].store(fabric.now(), Ordering::SeqCst);
+                        fabric.hub.add_control(Counter::WorkerRespawns, 1);
+                        if fabric.tracer.is_enabled() {
+                            fabric.tracer.emit_control(EventKind::WorkerQuarantine {
+                                worker: me as u32,
+                                epoch: old,
+                            });
+                            fabric.tracer.emit_control(EventKind::WorkerRespawn {
+                                worker: me as u32,
+                                epoch: old + 1,
+                            });
+                        }
+                        drop(guard);
+                        // Unstick whatever the old incarnation is running:
+                        // abort-aware bodies (and injected stalls) return
+                        // early once the flag is up, after which the old
+                        // worker exits at its next epoch check and its
+                        // report dies at the gate.
+                        if let Some(s) = fault::lock_recover(&fabric.watch[me]).as_ref() {
+                            TaskCtx::signal_abort(&s.flag);
+                        }
+                        fabric.reassign_lane(me);
+                        respawned.push(spawn_worker(
+                            me,
+                            old + 1,
+                            Arc::clone(&fabric),
+                            Arc::clone(&commit),
+                            ring.producer(),
+                            retry,
+                        ));
+                    }
+                }
+                fabric.wake_all();
+                for h in respawned {
+                    let _ = h.join();
+                }
+            })
+            .expect("failed to spawn supervisor thread")
+    });
+
     // Joins: a runtime thread dying outside a task body is a runtime bug,
     // but it is still reported as a RunError value, not a process abort.
     let mut lost: Option<&'static str> = None;
@@ -1186,6 +1415,11 @@ where
     if let Some(wd) = watchdog {
         if wd.join().is_err() {
             lost = lost.or(Some("watchdog"));
+        }
+    }
+    if let Some(sv) = supervisor {
+        if sv.join().is_err() {
+            lost = lost.or(Some("supervisor"));
         }
     }
 
@@ -1221,6 +1455,8 @@ where
         duplicate_completions: st.duplicate_completions,
         replica_dispatches: st.replicas_spawned,
         retry_backoff_us: hub.counter_total(Counter::RetryBackoffUs),
+        stale_completions_rejected: hub.counter_total(Counter::StaleCompletionsRejected),
+        worker_respawns: hub.counter_total(Counter::WorkerRespawns),
     };
     Ok((inner.workload, metrics))
 }
@@ -1637,15 +1873,155 @@ mod tests {
             cfg.faults.injected() > 0,
             "the plan actually injected something"
         );
+        let echoes = cfg
+            .faults
+            .log()
+            .iter()
+            .filter(|f| f.kind == FaultKind::DuplicateCompletion)
+            .count() as u64;
         assert_eq!(
-            m.duplicate_completions,
-            cfg.faults
-                .log()
-                .iter()
-                .filter(|f| f.kind == FaultKind::DuplicateCompletion)
-                .count() as u64,
-            "every injected echo was absorbed"
+            m.stale_completions_rejected, echoes,
+            "every injected echo must take the epoch-reject path"
         );
+        assert_eq!(
+            m.duplicate_completions, 0,
+            "echoes are rejected at the gate, never absorbed by the scheduler"
+        );
+    }
+
+    #[test]
+    fn duplicated_completion_takes_the_epoch_reject_path() {
+        // Focused version of the chaos smoke: with *only* duplicate echoes
+        // injected, the epoch-reject counter must match the injection count
+        // exactly and the output must be unaffected.
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..16).map(|i| (i, vec![i as u8; 50].into())).collect();
+        let expect: u64 = (0..16u64).map(|i| i * 50).sum();
+        let plan = FaultPlan::new(7)
+            .with_rule(FaultSite::Completion, FaultKind::DuplicateCompletion, 1.0)
+            .with_max_faults(8);
+        let mut cfg = ThreadedConfig::new(2, DispatchPolicy::NonSpeculative);
+        cfg.faults = FaultInjector::new(plan);
+        let (w, m) = try_run(
+            Summer {
+                n: 16,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+        )
+        .expect("echoes are recoverable");
+        assert_eq!(w.total, expect);
+        assert_eq!(w.seen, 16, "every block delivered exactly once");
+        assert_eq!(m.stale_completions_rejected, 8);
+        assert_eq!(m.duplicate_completions, 0);
+    }
+
+    /// A workload whose tagged tasks are re-spawned when lost: block 0's
+    /// first execution wedges (a sleep that ignores the abort flag long
+    /// enough to trip the supervisor), later executions run normally.
+    struct Wedger {
+        n: usize,
+        seen: usize,
+        total: u64,
+        refed: u32,
+        wedge_us: u64,
+        wedged: Arc<AtomicU32>,
+    }
+
+    impl Workload for Wedger {
+        fn on_input(&mut self, ctx: &mut dyn SchedCtx, b: InputBlock) {
+            let data = b.data.clone();
+            let wedge = if b.index == 0 { self.wedge_us } else { 0 };
+            let wedged = Arc::clone(&self.wedged);
+            ctx.spawn(TaskSpec::regular(
+                "sum",
+                0,
+                data.len(),
+                b.index as u64,
+                move |_| {
+                    if wedge > 0 && wedged.fetch_add(1, Ordering::SeqCst) == 0 {
+                        // Not abort-aware: the supervisor must detect the
+                        // dark heartbeat, not rely on cooperative cancel.
+                        std::thread::sleep(Duration::from_micros(wedge));
+                    }
+                    payload(data.iter().map(|&x| x as u64).sum::<u64>())
+                },
+            ));
+        }
+        fn on_complete(&mut self, _ctx: &mut dyn SchedCtx, done: Completion) {
+            self.total += *done.output.downcast::<u64>().unwrap();
+            self.seen += 1;
+        }
+        fn on_fault(&mut self, ctx: &mut dyn SchedCtx, fault: FaultNotice) {
+            // The gate re-feeds lost work by (name, tag): re-spawn the block.
+            assert_eq!(fault.name, "sum");
+            self.refed += 1;
+            let idx = fault.tag;
+            ctx.spawn(TaskSpec::regular("sum", 0, 50, idx, move |_| {
+                payload(idx * 50)
+            }));
+        }
+        fn is_finished(&self) -> bool {
+            self.seen == self.n
+        }
+    }
+
+    #[test]
+    fn supervisor_respawns_a_wedged_worker_without_double_commit() {
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..12).map(|i| (i, vec![i as u8; 50].into())).collect();
+        let expect: u64 = (0..12u64).map(|i| i * 50).sum();
+        let mut cfg = ThreadedConfig::new(3, DispatchPolicy::NonSpeculative);
+        cfg.supervisor = Some(SupervisorConfig {
+            // Must exceed the 100 ms park timeout (parked workers stamp
+            // only when they wake) or healthy-but-idle workers churn.
+            heartbeat_timeout_us: 150_000,
+            poll_us: 10_000,
+        });
+        let (w, m) = try_run(
+            Wedger {
+                n: 12,
+                seen: 0,
+                total: 0,
+                refed: 0,
+                wedge_us: 400_000,
+                wedged: Arc::new(AtomicU32::new(0)),
+            },
+            &cfg,
+            blocks,
+        )
+        .expect("supervision recovers the run");
+        assert_eq!(w.seen, 12, "every block delivered exactly once");
+        assert_eq!(w.total, expect, "re-fed block contributes exactly once");
+        assert!(m.worker_respawns >= 1, "the wedged worker was respawned");
+        assert!(
+            m.stale_completions_rejected >= 1,
+            "the wedged incarnation's straggler died at the gate"
+        );
+        assert_eq!(w.refed as u64, m.stale_completions_rejected);
+    }
+
+    #[test]
+    fn supervision_is_quiet_on_a_healthy_run() {
+        let blocks: Vec<(usize, Arc<[u8]>)> =
+            (0..32).map(|i| (i, vec![i as u8; 100].into())).collect();
+        let expect: u64 = (0..32u64).map(|i| i * 100).sum();
+        let mut cfg = ThreadedConfig::new(4, DispatchPolicy::NonSpeculative);
+        cfg.supervisor = Some(SupervisorConfig::default());
+        let (w, m) = run(
+            Summer {
+                n: 32,
+                seen: 0,
+                total: 0,
+            },
+            &cfg,
+            blocks,
+        );
+        assert_eq!(w.total, expect);
+        assert_eq!(m.worker_respawns, 0, "healthy workers are left alone");
+        assert_eq!(m.stale_completions_rejected, 0);
     }
 
     #[test]

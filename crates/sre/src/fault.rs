@@ -138,6 +138,37 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Worker supervision configuration (threaded executor only): every worker
+/// stamps a heartbeat clock each loop iteration, and a supervisor thread
+/// quarantines workers whose heartbeat goes stale — bumping their epoch so
+/// in-flight completion reports from the old incarnation are *rejected* at
+/// the router's gate instead of double-committed, reassigning their ready
+/// lane, and respawning a replacement on a fresh epoch.
+///
+/// False positives are safe by construction: a merely-slow worker whose
+/// epoch was bumped exits at its next loop iteration, and its straggling
+/// report is recovered through the regular fault path (the task is re-fed,
+/// never committed twice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// A worker whose heartbeat is older than this is quarantined, µs.
+    /// Must comfortably exceed the worker park timeout (100 ms) plus the
+    /// longest well-behaved task body, or slow workers get churned — safe,
+    /// but wasteful.
+    pub heartbeat_timeout_us: u64,
+    /// Poll interval of the supervisor thread, µs.
+    pub poll_us: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            heartbeat_timeout_us: 1_000_000,
+            poll_us: 10_000,
+        }
+    }
+}
+
 /// Lock `m`, recovering the guard when a panicking thread poisoned it.
 ///
 /// Every shared structure in the executors is either plain data (lanes,

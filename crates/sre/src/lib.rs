@@ -51,7 +51,9 @@ pub mod sched;
 pub mod task;
 pub mod workload;
 
-pub use fault::{into_inner_recover, lock_recover, RetryPolicy, RunError, WatchdogConfig};
+pub use fault::{
+    into_inner_recover, lock_recover, RetryPolicy, RunError, SupervisorConfig, WatchdogConfig,
+};
 pub use mapreduce::{MapReduce, Summary};
 pub use metrics::{RunMetrics, TaskTrace};
 pub use platform::{cell_be, x86_smp, CostModel, FixedCost, Platform};

@@ -67,6 +67,10 @@ pub struct FaultNotice {
     /// callback, so the workload only needs to update its own records
     /// (e.g. tell its speculation manager the version is dead).
     pub version: Option<SpecVersion>,
+    /// The application tag from the task's `TaskSpec` — lets a workload
+    /// identify *which* unit of its work was lost (e.g. which block) and
+    /// re-spawn it, rather than only learning the task kind.
+    pub tag: u64,
     /// Retry attempts already spent (0 on the first fault).
     pub attempt: u32,
 }

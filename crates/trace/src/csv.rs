@@ -84,8 +84,9 @@ impl TraceLog {
     /// `id` column carries the parent version), `margin` for checks, `cascade_depth`
     /// for rollback, `entries` for undo-replay, `attempt` for task-fault,
     /// `ran_us` for watchdog-cancel, `failures`/`commits` for breaker-trip,
-    /// `successes` for breaker-recover and the primary task id (`of`) for
-    /// replica-dispatch. Names are RFC-4180 quoted.
+    /// `successes` for breaker-recover, the primary task id (`of`) for
+    /// replica-dispatch, `from`/`to` for ladder-step and `worker`/`epoch`
+    /// for worker-quarantine/respawn. Names are RFC-4180 quoted.
     pub fn to_event_csv(&self) -> String {
         let mut out = String::from(EVENT_CSV_HEADER);
         out.push('\n');
@@ -276,6 +277,23 @@ impl TraceLog {
                     fmt_version(*version),
                     String::new(),
                     String::new(),
+                ),
+                EventKind::LadderStep { from, to } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    from.to_string(),
+                    to.to_string(),
+                ),
+                EventKind::WorkerQuarantine { worker, epoch }
+                | EventKind::WorkerRespawn { worker, epoch } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    worker.to_string(),
+                    epoch.to_string(),
                 ),
             };
             let _ = writeln!(

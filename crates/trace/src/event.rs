@@ -226,6 +226,33 @@ pub enum EventKind {
         /// The primary task id whose vote set resolved.
         id: u64,
     },
+    /// The degradation ladder changed level (down on sustained failure,
+    /// up after the hysteresis window of clean operation).
+    LadderStep {
+        /// Level before the step (0 = full speculation … 3 =
+        /// checkpoint-and-pause).
+        from: u32,
+        /// Level after the step.
+        to: u32,
+    },
+    /// The supervisor quarantined a worker that missed its heartbeat
+    /// deadline: its epoch was advanced so in-flight completions it may
+    /// still report are rejected instead of double-committed.
+    WorkerQuarantine {
+        /// Quarantined worker index.
+        worker: u32,
+        /// The worker's epoch *before* quarantine (reports stamped with
+        /// it are now stale).
+        epoch: u64,
+    },
+    /// The supervisor respawned a quarantined worker's thread under a
+    /// fresh epoch.
+    WorkerRespawn {
+        /// Respawned worker index.
+        worker: u32,
+        /// The fresh epoch the new thread reports under.
+        epoch: u64,
+    },
 }
 
 impl EventKind {
@@ -256,6 +283,9 @@ impl EventKind {
             EventKind::ReplicaMatch { .. } => "replica-match",
             EventKind::SdcDetected { .. } => "sdc-detected",
             EventKind::SdcResolved { .. } => "sdc-resolved",
+            EventKind::LadderStep { .. } => "ladder-step",
+            EventKind::WorkerQuarantine { .. } => "worker-quarantine",
+            EventKind::WorkerRespawn { .. } => "worker-respawn",
         }
     }
 
@@ -285,7 +315,10 @@ impl EventKind {
             | EventKind::BreakerRecover { .. }
             | EventKind::ReplicaDispatch { .. }
             | EventKind::ReplicaMatch { .. }
-            | EventKind::SdcResolved { .. } => None,
+            | EventKind::SdcResolved { .. }
+            | EventKind::LadderStep { .. }
+            | EventKind::WorkerQuarantine { .. }
+            | EventKind::WorkerRespawn { .. } => None,
         }
     }
 }

@@ -261,6 +261,21 @@ impl TraceLog {
                         r#"{{"name":"sdc-resolved","cat":"replication","ph":"i","s":"t","ts":{ts},"pid":1,"tid":{tid},"args":{{"id":{id}}}}}"#
                     ));
                 }
+                EventKind::LadderStep { from, to } => {
+                    rows.push(format!(
+                        r#"{{"name":"ladder-step","cat":"degradation","ph":"i","s":"p","ts":{ts},"pid":1,"tid":{tid},"args":{{"from":{from},"to":{to}}}}}"#
+                    ));
+                }
+                EventKind::WorkerQuarantine { worker, epoch } => {
+                    rows.push(format!(
+                        r#"{{"name":"worker-quarantine","cat":"supervision","ph":"i","s":"p","ts":{ts},"pid":1,"tid":{tid},"args":{{"worker":{worker},"epoch":{epoch}}}}}"#
+                    ));
+                }
+                EventKind::WorkerRespawn { worker, epoch } => {
+                    rows.push(format!(
+                        r#"{{"name":"worker-respawn","cat":"supervision","ph":"i","s":"t","ts":{ts},"pid":1,"tid":{tid},"args":{{"worker":{worker},"epoch":{epoch}}}}}"#
+                    ));
+                }
             }
         }
 

@@ -34,6 +34,8 @@ fn cfg(policy: DispatchPolicy) -> HuffmanConfig {
         collect_output: false,
         breaker: None,
         validation: ValidationMode::Tolerance,
+        checkpoint: None,
+        ladder: None,
     }
 }
 

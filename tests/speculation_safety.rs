@@ -52,6 +52,8 @@ fn small_cfg(
         collect_output: true,
         breaker: None,
         validation: ValidationMode::Tolerance,
+        checkpoint: None,
+        ladder: None,
     }
 }
 
